@@ -1,0 +1,151 @@
+package pathlog
+
+import (
+	"testing"
+	"time"
+)
+
+const apiTestSrc = `
+int main() {
+	char a[8];
+	getarg(0, a, 8);
+	if (a[0] == 'G' && a[1] == 'O') {
+		crash(3);
+	}
+	print_str("fine");
+	return 0;
+}
+`
+
+func apiScenario(t *testing.T) *Scenario {
+	t.Helper()
+	prog, err := Compile(Unit{Name: "t.mc", Source: apiTestSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Scenario{
+		Name:      "api",
+		Prog:      prog,
+		Spec:      &Spec{Args: []Stream{ArgStream(0, "xx", 4)}},
+		UserBytes: map[string][]byte{"arg0": []byte("GO")},
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile(Unit{Name: "bad.mc", Source: "int main( {"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Compile(Unit{Name: "nomain.mc", Source: "int f() { return 0; }"}); err == nil {
+		t.Fatal("expected link error")
+	}
+}
+
+func TestCompileWithLibUnit(t *testing.T) {
+	prog, err := Compile(
+		Unit{Name: "app.mc", Source: `int main() { return helper(); }`},
+		Unit{Name: "lib.mc", Lib: true, Source: `int helper() { return 7; }`},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.FuncList) != 2 {
+		t.Fatalf("functions: %d", len(prog.FuncList))
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	scn := apiScenario(t)
+	in := Inputs{
+		Dynamic: scn.AnalyzeDynamic(DynamicOptions{MaxRuns: 50}),
+		Static:  scn.AnalyzeStatic(StaticOptions{}),
+	}
+	for _, m := range Methods {
+		plan := scn.Plan(m, in, true)
+		rec, stats, err := scn.Record(plan)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rec == nil {
+			t.Fatalf("%v: no recording", m)
+		}
+		if stats.TraceBits != int64(stats.InstrumentedExecs) {
+			t.Fatalf("%v: bits/execs mismatch", m)
+		}
+		res := scn.Replay(rec, ReplayOptions{MaxRuns: 500, TimeBudget: 10 * time.Second})
+		if !res.Reproduced {
+			t.Fatalf("%v: not reproduced", m)
+		}
+		got := res.InputBytes["arg0"]
+		if got[0] != 'G' || got[1] != 'O' {
+			t.Fatalf("%v: input %q", m, got)
+		}
+	}
+}
+
+func TestReproduceOneShot(t *testing.T) {
+	scn := apiScenario(t)
+	res, rec, err := Reproduce(scn, MethodDynamicStatic,
+		DynamicOptions{MaxRuns: 50},
+		ReplayOptions{MaxRuns: 500},
+		true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || res == nil || !res.Reproduced {
+		t.Fatalf("one-shot failed: rec=%v res=%+v", rec != nil, res)
+	}
+	if !scn.VerifyInput(res.InputBytes, rec.Crash) {
+		t.Fatal("input does not verify")
+	}
+}
+
+func TestReproduceNoCrash(t *testing.T) {
+	scn := apiScenario(t)
+	scn.UserBytes = map[string][]byte{"arg0": []byte("no")}
+	res, rec, err := Reproduce(scn, MethodAll,
+		DynamicOptions{MaxRuns: 10}, ReplayOptions{MaxRuns: 10}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil || rec != nil {
+		t.Fatal("non-crashing run must yield no report")
+	}
+}
+
+func TestStripSyscallLogFacade(t *testing.T) {
+	scn := apiScenario(t)
+	in := Inputs{
+		Dynamic: scn.AnalyzeDynamic(DynamicOptions{MaxRuns: 30}),
+		Static:  scn.AnalyzeStatic(StaticOptions{}),
+	}
+	rec, _, err := scn.Record(scn.Plan(MethodAll, in, true))
+	if err != nil || rec == nil {
+		t.Fatal(err)
+	}
+	bare := StripSyscallLog(rec)
+	if bare.SysLog != nil {
+		t.Fatal("syslog not stripped")
+	}
+	res := scn.Replay(bare, ReplayOptions{MaxRuns: 500})
+	if !res.Reproduced {
+		t.Fatal("model-mode replay failed")
+	}
+}
+
+func TestMethodNamesStable(t *testing.T) {
+	want := map[Method]string{
+		MethodNone:          "none",
+		MethodDynamic:       "dynamic",
+		MethodStatic:        "static",
+		MethodDynamicStatic: "dynamic+static",
+		MethodAll:           "all branches",
+	}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("%d: %q", m, m.String())
+		}
+	}
+	if len(Methods) != 4 {
+		t.Errorf("methods: %d", len(Methods))
+	}
+}

@@ -1,0 +1,267 @@
+// Benchmarks regenerating the paper's measurements, one per table/figure.
+// Run with: go test -bench=. -benchmem
+//
+// Benchmarks labeled Figure2/Figure4/Figure5 measure user-site execution
+// under each instrumentation method (the paper's CPU-time axes); the
+// TableN benchmarks measure bug reproduction (the paper's replay times).
+// Custom metrics report the work quantities the paper derives its claims
+// from: logged bits per run, instrumented locations, replay runs.
+package pathlog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/concolic"
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+	"pathlog/internal/replay"
+	"pathlog/internal/static"
+)
+
+// benchMethods are the instrumented configurations plus the baseline.
+var benchMethods = []struct {
+	name string
+	m    instrument.Method
+}{
+	{"none", instrument.MethodNone},
+	{"dynamic", instrument.MethodDynamic},
+	{"dynamic+static", instrument.MethodDynamicStatic},
+	{"static", instrument.MethodStatic},
+	{"all", instrument.MethodAll},
+}
+
+// benchRecord runs the user-site workload once per iteration under a plan.
+func benchRecord(b *testing.B, s *core.Scenario, plan *instrument.Plan) {
+	b.Helper()
+	var bits, steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := s.Record(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits = stats.TraceBits
+		steps = stats.Steps
+	}
+	b.ReportMetric(float64(bits), "bits/run")
+	b.ReportMetric(float64(steps), "steps/run")
+	b.ReportMetric(float64(plan.NumInstrumented()), "instr-locs")
+}
+
+// benchReplay records once, then replays once per iteration.
+func benchReplay(b *testing.B, s *core.Scenario, plan *instrument.Plan) {
+	b.Helper()
+	rec, _, err := s.Record(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rec == nil {
+		b.Fatal("user run did not crash")
+	}
+	var runs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.Replay(rec, replay.Options{MaxRuns: 4000, TimeBudget: 30 * time.Second})
+		if !res.Reproduced {
+			b.Fatalf("not reproduced after %d runs", res.Runs)
+		}
+		runs = res.Runs
+	}
+	b.ReportMetric(float64(runs), "replay-runs")
+}
+
+// --- §5.1 microbenchmarks ---------------------------------------------------
+
+// BenchmarkMicroLoop is the counting-loop overhead measurement: none vs all
+// branches (paper: 107% overhead, ~3ns per logged branch).
+func BenchmarkMicroLoop(b *testing.B) {
+	const iters = 100_000
+	s := apps.MicroLoopScenario(iters)
+	for _, mc := range []struct {
+		name string
+		m    instrument.Method
+	}{{"none", instrument.MethodNone}, {"all", instrument.MethodAll}} {
+		b.Run(mc.name, func(b *testing.B) {
+			plan := s.Plan(mc.m, instrument.Inputs{}, false)
+			benchRecord(b, s, plan)
+		})
+	}
+}
+
+// BenchmarkMicroFib is Listing 1 under every configuration (paper: selective
+// methods log 2 bits and cost nothing; all branches ~110%).
+func BenchmarkMicroFib(b *testing.B) {
+	s := apps.MicroFibScenario('b')
+	in := analysesFor(b, apps.AnalysisSpec(s), 60, false)
+	for _, mc := range benchMethods {
+		b.Run(mc.name, func(b *testing.B) {
+			benchRecord(b, s, s.Plan(mc.m, in, false))
+		})
+	}
+}
+
+// --- §5.2 coreutils ----------------------------------------------------------
+
+// BenchmarkFigure2 measures mkdir user-site CPU per method (Figure 2).
+func BenchmarkFigure2(b *testing.B) {
+	s, err := apps.CoreutilScenario("mkdir", 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.UserBytes = map[string][]byte{
+		"arg0": []byte("-p"), "arg1": []byte("a/b"), "arg2": []byte("-v"),
+	}
+	in := analysesFor(b, apps.AnalysisSpec(s), 600, false)
+	for _, mc := range benchMethods {
+		b.Run(mc.name, func(b *testing.B) {
+			benchRecord(b, s, s.Plan(mc.m, in, true))
+		})
+	}
+}
+
+// BenchmarkTable1 measures coreutil bug reproduction per program (Table 1),
+// under the dynamic+static method.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range apps.CoreutilNames() {
+		b.Run(name, func(b *testing.B) {
+			s, err := apps.CoreutilScenario(name, 12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := analysesFor(b, apps.AnalysisSpec(s), 1000, false)
+			benchReplay(b, s, s.Plan(instrument.MethodDynamicStatic, in, true))
+		})
+	}
+}
+
+// --- §5.3 uServer -------------------------------------------------------------
+
+// BenchmarkFigure4CPU measures uServer user-site CPU per method over a load
+// workload (Figure 4a). Storage appears as the bits/run metric (Figure 4b).
+func BenchmarkFigure4CPU(b *testing.B) {
+	s := apps.UServerLoadScenario(10, apps.DefaultHTTPRequest)
+	an := apps.UServerAnalysisScenario()
+	in := analysesFor(b, an, 60, true)
+	for _, mc := range benchMethods {
+		b.Run(mc.name, func(b *testing.B) {
+			benchRecord(b, s, s.Plan(mc.m, in, true))
+		})
+	}
+}
+
+// BenchmarkTable3 measures uServer bug reproduction per experiment under
+// dynamic+static (Table 3's central column).
+func BenchmarkTable3(b *testing.B) {
+	an := apps.UServerAnalysisScenario()
+	in := analysesFor(b, an, 60, true)
+	for exp := 1; exp <= 5; exp++ {
+		b.Run(fmt.Sprintf("exp%d", exp), func(b *testing.B) {
+			s, err := apps.UServerScenario(exp, 72)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchReplay(b, s, s.Plan(instrument.MethodDynamicStatic, in, true))
+		})
+	}
+}
+
+// BenchmarkTable5 measures uServer reproduction without syscall logging
+// (Table 5): the engine searches for modeled read()/select() results.
+func BenchmarkTable5(b *testing.B) {
+	an := apps.UServerAnalysisScenario()
+	in := analysesFor(b, an, 60, true)
+	for _, exp := range []int{1, 4} {
+		b.Run(fmt.Sprintf("exp%d", exp), func(b *testing.B) {
+			s, err := apps.UServerScenario(exp, 72)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchReplay(b, s, s.Plan(instrument.MethodDynamicStatic, in, false))
+		})
+	}
+}
+
+// --- §5.4 diff ----------------------------------------------------------------
+
+// BenchmarkFigure5 measures diff user-site CPU per method (Figure 5).
+func BenchmarkFigure5(b *testing.B) {
+	s, err := apps.DiffExperimentScenario(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := analysesFor(b, apps.AnalysisSpec(s), 40, false)
+	for _, mc := range benchMethods {
+		b.Run(mc.name, func(b *testing.B) {
+			benchRecord(b, s, s.Plan(mc.m, in, true))
+		})
+	}
+}
+
+// BenchmarkTable6 measures diff bug reproduction per experiment under
+// dynamic+static (Table 6; the dynamic row is inf by design and is exercised
+// by the harness, not benched).
+func BenchmarkTable6(b *testing.B) {
+	for exp := 1; exp <= 2; exp++ {
+		b.Run(fmt.Sprintf("exp%d", exp), func(b *testing.B) {
+			s, err := apps.DiffExperimentScenario(exp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := analysesFor(b, apps.AnalysisSpec(s), 40, false)
+			benchReplay(b, s, s.Plan(instrument.MethodDynamicStatic, in, true))
+		})
+	}
+}
+
+// --- analysis costs (the pre-deployment phase itself) --------------------------
+
+// BenchmarkDynamicAnalysis measures the concolic exploration cost per run
+// budget — the coverage knob's price.
+func BenchmarkDynamicAnalysis(b *testing.B) {
+	for _, runs := range []int{5, 20} {
+		b.Run(fmt.Sprintf("userver-%druns", runs), func(b *testing.B) {
+			an := apps.UServerAnalysisScenario()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := an.AnalyzeDynamic(concolic.Options{MaxRuns: runs})
+				if rep.Runs == 0 {
+					b.Fatal("no runs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticAnalysis measures the dataflow/points-to analysis.
+func BenchmarkStaticAnalysis(b *testing.B) {
+	progs := map[string]*core.Scenario{}
+	if s, err := apps.CoreutilScenario("mkdir", 12); err == nil {
+		progs["mkdir"] = s
+	}
+	progs["userver"] = apps.UServerLoadScenario(2, apps.DefaultHTTPRequest)
+	if s, err := apps.DiffExperimentScenario(1); err == nil {
+		progs["diff"] = s
+	}
+	for name, s := range progs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := s.AnalyzeStatic(static.Options{})
+				if rep.CountSymbolic() == 0 {
+					b.Fatal("no symbolic branches found")
+				}
+			}
+		})
+	}
+}
+
+// analysesFor runs both analyses once for a benchmark.
+func analysesFor(b *testing.B, an *core.Scenario, dynRuns int, libSym bool) instrument.Inputs {
+	b.Helper()
+	return instrument.Inputs{
+		Dynamic: an.AnalyzeDynamic(concolic.Options{MaxRuns: dynRuns}),
+		Static:  an.AnalyzeStatic(static.Options{LibAsSymbolic: libSym}),
+	}
+}

@@ -1,0 +1,106 @@
+// Command analyze runs the branch analyses over a named scenario and prints
+// the classification of every branch location: the dynamic label, the static
+// label, and the instrumentation decision each method would take.
+//
+// Usage:
+//
+//	analyze -scenario userver-exp1 -dynamic-runs 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/concolic"
+	"pathlog/internal/instrument"
+	"pathlog/internal/static"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "scenario name (cmd/record -list shows names)")
+		dynRuns  = flag.Int("dynamic-runs", 200, "concolic analysis budget (the coverage knob)")
+		libSym   = flag.Bool("lib-as-symbolic", false,
+			"static analysis skips library bodies and labels all library branches symbolic (§5.3)")
+		verbose = flag.Bool("v", false, "print every branch location")
+	)
+	flag.Parse()
+	if *scenario == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := apps.ScenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	an := apps.AnalysisScenarioFor(*scenario, s)
+
+	dyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: *dynRuns})
+	stat := an.AnalyzeStatic(static.Options{LibAsSymbolic: *libSym})
+	in := instrument.Inputs{Dynamic: dyn, Static: stat}
+
+	total := len(s.Prog.Branches)
+	fmt.Printf("program: %d branch locations\n", total)
+	fmt.Printf("dynamic analysis: %d runs, coverage %.0f%%: %d symbolic, %d concrete, %d unvisited\n",
+		dyn.Runs, 100*dyn.Coverage(total),
+		dyn.CountLabel(concolic.Symbolic), dyn.CountLabel(concolic.Concrete),
+		dyn.CountLabel(concolic.Unvisited))
+	fmt.Printf("static analysis: %d symbolic (%d contexts, %d passes)\n",
+		stat.CountSymbolic(), stat.Contexts, stat.Passes)
+
+	fmt.Println("\ninstrumentation decisions:")
+	for _, m := range instrument.Methods {
+		plan := s.Plan(m, in, true)
+		fmt.Printf("  %-15s %4d locations (%5.1f%%)\n", m, plan.NumInstrumented(),
+			100*float64(plan.NumInstrumented())/float64(total))
+	}
+
+	if *verbose {
+		fmt.Println("\nper-branch classification:")
+		header := fmt.Sprintf("  %-6s %-6s %-34s %-9s %-8s %s",
+			"id", "kind", "location", "dynamic", "static", "methods")
+		fmt.Println(header)
+		fmt.Println("  " + strings.Repeat("-", len(header)-2))
+		plans := map[string]*instrument.Plan{}
+		for _, m := range instrument.Methods {
+			plans[m.String()] = s.Plan(m, in, true)
+		}
+		for _, b := range s.Prog.Branches {
+			statLabel := "concrete"
+			if stat.SymbolicBranches[b.ID] {
+				statLabel = "symbolic"
+			}
+			var methods []string
+			for _, m := range instrument.Methods {
+				if plans[m.String()].Instrumented[b.ID] {
+					methods = append(methods, shortName(m))
+				}
+			}
+			fmt.Printf("  b%-5d %-6s %-34s %-9s %-8s %s\n",
+				b.ID, b.Kind, fmt.Sprintf("%s@%s:%d", b.Func, b.Pos.Unit, b.Pos.Line),
+				dyn.Labels[b.ID], statLabel, strings.Join(methods, ","))
+		}
+	}
+}
+
+func shortName(m instrument.Method) string {
+	switch m {
+	case instrument.MethodDynamic:
+		return "D"
+	case instrument.MethodStatic:
+		return "S"
+	case instrument.MethodDynamicStatic:
+		return "DS"
+	case instrument.MethodAll:
+		return "A"
+	}
+	return "?"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

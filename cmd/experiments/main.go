@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table3
+//	experiments -all
+//
+// Scale knobs (iterations, request counts, analysis budgets, replay cutoff)
+// default to laptop scale; raise them to approach the paper's settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pathlog/internal/harness"
+)
+
+func main() {
+	cfg := harness.DefaultConfig()
+	var (
+		exp  = flag.String("exp", "", "experiment to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiment names")
+	)
+	flag.Int64Var(&cfg.MicroLoopIters, "loop-iters", cfg.MicroLoopIters,
+		"counting-loop iterations (paper: 1e9)")
+	flag.IntVar(&cfg.OverheadRounds, "rounds", cfg.OverheadRounds,
+		"runs averaged per CPU-time figure")
+	flag.IntVar(&cfg.UServerLoadRequests, "requests", cfg.UServerLoadRequests,
+		"uServer load requests (paper: 5000)")
+	flag.IntVar(&cfg.UServerAnalysisRunsLC, "lc-runs", cfg.UServerAnalysisRunsLC,
+		"uServer low-coverage concolic runs (paper: 1 hour)")
+	flag.IntVar(&cfg.UServerAnalysisRunsHC, "hc-runs", cfg.UServerAnalysisRunsHC,
+		"uServer high-coverage concolic runs (paper: 2 hours)")
+	flag.IntVar(&cfg.CoreutilAnalysisRuns, "coreutil-runs", cfg.CoreutilAnalysisRuns,
+		"coreutil concolic runs")
+	flag.IntVar(&cfg.DiffAnalysisRuns, "diff-runs", cfg.DiffAnalysisRuns,
+		"diff concolic runs (low by design: §5.4 reports 20% coverage)")
+	flag.IntVar(&cfg.ReplayMaxRuns, "replay-runs", cfg.ReplayMaxRuns,
+		"replay run budget")
+	flag.DurationVar(&cfg.ReplayBudget, "replay-budget", cfg.ReplayBudget,
+		"replay wall-clock budget (the paper's 1-hour cutoff)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range harness.Experiments {
+			fmt.Println(name)
+		}
+	case *all:
+		start := time.Now()
+		if err := cfg.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+	case *exp != "":
+		if err := cfg.Run(*exp, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

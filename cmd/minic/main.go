@@ -1,0 +1,115 @@
+// Command minic runs a MiniC program under the simulated kernel.
+//
+// Usage:
+//
+//	minic [-lib file.mc]... [-file path=hostfile]... prog.mc [args...]
+//
+// Program arguments after the source file become argv; -file mounts host
+// files into the simulated filesystem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/vm"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var libs, files multiFlag
+	var maxSteps int64
+	var withULib bool
+	flag.Var(&libs, "lib", "additional library unit (may repeat)")
+	flag.Var(&files, "file", "mount host file: simpath=hostpath (may repeat)")
+	flag.Int64Var(&maxSteps, "max-steps", 0, "execution step budget (0 = default)")
+	flag.BoolVar(&withULib, "ulib", true, "link the bundled ulib library")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: minic [flags] prog.mc [args...]")
+		os.Exit(2)
+	}
+
+	var units []*lang.Unit
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	app, err := lang.ParseUnit(flag.Arg(0), lang.RegionApp, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	units = append(units, app)
+	for _, lib := range libs {
+		lsrc, err := os.ReadFile(lib)
+		if err != nil {
+			fatal(err)
+		}
+		lu, err := lang.ParseUnit(lib, lang.RegionLib, string(lsrc))
+		if err != nil {
+			fatal(err)
+		}
+		units = append(units, lu)
+	}
+	if withULib {
+		units = append(units, bundledULib())
+	}
+	prog, err := lang.Link(units)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := oskernel.Config{Files: map[string][]byte{}}
+	for _, a := range flag.Args()[1:] {
+		cfg.Args = append(cfg.Args, []byte(a))
+	}
+	for _, f := range files {
+		parts := strings.SplitN(f, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -file %q, want simpath=hostpath", f))
+		}
+		data, err := os.ReadFile(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Files[parts[0]] = data
+	}
+
+	kern := oskernel.New(cfg)
+	res, err := vm.New(prog, vm.Options{Kernel: kern, MaxSteps: maxSteps}).Run()
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(res.Stdout)
+	switch {
+	case res.Crashed:
+		fmt.Fprintf(os.Stderr, "minic: program crashed: %s\n", res.Crash.Site())
+		os.Exit(139)
+	case res.BudgetExceeded:
+		fmt.Fprintln(os.Stderr, "minic: step budget exceeded")
+		os.Exit(124)
+	default:
+		os.Exit(int(res.Exit))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minic:", err)
+	os.Exit(1)
+}
+
+// bundledULib returns the ulib unit shipped with the repository.
+func bundledULib() *lang.Unit {
+	return lang.MustParse("ulib.mc", lang.RegionLib, apps.ULibSource)
+}

@@ -1,0 +1,98 @@
+// Command record performs the user-site half of the workflow: it analyzes a
+// named benchmark scenario, instruments it with the chosen method, runs the
+// user input to the crash, and writes the bug report (branch bitvector +
+// optional syscall results + crash site) to a file.
+//
+// Usage:
+//
+//	record -scenario paste -method dynamic+static -o bug.report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/concolic"
+	"pathlog/internal/instrument"
+	"pathlog/internal/static"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "scenario name (see -list)")
+		method   = flag.String("method", "dynamic+static",
+			"instrumentation method: dynamic, static, dynamic+static, all")
+		out      = flag.String("o", "bug.report", "output report path")
+		dynRuns  = flag.Int("dynamic-runs", 400, "concolic analysis budget")
+		syscalls = flag.Bool("log-syscalls", true, "log select()/read() results")
+		list     = flag.Bool("list", false, "list scenario names")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range apps.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *scenario == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := apps.ScenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+
+	an := apps.AnalysisScenarioFor(*scenario, s)
+	libMode := *scenario != "" && len(*scenario) >= 7 && (*scenario)[:7] == "userver"
+	in := instrument.Inputs{
+		Dynamic: an.AnalyzeDynamic(concolic.Options{MaxRuns: *dynRuns}),
+		Static:  an.AnalyzeStatic(static.Options{LibAsSymbolic: libMode}),
+	}
+	plan := s.Plan(m, in, *syscalls)
+	fmt.Printf("plan: %s instruments %d of %d branch locations\n",
+		m, plan.NumInstrumented(), len(s.Prog.Branches))
+
+	rec, stats, err := s.Record(plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("user run: %d steps, %d branch executions, %d bits logged (%d flushes)\n",
+		stats.Steps, stats.BranchExecs, stats.TraceBits, stats.Flushes)
+	if rec == nil {
+		fmt.Println("the user run did not crash; no report written")
+		return
+	}
+	fmt.Printf("crash: %s\n", rec.Crash.Site())
+	if err := rec.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bug report written to %s (trace %d bytes, syslog %d bytes) — no input bytes included\n",
+		*out, rec.Trace.SizeBytes(), stats.SyslogBytes)
+}
+
+func parseMethod(s string) (instrument.Method, error) {
+	switch s {
+	case "dynamic":
+		return instrument.MethodDynamic, nil
+	case "static":
+		return instrument.MethodStatic, nil
+	case "dynamic+static":
+		return instrument.MethodDynamicStatic, nil
+	case "all":
+		return instrument.MethodAll, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "record:", err)
+	os.Exit(1)
+}

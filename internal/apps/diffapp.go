@@ -1,0 +1,307 @@
+package apps
+
+import (
+	"pathlog/internal/lang"
+	"pathlog/internal/world"
+)
+
+// DiffSource is the MiniC port of the diff utility (§5.4): it reads two
+// files, splits them into lines, runs the LCS dynamic program over the line
+// arrays, and prints an edit script. Diff is the paper's stress case for
+// dynamic analysis — nearly every branch depends on file contents, and the
+// LCS loops generate very long constraint chains.
+//
+// As in §5.3/§5.4, the experiments crash the program after it has produced
+// its output (the paper sends SIGSEGV); the explicit crash at the end of
+// main is that signal's stand-in, so reproducing the run means recovering
+// file contents that drive the whole comparison down the recorded path.
+const DiffSource = `
+/* diff: line-based file comparison via LCS. */
+
+char file_a[1024];
+char file_b[1024];
+int len_a = 0;
+int len_b = 0;
+
+/* Line index: start offset and length per line, flattened. */
+int starts_a[32];
+int lens_a[32];
+int hash_a[32];
+int nlines_a = 0;
+int starts_b[32];
+int lens_b[32];
+int hash_b[32];
+int nlines_b = 0;
+
+/* Options. */
+int opt_ignore_case = 0;
+int opt_ignore_blank = 0;
+
+/* LCS table, (nlines_a+1) x (nlines_b+1), flattened at stride 33. */
+int lcs[1089];
+
+int stat_added = 0;
+int stat_deleted = 0;
+int stat_common = 0;
+
+int read_whole(char *path, char *dst, int cap) {
+	int fd = open(path);
+	if (fd < 0) { return 0 - 1; }
+	int total = 0;
+	while (total < cap) {
+		int got = read(fd, dst + total, cap - total);
+		if (got <= 0) { break; }
+		total += got;
+	}
+	close(fd);
+	/* Text files end at the first NUL byte (the stream padding). */
+	int i;
+	for (i = 0; i < total; i++) {
+		if (dst[i] == '\0') { return i; }
+	}
+	return total;
+}
+
+/* Detect binary content: any byte below TAB in the first 16 bytes. */
+int looks_binary(char *buf, int n) {
+	int limit = n;
+	if (limit > 16) { limit = 16; }
+	int i;
+	for (i = 0; i < limit; i++) {
+		if (buf[i] > 0 && buf[i] < 9) { return 1; }
+	}
+	return 0;
+}
+
+/* Canonical byte under the active options. */
+int canon(int c) {
+	if (opt_ignore_case) { return to_lower(c); }
+	return c;
+}
+
+/* Effective line length: -b strips trailing blanks. */
+int eff_len(char *buf, int start, int len) {
+	if (!opt_ignore_blank) { return len; }
+	while (len > 0 && (buf[start + len - 1] == ' ' || buf[start + len - 1] == '\t')) {
+		len--;
+	}
+	return len;
+}
+
+/* Line hash under the active options (djb-ish). */
+int hash_line(char *buf, int start, int len) {
+	int h = 5381;
+	int k;
+	for (k = 0; k < len; k++) {
+		h = (h * 31 + canon(buf[start + k])) % 16777216;
+	}
+	return h;
+}
+
+int split_lines(char *buf, int n, int *starts, int *lens, int *hashes, int maxlines) {
+	int count = 0;
+	int i = 0;
+	int start = 0;
+	while (i < n && count < maxlines) {
+		if (buf[i] == '\n') {
+			starts[count] = start;
+			lens[count] = eff_len(buf, start, i - start);
+			hashes[count] = hash_line(buf, start, lens[count]);
+			count++;
+			start = i + 1;
+		}
+		i++;
+	}
+	if (start < n && count < maxlines) {
+		starts[count] = start;
+		lens[count] = eff_len(buf, start, n - start);
+		hashes[count] = hash_line(buf, start, lens[count]);
+		count++;
+	}
+	return count;
+}
+
+int stat_hashhits = 0;
+
+int lines_equal(int ia, int ib) {
+	if (lens_a[ia] != lens_b[ib]) { return 0; }
+	int k;
+	for (k = 0; k < lens_a[ia]; k++) {
+		if (canon(file_a[starts_a[ia] + k]) != canon(file_b[starts_b[ib] + k])) {
+			return 0;
+		}
+	}
+	/* Bookkeeping on the hash equivalence classes (real diff buckets lines
+	   by hash; the bucket-parity counter keeps that code input-dependent
+	   without gating correctness on hash equality). */
+	if ((hash_a[ia] & 1) == (hash_b[ib] & 1)) { stat_hashhits++; }
+	return 1;
+}
+
+int max2(int x, int y) {
+	if (x > y) { return x; }
+	return y;
+}
+
+int build_lcs() {
+	int i;
+	int j;
+	for (i = 0; i <= nlines_a; i++) { lcs[i * 33] = 0; }
+	for (j = 0; j <= nlines_b; j++) { lcs[j] = 0; }
+	for (i = 1; i <= nlines_a; i++) {
+		for (j = 1; j <= nlines_b; j++) {
+			if (lines_equal(i - 1, j - 1)) {
+				lcs[i * 33 + j] = lcs[(i - 1) * 33 + (j - 1)] + 1;
+			} else {
+				lcs[i * 33 + j] = max2(lcs[(i - 1) * 33 + j], lcs[i * 33 + (j - 1)]);
+			}
+		}
+	}
+	return lcs[nlines_a * 33 + nlines_b];
+}
+
+int print_line(char *buf, int start, int len) {
+	int k;
+	for (k = 0; k < len; k++) {
+		print_char(buf[start + k]);
+	}
+	print_char('\n');
+	return len;
+}
+
+/* Emit the edit script by walking the LCS table backwards; the walk itself
+   is recursive to keep the output in order. */
+int emit(int i, int j) {
+	if (i > 0 && j > 0 && lines_equal(i - 1, j - 1)) {
+		emit(i - 1, j - 1);
+		stat_common++;
+		return 0;
+	}
+	if (j > 0 && (i == 0 || lcs[i * 33 + (j - 1)] >= lcs[(i - 1) * 33 + j])) {
+		emit(i, j - 1);
+		print_str("> ");
+		print_line(file_b, starts_b[j - 1], lens_b[j - 1]);
+		stat_added++;
+		return 0;
+	}
+	if (i > 0) {
+		emit(i - 1, j);
+		print_str("< ");
+		print_line(file_a, starts_a[i - 1], lens_a[i - 1]);
+		stat_deleted++;
+		return 0;
+	}
+	return 0;
+}
+
+int main() {
+	char patha[104];
+	char pathb[104];
+	char opt[8];
+	if (getarg(0, patha, 104) < 0 || getarg(1, pathb, 104) < 0) {
+		print_str("diff: need two files\n");
+		exit(2);
+	}
+	if (getarg(2, opt, 8) >= 0) {
+		if (opt[0] == '-' && opt[1] == 'i' && opt[2] == '\0') {
+			opt_ignore_case = 1;
+		} else if (opt[0] == '-' && opt[1] == 'b' && opt[2] == '\0') {
+			opt_ignore_blank = 1;
+		} else if (opt[0] != '\0') {
+			print_str("diff: unknown option\n");
+			exit(2);
+		}
+	}
+	len_a = read_whole(patha, file_a, 1023);
+	if (len_a < 0) {
+		print_str("diff: cannot open first file\n");
+		exit(2);
+	}
+	len_b = read_whole(pathb, file_b, 1023);
+	if (len_b < 0) {
+		print_str("diff: cannot open second file\n");
+		exit(2);
+	}
+	if (looks_binary(file_a, len_a) || looks_binary(file_b, len_b)) {
+		print_str("binary files differ\n");
+		crash(9);
+	}
+	nlines_a = split_lines(file_a, len_a, starts_a, lens_a, hash_a, 32);
+	nlines_b = split_lines(file_b, len_b, starts_b, lens_b, hash_b, 32);
+
+	build_lcs();
+	emit(nlines_a, nlines_b);
+
+	if (stat_added == 0 && stat_deleted == 0) {
+		print_str("files are identical\n");
+	} else {
+		print_str("=== ");
+		print_int(stat_deleted);
+		print_str(" deleted, ");
+		print_int(stat_added);
+		print_str(" added, ");
+		print_int(stat_common);
+		print_str(" common\n");
+	}
+	/* The experiment's SIGSEGV after the comparison completes (S5.4). */
+	crash(9);
+	return 0;
+}
+`
+
+// DiffProgram links diff against ulib.
+func DiffProgram() *lang.Program {
+	return mustProgram("diff.mc", DiffSource)
+}
+
+// DiffScenario builds the input space and user input for one diff
+// experiment comparing two text files.
+func DiffScenario(fileA, fileB string, capBytes int) (*world.Spec, map[string][]byte) {
+	if capBytes < len(fileA) {
+		capBytes = len(fileA)
+	}
+	if capBytes < len(fileB) {
+		capBytes = len(fileB)
+	}
+	spec := &world.Spec{
+		Args: []world.Stream{
+			world.ArgSpec(0, "a.txt", 8),
+			world.ArgSpec(1, "b.txt", 8),
+			world.ArgSpec(2, "", 4), // optional -i / -b
+		},
+		Files: []world.FileInput{
+			world.FileSpec("a.txt", neutralText(len(fileA)), capBytes),
+			world.FileSpec("b.txt", neutralText(len(fileB)), capBytes),
+		},
+		// Path arguments are symbolic; serve opens in declaration order
+		// (KLEE symbolic-FS model).
+		SymbolicFS: true,
+	}
+	user := map[string][]byte{
+		"arg0":       []byte("a.txt"),
+		"arg1":       []byte("b.txt"),
+		"file:a.txt": []byte(fileA),
+		"file:b.txt": []byte(fileB),
+	}
+	return spec, user
+}
+
+// neutralText builds a placeholder text of the given length: 'x' bytes with
+// a newline every 8 bytes, so the neutral seed has line structure too.
+func neutralText(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		if i%8 == 7 {
+			b[i] = '\n'
+		} else {
+			b[i] = 'x'
+		}
+	}
+	return string(b)
+}
+
+// The two §5.4 experiments: small but different text files.
+var DiffExperiments = [][2]string{
+	{"alpha\nbeta\ngamma\n", "alpha\ndelta\ngamma\n"},
+	{"one\ntwo\nthree\nfour\n", "one\nthree\nfive\nfour\nsix\n"},
+}

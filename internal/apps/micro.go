@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"fmt"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/world"
+)
+
+// MicroLoopSource is the first §5.1 microbenchmark: a loop that increments a
+// counter N times. Its loop condition is a single branch location executed
+// once per iteration, so the all-branches configuration pays one logged bit
+// per iteration — the per-branch instrumentation cost measured in isolation.
+// N is a compile-time constant in the paper (10^9); here it arrives as a
+// (concrete) argument so benchmarks can scale it.
+const MicroLoopSource = `
+int main() {
+	char nbuf[16];
+	getarg(0, nbuf, 16);
+	int n = parse_int(nbuf);
+	if (n < 0) { n = 0; }
+	int counter = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		counter++;
+	}
+	print_int(counter);
+	return 0;
+}
+`
+
+// MicroFibSource is Listing 1 of the paper: the program computes a Fibonacci
+// number for one of two inputs. Only the two option branches are symbolic;
+// all branches inside fibonacci are concrete, so the selective methods log
+// exactly two bits per run.
+const MicroFibSource = `
+int fibonacci(int n) {
+	int a = 0;
+	int b = 1;
+	int i;
+	for (i = 0; i < n; i++) {
+		int t = a + b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+
+int main() {
+	char opt[8];
+	getarg(0, opt, 8);
+	int result = 0;
+	if (opt[0] == 'a') {
+		result = fibonacci(20);
+	} else if (opt[0] == 'b') {
+		result = fibonacci(40);
+	}
+	print_str("Result: ");
+	print_int(result);
+	print_char('\n');
+	return 0;
+}
+`
+
+// MicroLoopProgram links the counting-loop microbenchmark.
+func MicroLoopProgram() *lang.Program {
+	return mustProgram("microloop.mc", MicroLoopSource)
+}
+
+// MicroFibProgram links the Listing-1 microbenchmark.
+func MicroFibProgram() *lang.Program {
+	return mustProgram("microfib.mc", MicroFibSource)
+}
+
+// MicroLoopSpec builds the input space for the counting loop with the given
+// iteration count.
+func MicroLoopSpec(iterations int64) (*world.Spec, map[string][]byte) {
+	n := fmt.Sprintf("%d", iterations)
+	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, n, len(n)+1)}}
+	return spec, map[string][]byte{"arg0": []byte(n)}
+}
+
+// MicroFibSpec builds the input space for Listing 1 with the given option.
+func MicroFibSpec(option byte) (*world.Spec, map[string][]byte) {
+	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "x", 2)}}
+	return spec, map[string][]byte{"arg0": {option}}
+}

@@ -1,0 +1,282 @@
+// Package apps holds the MiniC sources of every benchmark program the paper
+// evaluates — a small libc, four coreutils with planted crash bugs, the
+// uServer web server, the diff utility and two microbenchmarks — plus the
+// scenario definitions (input spaces, user inputs, workloads) that the
+// experiment harness runs them under.
+package apps
+
+import (
+	"pathlog/internal/lang"
+)
+
+// ULibSource is the MiniC standard library ("ulib"), the reproduction's
+// uClibc stand-in (§4: "for all experiments we link the programs with the
+// uClibc library"). It is tagged RegionLib so Figure 3's app/library split
+// and §5.3's treat-library-as-symbolic mode work against it.
+const ULibSource = `
+/* ulib: MiniC standard library (uClibc stand-in). */
+
+int str_len(char *s) {
+	int n = 0;
+	while (s[n] != '\0') { n++; }
+	return n;
+}
+
+int str_cmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] != '\0' && b[i] != '\0') {
+		if (a[i] != b[i]) {
+			if (a[i] < b[i]) { return 0 - 1; }
+			return 1;
+		}
+		i++;
+	}
+	if (a[i] == b[i]) { return 0; }
+	if (a[i] == '\0') { return 0 - 1; }
+	return 1;
+}
+
+int str_eq(char *a, char *b) {
+	if (str_cmp(a, b) == 0) { return 1; }
+	return 0;
+}
+
+int str_ncmp(char *a, char *b, int n) {
+	int i = 0;
+	while (i < n) {
+		if (a[i] != b[i]) {
+			if (a[i] < b[i]) { return 0 - 1; }
+			return 1;
+		}
+		if (a[i] == '\0') { return 0; }
+		i++;
+	}
+	return 0;
+}
+
+int str_cpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i] != '\0') {
+		dst[i] = src[i];
+		i++;
+	}
+	dst[i] = '\0';
+	return i;
+}
+
+int str_ncpy(char *dst, char *src, int n) {
+	int i = 0;
+	while (i < n && src[i] != '\0') {
+		dst[i] = src[i];
+		i++;
+	}
+	dst[i] = '\0';
+	return i;
+}
+
+int str_cat(char *dst, char *src) {
+	int n = str_len(dst);
+	int i = 0;
+	while (src[i] != '\0') {
+		dst[n + i] = src[i];
+		i++;
+	}
+	dst[n + i] = '\0';
+	return n + i;
+}
+
+int str_chr(char *s, int c) {
+	int i = 0;
+	while (s[i] != '\0') {
+		if (s[i] == c) { return i; }
+		i++;
+	}
+	return 0 - 1;
+}
+
+int str_str(char *hay, char *needle) {
+	int i = 0;
+	if (needle[0] == '\0') { return 0; }
+	while (hay[i] != '\0') {
+		int j = 0;
+		while (needle[j] != '\0' && hay[i + j] != '\0' && hay[i + j] == needle[j]) {
+			j++;
+		}
+		if (needle[j] == '\0') { return i; }
+		i++;
+	}
+	return 0 - 1;
+}
+
+int mem_set(char *p, int v, int n) {
+	int i;
+	for (i = 0; i < n; i++) { p[i] = v; }
+	return n;
+}
+
+int mem_cpy(char *dst, char *src, int n) {
+	int i;
+	for (i = 0; i < n; i++) { dst[i] = src[i]; }
+	return n;
+}
+
+int is_digit(int c) {
+	if (c >= '0' && c <= '9') { return 1; }
+	return 0;
+}
+
+int is_alpha(int c) {
+	if (c >= 'a' && c <= 'z') { return 1; }
+	if (c >= 'A' && c <= 'Z') { return 1; }
+	return 0;
+}
+
+int is_space(int c) {
+	if (c == ' ' || c == '\t' || c == '\r' || c == '\n') { return 1; }
+	return 0;
+}
+
+int is_upper(int c) {
+	if (c >= 'A' && c <= 'Z') { return 1; }
+	return 0;
+}
+
+int to_lower(int c) {
+	if (is_upper(c)) { return c + 32; }
+	return c;
+}
+
+int to_upper(int c) {
+	if (c >= 'a' && c <= 'z') { return c - 32; }
+	return c;
+}
+
+/* Case-insensitive string compare, as HTTP header names need. */
+int str_casecmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] != '\0' && b[i] != '\0') {
+		int ca = to_lower(a[i]);
+		int cb = to_lower(b[i]);
+		if (ca != cb) {
+			if (ca < cb) { return 0 - 1; }
+			return 1;
+		}
+		i++;
+	}
+	if (a[i] == b[i]) { return 0; }
+	if (a[i] == '\0') { return 0 - 1; }
+	return 1;
+}
+
+/* Parse a non-negative decimal integer; returns -1 on malformed input. */
+int parse_int(char *s) {
+	int i = 0;
+	int v = 0;
+	if (s[0] == '\0') { return 0 - 1; }
+	while (s[i] != '\0') {
+		if (!is_digit(s[i])) { return 0 - 1; }
+		v = v * 10 + (s[i] - '0');
+		i++;
+	}
+	return v;
+}
+
+/* Parse a non-negative decimal prefix of at most n bytes. */
+int parse_int_n(char *s, int n) {
+	int i = 0;
+	int v = 0;
+	int any = 0;
+	while (i < n && is_digit(s[i])) {
+		v = v * 10 + (s[i] - '0');
+		any = 1;
+		i++;
+	}
+	if (!any) { return 0 - 1; }
+	return v;
+}
+
+/* Parse an octal mode string like "755"; -1 on malformed input. */
+int parse_octal(char *s) {
+	int i = 0;
+	int v = 0;
+	if (s[0] == '\0') { return 0 - 1; }
+	while (s[i] != '\0') {
+		if (s[i] < '0' || s[i] > '7') { return 0 - 1; }
+		v = v * 8 + (s[i] - '0');
+		i++;
+	}
+	return v;
+}
+
+/* Render v in decimal into dst; returns the length. */
+int int_to_str(char *dst, int v) {
+	int i = 0;
+	int n = 0;
+	char tmp[24];
+	if (v < 0) {
+		dst[i] = '-';
+		i++;
+		v = 0 - v;
+	}
+	if (v == 0) {
+		dst[i] = '0';
+		dst[i + 1] = '\0';
+		return i + 1;
+	}
+	while (v > 0) {
+		tmp[n] = '0' + v % 10;
+		v /= 10;
+		n++;
+	}
+	while (n > 0) {
+		n--;
+		dst[i] = tmp[n];
+		i++;
+	}
+	dst[i] = '\0';
+	return i;
+}
+
+int str_starts_with(char *s, char *prefix) {
+	int i = 0;
+	while (prefix[i] != '\0') {
+		if (s[i] != prefix[i]) { return 0; }
+		i++;
+	}
+	return 1;
+}
+
+/* Trim leading spaces in place by returning the first non-space index. */
+int skip_spaces_at(char *s, int i) {
+	while (s[i] == ' ' || s[i] == '\t') { i++; }
+	return i;
+}
+
+/* Sum bytes modulo 2^16, as checksums over buffers do. */
+int sum_bytes(char *p, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		s = (s + p[i]) % 65536;
+	}
+	return s;
+}
+`
+
+// ULibUnit parses the library unit.
+func ULibUnit() *lang.Unit {
+	return lang.MustParse("ulib.mc", lang.RegionLib, ULibSource)
+}
+
+// mustProgram links an app unit against ulib, panicking on error (these are
+// embedded known-good sources; failures are programming errors here).
+func mustProgram(appName, appSrc string) *lang.Program {
+	app := lang.MustParse(appName, lang.RegionApp, appSrc)
+	return lang.MustLink([]*lang.Unit{app, ULibUnit()})
+}
+
+// mustStandalone links a unit with no library (microbenchmarks).
+func mustStandalone(appName, appSrc string) *lang.Program {
+	app := lang.MustParse(appName, lang.RegionApp, appSrc)
+	return lang.MustLink([]*lang.Unit{app})
+}

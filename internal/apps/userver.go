@@ -1,0 +1,463 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/world"
+)
+
+// UServerSource is the MiniC port of the uServer (§5.3): a select()-driven
+// HTTP server with a full request parser — methods, URL and query string,
+// percent-escapes, headers (Host, Cookie, Content-Length, Connection,
+// User-Agent), POST bodies — and per-connection state tables. The parser is
+// where input-dependent branching concentrates; the event loop and fd
+// bookkeeping are concrete, reproducing the roughly-10%-symbolic branch mix
+// of Figure 3.
+//
+// The crash of §5.3 is reproduced via the kernel's crash signal: the
+// workload delivers it after the scripted connections complete, and the
+// server's signal check crashes at a fixed source location.
+const UServerSource = `
+/* uServer: select()-driven HTTP server. */
+
+int conn_fds[16];
+int conn_len[16];
+int conn_done[16];
+char conn_bufs[8192];   /* 16 slots x 512 bytes, flat */
+
+/* The served document: a static in-memory page, like the uServer's cached
+   file set. Initialized at startup. */
+char doc[256];
+int doc_len = 256;
+
+/* Access log line assembly buffer. */
+char alog[96];
+int alog_cks = 0;
+
+int stat_requests = 0;
+int stat_gets = 0;
+int stat_posts = 0;
+int stat_heads = 0;
+int stat_bad = 0;
+int stat_cookies = 0;
+int stat_keepalive = 0;
+int stat_bodybytes = 0;
+int stat_queries = 0;
+int stat_escapes = 0;
+
+int slot_of(int fd) {
+	int i;
+	for (i = 0; i < 16; i++) {
+		if (conn_fds[i] == fd) { return i; }
+	}
+	return 0 - 1;
+}
+
+int free_slot() {
+	int i;
+	for (i = 0; i < 16; i++) {
+		if (conn_fds[i] < 0) { return i; }
+	}
+	return 0 - 1;
+}
+
+int add_conn(int fd) {
+	int s = free_slot();
+	if (s < 0) {
+		close(fd);
+		return 0 - 1;
+	}
+	conn_fds[s] = fd;
+	conn_len[s] = 0;
+	conn_done[s] = 0;
+	/* Clear the slot's request buffer, as the uServer recycles buffers. */
+	mem_set(conn_bufs + s * 512, 0, 512);
+	return s;
+}
+
+int drop_conn(int s) {
+	close(conn_fds[s]);
+	conn_fds[s] = 0 - 1;
+	conn_len[s] = 0;
+	conn_done[s] = 0;
+	return 0;
+}
+
+/* Find the end of the header section: returns the index just past the first
+   blank line, or -1 when the request is still incomplete. */
+int headers_end(int s) {
+	int base = s * 512;
+	int n = conn_len[s];
+	int i = 0;
+	while (i + 3 < n) {
+		if (conn_bufs[base + i] == '\r' && conn_bufs[base + i + 1] == '\n' &&
+		    conn_bufs[base + i + 2] == '\r' && conn_bufs[base + i + 3] == '\n') {
+			return i + 4;
+		}
+		i++;
+	}
+	return 0 - 1;
+}
+
+int hex_val(int c) {
+	if (c >= '0' && c <= '9') { return c - '0'; }
+	if (c >= 'a' && c <= 'f') { return c - 'a' + 10; }
+	if (c >= 'A' && c <= 'F') { return c - 'A' + 10; }
+	return 0 - 1;
+}
+
+/* Parse the request line starting at base; returns the index past its CRLF
+   or -1 on malformed input. Classifies the method and scans the URL. */
+int parse_request_line(int s, int base) {
+	int method = 0; /* 1 GET, 2 POST, 3 HEAD */
+	int i = 0;
+	char mbuf[8];
+	int mi = 0;
+
+	while (mi < 7 && conn_bufs[base + i] != ' ' && conn_bufs[base + i] != '\r' &&
+	       conn_bufs[base + i] != '\0') {
+		mbuf[mi] = conn_bufs[base + i];
+		mi++;
+		i++;
+	}
+	mbuf[mi] = '\0';
+	if (str_eq(mbuf, "GET")) { method = 1; }
+	else if (str_eq(mbuf, "POST")) { method = 2; }
+	else if (str_eq(mbuf, "HEAD")) { method = 3; }
+	else {
+		stat_bad++;
+		return 0 - 1;
+	}
+	if (conn_bufs[base + i] != ' ') {
+		stat_bad++;
+		return 0 - 1;
+	}
+	i++;
+
+	/* URL: path, percent escapes, optional query string. */
+	if (conn_bufs[base + i] != '/') {
+		stat_bad++;
+		return 0 - 1;
+	}
+	int in_query = 0;
+	while (conn_bufs[base + i] != ' ' && conn_bufs[base + i] != '\r' &&
+	       conn_bufs[base + i] != '\0') {
+		int c = conn_bufs[base + i];
+		if (c == '%') {
+			int h1 = hex_val(conn_bufs[base + i + 1]);
+			int h2 = hex_val(conn_bufs[base + i + 2]);
+			if (h1 < 0 || h2 < 0) {
+				stat_bad++;
+				return 0 - 1;
+			}
+			stat_escapes++;
+			i += 3;
+		} else {
+			if (c == '?') {
+				in_query = 1;
+				stat_queries++;
+			}
+			if (in_query && c == '&') { stat_queries++; }
+			i++;
+		}
+	}
+	if (conn_bufs[base + i] != ' ') {
+		stat_bad++;
+		return 0 - 1;
+	}
+	i++;
+
+	/* Version. */
+	char vbuf[12];
+	int vi = 0;
+	while (vi < 11 && conn_bufs[base + i] != '\r' && conn_bufs[base + i] != '\0') {
+		vbuf[vi] = conn_bufs[base + i];
+		vi++;
+		i++;
+	}
+	vbuf[vi] = '\0';
+	if (!str_eq(vbuf, "HTTP/1.0") && !str_eq(vbuf, "HTTP/1.1")) {
+		stat_bad++;
+		return 0 - 1;
+	}
+	if (conn_bufs[base + i] != '\r' || conn_bufs[base + i + 1] != '\n') {
+		stat_bad++;
+		return 0 - 1;
+	}
+
+	if (method == 1) { stat_gets++; }
+	if (method == 2) { stat_posts++; }
+	if (method == 3) { stat_heads++; }
+	return i + 2;
+}
+
+/* Parse one header line starting at base+i; returns the index past its CRLF,
+   or -1 on the blank line that ends the header section. Recognized headers
+   update statistics; Content-Length's value is stored in *clen. */
+int parse_header_line(int s, int base, int i, int *clen) {
+	if (conn_bufs[base + i] == '\r' && conn_bufs[base + i + 1] == '\n') {
+		return 0 - 1;
+	}
+	char name[32];
+	int ni = 0;
+	while (ni < 31 && conn_bufs[base + i] != ':' && conn_bufs[base + i] != '\r' &&
+	       conn_bufs[base + i] != '\0') {
+		name[ni] = conn_bufs[base + i];
+		ni++;
+		i++;
+	}
+	name[ni] = '\0';
+	if (conn_bufs[base + i] != ':') {
+		/* Malformed header: skip to end of line. */
+		while (conn_bufs[base + i] != '\n' && conn_bufs[base + i] != '\0') { i++; }
+		return i + 1;
+	}
+	i++;
+	while (conn_bufs[base + i] == ' ') { i++; }
+
+	char value[64];
+	int vi = 0;
+	while (vi < 63 && conn_bufs[base + i] != '\r' && conn_bufs[base + i] != '\0') {
+		value[vi] = conn_bufs[base + i];
+		vi++;
+		i++;
+	}
+	value[vi] = '\0';
+
+	if (str_casecmp(name, "cookie") == 0) {
+		stat_cookies++;
+		int j = 0;
+		while (value[j] != '\0') {
+			if (value[j] == ';') { stat_cookies++; }
+			j++;
+		}
+	} else if (str_casecmp(name, "content-length") == 0) {
+		int v = parse_int(value);
+		if (v >= 0) { *clen = v; }
+	} else if (str_casecmp(name, "connection") == 0) {
+		if (str_casecmp(value, "keep-alive") == 0) { stat_keepalive++; }
+	} else if (str_casecmp(name, "host") == 0) {
+		if (value[0] == '\0') { stat_bad++; }
+	} else if (str_casecmp(name, "user-agent") == 0) {
+		if (str_str(value, "Mozilla") >= 0) { stat_requests += 0; }
+	}
+
+	if (conn_bufs[base + i] == '\r' && conn_bufs[base + i + 1] == '\n') {
+		return i + 2;
+	}
+	while (conn_bufs[base + i] != '\n' && conn_bufs[base + i] != '\0') { i++; }
+	return i + 1;
+}
+
+/* Build and send the response: status line, headers, and the document body
+   for successful requests. X-Echo carries the received body byte count. */
+int respond(int fd, int status, int nbytes) {
+	char resp[192];
+	char num[24];
+	int blen = 0;
+	if (status == 200) {
+		str_cpy(resp, "HTTP/1.1 200 OK\r\nContent-Length: ");
+		blen = doc_len;
+	} else {
+		str_cpy(resp, "HTTP/1.1 400 Bad Request\r\nContent-Length: ");
+	}
+	int_to_str(num, blen);
+	str_cat(resp, num);
+	str_cat(resp, "\r\nX-Echo: ");
+	int_to_str(num, nbytes);
+	str_cat(resp, num);
+	str_cat(resp, "\r\n\r\n");
+	int len = str_len(resp);
+	write(fd, resp, len);
+	if (blen > 0) {
+		char body[300];
+		mem_cpy(body, doc, blen);
+		int cks = sum_bytes(body, blen);
+		if (cks < 0) { cks = 0; }
+		write(fd, body, blen);
+	}
+	return len + blen;
+}
+
+/* Format one access-log entry (kept in memory; checksummed so the work is
+   observable). */
+int log_request(int status, int nbytes) {
+	char num[24];
+	str_cpy(alog, "req ");
+	int_to_str(num, stat_requests);
+	str_cat(alog, num);
+	str_cat(alog, " status ");
+	int_to_str(num, status);
+	str_cat(alog, num);
+	str_cat(alog, " bytes ");
+	int_to_str(num, nbytes);
+	str_cat(alog, num);
+	alog_cks = sum_bytes(alog, str_len(alog));
+	return alog_cks;
+}
+
+int process_request(int s) {
+	int base = s * 512;
+	int hend = headers_end(s);
+	if (hend < 0) { return 0; } /* incomplete */
+
+	int pos = parse_request_line(s, base);
+	int clen = 0;
+	int ok = 1;
+	if (pos < 0) {
+		ok = 0;
+	} else {
+		while (pos >= 0 && pos < hend) {
+			int next = parse_header_line(s, base, pos, &clen);
+			if (next < 0) { break; }
+			pos = next;
+		}
+	}
+
+	/* POST body accounting. */
+	int body = conn_len[s] - hend;
+	if (body < 0) { body = 0; }
+	if (body > clen) { body = clen; }
+	stat_bodybytes += body;
+
+	stat_requests++;
+	if (ok) {
+		respond(conn_fds[s], 200, body);
+		log_request(200, body);
+	} else {
+		respond(conn_fds[s], 400, 0);
+		log_request(400, 0);
+	}
+	conn_done[s] = 1;
+	return 1;
+}
+
+int handle_readable(int fd) {
+	int s = slot_of(fd);
+	if (s < 0) { return 0; }
+	int base = s * 512;
+	int room = 511 - conn_len[s];
+	if (room <= 0) {
+		drop_conn(s);
+		return 0;
+	}
+	char tmp[512];
+	int got = read(fd, tmp, room);
+	if (got <= 0) {
+		/* EOF or error: process whatever we have, then drop. */
+		if (conn_len[s] > 0 && !conn_done[s]) { process_request(s); }
+		drop_conn(s);
+		return 0;
+	}
+	int i;
+	for (i = 0; i < got; i++) {
+		conn_bufs[base + conn_len[s] + i] = tmp[i];
+	}
+	conn_len[s] += got;
+	if (!conn_done[s]) {
+		if (process_request(s)) {
+			drop_conn(s);
+		}
+	}
+	return 1;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 16; i++) { conn_fds[i] = 0 - 1; }
+	/* Build the served document. */
+	for (i = 0; i < 256; i++) { doc[i] = 'A' + i % 26; }
+
+	int lfd = listen_socket(8080);
+	if (lfd < 0) {
+		print_str("userver: cannot listen\n");
+		exit(1);
+	}
+	int ready[32];
+	int idle = 0;
+
+	while (1) {
+		if (signal_pending()) {
+			crash(7); /* the SIGSEGV of the experiment (S5.3) */
+		}
+		int n = select_ready(ready, 32);
+		if (n <= 0) {
+			idle++;
+			if (idle > 3) { break; }
+			continue;
+		}
+		idle = 0;
+		int k;
+		for (k = 0; k < n; k++) {
+			int fd = ready[k];
+			if (fd == lfd) {
+				int cfd = accept(lfd);
+				if (cfd >= 0) { add_conn(cfd); }
+			} else {
+				handle_readable(fd);
+			}
+		}
+	}
+	print_str("userver: served ");
+	print_int(stat_requests);
+	print_str(" requests\n");
+	return 0;
+}
+`
+
+// UServerProgram links the uServer against ulib.
+func UServerProgram() *lang.Program {
+	return mustProgram("userver.mc", UServerSource)
+}
+
+// UServerScenarioSpec builds the input space for a uServer workload: one
+// stream per scripted connection. Payload capacity follows the experiment's
+// request; requests arrive immediately (arrival tick 0) so replay and record
+// see the same accept order.
+func UServerScenarioSpec(requests []string, payloadCap int, crash bool) (*world.Spec, map[string][]byte) {
+	spec := &world.Spec{
+		ListenPort:            8080,
+		CrashSignalAfterConns: crash,
+	}
+	user := make(map[string][]byte)
+	for i, req := range requests {
+		cap := payloadCap
+		if cap < len(req) {
+			cap = len(req)
+		}
+		neutral := strings.Repeat("x", len(req))
+		spec.Conns = append(spec.Conns, world.ConnSpec(i, neutral, cap, 0))
+		user[fmt.Sprintf("conn%d", i)] = []byte(req)
+	}
+	return spec, user
+}
+
+// AnalysisRequests are the developer test requests that seed pre-deployment
+// exploration (the paper's engine is driven by test suites; §6 recommends
+// manual tests to boost coverage). The request streams remain fully
+// symbolic — the seeds only determine the first explored paths.
+var AnalysisRequests = []string{
+	"GET /index.html HTTP/1.1\r\nHost: test\r\n\r\n",
+	"POST /form HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+}
+
+// The five §5.3 input scenarios: queries of 5-400 bytes, different methods
+// and parameters (Cookies, Content-Length). Scaled to keep replay tractable
+// while preserving the experiment's structure.
+var UServerExperiments = [][]string{
+	// Exp 1: one minimal GET.
+	{"GET / HTTP/1.1\r\n\r\n"},
+	// Exp 2: GET with query string and Host header.
+	{"GET /index.html?user=bob&lang=en HTTP/1.1\r\nHost: a\r\n\r\n"},
+	// Exp 3: GET with cookies and percent-escapes.
+	{"GET /a%20b?q=1 HTTP/1.1\r\nCookie: sid=abc; theme=dark\r\n\r\n"},
+	// Exp 4: POST with Content-Length and body.
+	{"POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"},
+	// Exp 5: two connections — HEAD keep-alive plus a GET.
+	{
+		"HEAD /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+		"GET /y?a=b HTTP/1.1\r\nUser-Agent: Mozilla\r\n\r\n",
+	},
+}

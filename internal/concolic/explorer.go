@@ -1,0 +1,387 @@
+// Package concolic implements the paper's dynamic analysis (§2.1): a
+// time-bounded concolic execution engine that explores program paths with
+// concrete inputs, labels every visited branch location as symbolic or
+// concrete, and leaves the rest unvisited.
+//
+// The engine follows the concolic discipline described in the paper: each
+// run executes the whole program with concrete inputs while collecting the
+// path condition (one constraint per symbolic branch execution); after a run,
+// constraints are negated one by one to produce child inputs (generational
+// search), which are queued for later runs. Labels obey §2.1 exactly: a
+// branch first executed with a symbolic condition is symbolic forever; a
+// branch first executed with a concrete condition is concrete until some
+// later execution observes a symbolic condition, which relabels it symbolic.
+package concolic
+
+import (
+	"time"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/solver"
+	"pathlog/internal/sym"
+	"pathlog/internal/vm"
+	"pathlog/internal/world"
+)
+
+// Label is the dynamic-analysis classification of a branch location.
+type Label int
+
+// Labels. The zero value is Unvisited.
+const (
+	Unvisited Label = iota
+	Concrete
+	Symbolic
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	return [...]string{"unvisited", "concrete", "symbolic"}[l]
+}
+
+// Options bound the exploration effort. The time budget is the paper's
+// coverage knob: more symbolic-execution time buys higher branch coverage
+// (the LC/HC configurations of §5.3).
+type Options struct {
+	// MaxRuns bounds the number of concolic runs; 0 means DefaultMaxRuns.
+	MaxRuns int
+	// TimeBudget bounds wall-clock exploration time; 0 means no limit.
+	TimeBudget time.Duration
+	// MaxStepsPerRun bounds each run; 0 uses the VM default.
+	MaxStepsPerRun int64
+	// MaxQueue bounds the pending-input queue; 0 means DefaultMaxQueue.
+	MaxQueue int
+	// MaxChildrenPerRun bounds how many negated constraints of one run are
+	// turned into child inputs; 0 means DefaultMaxChildrenPerRun. Deep
+	// paths (diff's LCS loops) would otherwise spawn thousands of solver
+	// calls per run.
+	MaxChildrenPerRun int
+	// Solver options.
+	Solver solver.Options
+}
+
+// Default bounds.
+const (
+	DefaultMaxRuns           = 400
+	DefaultMaxQueue          = 4096
+	DefaultMaxChildrenPerRun = 48
+)
+
+// Report is the outcome of one exploration.
+type Report struct {
+	Labels      map[lang.BranchID]Label
+	Runs        int
+	Elapsed     time.Duration
+	SolverStats solver.Stats
+	// BranchExecs counts total branch executions across runs; SymbolicExecs
+	// counts those with symbolic conditions (Figure 1/3 data).
+	BranchExecs   int64
+	SymbolicExecs int64
+	// ExecCount and SymExecCount give per-location execution histograms.
+	ExecCount    map[lang.BranchID]int64
+	SymExecCount map[lang.BranchID]int64
+}
+
+// Coverage returns the fraction of the program's branch locations visited.
+func (r *Report) Coverage(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	visited := 0
+	for _, l := range r.Labels {
+		if l != Unvisited {
+			visited++
+		}
+	}
+	return float64(visited) / float64(total)
+}
+
+// CountLabel returns how many branch locations carry the given label.
+func (r *Report) CountLabel(l Label) int {
+	n := 0
+	for _, got := range r.Labels {
+		if got == l {
+			n++
+		}
+	}
+	return n
+}
+
+// Explorer drives concolic exploration of one program over one input spec.
+type Explorer struct {
+	prog *lang.Program
+	spec *world.Spec
+	reg  *world.Registry
+	slv  *solver.Solver
+	opts Options
+
+	report Report
+	queue  []sym.MapAssignment
+	seen   map[string]bool // dedup of queued assignments
+}
+
+// New creates an explorer. The registry may be shared with a later replay
+// session so that branch labels and constraints agree on variable identity.
+func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, opts Options) *Explorer {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = DefaultMaxRuns
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = DefaultMaxQueue
+	}
+	if opts.MaxChildrenPerRun <= 0 {
+		opts.MaxChildrenPerRun = DefaultMaxChildrenPerRun
+	}
+	return &Explorer{
+		prog: prog,
+		spec: spec,
+		reg:  reg,
+		slv:  solver.New(opts.Solver),
+		opts: opts,
+		seen: make(map[string]bool),
+	}
+}
+
+// pathCond is one collected constraint with its branch site.
+type pathCond struct {
+	site *lang.BranchSite
+	c    sym.Constraint
+}
+
+// tracer is the branch sink used during exploration runs: it labels branch
+// locations and collects the path condition.
+type tracer struct {
+	ex    *Explorer
+	conds []pathCond
+	// maxConds caps the path condition length so enormous runs (the diff
+	// LCS loops) do not stall child generation.
+	maxConds int
+}
+
+// OnBranch implements vm.BranchSink.
+func (t *tracer) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) error {
+	t.ex.report.BranchExecs++
+	t.ex.report.ExecCount[site.ID]++
+	if cond.IsSymbolic() {
+		t.ex.report.SymbolicExecs++
+		t.ex.report.SymExecCount[site.ID]++
+		t.ex.report.Labels[site.ID] = Symbolic // symbolic is sticky
+		if len(t.conds) < t.maxConds {
+			t.conds = append(t.conds, pathCond{
+				site: site,
+				c:    sym.Constraint{E: cond.Sym, Truth: taken},
+			})
+		}
+		return nil
+	}
+	if t.ex.report.Labels[site.ID] == Unvisited {
+		t.ex.report.Labels[site.ID] = Concrete
+	}
+	return nil
+}
+
+// Explore runs the analysis until its budget is exhausted and returns the
+// labeling report.
+func (e *Explorer) Explore() *Report {
+	e.report = Report{
+		Labels:       make(map[lang.BranchID]Label, len(e.prog.Branches)),
+		ExecCount:    make(map[lang.BranchID]int64),
+		SymExecCount: make(map[lang.BranchID]int64),
+	}
+	for _, b := range e.prog.Branches {
+		e.report.Labels[b.ID] = Unvisited
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if e.opts.TimeBudget > 0 {
+		deadline = start.Add(e.opts.TimeBudget)
+	}
+
+	e.queue = []sym.MapAssignment{{}} // initial run: all-seed input
+	for len(e.queue) > 0 && e.report.Runs < e.opts.MaxRuns {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		asn := e.queue[0]
+		e.queue = e.queue[1:]
+		conds := e.runOnce(asn)
+		if e.report.Runs >= e.opts.MaxRuns {
+			break // the budget is spent; child generation would be wasted
+		}
+		e.generateChildren(asn, conds)
+	}
+
+	e.report.Elapsed = time.Since(start)
+	e.report.SolverStats = e.slv.Stats()
+	return &e.report
+}
+
+// runOnce executes the program with one concrete assignment and returns the
+// collected path condition.
+func (e *Explorer) runOnce(asn sym.MapAssignment) []pathCond {
+	e.report.Runs++
+	w := world.NewWorld(e.spec, e.reg, asn)
+	cfg := w.KernelConfig()
+	cfg.Mode = oskernel.ModeRecord
+	kern := oskernel.New(cfg)
+	tr := &tracer{ex: e, maxConds: 4096}
+	machine := vm.New(e.prog, vm.Options{
+		Kernel:   kern,
+		Sink:     tr,
+		World:    w,
+		MaxSteps: e.opts.MaxStepsPerRun,
+	})
+	// Crashes and budget blowups during analysis are expected: exploration
+	// inputs routinely trip the planted bugs. Only real VM errors matter.
+	if _, err := machine.Run(); err != nil {
+		// A VM-internal error means a bug in this repository, not in the
+		// analyzed program. Surface it loudly.
+		panic(err)
+	}
+	return tr.conds
+}
+
+// generateChildren negates path constraints (generational search) and
+// queues solved inputs for later runs. Two standard concolic optimizations
+// keep this tractable on deep paths:
+//
+//   - the number of children per run is capped, with negation sites spread
+//     evenly over the path so deep branches still get explored;
+//   - unrelated constraint elimination: each child problem contains only the
+//     prefix constraints transitively sharing variables with the negated
+//     one. Dropping independent constraints cannot make the negation
+//     unsolvable; the child input may diverge earlier on the path, which
+//     exploration tolerates (it is not replay).
+func (e *Explorer) generateChildren(parent sym.MapAssignment, conds []pathCond) {
+	n := len(conds)
+	if n == 0 {
+		return
+	}
+	stride := 1
+	if n > e.opts.MaxChildrenPerRun {
+		stride = n / e.opts.MaxChildrenPerRun
+	}
+	for i := 0; i < n; i += stride {
+		if len(e.queue) >= e.opts.MaxQueue {
+			return
+		}
+		sliced := sliceRelevant(conds[:i], conds[i].c.Negated())
+		vars := sym.ConstraintVars(sliced)
+		problem := solver.Problem{
+			Constraints: sliced,
+			Domains:     e.reg.Domains(vars),
+			Seed:        overlaySeed(parent, vars),
+		}
+		child, ok := e.slv.Solve(problem)
+		if !ok {
+			continue
+		}
+		merged := mergeAssignment(parent, child)
+		key := assignmentKey(merged)
+		if e.seen[key] {
+			continue
+		}
+		e.seen[key] = true
+		e.queue = append(e.queue, merged)
+	}
+}
+
+// sliceRelevant returns the negated constraint plus every prefix constraint
+// transitively connected to it by shared variables (one backward pass).
+func sliceRelevant(prefix []pathCond, negated sym.Constraint) []sym.Constraint {
+	relevant := sym.Vars(negated.E)
+	keep := make([]bool, len(prefix))
+	for i := len(prefix) - 1; i >= 0; i-- {
+		vars := sym.Vars(prefix[i].c.E)
+		shared := false
+		for v := range vars {
+			if _, ok := relevant[v]; ok {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			continue
+		}
+		keep[i] = true
+		for v := range vars {
+			relevant[v] = struct{}{}
+		}
+	}
+	out := make([]sym.Constraint, 0, 16)
+	for i, k := range keep {
+		if k {
+			out = append(out, prefix[i].c)
+		}
+	}
+	return append(out, negated)
+}
+
+// overlaySeed extracts the parent's values for the constraint variables as
+// the solver seed.
+func overlaySeed(parent sym.MapAssignment, vars map[int]struct{}) sym.MapAssignment {
+	out := make(sym.MapAssignment, len(vars))
+	for id := range vars {
+		if v, ok := parent[id]; ok {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// mergeAssignment layers the solved values over the parent input.
+func mergeAssignment(parent, child sym.MapAssignment) sym.MapAssignment {
+	out := make(sym.MapAssignment, len(parent)+len(child))
+	for id, v := range parent {
+		out[id] = v
+	}
+	for id, v := range child {
+		out[id] = v
+	}
+	return out
+}
+
+// assignmentKey renders a canonical dedup key.
+func assignmentKey(asn sym.MapAssignment) string {
+	// Assignments are small (tens of bytes); a sorted textual key is fine.
+	ids := make([]int, 0, len(asn))
+	for id := range asn {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	buf := make([]byte, 0, len(ids)*6)
+	for _, id := range ids {
+		buf = appendInt(buf, int64(id))
+		buf = append(buf, '=')
+		buf = appendInt(buf, asn[id])
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}

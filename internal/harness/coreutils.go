@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/concolic"
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+	"pathlog/internal/world"
+)
+
+// healthyMkdir returns a non-crashing mkdir workload for branch-behavior and
+// overhead measurements (Figures 1 and 2 profile normal runs).
+func (c Config) healthyMkdir() (*core.Scenario, error) {
+	s, err := apps.CoreutilScenario("mkdir", c.CoreutilArgLen)
+	if err != nil {
+		return nil, err
+	}
+	s.UserBytes = map[string][]byte{
+		"arg0": []byte("-p"),
+		"arg1": []byte("a/b"),
+		"arg2": []byte("-v"),
+	}
+	return s, nil
+}
+
+// Figure1 reproduces the mkdir branch-behavior histogram: per branch
+// location, total executions and symbolic-condition executions of a sample
+// run. The paper's two assumptions must be visible in the data: few
+// locations carry all symbolic executions, and each location is either
+// always symbolic or always concrete.
+func (c Config) Figure1() (*Table, error) {
+	s, err := c.healthyMkdir()
+	if err != nil {
+		return nil, err
+	}
+	// A single concolic run over the user input is the paper's "sample run
+	// with concrete inputs, recording per-branch symbolic/concrete".
+	sample := &core.Scenario{Name: s.Name, Prog: s.Prog, Spec: mustUserSpec(s)}
+	rep := sample.AnalyzeDynamic(concolic.Options{MaxRuns: 1})
+
+	var rows []branchRow
+	for id, n := range rep.ExecCount {
+		rows = append(rows, branchRow{id: int(id), execs: n, symExecs: rep.SymExecCount[id]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "executions per branch location, sample run of mkdir",
+		Header: []string{"branch", "kind", "where", "execs", "symbolic execs"},
+	}
+	mixedApp, mixedLib, withSym := 0, 0, 0
+	for _, r := range rows {
+		b := s.Prog.Branches[r.id]
+		t.AddRow(fmt.Sprintf("b%d", r.id), b.Kind.String(),
+			fmt.Sprintf("%s@%s:%d", b.Func, b.Pos.Unit, b.Pos.Line),
+			fmt.Sprintf("%d", r.execs), fmt.Sprintf("%d", r.symExecs))
+		if r.symExecs > 0 {
+			withSym++
+			if r.symExecs < r.execs {
+				if b.Region == lang.RegionLib {
+					mixedLib++
+				} else {
+					mixedApp++
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("branch locations executed: %d; with symbolic executions: %d",
+			len(rows), withSym),
+		fmt.Sprintf("application locations mixing symbolic and concrete executions: %d (paper: black bars fully cover gray bars)", mixedApp),
+		fmt.Sprintf("library locations mixing: %d (paper: library bars \"almost but not completely\" covered)", mixedLib))
+	return t, nil
+}
+
+// branchRow is one Figure 1/3 histogram entry.
+type branchRow struct {
+	id       int
+	execs    int64
+	symExecs int64
+}
+
+func mustUserSpec(s *core.Scenario) *world.Spec {
+	spec, err := s.UserSpec()
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Figure2 reproduces mkdir's normalized CPU time under the four
+// instrumentation methods (plus none). The paper: dynamic, dynamic+static
+// and static are near-identical; all-branches pays ~31%.
+func (c Config) Figure2() (*Table, error) {
+	s, err := c.healthyMkdir()
+	if err != nil {
+		return nil, err
+	}
+	in := analyze(apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+
+	t := &Table{
+		ID:    "Figure 2",
+		Title: "mkdir CPU time, normalized to the uninstrumented version",
+		Header: []string{"config", "instr. locations", "cpu time", "rel cpu",
+			"proj. native overhead", "logged bits"},
+	}
+	none := s.Plan(instrument.MethodNone, in, true)
+	baseline, _, err := s.MeasureOverhead(none, c.SmallWorkloadRounds)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("none", "0", fmtDur(baseline), "100%", "+0%", "0")
+	for _, m := range instrument.Methods {
+		plan := s.Plan(m, in, true)
+		avg, stats, err := s.MeasureOverhead(plan, c.SmallWorkloadRounds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.String(), fmt.Sprintf("%d", plan.NumInstrumented()),
+			fmtDur(avg), relCPU(avg, baseline),
+			projectedOverhead(stats.TraceBits, stats.Steps),
+			fmt.Sprintf("%d", stats.TraceBits))
+	}
+	t.Notes = append(t.Notes,
+		"paper: dynamic ≈ dynamic+static ≈ static; all branches slowest (~131%)")
+	return t, nil
+}
+
+// Table1 reproduces the coreutils bug-replay times: all four programs under
+// all four methods (the paper reports 1-1.5s, identical across methods).
+func (c Config) Table1() (*Table, error) {
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "time to replay a real bug in four coreutils programs",
+		Header: []string{"program", "config", "replay time", "runs", "reproduced"},
+	}
+	for _, name := range apps.CoreutilNames() {
+		s, err := apps.CoreutilScenario(name, c.CoreutilArgLen)
+		if err != nil {
+			return nil, err
+		}
+		in := analyze(apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+		for _, m := range instrument.Methods {
+			plan := s.Plan(m, in, true)
+			rec, _, err := s.Record(plan)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", name, m, err)
+			}
+			if rec == nil {
+				return nil, fmt.Errorf("%s/%v: user run did not crash", name, m)
+			}
+			res := s.Replay(rec, replay.Options{
+				MaxRuns:    c.ReplayMaxRuns,
+				TimeBudget: c.ReplayBudget,
+			})
+			cell := fmtDur(res.Elapsed)
+			if !res.Reproduced {
+				cell = Infinity
+			}
+			t.AddRow(name, m.String(), cell,
+				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: ~1-1.5s per program, same for all four configurations; ESD took 10-15s")
+	return t, nil
+}

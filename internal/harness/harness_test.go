@@ -1,0 +1,247 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastConfig shrinks every knob so the whole suite runs in CI time.
+func fastConfig() Config {
+	c := DefaultConfig()
+	c.MicroLoopIters = 5000
+	c.OverheadRounds = 1
+	c.SmallWorkloadRounds = 5
+	c.CoreutilAnalysisRuns = 1000
+	c.UServerLoadRequests = 4
+	c.UServerAnalysisRunsLC = 3
+	c.UServerAnalysisRunsHC = 12
+	c.DiffAnalysisRuns = 10
+	c.ReplayMaxRuns = 1500
+	c.ReplayBudget = 10 * time.Second
+	return c
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d); rows=%d", tbl.ID, row, col, len(tbl.Rows))
+	}
+	return tbl.Rows[row][col]
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "Test",
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== Test — demo ==", "a  bee", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMicroLoopShape(t *testing.T) {
+	tbl, err := fastConfig().MicroLoop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// All-branches must log one bit per loop iteration (plus setup checks).
+	if cell(t, tbl, 1, 4) == "0" {
+		t.Error("all-branches logged nothing")
+	}
+}
+
+func TestMicroFibShape(t *testing.T) {
+	tbl, err := fastConfig().MicroFib()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: none + 4 methods; the three selective methods instrument exactly
+	// the two option branches of Listing 1.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows[1:4] {
+		if row[1] != "2" {
+			t.Errorf("%s instruments %s locations, want 2", row[0], row[1])
+		}
+	}
+}
+
+func TestFigure1Assumptions(t *testing.T) {
+	tbl, err := fastConfig().Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no branch rows")
+	}
+	// The paper's assumption: no *application* location mixes symbolic and
+	// concrete executions in a run of mkdir. Library locations may mix — the
+	// paper notes uClibc bars are "almost but not completely" covered.
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "application locations mixing symbolic and concrete executions: 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("app mixed-location note missing or nonzero: %v", tbl.Notes)
+	}
+}
+
+func TestTable1AllReproduced(t *testing.T) {
+	tbl, err := fastConfig().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 16 { // 4 programs x 4 methods
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "true" {
+			t.Errorf("%s/%s not reproduced", row[0], row[1])
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	c := fastConfig()
+	tbl, err := c.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	counts := map[string][2]string{}
+	for _, row := range tbl.Rows {
+		counts[row[0]] = [2]string{row[1], row[2]}
+	}
+	// dynamic must instrument fewer locations than dynamic+static, which
+	// must not exceed static, which must not exceed all branches (§2.3).
+	dynHC := atoiT(t, counts["dynamic"][1])
+	dsHC := atoiT(t, counts["dynamic+static"][1])
+	stHC := atoiT(t, counts["static"][1])
+	allHC := atoiT(t, counts["all branches"][1])
+	if !(dynHC < dsHC && dsHC <= stHC && stHC <= allHC) {
+		t.Errorf("ordering violated: dyn=%d ds=%d st=%d all=%d", dynHC, dsHC, stHC, allHC)
+	}
+	// Coverage must not shrink dynamic's set.
+	if atoiT(t, counts["dynamic"][0]) > dynHC {
+		t.Error("dynamic LC > HC")
+	}
+}
+
+func atoiT(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestFigure4StorageOrdering(t *testing.T) {
+	c := fastConfig()
+	tbl, err := c.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order: none, dyn lc, dyn hc, ds lc, ds hc, static, all.
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	dynHC := atoiT(t, cell(t, tbl, 2, 5))
+	dsHC := atoiT(t, cell(t, tbl, 4, 5))
+	static := atoiT(t, cell(t, tbl, 5, 5))
+	all := atoiT(t, cell(t, tbl, 6, 5))
+	if !(dynHC <= dsHC && dsHC <= static && static <= all) {
+		t.Errorf("storage ordering violated: dyn=%d ds=%d st=%d all=%d",
+			dynHC, dsHC, static, all)
+	}
+	if all == 0 {
+		t.Error("all-branches run logged nothing")
+	}
+}
+
+func TestTables6and7DiffContrast(t *testing.T) {
+	c := fastConfig()
+	t6, t7, err := c.Tables6and7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 8 || len(t7.Rows) != 8 {
+		t.Fatalf("rows: %d/%d", len(t6.Rows), len(t7.Rows))
+	}
+	// The three non-dynamic methods must reproduce both experiments.
+	for _, row := range t6.Rows {
+		if row[1] == "dynamic" {
+			continue // may or may not finish, §5.4 says inf
+		}
+		if row[4] != "true" {
+			t.Errorf("diff %s/%s not reproduced", row[0], row[1])
+		}
+	}
+}
+
+func TestCompressRatio(t *testing.T) {
+	tbl, err := fastConfig().Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fastConfig().Run("nope", &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunNamedExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fastConfig().Run("micro-fib", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Micro 2") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestSummaryReduction(t *testing.T) {
+	tbl, err := fastConfig().Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// dynamic+static must never log more bits than static (§2.3: it removes
+	// dynamically-proven-concrete branches from static's set).
+	for _, row := range tbl.Rows {
+		st := atoiT(t, row[1])
+		ds := atoiT(t, row[2])
+		if ds > st {
+			t.Errorf("%s: dyn+static bits %d > static bits %d", row[0], ds, st)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+)
+
+// Summary reproduces the paper's headline claim (§8): the combined method
+// reduces instrumentation overhead by 10-92% compared to static alone, while
+// keeping bug reproduction within budget. It measures the logged-bits
+// reduction (the driver of both CPU and storage overhead) of dynamic+static
+// versus static across the three workload families.
+func (c Config) Summary() (*Table, error) {
+	t := &Table{
+		ID:    "Summary",
+		Title: "dynamic+static vs static: instrumentation reduction (paper: 10-92%)",
+		Header: []string{"workload", "static bits", "dyn+static bits",
+			"reduction", "static locs", "dyn+static locs"},
+	}
+
+	emit := func(name string, scn *core.Scenario, in instrument.Inputs) error {
+		stPlan := scn.Plan(instrument.MethodStatic, in, true)
+		dsPlan := scn.Plan(instrument.MethodDynamicStatic, in, true)
+		_, stStats, err := scn.MeasureOverhead(stPlan, 1)
+		if err != nil {
+			return err
+		}
+		_, dsStats, err := scn.MeasureOverhead(dsPlan, 1)
+		if err != nil {
+			return err
+		}
+		red := "0%"
+		if stStats.TraceBits > 0 {
+			red = fmtPct(float64(stStats.TraceBits-dsStats.TraceBits) /
+				float64(stStats.TraceBits))
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", stStats.TraceBits),
+			fmt.Sprintf("%d", dsStats.TraceBits),
+			red,
+			fmt.Sprintf("%d", stPlan.NumInstrumented()),
+			fmt.Sprintf("%d", dsPlan.NumInstrumented()))
+		return nil
+	}
+
+	mk, err := c.healthyMkdir()
+	if err != nil {
+		return nil, err
+	}
+	if err := emit("mkdir", mk, analyze(apps.AnalysisSpec(mk), c.CoreutilAnalysisRuns, false)); err != nil {
+		return nil, err
+	}
+	us := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
+	if err := emit("userver", us, c.uServerAnalyses().hc); err != nil {
+		return nil, err
+	}
+	df, err := apps.DiffExperimentScenario(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit("diff", df, c.diffAnalyses()); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"logged bits drive both CPU and storage overhead (1 bit per instrumented branch execution)")
+	return t, nil
+}
+
+// Experiments lists experiment names in presentation order; cmd/experiments
+// exposes them.
+var Experiments = []string{
+	"micro-loop", "micro-fib", "figure1", "figure2", "table1",
+	"figure3", "table2", "figure4", "table3", "table4", "table5", "table8",
+	"figure5", "table6", "table7", "compress", "summary",
+}
+
+// Run executes one named experiment and renders it to w.
+func (c Config) Run(name string, w io.Writer) error {
+	render := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+	render2 := func(a, b *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		a.Render(w)
+		b.Render(w)
+		return nil
+	}
+	switch name {
+	case "micro-loop":
+		return render(c.MicroLoop())
+	case "micro-fib":
+		return render(c.MicroFib())
+	case "figure1":
+		return render(c.Figure1())
+	case "figure2":
+		return render(c.Figure2())
+	case "table1":
+		return render(c.Table1())
+	case "figure3":
+		return render(c.Figure3())
+	case "table2":
+		return render(c.Table2())
+	case "figure4":
+		return render(c.Figure4())
+	case "table3", "table4":
+		a, b, err := c.Tables3and4()
+		return render2(a, b, err)
+	case "table5", "table8":
+		a, b, err := c.Tables5and8()
+		return render2(a, b, err)
+	case "figure5":
+		return render(c.Figure5())
+	case "table6", "table7":
+		a, b, err := c.Tables6and7()
+		return render2(a, b, err)
+	case "compress":
+		return render(c.Compress())
+	case "summary":
+		return render(c.Summary())
+	}
+	return fmt.Errorf("harness: unknown experiment %q (known: %v)", name, Experiments)
+}
+
+// RunAll executes every experiment in presentation order, skipping the
+// second name of rendered pairs.
+func (c Config) RunAll(w io.Writer) error {
+	skip := map[string]bool{"table4": true, "table8": true, "table7": true}
+	for _, name := range Experiments {
+		if skip[name] {
+			continue
+		}
+		fmt.Fprintf(w, "-- running %s --\n", name)
+		if err := c.Run(name, w); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

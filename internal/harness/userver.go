@@ -1,0 +1,356 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/concolic"
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+)
+
+// uServer analysis results are shared across Table 2, Figure 4 and Tables
+// 3/4/5/8; uAnalyses computes them once per Config use.
+type uAnalyses struct {
+	lc instrument.Inputs
+	hc instrument.Inputs
+}
+
+func (c Config) uServerAnalyses() uAnalyses {
+	// Pre-deployment exploration is seeded with developer test requests —
+	// the paper's engine (Oasis) is "concolic execution driven by test
+	// suites", and §6 notes that manual test cases boost coverage. The
+	// streams stay fully symbolic; the seeds only pick the first paths.
+	an := apps.UServerAnalysisScenario()
+	// §5.3: static analysis cannot process the merged library sources, so it
+	// runs on the application only and treats every library branch as
+	// symbolic.
+	lcDyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: c.UServerAnalysisRunsLC})
+	hcDyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: c.UServerAnalysisRunsHC})
+	stat := an.AnalyzeStatic(staticLibOpts())
+	return uAnalyses{
+		lc: instrument.Inputs{Dynamic: lcDyn, Static: stat},
+		hc: instrument.Inputs{Dynamic: hcDyn, Static: stat},
+	}
+}
+
+// Figure3 reproduces the uServer branch histogram: per-location execution
+// counts split between application and library code. The paper observes ~18M
+// executions with ~10% symbolic, 81% of executions in the library but only
+// 28% of symbolic executions there.
+func (c Config) Figure3() (*Table, error) {
+	s := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
+	sample := &core.Scenario{Name: s.Name, Prog: s.Prog, Spec: mustUserSpec(s)}
+	rep := sample.AnalyzeDynamic(concolic.Options{MaxRuns: 1})
+
+	var rows []branchRow
+	for id, n := range rep.ExecCount {
+		rows = append(rows, branchRow{id: int(id), execs: n, symExecs: rep.SymExecCount[id]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  fmt.Sprintf("uServer branch histogram, %d requests", c.UServerLoadRequests),
+		Header: []string{"region", "branch", "where", "execs", "symbolic execs"},
+	}
+	var total, sym, libExecs, libSym int64
+	symLocs := 0
+	for _, r := range rows {
+		b := s.Prog.Branches[r.id]
+		total += r.execs
+		sym += r.symExecs
+		if b.Region == lang.RegionLib {
+			libExecs += r.execs
+			libSym += r.symExecs
+		}
+		if r.symExecs > 0 {
+			symLocs++
+		}
+		t.AddRow(b.Region.String(), fmt.Sprintf("b%d", r.id),
+			fmt.Sprintf("%s@%s:%d", b.Func, b.Pos.Unit, b.Pos.Line),
+			fmt.Sprintf("%d", r.execs), fmt.Sprintf("%d", r.symExecs))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total branch executions: %d; symbolic: %d (%.0f%%; paper ~10%%)",
+			total, sym, 100*float64(sym)/float64(total)),
+		fmt.Sprintf("library share of executions: %.0f%% (paper 81%%); of symbolic executions: %.0f%% (paper 28%%)",
+			100*float64(libExecs)/float64(total), 100*float64(libSym)/float64(max64(sym, 1))),
+		fmt.Sprintf("symbolic branch locations: %d (paper: 53)", symLocs))
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table2 reproduces the uServer instrumented-branch-location counts for the
+// four methods under low and high analysis coverage.
+func (c Config) Table2() (*Table, error) {
+	an := c.uServerAnalyses()
+	prog := apps.UServerProgram()
+	s := apps.UServerLoadScenario(2, apps.DefaultHTTPRequest)
+
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "instrumented branch locations in the uServer",
+		Header: []string{"config", "LC", "HC", "LC app/lib", "HC app/lib"},
+	}
+	for _, m := range instrument.Methods {
+		lcPlan := s.Plan(m, an.lc, true)
+		hcPlan := s.Plan(m, an.hc, true)
+		t.AddRow(m.String(),
+			fmt.Sprintf("%d", lcPlan.NumInstrumented()),
+			fmt.Sprintf("%d", hcPlan.NumInstrumented()),
+			fmt.Sprintf("%d/%d", lcPlan.InstrumentedIn(prog, lang.RegionApp),
+				lcPlan.InstrumentedIn(prog, lang.RegionLib)),
+			fmt.Sprintf("%d/%d", hcPlan.InstrumentedIn(prog, lang.RegionApp),
+				hcPlan.InstrumentedIn(prog, lang.RegionLib)))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total branch locations: app %d, lib %d (paper: 5104 app, 8516 lib)",
+			len(prog.BranchesIn(lang.RegionApp)), len(prog.BranchesIn(lang.RegionLib))),
+		"paper HC: dynamic 246, dynamic+static 1490, static 2104, all 5104;",
+		"coverage raises dynamic's count and lowers dynamic+static's (§5.3)")
+	return t, nil
+}
+
+// Figure4 reproduces the uServer CPU-time and storage measurements per
+// configuration: dynamic and dynamic+static at both coverages, static, all
+// branches, against the uninstrumented baseline.
+func (c Config) Figure4() (*Table, error) {
+	an := c.uServerAnalyses()
+	s := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
+
+	t := &Table{
+		ID:    "Figure 4",
+		Title: fmt.Sprintf("uServer CPU time and storage, %d requests", c.UServerLoadRequests),
+		Header: []string{"config", "instr. locations", "cpu time", "rel cpu",
+			"proj. native overhead", "storage bytes", "bytes/request", "syslog bytes"},
+	}
+	none := s.Plan(instrument.MethodNone, instrument.Inputs{}, false)
+	baseline, _, err := s.MeasureOverhead(none, c.OverheadRounds)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("none", "0", fmtDur(baseline), "100%", "+0%", "0", "0", "0")
+
+	type cfg struct {
+		label string
+		m     instrument.Method
+		in    instrument.Inputs
+	}
+	cfgs := []cfg{
+		{"dynamic (lc)", instrument.MethodDynamic, an.lc},
+		{"dynamic (hc)", instrument.MethodDynamic, an.hc},
+		{"dynamic+static (lc)", instrument.MethodDynamicStatic, an.lc},
+		{"dynamic+static (hc)", instrument.MethodDynamicStatic, an.hc},
+		{"static", instrument.MethodStatic, an.hc},
+		{"all branches", instrument.MethodAll, an.hc},
+	}
+	for _, cf := range cfgs {
+		plan := s.Plan(cf.m, cf.in, true)
+		avg, stats, err := s.MeasureOverhead(plan, c.OverheadRounds)
+		if err != nil {
+			return nil, err
+		}
+		storage := stats.TraceBytes + stats.SyslogBytes
+		t.AddRow(cf.label, fmt.Sprintf("%d", plan.NumInstrumented()),
+			fmtDur(avg), relCPU(avg, baseline),
+			projectedOverhead(stats.TraceBits, stats.Steps),
+			fmt.Sprintf("%d", storage),
+			fmt.Sprintf("%.1f", float64(storage)/float64(c.UServerLoadRequests)),
+			fmt.Sprintf("%d", stats.SyslogBytes))
+	}
+	t.Notes = append(t.Notes,
+		"paper: dynamic 17%, dynamic+static 20% overhead; static only marginally better than all branches",
+		"paper storage: ~50 bytes/request under dynamic and dynamic+static")
+	return t, nil
+}
+
+// replayCell renders a replay result as the paper's tables do.
+func replayCell(res *replay.Result) string {
+	if !res.Reproduced {
+		return Infinity
+	}
+	return fmtDur(res.Elapsed)
+}
+
+// uServerReplayConfigs enumerates the LC/HC × method grid of Table 3.
+type uReplayRow struct {
+	label string
+	m     instrument.Method
+	lc    bool
+}
+
+var uReplayRows = []uReplayRow{
+	{"dynamic", instrument.MethodDynamic, true},
+	{"dynamic", instrument.MethodDynamic, false},
+	{"dynamic+static", instrument.MethodDynamicStatic, true},
+	{"dynamic+static", instrument.MethodDynamicStatic, false},
+	{"static", instrument.MethodStatic, false},
+	{"all branches", instrument.MethodAll, false},
+}
+
+// Tables3and4 reproduces the uServer replay-time matrix (Table 3) and the
+// logged/not-logged symbolic-branch statistics (Table 4) in one pass over
+// the five input scenarios.
+func (c Config) Tables3and4() (*Table, *Table, error) {
+	an := c.uServerAnalyses()
+	t3 := &Table{
+		ID:     "Table 3",
+		Title:  "uServer bug reproduction times, five input scenarios",
+		Header: []string{"exp", "config", "coverage", "replay time", "runs", "reproduced"},
+	}
+	t4 := &Table{
+		ID:    "Table 4",
+		Title: "symbolic branch locations/executions logged and not logged",
+		Header: []string{"exp", "config", "coverage", "logged locs/execs",
+			"NOT logged locs/execs"},
+	}
+	for exp := 1; exp <= len(apps.UServerExperiments); exp++ {
+		s, err := apps.UServerScenario(exp, 72)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rowCfg := range uReplayRows {
+			in := an.hc
+			cov := "HC"
+			if rowCfg.lc {
+				in = an.lc
+				cov = "LC"
+			}
+			if rowCfg.m == instrument.MethodStatic || rowCfg.m == instrument.MethodAll {
+				cov = "-"
+			}
+			plan := s.Plan(rowCfg.m, in, true)
+			rec, _, err := s.Record(plan)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
+			}
+			if rec == nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
+			}
+			res := s.Replay(rec, replay.Options{
+				MaxRuns:    c.ReplayMaxRuns,
+				TimeBudget: c.ReplayBudget,
+			})
+			t3.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
+				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
+			logged := "-"
+			notLogged := "-"
+			if res.Reproduced {
+				logged = fmt.Sprintf("%d / %d", res.SymLoggedLocs, res.SymLoggedExecs)
+				notLogged = fmt.Sprintf("%d / %d", res.SymNotLoggedLocs, res.SymNotLoggedExecs)
+			}
+			t4.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, logged, notLogged)
+		}
+	}
+	t3.Notes = append(t3.Notes,
+		"paper: all branches and static fastest; dynamic+static slightly slower; dynamic worst,",
+		"with several LC entries not finishing within one hour (inf)")
+	t4.Notes = append(t4.Notes,
+		"paper: replay time correlates with NOT-logged symbolic branch locations;",
+		"static and all branches always show 0 not logged")
+	return t3, t4, nil
+}
+
+// Tables5and8 reproduces the no-syscall-logging experiments: replay times
+// (Table 5) and branch statistics (Table 8) for experiments 1 and 4.
+func (c Config) Tables5and8() (*Table, *Table, error) {
+	an := c.uServerAnalyses()
+	t5 := &Table{
+		ID:     "Table 5",
+		Title:  "uServer reproduction times without syscall-result logging (exps 1, 4)",
+		Header: []string{"exp", "config", "coverage", "replay time", "runs", "reproduced"},
+	}
+	t8 := &Table{
+		ID:    "Table 8",
+		Title: "symbolic branch stats without syscall-result logging (exps 1, 4)",
+		Header: []string{"exp", "config", "coverage", "logged locs/execs",
+			"NOT logged locs/execs"},
+	}
+	for _, exp := range []int{1, 4} {
+		s, err := apps.UServerScenario(exp, 72)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rowCfg := range uReplayRows {
+			in := an.hc
+			cov := "HC"
+			if rowCfg.lc {
+				in = an.lc
+				cov = "LC"
+			}
+			if rowCfg.m == instrument.MethodStatic || rowCfg.m == instrument.MethodAll {
+				cov = "-"
+			}
+			// Plans without syscall logging: the recording carries no
+			// syscall results, so replay falls back to the §3.3 models.
+			plan := s.Plan(rowCfg.m, in, false)
+			rec, _, err := s.Record(plan)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
+			}
+			if rec == nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
+			}
+			res := s.Replay(rec, replay.Options{
+				MaxRuns:    c.ReplayMaxRuns,
+				TimeBudget: c.ReplayBudget,
+			})
+			t5.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
+				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
+			logged := "-"
+			notLogged := "-"
+			if res.Reproduced {
+				logged = fmt.Sprintf("%d / %d", res.SymLoggedLocs, res.SymLoggedExecs)
+				notLogged = fmt.Sprintf("%d / %d", res.SymNotLoggedLocs, res.SymNotLoggedExecs)
+			}
+			t8.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, logged, notLogged)
+		}
+	}
+	t5.Notes = append(t5.Notes,
+		"paper: all configurations take significantly longer than with syscall logging (Table 3);",
+		"the engine must search for the results of the modeled system calls")
+	t8.Notes = append(t8.Notes,
+		"paper: modeled syscall results add symbolic executions that no branch log covers")
+	return t5, t8, nil
+}
+
+// Compress reports the branch-log gzip compression ratio (§5.3 text:
+// 10-20x). The load workload is re-armed with the crash signal so Record
+// yields a recording whose trace can be compressed.
+func (c Config) Compress() (*Table, error) {
+	an := c.uServerAnalyses()
+	load := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
+	crashSpec := *load.Spec
+	crashSpec.CrashSignalAfterConns = true
+	s := &core.Scenario{Name: "compress", Prog: load.Prog, Spec: &crashSpec,
+		UserBytes: load.UserBytes}
+
+	t := &Table{
+		ID:     "Compression",
+		Title:  "branch-log gzip ratio (paper: 10-20x)",
+		Header: []string{"config", "raw bytes", "ratio"},
+	}
+	for _, m := range []instrument.Method{instrument.MethodStatic, instrument.MethodAll} {
+		plan := s.Plan(m, an.hc, false)
+		rec, _, err := s.Record(plan)
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return nil, fmt.Errorf("compress: load run did not crash")
+		}
+		t.AddRow(m.String(), fmt.Sprintf("%d", rec.Trace.SizeBytes()),
+			fmt.Sprintf("%.1fx", rec.Trace.CompressionRatio()))
+	}
+	return t, nil
+}

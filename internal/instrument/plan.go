@@ -1,0 +1,177 @@
+// Package instrument decides which branch locations to log and implements
+// the branch logger that an instrumented build runs with.
+//
+// The four methods of §2.3 are reproduced literally:
+//
+//	dynamic         branches labeled symbolic by the concolic analysis
+//	static          branches labeled symbolic by the static analysis
+//	dynamic+static  dynamic's labels where visited, static's elsewhere
+//	all             every branch location
+//
+// The developer retains the plan (the instrumented-branch set); the replay
+// engine needs it to interpret the bitvector (§3.1).
+package instrument
+
+import (
+	"sort"
+
+	"pathlog/internal/concolic"
+	"pathlog/internal/lang"
+	"pathlog/internal/static"
+	"pathlog/internal/trace"
+	"pathlog/internal/vm"
+)
+
+// Method selects an instrumentation strategy.
+type Method int
+
+// Methods. MethodNone is the uninstrumented baseline configuration.
+const (
+	MethodNone Method = iota
+	MethodDynamic
+	MethodStatic
+	MethodDynamicStatic
+	MethodAll
+)
+
+var methodNames = [...]string{"none", "dynamic", "static", "dynamic+static", "all branches"}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if int(m) < len(methodNames) {
+		return methodNames[m]
+	}
+	return "method?"
+}
+
+// Methods lists the instrumented methods in the paper's presentation order.
+var Methods = []Method{MethodDynamic, MethodDynamicStatic, MethodStatic, MethodAll}
+
+// Plan is the instrumentation decision for one program build.
+type Plan struct {
+	Method Method
+	// Instrumented holds the branch locations whose directions are logged.
+	Instrumented map[lang.BranchID]bool
+	// LogSyscalls enables recording of select()/read() results (§2.3).
+	LogSyscalls bool
+}
+
+// NumInstrumented returns the number of instrumented branch locations.
+func (p *Plan) NumInstrumented() int {
+	n := 0
+	for _, v := range p.Instrumented {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// InstrumentedIn counts instrumented branch locations within a region.
+func (p *Plan) InstrumentedIn(prog *lang.Program, r lang.Region) int {
+	n := 0
+	for _, b := range prog.Branches {
+		if b.Region == r && p.Instrumented[b.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the sorted instrumented branch IDs.
+func (p *Plan) IDs() []lang.BranchID {
+	out := make([]lang.BranchID, 0, len(p.Instrumented))
+	for id, v := range p.Instrumented {
+		if v {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Inputs carries the analysis results a plan is derived from. Dynamic and
+// Static may each be nil when the method does not need them.
+type Inputs struct {
+	Dynamic *concolic.Report
+	Static  *static.Report
+}
+
+// BuildPlan derives the instrumented-branch set for a method (§2.3).
+func BuildPlan(prog *lang.Program, method Method, in Inputs, logSyscalls bool) *Plan {
+	p := &Plan{
+		Method:       method,
+		Instrumented: make(map[lang.BranchID]bool),
+		LogSyscalls:  logSyscalls,
+	}
+	switch method {
+	case MethodNone:
+		p.LogSyscalls = false
+
+	case MethodAll:
+		for _, b := range prog.Branches {
+			p.Instrumented[b.ID] = true
+		}
+
+	case MethodDynamic:
+		for id, l := range in.Dynamic.Labels {
+			if l == concolic.Symbolic {
+				p.Instrumented[id] = true
+			}
+		}
+
+	case MethodStatic:
+		for id, v := range in.Static.SymbolicBranches {
+			if v {
+				p.Instrumented[id] = true
+			}
+		}
+
+	case MethodDynamicStatic:
+		// Visited branches take the dynamic label (which may override a
+		// conservative static "symbolic"); unvisited branches take the
+		// static label.
+		for _, b := range prog.Branches {
+			switch in.Dynamic.Labels[b.ID] {
+			case concolic.Symbolic:
+				p.Instrumented[b.ID] = true
+			case concolic.Concrete:
+				// Dynamic evidence wins: not instrumented.
+			case concolic.Unvisited:
+				if in.Static.SymbolicBranches[b.ID] {
+					p.Instrumented[b.ID] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Logger is the vm.BranchSink an instrumented build runs with at the user
+// site: one bit per executed instrumented branch through the 4KB buffer.
+type Logger struct {
+	plan *Plan
+	w    *trace.Writer
+	// InstrumentedExecs counts executions of instrumented branches.
+	InstrumentedExecs int64
+}
+
+// NewLogger returns a logger for the given plan.
+func NewLogger(plan *Plan) *Logger {
+	return &Logger{plan: plan, w: trace.NewWriter()}
+}
+
+// OnBranch implements vm.BranchSink.
+func (l *Logger) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) error {
+	if l.plan.Instrumented[site.ID] {
+		l.InstrumentedExecs++
+		l.w.Append(taken)
+	}
+	return nil
+}
+
+// Finish returns the completed branch trace.
+func (l *Logger) Finish() *trace.Trace { return l.w.Finish() }
+
+// Flushes reports buffer flushes so far.
+func (l *Logger) Flushes() int { return l.w.Flushes() }

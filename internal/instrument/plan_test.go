@@ -1,0 +1,165 @@
+package instrument
+
+import (
+	"testing"
+
+	"pathlog/internal/concolic"
+	"pathlog/internal/lang"
+	"pathlog/internal/static"
+)
+
+// fakeProgram builds a program with n branches for plan-combination tests.
+func fakeProgram(t *testing.T) *lang.Program {
+	t.Helper()
+	u, err := lang.ParseUnit("t", lang.RegionApp, `
+int main() {
+	char a[4];
+	getarg(0, a, 4);
+	if (a[0] == 'x') { }   // b0
+	if (a[1] == 'y') { }   // b1
+	int i;
+	for (i = 0; i < 3; i++) { }  // b2
+	while (i > 0) { i--; }       // b3
+	if (a[2] == 'z') { }   // b4
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lang.Link([]*lang.Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Branches) != 5 {
+		t.Fatalf("want 5 branches, got %d", len(p.Branches))
+	}
+	return p
+}
+
+func labels(m map[lang.BranchID]concolic.Label) *concolic.Report {
+	return &concolic.Report{Labels: m}
+}
+
+func statics(ids ...lang.BranchID) *static.Report {
+	m := make(map[lang.BranchID]bool)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return &static.Report{SymbolicBranches: m}
+}
+
+func TestMethodAll(t *testing.T) {
+	p := fakeProgram(t)
+	plan := BuildPlan(p, MethodAll, Inputs{}, true)
+	if plan.NumInstrumented() != 5 {
+		t.Fatalf("all: %d", plan.NumInstrumented())
+	}
+	if !plan.LogSyscalls {
+		t.Error("syscall logging flag lost")
+	}
+}
+
+func TestMethodNone(t *testing.T) {
+	p := fakeProgram(t)
+	plan := BuildPlan(p, MethodNone, Inputs{}, true)
+	if plan.NumInstrumented() != 0 {
+		t.Fatalf("none: %d", plan.NumInstrumented())
+	}
+	if plan.LogSyscalls {
+		t.Error("none must not log syscalls")
+	}
+}
+
+func TestMethodDynamic(t *testing.T) {
+	p := fakeProgram(t)
+	dyn := labels(map[lang.BranchID]concolic.Label{
+		0: concolic.Symbolic,
+		1: concolic.Symbolic,
+		2: concolic.Concrete,
+		// 3, 4 unvisited
+	})
+	plan := BuildPlan(p, MethodDynamic, Inputs{Dynamic: dyn}, true)
+	want := map[lang.BranchID]bool{0: true, 1: true}
+	for _, b := range p.Branches {
+		if plan.Instrumented[b.ID] != want[b.ID] {
+			t.Errorf("b%d: %v", b.ID, plan.Instrumented[b.ID])
+		}
+	}
+}
+
+func TestMethodStatic(t *testing.T) {
+	p := fakeProgram(t)
+	plan := BuildPlan(p, MethodStatic, Inputs{Static: statics(0, 1, 4, 2)}, true)
+	if plan.NumInstrumented() != 4 {
+		t.Fatalf("static: %d", plan.NumInstrumented())
+	}
+}
+
+func TestMethodDynamicStatic(t *testing.T) {
+	p := fakeProgram(t)
+	// Dynamic: b0 symbolic, b2 concrete (overriding static), b1/b3/b4
+	// unvisited. Static: b0, b1, b2 symbolic.
+	dyn := labels(map[lang.BranchID]concolic.Label{
+		0: concolic.Symbolic,
+		2: concolic.Concrete,
+	})
+	plan := BuildPlan(p, MethodDynamicStatic, Inputs{Dynamic: dyn, Static: statics(0, 1, 2)}, true)
+	want := map[lang.BranchID]bool{
+		0: true,  // dynamic symbolic
+		1: true,  // unvisited, static symbolic
+		2: false, // dynamic concrete overrides static symbolic (§2.3)
+		3: false, // unvisited, static concrete
+		4: false, // unvisited, static concrete
+	}
+	for _, b := range p.Branches {
+		if plan.Instrumented[b.ID] != want[b.ID] {
+			t.Errorf("b%d: got %v want %v", b.ID, plan.Instrumented[b.ID], want[b.ID])
+		}
+	}
+}
+
+func TestPlanIDsSorted(t *testing.T) {
+	p := fakeProgram(t)
+	plan := BuildPlan(p, MethodStatic, Inputs{Static: statics(4, 0, 2)}, false)
+	ids := plan.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 2 || ids[2] != 4 {
+		t.Fatalf("ids: %v", ids)
+	}
+}
+
+func TestInstrumentedIn(t *testing.T) {
+	app, err := lang.ParseUnit("a", lang.RegionApp, `
+int main() { if (argcount() > 0) { } return lib1(); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := lang.ParseUnit("l", lang.RegionLib, `
+int lib1() { int i = 0; while (i < 2) { i++; } return i; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lang.Link([]*lang.Unit{app, lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := BuildPlan(p, MethodAll, Inputs{}, false)
+	if plan.InstrumentedIn(p, lang.RegionApp) != 1 || plan.InstrumentedIn(p, lang.RegionLib) != 1 {
+		t.Fatalf("region counts: app=%d lib=%d",
+			plan.InstrumentedIn(p, lang.RegionApp), plan.InstrumentedIn(p, lang.RegionLib))
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		MethodNone: "none", MethodDynamic: "dynamic", MethodStatic: "static",
+		MethodDynamicStatic: "dynamic+static", MethodAll: "all branches",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d: %q", m, m.String())
+		}
+	}
+}

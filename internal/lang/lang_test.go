@@ -1,0 +1,406 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTokens(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lexAll("test.mc", src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := mustTokens(t, "int main() { return 42; }")
+	kinds := []Kind{KWINT, IDENT, LPAREN, RPAREN, LBRACE, KWRETURN, INT, SEMI, RBRACE, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count: got %d want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[6].Int != 42 {
+		t.Errorf("int literal: got %d", toks[6].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "== != <= >= << >> && || ++ -- += -= *= /= %= = < > + - * / % & | ^ ~ !"
+	toks := mustTokens(t, src)
+	want := []Kind{EQ, NE, LE, GE, SHL, SHR, ANDAND, OROR, PLUSPLUS, MINUSMIN,
+		PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PCTEQ, ASSIGN, LT, GT, PLUS, MINUS,
+		STAR, SLASH, PERCENT, AMP, PIPE, CARET, TILDE, BANG, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks := mustTokens(t, `'a' '\n' '\0' '\\' 0x1F 255 "hi\tthere"`)
+	if toks[0].Int != 'a' || toks[1].Int != '\n' || toks[2].Int != 0 || toks[3].Int != '\\' {
+		t.Errorf("char literals: %v %v %v %v", toks[0].Int, toks[1].Int, toks[2].Int, toks[3].Int)
+	}
+	if toks[4].Int != 0x1F || toks[5].Int != 255 {
+		t.Errorf("numbers: %v %v", toks[4].Int, toks[5].Int)
+	}
+	if toks[6].Text != "hi\tthere" {
+		t.Errorf("string: %q", toks[6].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := mustTokens(t, "int x; // line comment\n/* block\ncomment */ int y;")
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == IDENT {
+			idents = append(idents, tok.Text)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents: %v", idents)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := mustTokens(t, "int\n  x;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("tok0 pos: %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("tok1 pos: %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'a", `"abc`, "'\\q'", "@", "0x"} {
+		if _, err := lexAll("t", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func mustProgram(t *testing.T, src string) *Program {
+	t.Helper()
+	u, err := ParseUnit("test.mc", RegionApp, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Link([]*Unit{u})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return p
+}
+
+func TestParseSimpleProgram(t *testing.T) {
+	p := mustProgram(t, `
+		int counter = 3;
+		int add(int a, int b) { return a + b; }
+		int main() {
+			int x = add(counter, 4);
+			return x;
+		}
+	`)
+	if len(p.Globals) != 1 || p.Globals[0].Name != "counter" {
+		t.Fatalf("globals: %+v", p.Globals)
+	}
+	if p.Main == nil || len(p.FuncList) != 2 {
+		t.Fatalf("funcs: %v", p.FuncNames())
+	}
+	add := p.Funcs["add"]
+	if len(add.Params) != 2 || add.NumSlots != 2 {
+		t.Fatalf("add params/slots: %d/%d", len(add.Params), add.NumSlots)
+	}
+}
+
+func TestBranchNumbering(t *testing.T) {
+	p := mustProgram(t, `
+		int main() {
+			int i;
+			if (argcount() > 1) { i = 1; }      // b0
+			while (i < 10) { i++; }             // b1
+			for (i = 0; i < 5; i++) { }         // b2
+			if (i > 1 && i < 9) { }             // b3 (&&), b4 (if)
+			if (i == 0 || i == 5) { }           // b5 (||), b6 (if)
+			return 0;
+		}
+	`)
+	if len(p.Branches) != 7 {
+		for _, b := range p.Branches {
+			t.Logf("%v", b)
+		}
+		t.Fatalf("branch count: got %d want 7", len(p.Branches))
+	}
+	wantKinds := []BranchKind{BranchIf, BranchWhile, BranchFor, BranchAnd, BranchIf, BranchOr, BranchIf}
+	for i, k := range wantKinds {
+		if p.Branches[i].Kind != k {
+			t.Errorf("branch %d: got %v want %v", i, p.Branches[i].Kind, k)
+		}
+		if p.Branches[i].ID != BranchID(i) {
+			t.Errorf("branch %d: ID %d", i, p.Branches[i].ID)
+		}
+		if p.Branches[i].Func != "main" {
+			t.Errorf("branch %d: func %q", i, p.Branches[i].Func)
+		}
+	}
+}
+
+func TestBranchRegions(t *testing.T) {
+	app := MustParse("app.mc", RegionApp, `
+		int main() { if (argcount() > 0) { } return helper(); }
+	`)
+	lib := MustParse("lib.mc", RegionLib, `
+		int helper() { int i = 0; while (i < 3) { i++; } return i; }
+	`)
+	p := MustLink([]*Unit{app, lib})
+	sum := p.BranchSummary()
+	if sum[RegionApp] != 1 || sum[RegionLib] != 1 {
+		t.Fatalf("summary: %v", sum)
+	}
+	if got := len(p.BranchesIn(RegionLib)); got != 1 {
+		t.Fatalf("lib branches: %d", got)
+	}
+}
+
+func TestParsePointersAndArrays(t *testing.T) {
+	p := mustProgram(t, `
+		char gbuf[64];
+		int fill(char *dst, int n) {
+			int i;
+			for (i = 0; i < n; i++) { dst[i] = 'x'; }
+			dst[n] = '\0';
+			return n;
+		}
+		int main() {
+			char local[16];
+			int n = fill(local, 5);
+			char *p = &local[2];
+			*p = 'y';
+			gbuf[0] = *p;
+			return n + gbuf[0];
+		}
+	`)
+	g := p.Globals[0]
+	if !g.IsArray || g.Size != 64 {
+		t.Fatalf("gbuf: %+v", g)
+	}
+	fill := p.Funcs["fill"]
+	if !fill.Params[0].Decl.IsPtr {
+		t.Error("dst should be a pointer param")
+	}
+}
+
+func TestParseArrayParam(t *testing.T) {
+	p := mustProgram(t, `
+		int sum(int vals[], int n) {
+			int s = 0;
+			int i;
+			for (i = 0; i < n; i++) { s += vals[i]; }
+			return s;
+		}
+		int main() { int a[3]; return sum(a, 3); }
+	`)
+	if !p.Funcs["sum"].Params[0].Decl.IsPtr {
+		t.Error("vals[] should resolve to a pointer param")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":          `int f() { return 0; }`,
+		"undefined var":    `int main() { return x; }`,
+		"undefined func":   `int main() { return nope(); }`,
+		"bad arity":        `int f(int a) { return a; } int main() { return f(); }`,
+		"dup global":       `int g; int g; int main() { return 0; }`,
+		"dup func":         `int f() { return 0; } int f() { return 1; } int main() { return 0; }`,
+		"dup local":        `int main() { int x; int x; return 0; }`,
+		"break outside":    `int main() { break; return 0; }`,
+		"continue outside": `int main() { continue; return 0; }`,
+		"assign to call":   `int main() { argcount() = 3; return 0; }`,
+		"bad array size":   `int main() { int a[0]; return 0; }`,
+		"array init":       `int main() { int a[3] = 5; return 0; }`,
+		"shadow builtin":   `int read() { return 0; } int main() { return 0; }`,
+		"void local":       `int main() { void x; return 0; }`,
+		"missing semi":     `int main() { return 0 }`,
+		"unterminated":     `int main() { return 0;`,
+		"addr of literal":  `int main() { int x = &3; return x; }`,
+	}
+	for name, src := range cases {
+		u, err := ParseUnit("t", RegionApp, src)
+		if err == nil {
+			_, err = Link([]*Unit{u})
+		}
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestScopeShadowing(t *testing.T) {
+	p := mustProgram(t, `
+		int x = 1;
+		int main() {
+			int x = 2;
+			if (x == 2) {
+				int x = 3;
+				x++;
+			}
+			return x;
+		}
+	`)
+	main := p.Funcs["main"]
+	if len(main.Locals) != 2 {
+		t.Fatalf("locals: %d", len(main.Locals))
+	}
+	if main.Locals[0].Slot == main.Locals[1].Slot {
+		t.Error("shadowed locals share a slot")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// 1 + 2 * 3 == 7 should parse as (1 + (2*3)) == 7.
+	u := MustParse("t", RegionApp, `int main() { return 1 + 2 * 3 == 7; }`)
+	p := MustLink([]*Unit{u})
+	ret := p.Main.Body.Stmts[0].(*Return)
+	cmp, ok := ret.E.(*Binary)
+	if !ok || cmp.Op != EQ {
+		t.Fatalf("top op: %T", ret.E)
+	}
+	add, ok := cmp.L.(*Binary)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("lhs: %T", cmp.L)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != STAR {
+		t.Fatalf("rhs of +: %T", add.R)
+	}
+}
+
+func TestLogicTree(t *testing.T) {
+	u := MustParse("t", RegionApp, `int main() { return 1 && 2 || 3; }`)
+	p := MustLink([]*Unit{u})
+	ret := p.Main.Body.Stmts[0].(*Return)
+	or, ok := ret.E.(*Logic)
+	if !ok || or.Op != OROR {
+		t.Fatalf("top: %T", ret.E)
+	}
+	and, ok := or.L.(*Logic)
+	if !ok || and.Op != ANDAND {
+		t.Fatalf("left: %T", or.L)
+	}
+	if or.Branch == nil || and.Branch == nil {
+		t.Fatal("logic branches not numbered")
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	mustProgram(t, `
+		int main() {
+			int s = 0;
+			for (;;) { break; }
+			for (int i = 0; i < 3; i++) { s += i; }
+			for (s = 0; ; s++) { if (s > 2) { break; } }
+			return s;
+		}
+	`)
+}
+
+func TestEmptyStatement(t *testing.T) {
+	mustProgram(t, `int main() { ;; return 0; }`)
+}
+
+func TestKindString(t *testing.T) {
+	if KWINT.String() != "int" || ANDAND.String() != "&&" {
+		t.Error("kind names wrong")
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestPosAndBranchString(t *testing.T) {
+	p := mustProgram(t, `int main() { if (1) { } return 0; }`)
+	b := p.Branches[0]
+	if !strings.Contains(b.String(), "b0(if@test.mc:1") {
+		t.Errorf("branch string: %s", b.String())
+	}
+}
+
+// TestQuickLexIdentifiers property-checks that any valid identifier-shaped
+// string round-trips through the lexer as a single IDENT (or keyword).
+func TestQuickLexIdentifiers(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		b.WriteByte('a')
+		for _, c := range raw {
+			c = c%26 + 'a'
+			b.WriteByte(c)
+		}
+		name := b.String()
+		toks, err := lexAll("t", name)
+		if err != nil || len(toks) != 2 {
+			return false
+		}
+		if kw, isKW := keywords[name]; isKW {
+			return toks[0].Kind == kw
+		}
+		return toks[0].Kind == IDENT && toks[0].Text == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLexIntegers property-checks integer literal round-tripping.
+func TestQuickLexIntegers(t *testing.T) {
+	f := func(v uint32) bool {
+		src := ""
+		if v%2 == 0 {
+			src = "0x" + hex(uint64(v))
+		} else {
+			src = dec(uint64(v))
+		}
+		toks, err := lexAll("t", src)
+		return err == nil && len(toks) == 2 && toks[0].Kind == INT && toks[0].Int == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}
+
+func dec(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,310 @@
+package lang
+
+import "fmt"
+
+// lexer turns MiniC source text into tokens.
+type lexer struct {
+	unit string
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(unit, src string) *lexer {
+	return &lexer{unit: unit, src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Unit: lx.unit, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// next scans and returns the next token.
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(pos), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(pos)
+	case c == '\'':
+		return lx.lexChar(pos)
+	case c == '"':
+		return lx.lexString(pos)
+	}
+	return lx.lexOperator(pos)
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (lx *lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Pos: pos, Text: text}
+	}
+	return Token{Kind: IDENT, Pos: pos, Text: text}
+}
+
+func (lx *lexer) lexNumber(pos Pos) (Token, error) {
+	start := lx.off
+	base := int64(10)
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		base = 16
+		start = lx.off
+	}
+	var v int64
+	digits := 0
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			goto done
+		}
+		if d >= base {
+			return Token{}, errf(pos, "bad digit %q in base-%d literal", c, base)
+		}
+		v = v*base + d
+		digits++
+		lx.advance()
+	}
+done:
+	if digits == 0 {
+		return Token{}, errf(pos, "malformed number %q", lx.src[start:lx.off])
+	}
+	return Token{Kind: INT, Pos: pos, Int: v}, nil
+}
+
+func (lx *lexer) lexChar(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	var v int64
+	c := lx.advance()
+	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated escape in char literal")
+		}
+		e, err := decodeEscape(lx.advance(), pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = int64(e)
+	} else {
+		v = int64(c)
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated char literal")
+	}
+	return Token{Kind: INT, Pos: pos, Int: v}, nil
+}
+
+func (lx *lexer) lexString(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var buf []byte
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated escape in string literal")
+			}
+			e, err := decodeEscape(lx.advance(), pos)
+			if err != nil {
+				return Token{}, err
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+	}
+	return Token{Kind: STRING, Pos: pos, Text: string(buf)}, nil
+}
+
+func decodeEscape(c byte, pos Pos) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, errf(pos, "unknown escape \\%c", c)
+}
+
+func (lx *lexer) lexOperator(pos Pos) (Token, error) {
+	c := lx.advance()
+	two := func(second byte, k2, k1 Kind) Token {
+		if lx.peek() == second {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBRACK, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBRACK, Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TILDE, Pos: pos}, nil
+	case '^':
+		return Token{Kind: CARET, Pos: pos}, nil
+	case '=':
+		return two('=', EQ, ASSIGN), nil
+	case '!':
+		return two('=', NE, BANG), nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: PLUSPLUS, Pos: pos}, nil
+		}
+		return two('=', PLUSEQ, PLUS), nil
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: MINUSMIN, Pos: pos}, nil
+		}
+		return two('=', MINUSEQ, MINUS), nil
+	case '*':
+		return two('=', STAREQ, STAR), nil
+	case '/':
+		return two('=', SLASHEQ, SLASH), nil
+	case '%':
+		return two('=', PCTEQ, PERCENT), nil
+	case '&':
+		return two('&', ANDAND, AMP), nil
+	case '|':
+		return two('|', OROR, PIPE), nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: SHL, Pos: pos}, nil
+		}
+		return two('=', LE, LT), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: SHR, Pos: pos}, nil
+		}
+		return two('=', GE, GT), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", fmt.Sprintf("%c", c))
+}
+
+// lexAll scans the whole source, returning the token stream.
+func lexAll(unit, src string) ([]Token, error) {
+	lx := newLexer(unit, src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

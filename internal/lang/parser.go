@@ -1,0 +1,573 @@
+package lang
+
+// Recursive-descent parser for MiniC with C-like operator precedence.
+
+type parser struct {
+	toks []Token
+	i    int
+	unit *Unit
+}
+
+// ParseUnit parses one source unit. Units are later combined with Link.
+func ParseUnit(name string, region Region, src string) (*Unit, error) {
+	toks, err := lexAll(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, unit: &Unit{Name: name, Region: region}}
+	for p.peek().Kind != EOF {
+		if err := p.parseTopLevel(); err != nil {
+			return nil, err
+		}
+	}
+	return p.unit, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) peekN(n int) Token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %v, found %v", k, t.Kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.peek().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func isTypeKeyword(k Kind) bool { return k == KWINT || k == KWCHAR || k == KWVOID }
+
+// parseTopLevel parses one global declaration or function definition.
+func (p *parser) parseTopLevel() error {
+	t := p.peek()
+	if !isTypeKeyword(t.Kind) {
+		return errf(t.Pos, "expected declaration, found %v", t.Kind)
+	}
+	p.next() // type keyword
+	isPtr := p.accept(STAR)
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.peek().Kind == LPAREN {
+		fn, err := p.parseFuncRest(nameTok)
+		if err != nil {
+			return err
+		}
+		p.unit.Funcs = append(p.unit.Funcs, fn)
+		return nil
+	}
+	decl, err := p.parseVarRest(nameTok, isPtr, true)
+	if err != nil {
+		return err
+	}
+	p.unit.Globals = append(p.unit.Globals, decl)
+	return nil
+}
+
+// parseVarRest parses the remainder of a variable declaration after the
+// name: optional array size, optional initializer, and the semicolon.
+func (p *parser) parseVarRest(nameTok Token, isPtr, global bool) (*VarDecl, error) {
+	d := &VarDecl{Name: nameTok.Text, Pos: nameTok.Pos, IsPtr: isPtr, Global: global}
+	if p.accept(LBRACK) {
+		szTok, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		if szTok.Int <= 0 {
+			return nil, errf(szTok.Pos, "array size must be positive")
+		}
+		d.IsArray = true
+		d.Size = szTok.Int
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(ASSIGN) {
+		if d.IsArray {
+			return nil, errf(nameTok.Pos, "array initializers are not supported")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseFuncRest(nameTok Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: nameTok.Text, Pos: nameTok.Pos, Region: p.unit.Region}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if !p.accept(RPAREN) {
+		for {
+			t := p.peek()
+			if !isTypeKeyword(t.Kind) {
+				return nil, errf(t.Pos, "expected parameter type, found %v", t.Kind)
+			}
+			p.next()
+			isPtr := p.accept(STAR)
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(LBRACK) {
+				// `type name[]` parameter: an array-typed pointer.
+				if _, err := p.expect(RBRACK); err != nil {
+					return nil, err
+				}
+				isPtr = true
+			}
+			fn.Params = append(fn.Params, Param{Decl: &VarDecl{
+				Name: pn.Text, Pos: pn.Pos, IsPtr: isPtr,
+			}})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.peek().Kind != RBRACE {
+		if p.peek().Kind == EOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case KWIF:
+		return p.parseIf()
+	case KWWHILE:
+		return p.parseWhile()
+	case KWFOR:
+		return p.parseFor()
+	case KWRETURN:
+		p.next()
+		r := &Return{Pos: t.Pos}
+		if p.peek().Kind != SEMI {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.E = e
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case KWBREAK:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: t.Pos}, nil
+	case KWCONTINUE:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: t.Pos}, nil
+	case KWINT, KWCHAR:
+		return p.parseLocalDecl()
+	case KWVOID:
+		return nil, errf(t.Pos, "void is only valid as a return type")
+	case SEMI:
+		p.next()
+		return &Block{Pos: t.Pos}, nil // empty statement
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, E: e}, nil
+}
+
+func (p *parser) parseLocalDecl() (Stmt, error) {
+	p.next() // type keyword
+	isPtr := p.accept(STAR)
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.parseVarRest(nameTok, isPtr, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Pos: nameTok.Pos, Decl: d}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(KWELSE) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &For{Pos: t.Pos}
+	if !p.accept(SEMI) {
+		if p.peek().Kind == KWINT || p.peek().Kind == KWCHAR {
+			d, err := p.parseLocalDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d // parseLocalDecl consumed the semicolon
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Pos: e.ExprPos(), E: e}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(SEMI) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().Kind != RPAREN {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = &ExprStmt{Pos: e.ExprPos(), E: e}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// --- expressions -------------------------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func isAssignOp(k Kind) bool {
+	switch k {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PCTEQ:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseLogicOr()
+	if err != nil {
+		return nil, err
+	}
+	if !isAssignOp(p.peek().Kind) {
+		return lhs, nil
+	}
+	opTok := p.next()
+	switch lhs.(type) {
+	case *Ident, *Index, *Deref:
+	default:
+		return nil, errf(opTok.Pos, "invalid assignment target")
+	}
+	rhs, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Pos: opTok.Pos, Op: opTok.Kind, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) parseLogicOr() (Expr, error) {
+	l, err := p.parseLogicAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == OROR {
+		t := p.next()
+		r, err := p.parseLogicAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Logic{Pos: t.Pos, Op: OROR, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseLogicAnd() (Expr, error) {
+	l, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == ANDAND {
+		t := p.next()
+		r, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		l = &Logic{Pos: t.Pos, Op: ANDAND, L: l, R: r}
+	}
+	return l, nil
+}
+
+// binLevels lists binary operator precedence levels from loosest to
+// tightest (excluding short-circuit operators which are handled above).
+var binLevels = [][]Kind{
+	{PIPE},
+	{CARET},
+	{AMP},
+	{EQ, NE},
+	{LT, LE, GT, GE},
+	{SHL, SHR},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		match := false
+		for _, op := range binLevels[level] {
+			if k == op {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return l, nil
+		}
+		t := p.next()
+		r, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: t.Pos, Op: t.Kind, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case BANG, MINUS, TILDE:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case STAR:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Deref{Pos: t.Pos, X: x}, nil
+	case AMP:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch x.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, errf(t.Pos, "& requires a variable or array element")
+		}
+		return &AddrOf{Pos: t.Pos, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case LBRACK:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos: t.Pos, Base: e, Idx: idx}
+		case PLUSPLUS, MINUSMIN:
+			p.next()
+			switch e.(type) {
+			case *Ident, *Index, *Deref:
+			default:
+				return nil, errf(t.Pos, "%v requires an lvalue", t.Kind)
+			}
+			e = &IncDec{Pos: t.Pos, Op: t.Kind, X: e, Post: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case STRING:
+		p.next()
+		return &StrLit{Pos: t.Pos, S: t.Text}, nil
+	case IDENT:
+		if p.peekN(1).Kind == LPAREN {
+			return p.parseCall()
+		}
+		p.next()
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %v", t.Kind)
+}
+
+func (p *parser) parseCall() (Expr, error) {
+	nameTok := p.next()
+	p.next() // (
+	c := &Call{Pos: nameTok.Pos, Name: nameTok.Text}
+	if !p.accept(RPAREN) {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, a)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,337 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuiltinNames is the set of functions provided by the VM rather than by
+// MiniC source. The resolver accepts calls to these names; the VM implements
+// them (see internal/vm). Keeping the set here lets the resolver reject
+// typos at link time instead of at run time.
+var BuiltinNames = map[string]bool{
+	// Program input.
+	"argcount": true, // argcount() -> number of argv strings
+	"getarg":   true, // getarg(i, buf, cap) -> length; copies argv[i], NUL-terminated
+
+	// Simulated kernel.
+	"open":           true, // open(path) -> fd or -1
+	"close":          true, // close(fd) -> 0 or -1
+	"read":           true, // read(fd, buf, n) -> bytes read, 0 on EOF, -1 on error
+	"write":          true, // write(fd, buf, n) -> bytes written
+	"listen_socket":  true, // listen_socket(port) -> listening fd
+	"accept":         true, // accept(lfd) -> connection fd or -1
+	"select_ready":   true, // select_ready(buf, cap) -> count of ready fds
+	"signal_pending": true, // signal_pending() -> 1 when a crash signal was delivered
+
+	// Output (diagnostics; never part of recorded input).
+	"print_int":  true,
+	"print_str":  true,
+	"print_char": true,
+
+	// Termination.
+	"exit":  true, // exit(code): stop the program normally
+	"crash": true, // crash(code): the bug site; aborts like SIGSEGV
+}
+
+// Link resolves a set of parsed units into an executable Program: it lays
+// out globals, resolves identifiers and calls, assigns frame slots, and
+// numbers every branch site in deterministic source order.
+func Link(units []*Unit) (*Program, error) {
+	p := &Program{
+		Units: units,
+		Funcs: make(map[string]*FuncDecl),
+	}
+
+	// Globals first so function bodies can reference them.
+	seenGlobal := make(map[string]*VarDecl)
+	for _, u := range units {
+		for _, g := range u.Globals {
+			if prev, dup := seenGlobal[g.Name]; dup {
+				return nil, errf(g.Pos, "global %q redeclared (first at %s)", g.Name, prev.Pos)
+			}
+			g.Global = true
+			g.Slot = len(p.Globals)
+			seenGlobal[g.Name] = g
+			p.Globals = append(p.Globals, g)
+		}
+	}
+
+	for _, u := range units {
+		for _, fn := range u.Funcs {
+			if prev, dup := p.Funcs[fn.Name]; dup {
+				return nil, errf(fn.Pos, "function %q redeclared (first at %s)", fn.Name, prev.Pos)
+			}
+			if BuiltinNames[fn.Name] {
+				return nil, errf(fn.Pos, "function %q shadows a builtin", fn.Name)
+			}
+			p.Funcs[fn.Name] = fn
+			p.FuncList = append(p.FuncList, fn)
+		}
+	}
+	main, ok := p.Funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("lang: program has no main function")
+	}
+	p.Main = main
+
+	r := &resolver{prog: p, globals: seenGlobal}
+	for _, fn := range p.FuncList {
+		if err := r.resolveFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustLink is Link for known-good embedded sources; it panics on error.
+func MustLink(units []*Unit) *Program {
+	p, err := Link(units)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustParse parses a unit from known-good embedded source; it panics on
+// error.
+func MustParse(name string, region Region, src string) *Unit {
+	u, err := ParseUnit(name, region, src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type resolver struct {
+	prog    *Program
+	globals map[string]*VarDecl
+
+	fn        *FuncDecl
+	scopes    []map[string]*VarDecl
+	loopDepth int
+}
+
+func (r *resolver) resolveFunc(fn *FuncDecl) error {
+	r.fn = fn
+	r.scopes = []map[string]*VarDecl{make(map[string]*VarDecl)}
+	r.loopDepth = 0
+	fn.NumSlots = 0
+	fn.Locals = nil
+	for _, prm := range fn.Params {
+		d := prm.Decl
+		if prev, dup := r.scopes[0][d.Name]; dup {
+			return errf(d.Pos, "parameter %q redeclared (first at %s)", d.Name, prev.Pos)
+		}
+		d.Slot = fn.NumSlots
+		fn.NumSlots++
+		r.scopes[0][d.Name] = d
+	}
+	if err := r.stmt(fn.Body); err != nil {
+		return err
+	}
+	r.fn = nil
+	return nil
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, make(map[string]*VarDecl)) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) declare(d *VarDecl) error {
+	top := r.scopes[len(r.scopes)-1]
+	if prev, dup := top[d.Name]; dup {
+		return errf(d.Pos, "variable %q redeclared in this scope (first at %s)", d.Name, prev.Pos)
+	}
+	d.Slot = r.fn.NumSlots
+	r.fn.NumSlots++
+	r.fn.Locals = append(r.fn.Locals, d)
+	top[d.Name] = d
+	return nil
+}
+
+func (r *resolver) lookup(name string) *VarDecl {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if d, ok := r.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return r.globals[name]
+}
+
+func (r *resolver) newBranch(kind BranchKind, pos Pos) *BranchSite {
+	b := &BranchSite{
+		ID:     BranchID(len(r.prog.Branches)),
+		Kind:   kind,
+		Pos:    pos,
+		Func:   r.fn.Name,
+		Region: r.fn.Region,
+	}
+	r.prog.Branches = append(r.prog.Branches, b)
+	return b
+}
+
+func (r *resolver) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		r.push()
+		defer r.pop()
+		for _, inner := range st.Stmts {
+			if err := r.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		if st.Decl.Init != nil {
+			if err := r.expr(st.Decl.Init); err != nil {
+				return err
+			}
+		}
+		return r.declare(st.Decl)
+	case *If:
+		if err := r.expr(st.Cond); err != nil {
+			return err
+		}
+		st.Branch = r.newBranch(BranchIf, st.Pos)
+		if err := r.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return r.stmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := r.expr(st.Cond); err != nil {
+			return err
+		}
+		st.Branch = r.newBranch(BranchWhile, st.Pos)
+		r.loopDepth++
+		defer func() { r.loopDepth-- }()
+		return r.stmt(st.Body)
+	case *For:
+		r.push()
+		defer r.pop()
+		if st.Init != nil {
+			if err := r.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := r.expr(st.Cond); err != nil {
+				return err
+			}
+			st.Branch = r.newBranch(BranchFor, st.Pos)
+		}
+		if st.Post != nil {
+			if err := r.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		r.loopDepth++
+		defer func() { r.loopDepth-- }()
+		return r.stmt(st.Body)
+	case *Return:
+		if st.E != nil {
+			return r.expr(st.E)
+		}
+		return nil
+	case *Break:
+		if r.loopDepth == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *Continue:
+		if r.loopDepth == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		return r.expr(st.E)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (r *resolver) expr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit, *StrLit:
+		return nil
+	case *Ident:
+		d := r.lookup(x.Name)
+		if d == nil {
+			return errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		x.Decl = d
+		return nil
+	case *Unary:
+		return r.expr(x.X)
+	case *Binary:
+		if err := r.expr(x.L); err != nil {
+			return err
+		}
+		return r.expr(x.R)
+	case *Logic:
+		if err := r.expr(x.L); err != nil {
+			return err
+		}
+		kind := BranchAnd
+		if x.Op == OROR {
+			kind = BranchOr
+		}
+		x.Branch = r.newBranch(kind, x.Pos)
+		return r.expr(x.R)
+	case *Assign:
+		if err := r.expr(x.LHS); err != nil {
+			return err
+		}
+		return r.expr(x.RHS)
+	case *IncDec:
+		return r.expr(x.X)
+	case *Call:
+		if fn, ok := r.prog.Funcs[x.Name]; ok {
+			x.Func = fn
+			if len(x.Args) != len(fn.Params) {
+				return errf(x.Pos, "call to %q with %d args, want %d",
+					x.Name, len(x.Args), len(fn.Params))
+			}
+		} else if BuiltinNames[x.Name] {
+			x.Builtin = true
+		} else {
+			return errf(x.Pos, "call to undefined function %q", x.Name)
+		}
+		for _, a := range x.Args {
+			if err := r.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Index:
+		if err := r.expr(x.Base); err != nil {
+			return err
+		}
+		return r.expr(x.Idx)
+	case *AddrOf:
+		return r.expr(x.X)
+	case *Deref:
+		return r.expr(x.X)
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// BranchSummary returns per-region branch-location counts, used by reports.
+func (p *Program) BranchSummary() map[Region]int {
+	out := make(map[Region]int)
+	for _, b := range p.Branches {
+		out[b.Region]++
+	}
+	return out
+}
+
+// FuncNames returns the sorted names of all program functions.
+func (p *Program) FuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,135 @@
+// Package lang implements MiniC, the small C-like language that all
+// benchmark programs in this repository are written in.
+//
+// The paper instruments C programs through CIL source rewriting. Go cannot
+// host CIL, so this reproduction defines MiniC — a deliberately C-shaped
+// language (functions, pointers, arrays, NUL-terminated strings,
+// short-circuit booleans) — and interprets it on a VM with first-class branch
+// hooks. Every branch site (if/while/for conditions and the right-hand sides
+// of && and ||) receives a stable BranchID during resolution; the analyses,
+// the instrumentation planner and the replay engine all speak in terms of
+// those IDs, exactly as the paper's tooling speaks in terms of branch
+// locations in C sources.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // integer literal (includes char literals, already decoded)
+	STRING // string literal, unquoted and unescaped
+
+	// Keywords.
+	KWINT
+	KWCHAR
+	KWVOID
+	KWIF
+	KWELSE
+	KWWHILE
+	KWFOR
+	KWRETURN
+	KWBREAK
+	KWCONTINUE
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	SEMI     // ;
+	COMMA    // ,
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	SHL      // <<
+	SHR      // >>
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	ANDAND   // &&
+	OROR     // ||
+	BANG     // !
+	TILDE    // ~
+	PLUSPLUS // ++
+	MINUSMIN // --
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+	PCTEQ    // %=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "eof", IDENT: "identifier", INT: "int literal", STRING: "string literal",
+	KWINT: "int", KWCHAR: "char", KWVOID: "void", KWIF: "if", KWELSE: "else",
+	KWWHILE: "while", KWFOR: "for", KWRETURN: "return", KWBREAK: "break",
+	KWCONTINUE: "continue",
+	LPAREN:     "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	SEMI: ";", COMMA: ",", ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", SHL: "<<",
+	SHR: ">>", EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", BANG: "!", TILDE: "~", PLUSPLUS: "++",
+	MINUSMIN: "--", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PCTEQ: "%=",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KWINT, "char": KWCHAR, "void": KWVOID, "if": KWIF, "else": KWELSE,
+	"while": KWWHILE, "for": KWFOR, "return": KWRETURN, "break": KWBREAK,
+	"continue": KWCONTINUE,
+}
+
+// Pos is a source position within a named unit.
+type Pos struct {
+	Unit string
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.Unit, p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier name or string literal contents
+	Int  int64  // value for INT
+}
+
+// Error is a compile-time error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

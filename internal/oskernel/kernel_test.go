@@ -1,0 +1,361 @@
+package oskernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileReadWrite(t *testing.T) {
+	k := New(Config{Files: map[string][]byte{"f": []byte("hello")}})
+	fd := k.Open("f")
+	if fd < 0 {
+		t.Fatal("open failed")
+	}
+	r := k.Read(fd, 3)
+	if r.N != 3 || string(r.Data) != "hel" || r.Stream != "file:f" || r.Off != 0 {
+		t.Fatalf("read1: %+v", r)
+	}
+	r = k.Read(fd, 10)
+	if r.N != 2 || string(r.Data) != "lo" || r.Off != 3 {
+		t.Fatalf("read2: %+v", r)
+	}
+	r = k.Read(fd, 10)
+	if r.N != 0 {
+		t.Fatalf("expected EOF, got %+v", r)
+	}
+	if k.Close(fd) != 0 || k.Close(fd) != -1 {
+		t.Error("close semantics")
+	}
+	if k.Open("missing") != -1 {
+		t.Error("open of missing file should fail")
+	}
+	if k.Read(999, 1).N != -1 {
+		t.Error("read of bad fd should fail")
+	}
+	// Files are read-only.
+	fd2 := k.Open("f")
+	if k.Write(fd2, []byte("x")) != -1 {
+		t.Error("file write should fail")
+	}
+}
+
+func TestStdoutCapture(t *testing.T) {
+	k := New(Config{})
+	k.Write(FDStdout, []byte("ab"))
+	k.Write(FDStderr, []byte("cd"))
+	if string(k.Stdout()) != "abcd" {
+		t.Fatalf("stdout: %q", k.Stdout())
+	}
+	if k.Read(FDStdin, 4).N != 0 {
+		t.Error("stdin should be empty")
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	k := New(Config{
+		Conns: []ConnSpec{
+			{Payload: []byte("one")},
+			{Payload: []byte("two"), ArrivalTick: 0},
+		},
+		ListenPort:            80,
+		CrashSignalAfterConns: true,
+	})
+	lfd := k.Listen(80)
+	if lfd < 0 {
+		t.Fatal("listen failed")
+	}
+	if k.Listen(81) != -1 {
+		t.Error("second listen should fail")
+	}
+
+	// Listen socket is ready (pending conn); no signal yet.
+	if k.SignalPending() {
+		t.Fatal("signal too early")
+	}
+	ready := k.SelectReady(8)
+	if len(ready) != 1 || ready[0] != lfd {
+		t.Fatalf("ready: %v", ready)
+	}
+
+	c0 := k.Accept(lfd)
+	if c0 < 0 {
+		t.Fatal("accept failed")
+	}
+	r := k.Read(c0, 16)
+	if r.N != 3 || string(r.Data) != "one" || r.Stream != ConnStream(0) {
+		t.Fatalf("conn read: %+v", r)
+	}
+	if k.Write(c0, []byte("resp")) != 4 {
+		t.Error("conn write")
+	}
+	if string(k.ConnWrites(0)) != "resp" {
+		t.Errorf("conn writes: %q", k.ConnWrites(0))
+	}
+
+	c1 := k.Accept(lfd)
+	if c1 < 0 {
+		t.Fatal("accept 2 failed")
+	}
+	if k.Accept(lfd) != -1 {
+		t.Error("accept beyond script should fail")
+	}
+	if k.SignalPending() {
+		t.Fatal("signal before consumption")
+	}
+	k.Read(c1, 16)
+	// EOF read marks consumption complete.
+	k.Read(c0, 16)
+	if !k.SignalPending() {
+		t.Fatal("signal should fire after all conns consumed")
+	}
+	if !k.SignalPending() {
+		t.Fatal("signal should stay fired")
+	}
+}
+
+func TestArrivalTicks(t *testing.T) {
+	k := New(Config{
+		Conns:      []ConnSpec{{Payload: []byte("x"), ArrivalTick: 100}},
+		ListenPort: 80,
+		Mode:       ModeRecord,
+	})
+	lfd := k.Listen(80)
+	if got := k.Accept(lfd); got != -1 {
+		t.Fatalf("accept before arrival: %d", got)
+	}
+	if len(k.SelectReady(4)) != 0 {
+		t.Error("nothing should be ready before arrival")
+	}
+	for k.Tick() < 100 {
+		k.SelectReady(4)
+	}
+	if got := k.Accept(lfd); got < 0 {
+		t.Fatalf("accept after arrival: %d", got)
+	}
+}
+
+func TestShortReadsDeterministic(t *testing.T) {
+	mk := func() []int64 {
+		k := New(Config{
+			Conns:          []ConnSpec{{Payload: bytes.Repeat([]byte("a"), 64)}},
+			ListenPort:     80,
+			Mode:           ModeRecord,
+			Seed:           7,
+			ShortReadDenom: 2,
+		})
+		lfd := k.Listen(80)
+		fd := k.Accept(lfd)
+		var counts []int64
+		for {
+			r := k.Read(fd, 16)
+			if r.N <= 0 {
+				break
+			}
+			counts = append(counts, r.N)
+		}
+		return counts
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic lengths: %v vs %v", a, b)
+	}
+	short := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic counts: %v vs %v", a, b)
+		}
+		if a[i] < 16 {
+			short = true
+		}
+	}
+	if !short {
+		t.Error("expected at least one short read with denom=2")
+	}
+}
+
+func TestSyscallLogRecordReplay(t *testing.T) {
+	log := NewSyscallLog()
+	rec := New(Config{
+		Conns:          []ConnSpec{{Payload: bytes.Repeat([]byte("b"), 32)}},
+		ListenPort:     80,
+		Mode:           ModeRecord,
+		Seed:           3,
+		ShortReadDenom: 2,
+		LogSyscalls:    true,
+		Log:            log,
+	})
+	lfd := rec.Listen(80)
+	rec.SelectReady(4)
+	fd := rec.Accept(lfd)
+	var recCounts []int64
+	for {
+		r := rec.Read(fd, 8)
+		if r.N <= 0 {
+			break
+		}
+		recCounts = append(recCounts, r.N)
+	}
+	if log.NumReads() == 0 || log.NumSelects() == 0 {
+		t.Fatalf("log empty: %d reads %d selects", log.NumReads(), log.NumSelects())
+	}
+	if log.SizeBytes() <= 0 {
+		t.Error("log size should be positive")
+	}
+
+	// Replay: served counts must match recorded ones.
+	log.Rewind()
+	rep := New(Config{
+		Conns:      []ConnSpec{{Payload: bytes.Repeat([]byte("c"), 32)}},
+		ListenPort: 80,
+		Mode:       ModeReplayLogged,
+		Log:        log,
+	})
+	lfd = rep.Listen(80)
+	rep.SelectReady(4)
+	fd = rep.Accept(lfd)
+	for i := range recCounts {
+		r := rep.Read(fd, 8)
+		if r.N != recCounts[i] {
+			t.Fatalf("replay read %d: got %d want %d", i, r.N, recCounts[i])
+		}
+	}
+}
+
+// scriptModel forces model-driven results.
+type scriptModel struct {
+	counts []int64
+	ready  [][]int
+}
+
+func (m *scriptModel) ReadCount(stream string, seq int, max int64) int64 {
+	if seq < len(m.counts) {
+		v := m.counts[seq]
+		if v > max {
+			return max
+		}
+		return v
+	}
+	return max
+}
+
+func (m *scriptModel) SelectReady(seq int, candidates []int) []int {
+	if seq < len(m.ready) {
+		var out []int
+		for _, want := range m.ready[seq] {
+			for _, c := range candidates {
+				if c == want {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	}
+	return candidates
+}
+
+func TestModelMode(t *testing.T) {
+	model := &scriptModel{counts: []int64{2, 1}}
+	k := New(Config{
+		Conns:      []ConnSpec{{Payload: []byte("abcdef")}},
+		ListenPort: 80,
+		Mode:       ModeReplayModel,
+		Model:      model,
+	})
+	lfd := k.Listen(80)
+	fd := k.Accept(lfd)
+	if r := k.Read(fd, 6); r.N != 2 || string(r.Data) != "ab" {
+		t.Fatalf("model read 1: %+v", r)
+	}
+	if r := k.Read(fd, 6); r.N != 1 || string(r.Data) != "c" {
+		t.Fatalf("model read 2: %+v", r)
+	}
+	if r := k.Read(fd, 6); r.N != 3 {
+		t.Fatalf("model read 3 (default=max): %+v", r)
+	}
+}
+
+func TestSelectRotationLogged(t *testing.T) {
+	// With rotation on, the select log must reproduce ready-order exactly.
+	mk := func(mode Mode, log *SyscallLog) [][]int {
+		k := New(Config{
+			Conns: []ConnSpec{
+				{Payload: []byte("aaaa")},
+				{Payload: []byte("bbbb")},
+				{Payload: []byte("cccc")},
+			},
+			ListenPort:        80,
+			Mode:              mode,
+			Seed:              11,
+			RotateSelectOrder: true,
+			LogSyscalls:       mode == ModeRecord,
+			Log:               log,
+		})
+		lfd := k.Listen(80)
+		k.Accept(lfd)
+		k.Accept(lfd)
+		k.Accept(lfd)
+		var orders [][]int
+		for i := 0; i < 5; i++ {
+			orders = append(orders, k.SelectReady(8))
+		}
+		return orders
+	}
+	log := NewSyscallLog()
+	recOrders := mk(ModeRecord, log)
+	log.Rewind()
+	repOrders := mk(ModeReplayLogged, log)
+	for i := range recOrders {
+		if len(recOrders[i]) != len(repOrders[i]) {
+			t.Fatalf("select %d: %v vs %v", i, recOrders[i], repOrders[i])
+		}
+		for j := range recOrders[i] {
+			if recOrders[i][j] != repOrders[i][j] {
+				t.Fatalf("select %d order: %v vs %v", i, recOrders[i], repOrders[i])
+			}
+		}
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	if ArgStream(2) != "arg2" || FileStream("x") != "file:x" || ConnStream(0) != "conn0" {
+		t.Error("stream naming changed; trace coordinates depend on these")
+	}
+}
+
+// TestQuickReadNeverOverReturns property-checks that reads never return more
+// bytes than requested or than remain.
+func TestQuickReadNeverOverReturns(t *testing.T) {
+	f := func(payload []byte, req uint8, seed int64) bool {
+		if len(payload) == 0 {
+			payload = []byte("x")
+		}
+		k := New(Config{
+			Conns:          []ConnSpec{{Payload: payload}},
+			ListenPort:     80,
+			Mode:           ModeRecord,
+			Seed:           seed,
+			ShortReadDenom: 3,
+		})
+		lfd := k.Listen(80)
+		fd := k.Accept(lfd)
+		remaining := int64(len(payload))
+		n := int64(req%32) + 1
+		for {
+			r := k.Read(fd, n)
+			if r.N < 0 {
+				return false
+			}
+			if r.N == 0 {
+				return remaining == 0
+			}
+			if r.N > n || r.N > remaining {
+				return false
+			}
+			remaining -= r.N
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

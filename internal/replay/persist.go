@@ -1,0 +1,114 @@
+package replay
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/trace"
+	"pathlog/internal/vm"
+)
+
+// Recordings serialize to a small JSON envelope: the instrumented branch IDs
+// (the plan the developer retained), the packed bitvector, the syscall
+// results, and the crash site. Input bytes do not exist in this format by
+// construction — there is nothing to redact.
+
+type recordingJSON struct {
+	Version      int       `json:"version"`
+	Method       string    `json:"method"`
+	MethodID     int       `json:"method_id"`
+	Instrumented []int     `json:"instrumented_branches"`
+	LogSyscalls  bool      `json:"log_syscalls"`
+	TraceBits    int64     `json:"trace_bits"`
+	TraceData    string    `json:"trace_data"` // base64 of packed bits
+	SysReads     []int64   `json:"sys_reads,omitempty"`
+	SysSelects   [][]int   `json:"sys_selects,omitempty"`
+	Crash        crashJSON `json:"crash"`
+}
+
+type crashJSON struct {
+	Kind int    `json:"kind"`
+	Unit string `json:"unit"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Code int64  `json:"code"`
+}
+
+// Save writes the recording to path.
+func (r *Recording) Save(path string) error {
+	enc := recordingJSON{
+		Version:     1,
+		Method:      r.Plan.Method.String(),
+		MethodID:    int(r.Plan.Method),
+		LogSyscalls: r.Plan.LogSyscalls,
+		TraceBits:   r.Trace.Len(),
+		TraceData:   base64.StdEncoding.EncodeToString(r.Trace.Bytes()),
+		Crash: crashJSON{
+			Kind: int(r.Crash.Kind),
+			Unit: r.Crash.Pos.Unit,
+			Line: r.Crash.Pos.Line,
+			Col:  r.Crash.Pos.Col,
+			Code: r.Crash.Code,
+		},
+	}
+	for _, id := range r.Plan.IDs() {
+		enc.Instrumented = append(enc.Instrumented, int(id))
+	}
+	if r.SysLog != nil {
+		enc.SysReads, enc.SysSelects = r.SysLog.Snapshot()
+	}
+	data, err := json.MarshalIndent(enc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("replay: encode recording: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRecording reads a recording saved by Save.
+func LoadRecording(path string) (*Recording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var enc recordingJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, fmt.Errorf("replay: decode recording: %w", err)
+	}
+	if enc.Version != 1 {
+		return nil, fmt.Errorf("replay: unsupported recording version %d", enc.Version)
+	}
+	bits, err := base64.StdEncoding.DecodeString(enc.TraceData)
+	if err != nil {
+		return nil, fmt.Errorf("replay: decode trace: %w", err)
+	}
+	plan := &instrument.Plan{
+		Method:       instrument.Method(enc.MethodID),
+		Instrumented: make(map[lang.BranchID]bool, len(enc.Instrumented)),
+		LogSyscalls:  enc.LogSyscalls,
+	}
+	for _, id := range enc.Instrumented {
+		plan.Instrumented[lang.BranchID(id)] = true
+	}
+	rec := &Recording{
+		Plan:  plan,
+		Trace: trace.FromBytes(bits, enc.TraceBits),
+		Crash: vm.CrashInfo{
+			Kind: vm.CrashKind(enc.Crash.Kind),
+			Pos: lang.Pos{
+				Unit: enc.Crash.Unit,
+				Line: enc.Crash.Line,
+				Col:  enc.Crash.Col,
+			},
+			Code: enc.Crash.Code,
+		},
+	}
+	if enc.LogSyscalls {
+		rec.SysLog = oskernel.SyscallLogFromData(enc.SysReads, enc.SysSelects)
+	}
+	return rec, nil
+}

@@ -1,0 +1,404 @@
+// Package replay implements the paper's bug reproduction engine (§3): a
+// symbolic execution engine guided by the partial branch log recorded at the
+// user site.
+//
+// The engine performs a sequence of concolic runs. Each run executes the
+// program with fully concrete inputs while the branch sink enforces the
+// recorded bitvector: at every instrumented branch the next bit is consumed
+// and compared with the direction the current input takes. The four cases of
+// §3.1 are implemented literally:
+//
+//  1. symbolic, not instrumented — record the constraint, queue the negated
+//     alternative on the pending list, continue;
+//  2. symbolic, instrumented — on agreement record the constraint and
+//     continue; on disagreement queue the constraint set that forces the
+//     recorded direction and abort the run;
+//  3. concrete, instrumented — on agreement continue; on disagreement abort
+//     (an earlier uninstrumented symbolic branch went the wrong way);
+//  4. concrete, not instrumented — continue.
+//
+// When a run aborts, the engine pops a pending constraint set (depth-first,
+// §3.2), solves it for a new input, and starts over. Reproduction succeeds
+// when a run crashes at the recorded bug site having matched the entire
+// bitvector.
+package replay
+
+import (
+	"time"
+
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/solver"
+	"pathlog/internal/sym"
+	"pathlog/internal/trace"
+	"pathlog/internal/vm"
+	"pathlog/internal/world"
+)
+
+// Options bound the replay effort. TimeBudget is the paper's one-hour
+// cutoff, scaled; exceeding it reports TimedOut (the ∞ entries of Tables 3,
+// 5 and 6).
+type Options struct {
+	MaxRuns        int           // 0 means DefaultMaxRuns
+	TimeBudget     time.Duration // 0 means no limit
+	MaxStepsPerRun int64         // 0 uses the VM default
+	MaxPending     int           // pending list cap; 0 means DefaultMaxPending
+	// PickFIFO explores pending constraint sets oldest-first instead of the
+	// paper's depth-first choice (§3.2), for the pick-heuristic ablation.
+	PickFIFO bool
+	Solver   solver.Options
+}
+
+// Default bounds.
+const (
+	DefaultMaxRuns    = 2000
+	DefaultMaxPending = 100000
+)
+
+// Recording is everything the developer has when a bug report arrives: the
+// plan (kept at instrumentation time), the branch bitvector, the optional
+// syscall-result log, and the crash site from the report.
+type Recording struct {
+	Plan   *instrument.Plan
+	Trace  *trace.Trace
+	SysLog *oskernel.SyscallLog // nil when syscall logging was off
+	Crash  vm.CrashInfo
+}
+
+// Result summarizes one reproduction attempt.
+type Result struct {
+	Reproduced bool
+	TimedOut   bool
+	Runs       int
+	Aborts     int
+	Elapsed    time.Duration
+	// Input is the reproducing assignment (a set of inputs that activates
+	// the bug — not necessarily the user's input).
+	Input sym.MapAssignment
+	// InputBytes is the reproducing input rendered as concrete bytes per
+	// stream — the artifact the developer actually uses.
+	InputBytes map[string][]byte
+	// Stats over the successful run's path, for Tables 4, 7 and 8.
+	SymLoggedLocs     int
+	SymLoggedExecs    int64
+	SymNotLoggedLocs  int
+	SymNotLoggedExecs int64
+	SolverStats       solver.Stats
+	PendingPeak       int
+}
+
+// Engine reproduces one recorded bug.
+type Engine struct {
+	prog *lang.Program
+	spec *world.Spec
+	reg  *world.Registry
+	rec  *Recording
+	slv  *solver.Solver
+	opts Options
+}
+
+// New creates a replay engine. The registry may be fresh: variable identity
+// is reconstructed deterministically from stream coordinates.
+func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, rec *Recording, opts Options) *Engine {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = DefaultMaxRuns
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	return &Engine{
+		prog: prog,
+		spec: spec,
+		reg:  reg,
+		rec:  rec,
+		slv:  solver.New(opts.Solver),
+		opts: opts,
+	}
+}
+
+// pendingSet is one unexplored alternative: a prefix of the producing run's
+// path condition plus one appended constraint, and the input of that run
+// (used as the solver seed). The prefix is stored as a length into the run's
+// final constraint slice — runs only append, so the first prefixLen entries
+// are exactly the prefix at push time. Materializing lazily keeps pushing
+// O(1); the eager-clone alternative is quadratic in path length and stalls
+// diff-sized runs.
+type pendingSet struct {
+	runConds  []sym.Constraint
+	prefixLen int
+	appended  sym.Constraint
+	parent    sym.MapAssignment
+}
+
+// materialize builds the full constraint conjunction (copying, because the
+// backing array is shared between pending sets of the same run).
+func (p *pendingSet) materialize() []sym.Constraint {
+	out := make([]sym.Constraint, 0, p.prefixLen+1)
+	out = append(out, p.runConds[:p.prefixLen]...)
+	return append(out, p.appended)
+}
+
+// maxRunConds caps the collected path condition per replay run; beyond the
+// cap, case-1 alternatives are no longer queued (extremely long paths only).
+const maxRunConds = 8192
+
+// runSink is the per-run branch sink implementing the four cases.
+type runSink struct {
+	eng    *Engine
+	reader *trace.Reader
+	asn    sym.MapAssignment
+	conds  []sym.Constraint
+	queued []pendingSet
+
+	mismatch bool // a case-2b/3b abort happened
+
+	// Per-location stats over this run (symbolic executions only).
+	symExecLogged    map[lang.BranchID]int64
+	symExecNotLogged map[lang.BranchID]int64
+}
+
+// OnBranch implements vm.BranchSink.
+func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) error {
+	symbolic := cond.IsSymbolic()
+	instrumented := s.eng.rec.Plan.Instrumented[site.ID]
+
+	switch {
+	case symbolic && !instrumented:
+		// Case 1: unlogged symbolic branch — both directions are possible.
+		s.symExecNotLogged[site.ID]++
+		c := sym.Constraint{E: cond.Sym, Truth: taken}
+		if len(s.conds) < maxRunConds {
+			s.pushPending(c.Negated())
+			s.conds = append(s.conds, c)
+		}
+		return nil
+
+	case symbolic && instrumented:
+		// Case 2: the log dictates the direction.
+		s.symExecLogged[site.ID]++
+		logged, ok := s.reader.Next()
+		if !ok {
+			// Log exhausted: this run has executed more instrumented
+			// branches than the recording — a diverged path. Abort.
+			s.mismatch = true
+			return vm.ErrAbortRun
+		}
+		if logged == taken {
+			if len(s.conds) < maxRunConds {
+				s.conds = append(s.conds, sym.Constraint{E: cond.Sym, Truth: taken})
+			}
+			return nil
+		}
+		// 2b: force the recorded direction in a pending set and abort.
+		s.pushPending(sym.Constraint{E: cond.Sym, Truth: logged})
+		s.mismatch = true
+		return vm.ErrAbortRun
+
+	case !symbolic && instrumented:
+		// Case 3: concrete and logged — agreement check only.
+		logged, ok := s.reader.Next()
+		if !ok || logged != taken {
+			// 3b: a wrong earlier turn at an uninstrumented symbolic branch.
+			s.mismatch = true
+			return vm.ErrAbortRun
+		}
+		return nil
+
+	default:
+		// Case 4: concrete, not instrumented.
+		return nil
+	}
+}
+
+// pushPending queues the current prefix plus one appended constraint.
+func (s *runSink) pushPending(appended sym.Constraint) {
+	if len(s.queued) >= s.eng.opts.MaxPending {
+		return
+	}
+	s.queued = append(s.queued, pendingSet{
+		prefixLen: len(s.conds),
+		appended:  appended,
+		parent:    s.asn,
+	})
+}
+
+// Reproduce runs the guided search until the bug is reproduced or the budget
+// is exhausted.
+func (e *Engine) Reproduce() *Result {
+	start := time.Now()
+	deadline := time.Time{}
+	if e.opts.TimeBudget > 0 {
+		deadline = start.Add(e.opts.TimeBudget)
+	}
+	res := &Result{}
+
+	// DFS stack of pending constraint sets.
+	var stack []pendingSet
+	asn := sym.MapAssignment{} // initial run: seed input
+
+	for res.Runs < e.opts.MaxRuns {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		res.Runs++
+		sink, vmRes, w := e.runOnce(asn)
+
+		if e.isReproduction(sink, vmRes) {
+			res.Reproduced = true
+			res.Input = asn
+			res.InputBytes = materializeAll(w)
+			res.Elapsed = time.Since(start)
+			res.SolverStats = e.slv.Stats()
+			fillPathStats(res, sink)
+			return res
+		}
+		res.Aborts++
+
+		// Queue this run's alternatives; deepest alternatives are pushed
+		// last and popped first (depth-first, §3.2). The sets share the
+		// run's final constraint slice.
+		for i := range sink.queued {
+			sink.queued[i].runConds = sink.conds
+		}
+		stack = append(stack, sink.queued...)
+		if len(stack) > res.PendingPeak {
+			res.PendingPeak = len(stack)
+		}
+
+		found := false
+		for len(stack) > 0 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.TimedOut = true
+				res.Elapsed = time.Since(start)
+				res.SolverStats = e.slv.Stats()
+				return res
+			}
+			var top pendingSet
+			if e.opts.PickFIFO {
+				top = stack[0]
+				stack = stack[1:]
+			} else {
+				top = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+			conds := top.materialize()
+			vars := sym.ConstraintVars(conds)
+			solved, ok := e.slv.Solve(solver.Problem{
+				Constraints: conds,
+				Domains:     e.reg.Domains(vars),
+				Seed:        seedFor(top.parent, vars),
+			})
+			if !ok {
+				continue
+			}
+			asn = mergeAsn(top.parent, solved)
+			found = true
+			break
+		}
+		if !found {
+			break // search space exhausted
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	res.SolverStats = e.slv.Stats()
+	if !res.TimedOut && res.Runs >= e.opts.MaxRuns {
+		res.TimedOut = true
+	}
+	return res
+}
+
+// materializeAll renders every declared input stream to concrete bytes.
+func materializeAll(w *world.World) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, a := range w.Spec.Args {
+		out[a.Name] = w.MaterializeStream(a)
+	}
+	for _, f := range w.Spec.Files {
+		out[f.Stream.Name] = w.MaterializeStream(f.Stream)
+	}
+	for _, c := range w.Spec.Conns {
+		out[c.Stream.Name] = w.MaterializeStream(c.Stream)
+	}
+	return out
+}
+
+// runOnce executes the program once under the recorded guidance.
+func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.World) {
+	w := world.NewWorld(e.spec, e.reg, asn)
+	cfg := w.KernelConfig()
+	if e.rec.SysLog != nil {
+		e.rec.SysLog.Rewind()
+		cfg.Mode = oskernel.ModeReplayLogged
+		cfg.Log = e.rec.SysLog
+	} else {
+		cfg.Mode = oskernel.ModeReplayModel
+		cfg.Model = w
+		w.ModelSyscalls = true
+	}
+	kern := oskernel.New(cfg)
+	sink := &runSink{
+		eng:              e,
+		reader:           trace.NewReader(e.rec.Trace),
+		asn:              asn,
+		symExecLogged:    make(map[lang.BranchID]int64),
+		symExecNotLogged: make(map[lang.BranchID]int64),
+	}
+	machine := vm.New(e.prog, vm.Options{
+		Kernel:   kern,
+		Sink:     sink,
+		World:    w,
+		MaxSteps: e.opts.MaxStepsPerRun,
+	})
+	vmRes, err := machine.Run()
+	if err != nil {
+		panic(err) // VM-internal error: a bug in this repository
+	}
+	return sink, vmRes, w
+}
+
+// isReproduction checks the success criterion: the run crashed at the
+// recorded site and consumed the entire bitvector without mismatch.
+func (e *Engine) isReproduction(sink *runSink, vmRes vm.Result) bool {
+	if sink.mismatch || !vmRes.Crashed {
+		return false
+	}
+	if vmRes.Crash.Kind != e.rec.Crash.Kind || vmRes.Crash.Pos != e.rec.Crash.Pos {
+		return false
+	}
+	return sink.reader.Exhausted()
+}
+
+func fillPathStats(res *Result, sink *runSink) {
+	for _, n := range sink.symExecLogged {
+		res.SymLoggedExecs += n
+	}
+	res.SymLoggedLocs = len(sink.symExecLogged)
+	for _, n := range sink.symExecNotLogged {
+		res.SymNotLoggedExecs += n
+	}
+	res.SymNotLoggedLocs = len(sink.symExecNotLogged)
+}
+
+func seedFor(parent sym.MapAssignment, vars map[int]struct{}) sym.MapAssignment {
+	out := make(sym.MapAssignment, len(vars))
+	for id := range vars {
+		if v, ok := parent[id]; ok {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+func mergeAsn(parent, child sym.MapAssignment) sym.MapAssignment {
+	out := make(sym.MapAssignment, len(parent)+len(child))
+	for id, v := range parent {
+		out[id] = v
+	}
+	for id, v := range child {
+		out[id] = v
+	}
+	return out
+}

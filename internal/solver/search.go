@@ -1,0 +1,358 @@
+package solver
+
+import "pathlog/internal/sym"
+
+// interval is a mutable inclusive range used during propagation and search.
+type interval struct {
+	lo, hi int64
+}
+
+func (iv *interval) width() int64 {
+	if iv.hi < iv.lo {
+		return 0
+	}
+	// Guard against overflow for huge ranges.
+	w := iv.hi - iv.lo + 1
+	if w <= 0 {
+		return 1 << 62
+	}
+	return w
+}
+
+func (iv *interval) empty() bool { return iv.hi < iv.lo }
+
+func (iv *interval) contains(v int64) bool { return v >= iv.lo && v <= iv.hi }
+
+// searchState carries the solver's mutable state for one Solve call.
+type searchState struct {
+	solver   *Solver
+	domains  map[int]*interval
+	atoms    []atom
+	seed     sym.MapAssignment
+	assigned sym.MapAssignment
+	nodes    int
+	work     int64
+}
+
+// overWork reports whether the per-call evaluation budget is spent.
+func (st *searchState) overWork() bool { return st.work > st.solver.opts.MaxWork }
+
+func (st *searchState) mentioned(id int) bool {
+	for _, a := range st.atoms {
+		for _, v := range a.vars {
+			if v == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// propagateAll runs bounds propagation over all linear atoms to a fixed
+// point. It returns false when some domain becomes empty (unsat).
+func (st *searchState) propagateAll() bool {
+	for changed := true; changed; {
+		changed = false
+		st.work += int64(len(st.atoms))
+		for i := range st.atoms {
+			a := &st.atoms[i]
+			if !a.linear {
+				continue
+			}
+			ch, ok := st.propagateAtom(a)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+	}
+	return true
+}
+
+// propagateAtom tightens the domains of the variables of one linear atom
+// using bounds reasoning on sum(coeff_i*x_i) + c REL 0.
+func (st *searchState) propagateAtom(a *atom) (changed, ok bool) {
+	// Compute bounds of the full sum.
+	// sumLo/sumHi: bounds of sum(coeff*var) + c.
+	for _, t := range a.terms {
+		iv, present := st.domains[t.v]
+		if !present || iv.empty() {
+			return false, false
+		}
+	}
+	// For each variable x, the rest of the atom bounds constrain x.
+	for _, t := range a.terms {
+		iv := st.domains[t.v]
+		restLo, restHi := a.c, a.c
+		for _, u := range a.terms {
+			if u.v == t.v {
+				continue
+			}
+			uv := st.domains[u.v]
+			lo, hi := mulRange(u.coeff, uv.lo, uv.hi)
+			restLo += lo
+			restHi += hi
+		}
+		// coeff*x + rest REL 0.
+		var lo, hi int64 // bounds for coeff*x
+		hasLo, hasHi := false, false
+		switch a.r {
+		case relEQ:
+			// coeff*x = -rest  =>  coeff*x in [-restHi, -restLo]
+			lo, hi, hasLo, hasHi = -restHi, -restLo, true, true
+		case relLE:
+			// coeff*x <= -rest => coeff*x <= -restLo
+			hi, hasHi = -restLo, true
+		case relLT:
+			hi, hasHi = -restLo-1, true
+		case relGE:
+			lo, hasLo = -restHi, true
+		case relGT:
+			lo, hasLo = -restHi+1, true
+		case relNE:
+			// Only prunes when every other variable is fixed and the bound
+			// value sits at an edge of x's domain.
+			if restLo == restHi && t.coeff != 0 {
+				if v, exact := divExact(-restLo, t.coeff); exact {
+					ch := false
+					if iv.lo == v {
+						iv.lo++
+						ch = true
+					}
+					if iv.hi == v {
+						iv.hi--
+						ch = true
+					}
+					if iv.empty() {
+						return false, false
+					}
+					changed = changed || ch
+				}
+			}
+			continue
+		}
+		nlo, nhi := divRangeForVar(t.coeff, lo, hi, hasLo, hasHi, iv)
+		if nlo > iv.lo {
+			iv.lo = nlo
+			changed = true
+		}
+		if nhi < iv.hi {
+			iv.hi = nhi
+			changed = true
+		}
+		if iv.empty() {
+			return false, false
+		}
+	}
+	return changed, true
+}
+
+// mulRange returns the range of coeff*x for x in [lo,hi].
+func mulRange(coeff, lo, hi int64) (int64, int64) {
+	a, b := coeff*lo, coeff*hi
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// divExact returns v/c when c divides v exactly.
+func divExact(v, c int64) (int64, bool) {
+	if c == 0 {
+		return 0, false
+	}
+	if v%c != 0 {
+		return 0, false
+	}
+	return v / c, true
+}
+
+// divRangeForVar converts bounds on coeff*x into bounds on x, given the
+// current domain iv (used when a side is unbounded).
+func divRangeForVar(coeff, lo, hi int64, hasLo, hasHi bool, iv *interval) (int64, int64) {
+	nlo, nhi := iv.lo, iv.hi
+	if coeff == 0 {
+		return nlo, nhi
+	}
+	if coeff > 0 {
+		if hasLo {
+			nlo = ceilDiv(lo, coeff)
+		}
+		if hasHi {
+			nhi = floorDiv(hi, coeff)
+		}
+	} else {
+		// coeff < 0 flips the inequality directions.
+		if hasHi {
+			nlo = ceilDiv(hi, coeff)
+		}
+		if hasLo {
+			nhi = floorDiv(lo, coeff)
+		}
+	}
+	if nlo < iv.lo {
+		nlo = iv.lo
+	}
+	if nhi > iv.hi {
+		nhi = iv.hi
+	}
+	return nlo, nhi
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// search assigns vars[idx:] by depth-first backtracking.
+func (st *searchState) search(vars []int, idx int) bool {
+	st.nodes++
+	st.solver.stats.Nodes++
+	if st.nodes > st.solver.opts.MaxNodes || st.overWork() {
+		return false
+	}
+	if idx == len(vars) {
+		return st.checkAll()
+	}
+	v := vars[idx]
+	iv := st.domains[v]
+	saved := *iv
+
+	for _, cand := range st.candidates(v, iv) {
+		st.assigned[v] = cand
+		// Narrow the domain to the candidate and propagate.
+		iv.lo, iv.hi = cand, cand
+		snapshot := st.snapshotDomains()
+		if st.propagateAll() && st.checkDecided() && st.search(vars, idx+1) {
+			return true
+		}
+		st.restoreDomains(snapshot)
+		delete(st.assigned, v)
+		*iv = saved
+		if st.nodes > st.solver.opts.MaxNodes || st.overWork() {
+			return false
+		}
+	}
+	return false
+}
+
+// candidates enumerates values for v in deterministic order: the seed value
+// first, then an outward sweep around it, clipped to the domain and the
+// per-variable budget.
+func (st *searchState) candidates(v int, iv *interval) []int64 {
+	budget := st.solver.opts.MaxValuesPerVar
+	out := make([]int64, 0, 16)
+	seen := make(map[int64]struct{}, 16)
+	add := func(x int64) {
+		if len(out) >= budget {
+			return
+		}
+		if !iv.contains(x) {
+			return
+		}
+		if _, dup := seen[x]; dup {
+			return
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	seedVal, hasSeed := st.seed[v]
+	if hasSeed {
+		add(seedVal)
+	}
+	// Domain edges early: equality against constants typically lands there
+	// after propagation.
+	add(iv.lo)
+	add(iv.hi)
+	if hasSeed {
+		for d := int64(1); len(out) < budget && d <= iv.hi-iv.lo; d++ {
+			add(seedVal + d)
+			add(seedVal - d)
+		}
+	} else {
+		for x := iv.lo; len(out) < budget && x <= iv.hi; x++ {
+			add(x)
+		}
+	}
+	return out
+}
+
+func (st *searchState) snapshotDomains() map[int]interval {
+	st.work += int64(len(st.domains)) * 2 // copy now, restore later
+	snap := make(map[int]interval, len(st.domains))
+	for id, iv := range st.domains {
+		snap[id] = *iv
+	}
+	return snap
+}
+
+func (st *searchState) restoreDomains(snap map[int]interval) {
+	for id, v := range snap {
+		*st.domains[id] = v
+	}
+}
+
+// checkDecided evaluates every atom whose variables are all assigned;
+// returns false on any violation.
+func (st *searchState) checkDecided() bool {
+	for i := range st.atoms {
+		a := &st.atoms[i]
+		st.work += int64(len(a.vars))
+		ready := true
+		for _, v := range a.vars {
+			if _, ok := st.assigned[v]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if !st.evalAtom(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAll verifies every atom under the full assignment (seed-filling
+// unassigned vars, which can only be vars outside all atoms).
+func (st *searchState) checkAll() bool {
+	for i := range st.atoms {
+		if !st.evalAtom(&st.atoms[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *searchState) evalAtom(a *atom) bool {
+	st.work += int64(sym.Size(a.orig.E))
+	asn := overlayAssignment{primary: st.assigned, fallback: st.seed}
+	return a.orig.Holds(asn)
+}
+
+// overlayAssignment reads primary first, then fallback.
+type overlayAssignment struct {
+	primary  sym.MapAssignment
+	fallback sym.MapAssignment
+}
+
+// Value implements sym.Assignment.
+func (o overlayAssignment) Value(id int) int64 {
+	if v, ok := o.primary[id]; ok {
+		return v
+	}
+	return o.fallback[id]
+}

@@ -1,0 +1,411 @@
+// Package solver implements the constraint solver used to turn path
+// conditions into concrete program inputs.
+//
+// The paper uses an off-the-shelf bitvector solver; this reproduction ships a
+// self-contained CSP solver tuned to the constraint fragment that compiled
+// MiniC programs generate: conjunctions of (in)equalities over linear
+// combinations of input bytes, plus a residue of non-linear atoms (division,
+// bit operations) that are checked by evaluation during search.
+//
+// The solve pipeline is:
+//
+//  1. normalize every constraint into a linear atom when possible;
+//  2. tighten per-variable interval domains by bounds propagation to a fixed
+//     point;
+//  3. run a deterministic backtracking search over the remaining variables,
+//     seeding value choice from the previous concrete run so that solutions
+//     stay close to observed executions (this mirrors how concolic engines
+//     reuse the current input);
+//  4. verify the candidate assignment by evaluating the original constraints.
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"pathlog/internal/sym"
+)
+
+// Options tune solver effort. The zero value selects sane defaults.
+type Options struct {
+	// MaxNodes bounds the number of search-tree nodes visited per Solve
+	// call. 0 means DefaultMaxNodes.
+	MaxNodes int
+	// MaxValuesPerVar bounds how many candidate values are tried for one
+	// variable at one node. 0 means DefaultMaxValuesPerVar.
+	MaxValuesPerVar int
+	// MaxWork bounds the total evaluation effort (expression nodes touched)
+	// per Solve call, so pathological non-linear conjunctions (diff's
+	// hash-chain constraints) cannot stall a replay run. 0 means
+	// DefaultMaxWork.
+	MaxWork int64
+}
+
+// Default effort bounds.
+const (
+	DefaultMaxNodes        = 200000
+	DefaultMaxValuesPerVar = 1024
+	DefaultMaxWork         = 3_000_000
+)
+
+// Stats accumulates counters across Solve calls; the experiment harness
+// reports them alongside replay times.
+type Stats struct {
+	Calls     int   // number of Solve invocations
+	Sat       int   // how many returned a solution
+	Unsat     int   // how many proved or gave up as unsatisfiable
+	Nodes     int64 // total search nodes visited
+	Atoms     int64 // total atoms normalized
+	Fallbacks int64 // atoms that could not be linearized
+}
+
+// Solver solves conjunctions of sym.Constraint over bounded integer domains.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	opts  Options
+	stats Stats
+}
+
+// New returns a Solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
+	if opts.MaxValuesPerVar <= 0 {
+		opts.MaxValuesPerVar = DefaultMaxValuesPerVar
+	}
+	if opts.MaxWork <= 0 {
+		opts.MaxWork = DefaultMaxWork
+	}
+	return &Solver{opts: opts}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats clears the accumulated counters.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// Domain describes the inclusive value range of one input variable.
+type Domain struct {
+	Lo, Hi int64
+}
+
+// Problem is one satisfiability query: a conjunction of constraints, the
+// domains of the variables they mention, and a seed assignment (typically the
+// concrete input of the run that produced the constraints).
+type Problem struct {
+	Constraints []sym.Constraint
+	Domains     map[int]Domain
+	Seed        sym.MapAssignment
+}
+
+// Solve searches for an assignment satisfying every constraint. Variables not
+// mentioned by any constraint keep their seed value. The returned assignment
+// is complete for all variables in p.Domains. ok is false when the problem is
+// unsatisfiable or the search budget was exhausted.
+func (s *Solver) Solve(p Problem) (asn sym.MapAssignment, ok bool) {
+	s.stats.Calls++
+
+	// Fast path: the seed may already satisfy the conjunction (frequent when
+	// only one negated constraint was appended and it is loose).
+	seedAsn := make(sym.MapAssignment, len(p.Domains))
+	for id, d := range p.Domains {
+		v := p.Seed[id]
+		if v < d.Lo {
+			v = d.Lo
+		}
+		if v > d.Hi {
+			v = d.Hi
+		}
+		seedAsn[id] = v
+	}
+	if sym.AllHold(p.Constraints, seedAsn) {
+		s.stats.Sat++
+		return seedAsn, true
+	}
+
+	st := &searchState{
+		solver:  s,
+		domains: make(map[int]*interval, len(p.Domains)),
+		seed:    seedAsn,
+	}
+	for id, d := range p.Domains {
+		st.domains[id] = &interval{lo: d.Lo, hi: d.Hi}
+	}
+
+	// Normalize constraints into atoms.
+	for _, c := range p.Constraints {
+		a, lin := normalize(c)
+		s.stats.Atoms++
+		if !lin {
+			s.stats.Fallbacks++
+		}
+		st.atoms = append(st.atoms, a)
+		for _, v := range a.vars {
+			if _, present := st.domains[v]; !present {
+				// Constraint mentions a variable with no declared domain;
+				// assume full byte range extended for safety.
+				st.domains[v] = &interval{lo: -(1 << 31), hi: 1 << 31}
+			}
+		}
+	}
+
+	if !st.propagateAll() {
+		s.stats.Unsat++
+		return nil, false
+	}
+
+	// Order variables: most-constrained (smallest domain) first, ties by ID
+	// for determinism.
+	vars := make([]int, 0, len(st.domains))
+	for id := range st.domains {
+		if st.mentioned(id) {
+			vars = append(vars, id)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		wi := st.domains[vars[i]].width()
+		wj := st.domains[vars[j]].width()
+		if wi != wj {
+			return wi < wj
+		}
+		return vars[i] < vars[j]
+	})
+
+	st.assigned = make(sym.MapAssignment, len(vars))
+	if !st.search(vars, 0) {
+		s.stats.Unsat++
+		return nil, false
+	}
+
+	// Assemble the full assignment: searched vars from the solution, the
+	// rest from the seed.
+	out := make(sym.MapAssignment, len(p.Domains))
+	for id, v := range seedAsn {
+		out[id] = v
+	}
+	for id, v := range st.assigned {
+		out[id] = v
+	}
+	if !sym.AllHold(p.Constraints, out) {
+		// Paranoia: search produced a candidate the evaluator rejects. Treat
+		// as unsat rather than returning a wrong input.
+		s.stats.Unsat++
+		return nil, false
+	}
+	s.stats.Sat++
+	return out, true
+}
+
+// --- atoms -----------------------------------------------------------------
+
+// rel is the relation of a linear atom: sum(terms) + c REL 0.
+type rel int
+
+const (
+	relEQ rel = iota
+	relNE
+	relLT
+	relLE
+	relGT
+	relGE
+)
+
+func (r rel) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[r]
+}
+
+type term struct {
+	v     int
+	coeff int64
+}
+
+// atom is one normalized constraint. When linear is true it denotes
+// sum(coeff_i * var_i) + c REL 0; otherwise orig is checked by evaluation
+// once all its variables are assigned.
+type atom struct {
+	linear bool
+	terms  []term
+	c      int64
+	r      rel
+	orig   sym.Constraint
+	vars   []int
+}
+
+// normalize converts a constraint to an atom, linearizing when possible.
+func normalize(c sym.Constraint) (atom, bool) {
+	varSet := sym.Vars(c.E)
+	vars := make([]int, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+
+	lhs, rhs, r, cmp := splitComparison(c.E)
+	if cmp {
+		lt, lok := linearize(lhs)
+		rt, rok := linearize(rhs)
+		if lok && rok {
+			diff := lt.sub(rt)
+			if !c.Truth {
+				r = negateRel(r)
+			}
+			a := atom{linear: true, c: diff.c, r: r, orig: c, vars: vars}
+			for v, co := range diff.coeffs {
+				if co != 0 {
+					a.terms = append(a.terms, term{v: v, coeff: co})
+				}
+			}
+			sort.Slice(a.terms, func(i, j int) bool { return a.terms[i].v < a.terms[j].v })
+			if len(a.terms) == 0 {
+				// Fully constant after linearization; keep as fallback so
+				// evaluation decides it (cheap, and exercised by tests).
+				return atom{linear: false, orig: c, vars: vars}, false
+			}
+			return a, true
+		}
+	}
+	// Truthness of a non-comparison expression: e != 0 (Truth) or e == 0.
+	if lt, ok := linearize(c.E); ok {
+		r := relNE
+		if !c.Truth {
+			r = relEQ
+		}
+		a := atom{linear: true, c: lt.c, r: r, orig: c, vars: vars}
+		for v, co := range lt.coeffs {
+			if co != 0 {
+				a.terms = append(a.terms, term{v: v, coeff: co})
+			}
+		}
+		sort.Slice(a.terms, func(i, j int) bool { return a.terms[i].v < a.terms[j].v })
+		if len(a.terms) > 0 {
+			return a, true
+		}
+	}
+	return atom{linear: false, orig: c, vars: vars}, false
+}
+
+// splitComparison decomposes a top-level comparison into lhs REL rhs.
+func splitComparison(e sym.Expr) (lhs, rhs sym.Expr, r rel, ok bool) {
+	switch x := e.(type) {
+	case *sym.Bin:
+		switch x.Op {
+		case sym.OpEq:
+			return x.L, x.R, relEQ, true
+		case sym.OpNe:
+			return x.L, x.R, relNE, true
+		case sym.OpLt:
+			return x.L, x.R, relLT, true
+		case sym.OpLe:
+			return x.L, x.R, relLE, true
+		case sym.OpGt:
+			return x.L, x.R, relGT, true
+		case sym.OpGe:
+			return x.L, x.R, relGE, true
+		}
+	case *sym.Un:
+		switch x.Op {
+		case sym.OpNot:
+			// !(e): swap truth by comparing e == 0.
+			return x.X, sym.Zero, relEQ, true
+		case sym.OpBool:
+			return x.X, sym.Zero, relNE, true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func negateRel(r rel) rel {
+	switch r {
+	case relEQ:
+		return relNE
+	case relNE:
+		return relEQ
+	case relLT:
+		return relGE
+	case relLE:
+		return relGT
+	case relGT:
+		return relLE
+	case relGE:
+		return relLT
+	}
+	panic(fmt.Sprintf("solver: bad rel %d", r))
+}
+
+// linTerm is a linear combination of variables plus a constant.
+type linTerm struct {
+	coeffs map[int]int64
+	c      int64
+}
+
+func (t linTerm) sub(o linTerm) linTerm {
+	out := linTerm{coeffs: make(map[int]int64, len(t.coeffs)+len(o.coeffs)), c: t.c - o.c}
+	for v, co := range t.coeffs {
+		out.coeffs[v] = co
+	}
+	for v, co := range o.coeffs {
+		out.coeffs[v] -= co
+	}
+	return out
+}
+
+// linearize attempts to express e as a linear combination of inputs.
+func linearize(e sym.Expr) (linTerm, bool) {
+	switch x := e.(type) {
+	case *sym.Const:
+		return linTerm{coeffs: map[int]int64{}, c: x.V}, true
+	case *sym.Input:
+		return linTerm{coeffs: map[int]int64{x.ID: 1}}, true
+	case *sym.Un:
+		if x.Op == sym.OpNeg {
+			if t, ok := linearize(x.X); ok {
+				for v := range t.coeffs {
+					t.coeffs[v] = -t.coeffs[v]
+				}
+				t.c = -t.c
+				return t, true
+			}
+		}
+		return linTerm{}, false
+	case *sym.Bin:
+		switch x.Op {
+		case sym.OpAdd, sym.OpSub:
+			lt, lok := linearize(x.L)
+			rt, rok := linearize(x.R)
+			if !lok || !rok {
+				return linTerm{}, false
+			}
+			if x.Op == sym.OpAdd {
+				for v, co := range rt.coeffs {
+					lt.coeffs[v] += co
+				}
+				lt.c += rt.c
+				return lt, true
+			}
+			return lt.sub(rt), true
+		case sym.OpMul:
+			// Linear only when one side is constant.
+			if cv, ok := sym.IsConst(x.L); ok {
+				if t, tok := linearize(x.R); tok {
+					return t.scale(cv), true
+				}
+			}
+			if cv, ok := sym.IsConst(x.R); ok {
+				if t, tok := linearize(x.L); tok {
+					return t.scale(cv), true
+				}
+			}
+		}
+	}
+	return linTerm{}, false
+}
+
+func (t linTerm) scale(k int64) linTerm {
+	out := linTerm{coeffs: make(map[int]int64, len(t.coeffs)), c: t.c * k}
+	for v, co := range t.coeffs {
+		out.coeffs[v] = co * k
+	}
+	return out
+}

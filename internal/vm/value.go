@@ -1,0 +1,143 @@
+// Package vm interprets linked MiniC programs.
+//
+// The interpreter is the reproduction's stand-in for running CIL-instrumented
+// native code: it executes concrete values, optionally carries a symbolic
+// expression alongside every integer (concolic execution), and exposes a
+// branch hook at every branch site so that analyses, the branch logger and
+// the replay engine can observe or abort executions. When no symbolic world
+// is attached, no expressions are built and the interpreter runs on its
+// cheap concrete path — that is the "user site" configuration whose overhead
+// the paper measures.
+package vm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pathlog/internal/sym"
+)
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	// KInt is a 64-bit integer (also chars and booleans).
+	KInt ValueKind = iota
+	// KPtr is a pointer into an Object.
+	KPtr
+)
+
+// Value is one MiniC runtime value. Integers may carry a symbolic expression
+// mirroring their concrete value; pointers are always concrete (the engine
+// concretizes addresses, as concolic engines for C commonly do).
+type Value struct {
+	K   ValueKind
+	I   int64
+	Obj *Object
+	Off int64
+	Sym sym.Expr
+}
+
+// IntValue makes a concrete integer value.
+func IntValue(v int64) Value { return Value{K: KInt, I: v} }
+
+// SymValue makes an integer value with concrete v and symbolic expression e.
+// A nil or constant e yields a plain concrete value.
+func SymValue(v int64, e sym.Expr) Value {
+	if e == nil {
+		return Value{K: KInt, I: v}
+	}
+	if _, isConst := sym.IsConst(e); isConst {
+		return Value{K: KInt, I: v}
+	}
+	return Value{K: KInt, I: v, Sym: e}
+}
+
+// PtrValue makes a pointer value.
+func PtrValue(obj *Object, off int64) Value { return Value{K: KPtr, Obj: obj, Off: off} }
+
+// Truthy reports the C truth of the value: nonzero integer or non-nil
+// pointer.
+func (v Value) Truthy() bool {
+	if v.K == KPtr {
+		return v.Obj != nil
+	}
+	return v.I != 0
+}
+
+// IsSymbolic reports whether the value carries a non-constant symbolic
+// expression.
+func (v Value) IsSymbolic() bool { return v.Sym != nil }
+
+// Expr returns the value's symbolic expression, falling back to a constant
+// of its concrete value. Pointers are represented by their truthiness.
+func (v Value) Expr() sym.Expr {
+	if v.Sym != nil {
+		return v.Sym
+	}
+	if v.K == KPtr {
+		if v.Obj != nil {
+			return sym.One
+		}
+		return sym.Zero
+	}
+	return sym.NewConst(v.I)
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.K == KPtr {
+		if v.Obj == nil {
+			return "null"
+		}
+		return fmt.Sprintf("&%s+%d", v.Obj.Name, v.Off)
+	}
+	if v.Sym != nil {
+		return fmt.Sprintf("%d{%s}", v.I, sym.Format(v.Sym))
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Object is a block of cells: a global, a stack frame, a local array, or an
+// interned string literal.
+type Object struct {
+	ID    int64 // unique identity, used for pointer comparisons
+	Name  string
+	Cells []Value
+}
+
+var objectIDs atomic.Int64
+
+// NewObject allocates a zeroed object of n cells.
+func NewObject(name string, n int64) *Object {
+	return &Object{ID: objectIDs.Add(1), Name: name, Cells: make([]Value, n)}
+}
+
+// Len returns the object's cell count.
+func (o *Object) Len() int64 { return int64(len(o.Cells)) }
+
+// In reports whether off is a valid cell index.
+func (o *Object) In(off int64) bool { return off >= 0 && off < int64(len(o.Cells)) }
+
+// CString extracts the concrete NUL-terminated byte string starting at off.
+// Symbolic cells contribute their concrete values (address concretization).
+func (o *Object) CString(off int64) []byte {
+	var out []byte
+	for ; off < int64(len(o.Cells)); off++ {
+		b := o.Cells[off].I
+		if b == 0 {
+			return out
+		}
+		out = append(out, byte(b))
+	}
+	return out
+}
+
+// StoreBytes copies a byte string plus NUL terminator into the object.
+func (o *Object) StoreBytes(off int64, data []byte) {
+	for i, b := range data {
+		o.Cells[off+int64(i)] = IntValue(int64(b))
+	}
+	o.Cells[off+int64(len(data))] = IntValue(0)
+}

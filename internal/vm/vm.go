@@ -1,0 +1,861 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/sym"
+)
+
+// BranchSink observes every executed branch. Implementations include the
+// branch logger (instrumented builds), the concolic labeler and the replay
+// engine. Returning ErrAbortRun stops the execution with Aborted status;
+// any other error stops it with a VM error.
+type BranchSink interface {
+	OnBranch(site *lang.BranchSite, cond Value, taken bool) error
+}
+
+// ErrAbortRun is returned by a BranchSink to abandon the current run (replay
+// case 2b/3b in §3.1).
+var ErrAbortRun = errors.New("vm: run aborted by branch sink")
+
+// World supplies symbolic marking for program input. When nil, the VM runs
+// fully concrete (the user-site configuration).
+type World interface {
+	// MarkByte returns the symbolic expression standing for the input byte
+	// at (stream, off), or nil when that stream is concrete.
+	MarkByte(stream string, off int64) sym.Expr
+	// SyscallExpr returns the symbolic expression for the result of the
+	// seq-th nondeterministic syscall of the given kind ("read" or
+	// "select"), or nil when syscall results are concrete in this mode.
+	SyscallExpr(kind string, seq int) sym.Expr
+}
+
+// CrashKind classifies abnormal terminations.
+type CrashKind int
+
+// Crash kinds.
+const (
+	CrashNone CrashKind = iota
+	CrashExplicit
+	CrashOOB
+	CrashNullDeref
+	CrashDivZero
+	CrashStackOverflow
+)
+
+// String implements fmt.Stringer.
+func (k CrashKind) String() string {
+	return [...]string{"none", "crash()", "out-of-bounds", "null-deref",
+		"div-by-zero", "stack-overflow"}[k]
+}
+
+// CrashInfo identifies where and why a run crashed. Pos is the bug site; two
+// crashes match when Kind and Pos are equal — the analogue of the paper's
+// "crashes at the same location in the code".
+type CrashInfo struct {
+	Kind CrashKind
+	Pos  lang.Pos
+	Code int64 // crash(code) argument
+}
+
+// Site returns a printable bug-site identifier.
+func (c CrashInfo) Site() string { return fmt.Sprintf("%s@%s", c.Kind, c.Pos) }
+
+// Result summarizes one execution.
+type Result struct {
+	Exit           int64
+	Crashed        bool
+	Crash          CrashInfo
+	Aborted        bool // stopped by the branch sink
+	BudgetExceeded bool
+	Steps          int64
+	BranchExecs    int64
+	Stdout         []byte
+}
+
+// Options configure one VM instance.
+type Options struct {
+	// Kernel supplies syscalls. Required.
+	Kernel *oskernel.Kernel
+	// Sink observes branches; may be nil.
+	Sink BranchSink
+	// World marks input symbolic; may be nil for concrete runs.
+	World World
+	// MaxSteps bounds execution; 0 means DefaultMaxSteps.
+	MaxSteps int64
+	// MaxCallDepth bounds recursion; 0 means DefaultMaxCallDepth.
+	MaxCallDepth int
+}
+
+// Default budgets.
+const (
+	DefaultMaxSteps     = 50_000_000
+	DefaultMaxCallDepth = 4096
+)
+
+// VM executes one program against one kernel. Create a fresh VM per run.
+type VM struct {
+	prog *lang.Program
+	opts Options
+
+	globals []*Object
+	strings map[*lang.StrLit]*Object
+
+	steps       int64
+	maxSteps    int64
+	branchExecs int64
+	depth       int
+	maxDepth    int
+
+	readSeq   int
+	selectSeq int
+}
+
+// control is the statement-level control-flow signal.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// runError carries abnormal termination through the evaluator.
+type runError struct {
+	crash  *CrashInfo
+	exit   *int64
+	abort  bool
+	budget bool
+	err    error
+}
+
+func (e *runError) Error() string {
+	switch {
+	case e.crash != nil:
+		return "crash: " + e.crash.Site()
+	case e.exit != nil:
+		return fmt.Sprintf("exit(%d)", *e.exit)
+	case e.abort:
+		return "aborted"
+	case e.budget:
+		return "step budget exceeded"
+	}
+	return e.err.Error()
+}
+
+// New creates a VM for the program with the given options.
+func New(prog *lang.Program, opts Options) *VM {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = DefaultMaxCallDepth
+	}
+	return &VM{
+		prog:     prog,
+		opts:     opts,
+		strings:  make(map[*lang.StrLit]*Object),
+		maxSteps: opts.MaxSteps,
+		maxDepth: opts.MaxCallDepth,
+	}
+}
+
+// Run executes the program's main function to completion.
+func (m *VM) Run() (Result, error) {
+	if err := m.initGlobals(); err != nil {
+		return m.finish(err)
+	}
+	frame := NewObject("main.frame", int64(m.prog.Main.NumSlots))
+	_, err := m.callFunc(m.prog.Main, frame)
+	if err == nil {
+		zero := int64(0)
+		err = &runError{exit: &zero}
+	}
+	return m.finish(err)
+}
+
+func (m *VM) finish(err error) (Result, error) {
+	res := Result{
+		Steps:       m.steps,
+		BranchExecs: m.branchExecs,
+		Stdout:      m.opts.Kernel.Stdout(),
+	}
+	var re *runError
+	if !errors.As(err, &re) {
+		return res, err
+	}
+	switch {
+	case re.crash != nil:
+		res.Crashed = true
+		res.Crash = *re.crash
+	case re.exit != nil:
+		res.Exit = *re.exit
+	case re.abort:
+		res.Aborted = true
+	case re.budget:
+		res.BudgetExceeded = true
+	default:
+		return res, re.err
+	}
+	return res, nil
+}
+
+func (m *VM) initGlobals() error {
+	m.globals = make([]*Object, len(m.prog.Globals))
+	for i, g := range m.prog.Globals {
+		size := int64(1)
+		if g.IsArray {
+			size = g.Size
+		}
+		m.globals[i] = NewObject(g.Name, size)
+	}
+	// Initializers run in declaration order with no frame; they may only
+	// reference earlier globals and constants.
+	for i, g := range m.prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		v, err := m.eval(nil, g.Init)
+		if err != nil {
+			return err
+		}
+		m.globals[i].Cells[0] = v
+	}
+	return nil
+}
+
+func (m *VM) step(pos lang.Pos) error {
+	m.steps++
+	if m.steps > m.maxSteps {
+		return &runError{budget: true}
+	}
+	return nil
+}
+
+func (m *VM) crash(kind CrashKind, pos lang.Pos, code int64) error {
+	return &runError{crash: &CrashInfo{Kind: kind, Pos: pos, Code: code}}
+}
+
+// callFunc executes fn with an initialized frame and returns its value.
+func (m *VM) callFunc(fn *lang.FuncDecl, frame *Object) (Value, error) {
+	m.depth++
+	if m.depth > m.maxDepth {
+		m.depth--
+		return Value{}, m.crash(CrashStackOverflow, fn.Pos, 0)
+	}
+	defer func() { m.depth-- }()
+
+	ret, ctl, err := m.execStmt(frame, fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if ctl == ctlReturn {
+		return ret, nil
+	}
+	return IntValue(0), nil
+}
+
+// execStmt executes one statement; when ctl is ctlReturn, ret carries the
+// return value.
+func (m *VM) execStmt(frame *Object, s lang.Stmt) (ret Value, ctl control, err error) {
+	if err := m.step(s.StmtPos()); err != nil {
+		return Value{}, ctlNone, err
+	}
+	switch st := s.(type) {
+	case *lang.Block:
+		for _, inner := range st.Stmts {
+			ret, ctl, err = m.execStmt(frame, inner)
+			if err != nil || ctl != ctlNone {
+				return ret, ctl, err
+			}
+		}
+		return Value{}, ctlNone, nil
+
+	case *lang.DeclStmt:
+		d := st.Decl
+		if d.IsArray {
+			frame.Cells[d.Slot] = PtrValue(NewObject(d.Name, d.Size), 0)
+			return Value{}, ctlNone, nil
+		}
+		var v Value
+		if d.Init != nil {
+			v, err = m.eval(frame, d.Init)
+			if err != nil {
+				return Value{}, ctlNone, err
+			}
+		} else {
+			v = IntValue(0)
+		}
+		frame.Cells[d.Slot] = v
+		return Value{}, ctlNone, nil
+
+	case *lang.ExprStmt:
+		_, err = m.eval(frame, st.E)
+		return Value{}, ctlNone, err
+
+	case *lang.Return:
+		if st.E != nil {
+			v, err := m.eval(frame, st.E)
+			if err != nil {
+				return Value{}, ctlNone, err
+			}
+			return v, ctlReturn, nil
+		}
+		return IntValue(0), ctlReturn, nil
+
+	case *lang.Break:
+		return Value{}, ctlBreak, nil
+
+	case *lang.Continue:
+		return Value{}, ctlContinue, nil
+
+	case *lang.If:
+		cond, err := m.eval(frame, st.Cond)
+		if err != nil {
+			return Value{}, ctlNone, err
+		}
+		taken := cond.Truthy()
+		if err := m.branch(st.Branch, cond, taken); err != nil {
+			return Value{}, ctlNone, err
+		}
+		if taken {
+			return m.execStmt(frame, st.Then)
+		}
+		if st.Else != nil {
+			return m.execStmt(frame, st.Else)
+		}
+		return Value{}, ctlNone, nil
+
+	case *lang.While:
+		for {
+			cond, err := m.eval(frame, st.Cond)
+			if err != nil {
+				return Value{}, ctlNone, err
+			}
+			taken := cond.Truthy()
+			if err := m.branch(st.Branch, cond, taken); err != nil {
+				return Value{}, ctlNone, err
+			}
+			if !taken {
+				return Value{}, ctlNone, nil
+			}
+			ret, ctl, err = m.execStmt(frame, st.Body)
+			if err != nil {
+				return Value{}, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return Value{}, ctlNone, nil
+			}
+		}
+
+	case *lang.For:
+		if st.Init != nil {
+			if _, _, err := m.execStmt(frame, st.Init); err != nil {
+				return Value{}, ctlNone, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := m.eval(frame, st.Cond)
+				if err != nil {
+					return Value{}, ctlNone, err
+				}
+				taken := cond.Truthy()
+				if err := m.branch(st.Branch, cond, taken); err != nil {
+					return Value{}, ctlNone, err
+				}
+				if !taken {
+					return Value{}, ctlNone, nil
+				}
+			}
+			ret, ctl, err = m.execStmt(frame, st.Body)
+			if err != nil {
+				return Value{}, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return Value{}, ctlNone, nil
+			}
+			if st.Post != nil {
+				if _, _, err := m.execStmt(frame, st.Post); err != nil {
+					return Value{}, ctlNone, err
+				}
+			}
+		}
+	}
+	return Value{}, ctlNone, fmt.Errorf("vm: unknown statement %T", s)
+}
+
+// branch reports one branch execution to the sink.
+func (m *VM) branch(site *lang.BranchSite, cond Value, taken bool) error {
+	m.branchExecs++
+	if m.opts.Sink == nil {
+		return nil
+	}
+	if err := m.opts.Sink.OnBranch(site, cond, taken); err != nil {
+		if errors.Is(err, ErrAbortRun) {
+			return &runError{abort: true}
+		}
+		return &runError{err: err}
+	}
+	return nil
+}
+
+// eval evaluates an expression.
+func (m *VM) eval(frame *Object, e lang.Expr) (Value, error) {
+	if err := m.step(e.ExprPos()); err != nil {
+		return Value{}, err
+	}
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return IntValue(x.V), nil
+
+	case *lang.StrLit:
+		return PtrValue(m.internString(x), 0), nil
+
+	case *lang.Ident:
+		return m.evalIdentValue(frame, x), nil
+
+	case *lang.Unary:
+		v, err := m.eval(frame, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.applyUnary(x, v)
+
+	case *lang.Binary:
+		l, err := m.eval(frame, x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := m.eval(frame, x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.applyBinary(x, l, r)
+
+	case *lang.Logic:
+		return m.evalLogic(frame, x)
+
+	case *lang.Assign:
+		return m.evalAssign(frame, x)
+
+	case *lang.IncDec:
+		obj, off, err := m.lvalue(frame, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		old := obj.Cells[off]
+		delta := int64(1)
+		op := sym.OpAdd
+		if x.Op == lang.MINUSMIN {
+			delta = -1
+			op = sym.OpSub
+		}
+		var nv Value
+		if old.K == KPtr {
+			nv = PtrValue(old.Obj, old.Off+delta)
+		} else {
+			var se sym.Expr
+			if old.Sym != nil {
+				se = sym.NewBin(op, old.Sym, sym.One)
+			}
+			nv = SymValue(old.I+delta, se)
+		}
+		obj.Cells[off] = nv
+		return old, nil
+
+	case *lang.Call:
+		return m.evalCall(frame, x)
+
+	case *lang.Index:
+		base, err := m.eval(frame, x.Base)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := m.eval(frame, x.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		obj, off, err := m.indexCell(base, idx, x.Pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return obj.Cells[off], nil
+
+	case *lang.AddrOf:
+		obj, off, err := m.lvalue(frame, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return PtrValue(obj, off), nil
+
+	case *lang.Deref:
+		v, err := m.eval(frame, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.K != KPtr || v.Obj == nil {
+			return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+		}
+		if !v.Obj.In(v.Off) {
+			return Value{}, m.crash(CrashOOB, x.Pos, 0)
+		}
+		return v.Obj.Cells[v.Off], nil
+	}
+	return Value{}, fmt.Errorf("vm: unknown expression %T", e)
+}
+
+// evalIdentValue reads an identifier's value, decaying array names to
+// pointers to their first cell.
+func (m *VM) evalIdentValue(frame *Object, id *lang.Ident) Value {
+	d := id.Decl
+	if d.Global {
+		obj := m.globals[d.Slot]
+		if d.IsArray {
+			return PtrValue(obj, 0)
+		}
+		return obj.Cells[0]
+	}
+	return frame.Cells[d.Slot]
+}
+
+func (m *VM) internString(s *lang.StrLit) *Object {
+	if o, ok := m.strings[s]; ok {
+		return o
+	}
+	o := NewObject("str", int64(len(s.S))+1)
+	o.StoreBytes(0, []byte(s.S))
+	m.strings[s] = o
+	return o
+}
+
+// lvalue resolves an assignable expression to (object, offset).
+func (m *VM) lvalue(frame *Object, e lang.Expr) (*Object, int64, error) {
+	switch x := e.(type) {
+	case *lang.Ident:
+		d := x.Decl
+		if d.IsArray {
+			// &arr[0] via AddrOf(Ident) on an array name.
+			if d.Global {
+				return m.globals[d.Slot], 0, nil
+			}
+			av := frame.Cells[d.Slot]
+			if av.K != KPtr || av.Obj == nil {
+				return nil, 0, m.crash(CrashNullDeref, x.Pos, 0)
+			}
+			return av.Obj, av.Off, nil
+		}
+		if d.Global {
+			return m.globals[d.Slot], 0, nil
+		}
+		return frame, int64(d.Slot), nil
+	case *lang.Index:
+		base, err := m.eval(frame, x.Base)
+		if err != nil {
+			return nil, 0, err
+		}
+		idx, err := m.eval(frame, x.Idx)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m.indexCell(base, idx, x.Pos)
+	case *lang.Deref:
+		v, err := m.eval(frame, x.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v.K != KPtr || v.Obj == nil {
+			return nil, 0, m.crash(CrashNullDeref, x.Pos, 0)
+		}
+		if !v.Obj.In(v.Off) {
+			return nil, 0, m.crash(CrashOOB, x.Pos, 0)
+		}
+		return v.Obj, v.Off, nil
+	}
+	return nil, 0, fmt.Errorf("vm: not an lvalue: %T", e)
+}
+
+// indexCell computes base[idx] with bounds checking. Symbolic indexes are
+// concretized to their run value.
+func (m *VM) indexCell(base, idx Value, pos lang.Pos) (*Object, int64, error) {
+	if base.K != KPtr || base.Obj == nil {
+		return nil, 0, m.crash(CrashNullDeref, pos, 0)
+	}
+	off := base.Off + idx.I
+	if !base.Obj.In(off) {
+		return nil, 0, m.crash(CrashOOB, pos, 0)
+	}
+	return base.Obj, off, nil
+}
+
+func (m *VM) evalLogic(frame *Object, x *lang.Logic) (Value, error) {
+	l, err := m.eval(frame, x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	lTrue := l.Truthy()
+	// The short-circuit decision is itself a branch location.
+	if err := m.branch(x.Branch, l, lTrue); err != nil {
+		return Value{}, err
+	}
+	if x.Op == lang.ANDAND {
+		if !lTrue {
+			return SymValue(0, boolExprOf(l, false)), nil
+		}
+		r, err := m.eval(frame, x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r), nil
+	}
+	// OROR.
+	if lTrue {
+		return SymValue(1, boolExprOf(l, true)), nil
+	}
+	r, err := m.eval(frame, x.R)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolValue(r), nil
+}
+
+// boolValue coerces v to 0/1, keeping symbolic information.
+func boolValue(v Value) Value {
+	truth := int64(0)
+	if v.Truthy() {
+		truth = 1
+	}
+	if v.Sym != nil {
+		return SymValue(truth, sym.Bool(v.Sym))
+	}
+	return IntValue(truth)
+}
+
+// boolExprOf returns the symbolic 0/1 expression of v when symbolic; the
+// concrete result is fixed by `truth`.
+func boolExprOf(v Value, truth bool) sym.Expr {
+	if v.Sym == nil {
+		return nil
+	}
+	return sym.Bool(v.Sym)
+}
+
+func (m *VM) evalAssign(frame *Object, x *lang.Assign) (Value, error) {
+	rhs, err := m.eval(frame, x.RHS)
+	if err != nil {
+		return Value{}, err
+	}
+	obj, off, err := m.lvalue(frame, x.LHS)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Op == lang.ASSIGN {
+		obj.Cells[off] = rhs
+		return rhs, nil
+	}
+	old := obj.Cells[off]
+	var op lang.Kind
+	switch x.Op {
+	case lang.PLUSEQ:
+		op = lang.PLUS
+	case lang.MINUSEQ:
+		op = lang.MINUS
+	case lang.STAREQ:
+		op = lang.STAR
+	case lang.SLASHEQ:
+		op = lang.SLASH
+	case lang.PCTEQ:
+		op = lang.PERCENT
+	default:
+		return Value{}, fmt.Errorf("vm: bad compound assign %v", x.Op)
+	}
+	nv, err := m.binOp(op, old, rhs, x.Pos)
+	if err != nil {
+		return Value{}, err
+	}
+	obj.Cells[off] = nv
+	return nv, nil
+}
+
+func (m *VM) applyUnary(x *lang.Unary, v Value) (Value, error) {
+	if v.K == KPtr {
+		if x.Op == lang.BANG {
+			truth := int64(0)
+			if v.Obj == nil {
+				truth = 1
+			}
+			return IntValue(truth), nil
+		}
+		return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+	}
+	switch x.Op {
+	case lang.MINUS:
+		return SymValue(-v.I, unarySym(sym.OpNeg, v)), nil
+	case lang.TILDE:
+		return SymValue(^v.I, unarySym(sym.OpBNot, v)), nil
+	case lang.BANG:
+		truth := int64(0)
+		if v.I == 0 {
+			truth = 1
+		}
+		return SymValue(truth, unarySym(sym.OpNot, v)), nil
+	}
+	return Value{}, fmt.Errorf("vm: bad unary %v", x.Op)
+}
+
+func unarySym(op sym.Op, v Value) sym.Expr {
+	if v.Sym == nil {
+		return nil
+	}
+	return sym.NewUn(op, v.Sym)
+}
+
+func (m *VM) applyBinary(x *lang.Binary, l, r Value) (Value, error) {
+	return m.binOp(x.Op, l, r, x.Pos)
+}
+
+var binOpMap = map[lang.Kind]sym.Op{
+	lang.PLUS: sym.OpAdd, lang.MINUS: sym.OpSub, lang.STAR: sym.OpMul,
+	lang.SLASH: sym.OpDiv, lang.PERCENT: sym.OpMod, lang.AMP: sym.OpAnd,
+	lang.PIPE: sym.OpOr, lang.CARET: sym.OpXor, lang.SHL: sym.OpShl,
+	lang.SHR: sym.OpShr, lang.EQ: sym.OpEq, lang.NE: sym.OpNe,
+	lang.LT: sym.OpLt, lang.LE: sym.OpLe, lang.GT: sym.OpGt, lang.GE: sym.OpGe,
+}
+
+func (m *VM) binOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
+	// Pointer arithmetic and comparisons.
+	if l.K == KPtr || r.K == KPtr {
+		return m.ptrOp(op, l, r, pos)
+	}
+	sop, ok := binOpMap[op]
+	if !ok {
+		return Value{}, fmt.Errorf("vm: bad binary op %v", op)
+	}
+	if (sop == sym.OpDiv || sop == sym.OpMod) && r.I == 0 {
+		return Value{}, m.crash(CrashDivZero, pos, 0)
+	}
+	cv := evalConcrete(sop, l.I, r.I)
+	if l.Sym == nil && r.Sym == nil {
+		return IntValue(cv), nil
+	}
+	se := sym.NewBin(sop, l.Expr(), r.Expr())
+	if sym.TooLarge(se) {
+		// Concretize: drop the symbolic half to keep solver inputs tractable.
+		se = nil
+	}
+	return SymValue(cv, se), nil
+}
+
+func evalConcrete(op sym.Op, l, r int64) int64 {
+	switch op {
+	case sym.OpAdd:
+		return l + r
+	case sym.OpSub:
+		return l - r
+	case sym.OpMul:
+		return l * r
+	case sym.OpDiv:
+		return l / r
+	case sym.OpMod:
+		return l % r
+	case sym.OpAnd:
+		return l & r
+	case sym.OpOr:
+		return l | r
+	case sym.OpXor:
+		return l ^ r
+	case sym.OpShl:
+		return l << uint64(r&63)
+	case sym.OpShr:
+		return l >> uint64(r&63)
+	case sym.OpEq:
+		return b2i(l == r)
+	case sym.OpNe:
+		return b2i(l != r)
+	case sym.OpLt:
+		return b2i(l < r)
+	case sym.OpLe:
+		return b2i(l <= r)
+	case sym.OpGt:
+		return b2i(l > r)
+	case sym.OpGe:
+		return b2i(l >= r)
+	}
+	panic("vm: bad op")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ptrOp implements pointer arithmetic: ptr±int, ptr-ptr, and comparisons.
+func (m *VM) ptrOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
+	switch op {
+	case lang.PLUS:
+		if l.K == KPtr && r.K == KInt {
+			return PtrValue(l.Obj, l.Off+r.I), nil
+		}
+		if l.K == KInt && r.K == KPtr {
+			return PtrValue(r.Obj, r.Off+l.I), nil
+		}
+	case lang.MINUS:
+		if l.K == KPtr && r.K == KInt {
+			return PtrValue(l.Obj, l.Off-r.I), nil
+		}
+		if l.K == KPtr && r.K == KPtr && l.Obj == r.Obj {
+			return IntValue(l.Off - r.Off), nil
+		}
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		li, ri, ok := ptrCompareOperands(l, r)
+		if ok {
+			sop := binOpMap[op]
+			return IntValue(evalConcrete(sop, li, ri)), nil
+		}
+	}
+	return Value{}, m.crash(CrashNullDeref, pos, 0)
+}
+
+// ptrCompareOperands maps pointer comparison operands onto integers: same
+// object compares offsets; a pointer against integer 0 compares nullness;
+// distinct objects compare by identity ordering (stable within a run).
+func ptrCompareOperands(l, r Value) (int64, int64, bool) {
+	if l.K == KPtr && r.K == KPtr {
+		if l.Obj == r.Obj {
+			return l.Off, r.Off, true
+		}
+		return objAddr(l.Obj), objAddr(r.Obj), true
+	}
+	if l.K == KPtr && r.K == KInt && r.I == 0 {
+		if l.Obj == nil {
+			return 0, 0, true
+		}
+		return 1, 0, true
+	}
+	if l.K == KInt && l.I == 0 && r.K == KPtr {
+		if r.Obj == nil {
+			return 0, 0, true
+		}
+		return 0, 1, true
+	}
+	return 0, 0, false
+}
+
+func objAddr(o *Object) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.ID
+}

@@ -1,0 +1,571 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/oskernel"
+	"pathlog/internal/sym"
+)
+
+func compile(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	u, err := lang.ParseUnit("test.mc", lang.RegionApp, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := lang.Link([]*lang.Unit{u})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, cfg oskernel.Config) Result {
+	t.Helper()
+	return runOpts(t, src, cfg, Options{})
+}
+
+func runOpts(t *testing.T, src string, cfg oskernel.Config, opts Options) Result {
+	t.Helper()
+	prog := compile(t, src)
+	opts.Kernel = oskernel.New(cfg)
+	res, err := New(prog, opts).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `int main() { return (2 + 3 * 4 - 1) / 2 % 5; }`, oskernel.Config{})
+	// (2+12-1)/2 %5 = 13/2 %5 = 6%5 = 1... exit() not used, so main's return
+	// value is discarded and Exit stays 0; use exit() to observe values.
+	if res.Crashed || res.Exit != 0 {
+		t.Fatalf("res: %+v", res)
+	}
+	res = run(t, `int main() { exit((2 + 3 * 4 - 1) / 2 % 5); return 0; }`, oskernel.Config{})
+	if res.Exit != 1 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	res := run(t, `int main() { exit(((0xF0 | 0x0F) ^ 0xFF) + (1 << 4) + (256 >> 4) + (~0 + 1) + (12 & 10)); return 0; }`, oskernel.Config{})
+	// 0 + 16 + 16 + 0 + 8 = 40
+	if res.Exit != 40 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestFibonacciRecursive(t *testing.T) {
+	res := run(t, `
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		int main() { exit(fib(12)); return 0; }
+	`, oskernel.Config{})
+	if res.Exit != 144 {
+		t.Fatalf("fib(12): %d", res.Exit)
+	}
+}
+
+func TestLoopsAndCompound(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int s = 0;
+			int i;
+			for (i = 1; i <= 10; i++) { s += i; }
+			while (s > 50) { s -= 1; }
+			int j = 0;
+			for (;;) { j++; if (j >= 3) { break; } }
+			s *= 2;
+			s /= 4;
+			s %= 7;
+			exit(s * 10 + j);
+			return 0;
+		}
+	`, oskernel.Config{})
+	// s=55 → 50 → *2=100 → /4=25 → %7=4 ; j=3 → 43
+	if res.Exit != 43 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int s = 0;
+			int i;
+			for (i = 0; i < 10; i++) {
+				if (i % 2 == 0) { continue; }
+				if (i > 7) { break; }
+				s += i;
+			}
+			exit(s);
+			return 0;
+		}
+	`, oskernel.Config{})
+	// odd i <= 7: 1+3+5+7 = 16
+	if res.Exit != 16 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	res := run(t, `
+		int g[8];
+		int sum(int *p, int n) {
+			int s = 0;
+			int i;
+			for (i = 0; i < n; i++) { s += p[i]; }
+			return s;
+		}
+		int main() {
+			int a[4];
+			int i;
+			for (i = 0; i < 4; i++) { a[i] = i * i; }
+			int *p = &a[1];
+			*p = 100;
+			p++;
+			*p = 200;
+			g[0] = sum(a, 4);      // 0+100+200+9
+			int *q = g;
+			exit(*q + (p - a));    // 309 + 2
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 311 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestStringsAndGlobals(t *testing.T) {
+	res := run(t, `
+		char buf[32];
+		int copy(char *dst, char *src) {
+			int i = 0;
+			while (src[i] != '\0') { dst[i] = src[i]; i++; }
+			dst[i] = '\0';
+			return i;
+		}
+		int main() {
+			int n = copy(buf, "hello");
+			print_str(buf);
+			print_char('\n');
+			print_int(n);
+			exit(n);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 5 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+	if string(res.Stdout) != "hello\n5" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	res := run(t, `
+		int base = 40;
+		int extra = 2;
+		int main() { exit(base + extra); return 0; }
+	`, oskernel.Config{})
+	if res.Exit != 42 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	res := run(t, `
+		int calls = 0;
+		int bump() { calls++; return 1; }
+		int main() {
+			int a = 0 && bump();   // bump not called
+			int b = 1 || bump();   // bump not called
+			int c = 1 && bump();   // called
+			int d = 0 || bump();   // called
+			exit(calls * 100 + a * 1 + b * 2 + c * 4 + d * 8);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 2*100+0+2+4+8 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestCrashKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind CrashKind
+	}{
+		{`int main() { int a[2]; a[5] = 1; return 0; }`, CrashOOB},
+		{`int main() { int a[2]; exit(a[-1]); return 0; }`, CrashOOB},
+		{`int *gp; int main() { *gp = 3; return 0; }`, CrashNullDeref},
+		{`int main() { int x = 0; exit(4 / x); return 0; }`, CrashDivZero},
+		{`int main() { int x = 0; exit(4 % x); return 0; }`, CrashDivZero},
+		{`int f(int n) { return f(n + 1); } int main() { return f(0); }`, CrashStackOverflow},
+		{`int main() { crash(9); return 0; }`, CrashExplicit},
+	}
+	for i, tc := range cases {
+		res := run(t, tc.src, oskernel.Config{})
+		if !res.Crashed || res.Crash.Kind != tc.kind {
+			t.Errorf("case %d: got %+v, want kind %v", i, res.Crash, tc.kind)
+		}
+	}
+	// crash code is preserved.
+	res := run(t, `int main() { crash(77); return 0; }`, oskernel.Config{})
+	if res.Crash.Code != 77 {
+		t.Errorf("crash code: %d", res.Crash.Code)
+	}
+}
+
+func TestArgsBuiltins(t *testing.T) {
+	cfg := oskernel.Config{Args: [][]byte{[]byte("-p"), []byte("dir")}}
+	res := run(t, `
+		int main() {
+			char a0[16];
+			char a1[16];
+			int n0 = getarg(0, a0, 16);
+			int n1 = getarg(1, a1, 16);
+			int miss = getarg(5, a0, 16);
+			if (a0[0] == '-' && a0[1] == 'p' && n0 == 2 && n1 == 3 && miss == -1) {
+				exit(argcount());
+			}
+			exit(99);
+			return 0;
+		}
+	`, cfg)
+	if res.Exit != 2 {
+		t.Fatalf("exit: %d stdout=%q", res.Exit, res.Stdout)
+	}
+}
+
+func TestFileReadBuiltins(t *testing.T) {
+	cfg := oskernel.Config{Files: map[string][]byte{"a.txt": []byte("AB")}}
+	res := run(t, `
+		int main() {
+			int fd = open("a.txt");
+			if (fd < 0) { exit(1); }
+			char buf[8];
+			int n = read(fd, buf, 8);
+			int eof = read(fd, buf + 4, 4);
+			close(fd);
+			int bad = open("missing");
+			exit(n * 100 + eof * 10 + (bad == 0 - 1) + buf[0] - 'A');
+			return 0;
+		}
+	`, cfg)
+	// n=2, eof=0, bad==-1 → +1, buf[0]-'A'=0 → 201
+	if res.Exit != 201 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestServerBuiltins(t *testing.T) {
+	cfg := oskernel.Config{
+		Conns:                 []oskernel.ConnSpec{{Payload: []byte("GET")}},
+		ListenPort:            80,
+		CrashSignalAfterConns: true,
+	}
+	res := run(t, `
+		int main() {
+			int lfd = listen_socket(80);
+			int ready[4];
+			int n = select_ready(ready, 4);
+			if (n < 1) { exit(1); }
+			int cfd = accept(lfd);
+			if (cfd < 0) { exit(2); }
+			char buf[16];
+			int r = read(cfd, buf, 16);
+			write(cfd, buf, r);
+			if (signal_pending()) { crash(7); }
+			exit(3);
+			return 0;
+		}
+	`, cfg)
+	if !res.Crashed || res.Crash.Kind != CrashExplicit || res.Crash.Code != 7 {
+		t.Fatalf("res: %+v", res)
+	}
+}
+
+// recordingSink captures branch executions.
+type recordingSink struct {
+	sites []lang.BranchID
+	conds []bool
+	taken []bool
+	stop  lang.BranchID
+	abort bool
+}
+
+func (r *recordingSink) OnBranch(site *lang.BranchSite, cond Value, taken bool) error {
+	r.sites = append(r.sites, site.ID)
+	r.conds = append(r.conds, cond.IsSymbolic())
+	r.taken = append(r.taken, taken)
+	if r.abort && site.ID == r.stop {
+		return ErrAbortRun
+	}
+	return nil
+}
+
+func TestBranchSinkObservesAll(t *testing.T) {
+	sink := &recordingSink{}
+	res := runOpts(t, `
+		int main() {
+			int i;
+			for (i = 0; i < 3; i++) {        // b0: 4 execs
+				if (i == 1) { }              // b1: 3 execs
+			}
+			return 0;
+		}
+	`, oskernel.Config{}, Options{Sink: sink})
+	if res.Crashed {
+		t.Fatalf("crash: %+v", res.Crash)
+	}
+	if len(sink.sites) != 7 {
+		t.Fatalf("branch execs: %d (%v)", len(sink.sites), sink.sites)
+	}
+	if res.BranchExecs != 7 {
+		t.Fatalf("counter: %d", res.BranchExecs)
+	}
+}
+
+func TestBranchSinkAbort(t *testing.T) {
+	sink := &recordingSink{abort: true, stop: 1}
+	res := runOpts(t, `
+		int main() {
+			int i;
+			for (i = 0; i < 3; i++) {
+				if (i == 1) { }
+			}
+			return 0;
+		}
+	`, oskernel.Config{}, Options{Sink: sink})
+	if !res.Aborted {
+		t.Fatalf("expected abort, got %+v", res)
+	}
+}
+
+// fakeWorld marks arg bytes symbolic.
+type fakeWorld struct {
+	inputs map[string]*sym.Input
+	nextID int
+}
+
+func (w *fakeWorld) MarkByte(stream string, off int64) sym.Expr {
+	key := fmt.Sprintf("%s:%d", stream, off)
+	if in, ok := w.inputs[key]; ok {
+		return in
+	}
+	in := sym.NewInput(w.nextID, key, 0, 255)
+	w.nextID++
+	w.inputs[key] = in
+	return in
+}
+
+func (w *fakeWorld) SyscallExpr(kind string, seq int) sym.Expr { return nil }
+
+func TestSymbolicPropagation(t *testing.T) {
+	sink := &recordingSink{}
+	world := &fakeWorld{inputs: map[string]*sym.Input{}}
+	res := runOpts(t, `
+		int main() {
+			char a[8];
+			getarg(0, a, 8);
+			int x = a[0] + 1;          // symbolic
+			int y = 10;                // concrete
+			if (x > 50) { y = 20; }    // b0: symbolic condition
+			if (y == 20) { }           // b1: y is concrete (control dependence is not data flow)
+			exit(x);
+			return 0;
+		}
+	`, oskernel.Config{Args: [][]byte{[]byte("Q")}}, Options{Sink: sink, World: world})
+	if res.Exit != 'Q'+1 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+	if len(sink.conds) != 2 {
+		t.Fatalf("branches: %d", len(sink.conds))
+	}
+	if !sink.conds[0] {
+		t.Error("first branch should be symbolic")
+	}
+	if sink.conds[1] {
+		t.Error("second branch should be concrete")
+	}
+}
+
+func TestSymbolicExprShape(t *testing.T) {
+	world := &fakeWorld{inputs: map[string]*sym.Input{}}
+	var captured sym.Expr
+	sink := sinkFunc(func(site *lang.BranchSite, cond Value, taken bool) error {
+		captured = cond.Sym
+		return nil
+	})
+	runOpts(t, `
+		int main() {
+			char a[8];
+			getarg(0, a, 8);
+			if (a[0] * 2 - 1 > 100) { }
+			return 0;
+		}
+	`, oskernel.Config{Args: [][]byte{[]byte("A")}}, Options{Sink: sink, World: world})
+	if captured == nil {
+		t.Fatal("no symbolic condition captured")
+	}
+	want := "(((arg0:0 * 2) - 1) > 100)"
+	if got := sym.Format(captured); got != want {
+		t.Fatalf("expr: %q want %q", got, want)
+	}
+	// The constraint must evaluate consistently: 'A'*2-1 = 129 > 100.
+	if captured.Eval(sym.MapAssignment{0: 'A'}) != 1 {
+		t.Error("expr misevaluates")
+	}
+}
+
+type sinkFunc func(*lang.BranchSite, Value, bool) error
+
+func (f sinkFunc) OnBranch(s *lang.BranchSite, c Value, tk bool) error { return f(s, c, tk) }
+
+func TestStepBudget(t *testing.T) {
+	res := runOpts(t, `int main() { while (1) { } return 0; }`,
+		oskernel.Config{}, Options{MaxSteps: 1000})
+	if !res.BudgetExceeded {
+		t.Fatalf("expected budget exceeded: %+v", res)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int i = 5;
+			int a = i++;   // a=5, i=6
+			int b = i--;   // b=6, i=5
+			int arr[3];
+			arr[0] = 7;
+			arr[0]++;
+			exit(a * 100 + b * 10 + i + arr[0] * 1000);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 8000+500+60+5 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestPointerComparisons(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int a[4];
+			int *p = &a[1];
+			int *q = &a[3];
+			int *nil_p = 0;
+			int r = 0;
+			if (p < q) { r += 1; }
+			if (p == &a[1]) { r += 2; }
+			if (p != q) { r += 4; }
+			if (nil_p == 0) { r += 8; }
+			if (p != 0) { r += 16; }
+			exit(r);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 31 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestShadowingAndScopes(t *testing.T) {
+	res := run(t, `
+		int x = 1;
+		int main() {
+			int r = x;
+			int x = 10;
+			r += x;
+			{
+				int x = 100;
+				r += x;
+			}
+			r += x;
+			exit(r);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if res.Exit != 121 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+func TestVoidFunctionAndParams(t *testing.T) {
+	res := run(t, `
+		int g = 0;
+		void note(int v) { g += v; return; }
+		int main() { note(4); note(5); exit(g); return 0; }
+	`, oskernel.Config{})
+	if res.Exit != 9 {
+		t.Fatalf("exit: %d", res.Exit)
+	}
+}
+
+// TestQuickVMArithMatchesGo property-checks that MiniC integer arithmetic
+// matches Go's semantics for the same expressions.
+func TestQuickVMArithMatchesGo(t *testing.T) {
+	prog := compile(t, `
+		int main() {
+			char a[4];
+			char b[4];
+			getarg(0, a, 4);
+			getarg(1, b, 4);
+			int x = a[0];
+			int y = b[0] + 1;  // avoid div by zero
+			exit((x + y) * 3 - x / y + x % y);
+			return 0;
+		}
+	`)
+	f := func(xa, xb uint8) bool {
+		x, y := int64(xa), int64(xb)+1
+		kern := oskernel.New(oskernel.Config{Args: [][]byte{{xa}, {xb}}})
+		res, err := New(prog, Options{Kernel: kern}).Run()
+		if err != nil {
+			return false
+		}
+		want := (x+y)*3 - x/y + x%y
+		return res.Exit == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdoutCapture(t *testing.T) {
+	res := run(t, `
+		int main() {
+			print_str("x=");
+			print_int(0 - 42);
+			return 0;
+		}
+	`, oskernel.Config{})
+	if string(res.Stdout) != "x=-42" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+}
+
+func TestCrashSiteStable(t *testing.T) {
+	src := `int main() { if (argcount() > 0) { crash(1); } crash(2); return 0; }`
+	r1 := run(t, src, oskernel.Config{Args: [][]byte{[]byte("x")}})
+	r2 := run(t, src, oskernel.Config{Args: [][]byte{[]byte("y")}})
+	r3 := run(t, src, oskernel.Config{})
+	if r1.Crash.Site() != r2.Crash.Site() {
+		t.Error("same path should crash at same site")
+	}
+	if r1.Crash.Site() == r3.Crash.Site() {
+		t.Error("different path should crash at different site")
+	}
+	if !strings.Contains(r1.Crash.Site(), "crash()@test.mc:1") {
+		t.Errorf("site: %s", r1.Crash.Site())
+	}
+}

@@ -1,0 +1,158 @@
+// Package pathlog reproduces the system of "Striking a New Balance Between
+// Program Instrumentation and Debugging Time" (Crameri, Bianchini,
+// Zwaenepoel — EuroSys 2011): partial branch logging for privacy-preserving
+// bug reporting, with log-guided symbolic execution for bug reproduction.
+//
+// The workflow mirrors the paper end to end:
+//
+//	prog, _ := pathlog.Compile(
+//		pathlog.Unit{Name: "app.mc", Source: src},
+//	)
+//	scn := &pathlog.Scenario{Name: "demo", Prog: prog, Spec: spec,
+//		UserBytes: userInput}
+//
+//	// Pre-deployment: label branches with dynamic and/or static analysis
+//	// and choose an instrumentation method (§2).
+//	in := pathlog.Inputs{
+//		Dynamic: scn.AnalyzeDynamic(pathlog.DynamicOptions{MaxRuns: 200}),
+//		Static:  scn.AnalyzeStatic(pathlog.StaticOptions{}),
+//	}
+//	plan := scn.Plan(pathlog.MethodDynamicStatic, in, true)
+//
+//	// User site: the instrumented run logs one bit per instrumented
+//	// branch; a crash yields a bug report with no input bytes in it.
+//	rec, stats, _ := scn.Record(plan)
+//
+//	// Developer site: reproduce the bug from the partial branch log (§3).
+//	res := scn.Replay(rec, pathlog.ReplayOptions{MaxRuns: 2000})
+//	if res.Reproduced { fmt.Println(res.InputBytes) }
+//
+// Programs under test are written in MiniC, a small C-like language
+// interpreted by a VM with branch hooks (the substitution this reproduction
+// makes for CIL-instrumented native C; see DESIGN.md). The benchmark
+// programs of the paper's evaluation — mkdir, mknod, mkfifo, paste, the
+// uServer, diff and the microbenchmarks — live in internal/apps, and the
+// experiment harness that regenerates every table and figure lives in
+// internal/harness (driven by cmd/experiments).
+package pathlog
+
+import (
+	"pathlog/internal/concolic"
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+	"pathlog/internal/static"
+	"pathlog/internal/world"
+)
+
+// Unit is one MiniC source unit. Lib units count as library code for the
+// app/library split in branch statistics and for the treat-library-as-
+// symbolic static-analysis mode.
+type Unit struct {
+	Name   string
+	Lib    bool
+	Source string
+}
+
+// Compile parses and links MiniC units into an executable Program.
+func Compile(units ...Unit) (*Program, error) {
+	parsed := make([]*lang.Unit, 0, len(units))
+	for _, u := range units {
+		region := lang.RegionApp
+		if u.Lib {
+			region = lang.RegionLib
+		}
+		pu, err := lang.ParseUnit(u.Name, region, u.Source)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, pu)
+	}
+	return lang.Link(parsed)
+}
+
+// Core model types. These are aliases into the implementation packages so
+// that the full functionality documented there is available through this
+// facade.
+type (
+	// Program is a linked MiniC program.
+	Program = lang.Program
+	// BranchID identifies a branch location in a program.
+	BranchID = lang.BranchID
+	// Scenario binds a program to an input space and a user execution.
+	Scenario = core.Scenario
+	// RecordStats quantifies one user-site run (instrumentation overhead).
+	RecordStats = core.RecordStats
+	// Spec declares a scenario's symbolic input streams and workload.
+	Spec = world.Spec
+	// Stream is one symbolic input byte region.
+	Stream = world.Stream
+	// Recording is a bug report: plan, branch bitvector, optional syscall
+	// results, crash site — never input bytes.
+	Recording = replay.Recording
+	// ReplayOptions bound reproduction effort (the 1-hour cutoff, scaled).
+	ReplayOptions = replay.Options
+	// ReplayResult is a reproduction attempt's outcome.
+	ReplayResult = replay.Result
+	// DynamicOptions bound the concolic analysis (the coverage knob).
+	DynamicOptions = concolic.Options
+	// DynamicReport carries branch labels from the concolic analysis.
+	DynamicReport = concolic.Report
+	// StaticOptions configure the dataflow/points-to analysis.
+	StaticOptions = static.Options
+	// StaticReport carries symbolic-branch labels from static analysis.
+	StaticReport = static.Report
+	// Method selects an instrumentation strategy (§2.3).
+	Method = instrument.Method
+	// Plan is the instrumented-branch set retained by the developer.
+	Plan = instrument.Plan
+	// Inputs carries analysis results into plan construction.
+	Inputs = instrument.Inputs
+)
+
+// Instrumentation methods (§2.3).
+const (
+	MethodNone          = instrument.MethodNone
+	MethodDynamic       = instrument.MethodDynamic
+	MethodStatic        = instrument.MethodStatic
+	MethodDynamicStatic = instrument.MethodDynamicStatic
+	MethodAll           = instrument.MethodAll
+)
+
+// Methods lists the instrumented methods in the paper's order.
+var Methods = instrument.Methods
+
+// Stream constructors.
+var (
+	// ArgStream declares argv[i] as symbolic input.
+	ArgStream = world.ArgSpec
+	// FileStream declares a file's contents as symbolic input.
+	FileStream = world.FileSpec
+	// ConnStream declares a client connection's payload as symbolic input.
+	ConnStream = world.ConnSpec
+)
+
+// StripSyscallLog removes the syscall-result log from a recording, for
+// replaying under the symbolic syscall models of §3.3.
+func StripSyscallLog(rec *Recording) *Recording { return core.StripSyslog(rec) }
+
+// Reproduce runs the full pipeline for one scenario and method: analyze,
+// plan, record the user run, and replay the resulting bug report. It is the
+// one-call form of the workflow for experiments and examples.
+func Reproduce(scn *Scenario, method Method, dyn DynamicOptions, ropts ReplayOptions, logSyscalls bool) (*ReplayResult, *Recording, error) {
+	in := Inputs{
+		Dynamic: scn.AnalyzeDynamic(dyn),
+		Static:  scn.AnalyzeStatic(StaticOptions{}),
+	}
+	plan := scn.Plan(method, in, logSyscalls)
+	rec, _, err := scn.Record(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec == nil {
+		return nil, nil, nil // the user run did not crash: nothing to replay
+	}
+	res := scn.Replay(rec, ropts)
+	return res, rec, nil
+}
