@@ -9,6 +9,7 @@
 package pathlog
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -263,5 +264,43 @@ func analysesFor(b *testing.B, an *core.Scenario, dynRuns int, libSym bool) inst
 	return instrument.Inputs{
 		Dynamic: an.AnalyzeDynamic(concolic.Options{MaxRuns: dynRuns}),
 		Static:  an.AnalyzeStatic(static.Options{LibAsSymbolic: libSym}),
+	}
+}
+
+// --- parallel replay ---------------------------------------------------------
+
+// BenchmarkReplayWorkers measures the Session replay under 1, 2 and 4
+// search workers on the uServer no-syslog search (model-mode replay is the
+// breadth-heavy case). On an N-core host, budget-exhausting sweeps complete
+// a fixed MaxRuns budget in ~1/N wall time; single-core hosts should run
+// workers=1 (the cmd/replay default is runtime.NumCPU()).
+func BenchmarkReplayWorkers(b *testing.B) {
+	an := apps.UServerAnalysisScenario()
+	in := analysesFor(b, an, 60, true)
+	s, err := apps.UServerScenario(4, 72)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := s.Plan(instrument.MethodDynamic, in, false)
+	rec, _, err := s.Record(plan)
+	if err != nil || rec == nil {
+		b.Fatalf("record: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sess := SessionOf(s,
+				WithReplayBudget(4000, 30*time.Second),
+				WithReplayWorkers(workers))
+			var runs int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := sess.Replay(context.Background(), rec)
+				if !res.Reproduced {
+					b.Fatalf("workers=%d: not reproduced after %d runs", workers, res.Runs)
+				}
+				runs = res.Runs
+			}
+			b.ReportMetric(float64(runs), "replay-runs")
+		})
 	}
 }

@@ -8,15 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"pathlog"
 	"pathlog/internal/apps"
 	"pathlog/internal/concolic"
 	"pathlog/internal/instrument"
-	"pathlog/internal/static"
 )
 
 func main() {
@@ -32,15 +35,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	s, err := apps.ScenarioByName(*scenario)
 	if err != nil {
 		fatal(err)
 	}
 	an := apps.AnalysisScenarioFor(*scenario, s)
+	sess := pathlog.SessionOf(s,
+		pathlog.WithAnalysisSpec(an.Spec),
+		pathlog.WithDynamicBudget(*dynRuns, 0),
+		pathlog.WithStaticOptions(pathlog.StaticOptions{LibAsSymbolic: *libSym}),
+		pathlog.WithSyscallLog(),
+	)
 
-	dyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: *dynRuns})
-	stat := an.AnalyzeStatic(static.Options{LibAsSymbolic: *libSym})
-	in := instrument.Inputs{Dynamic: dyn, Static: stat}
+	in, err := sess.Analyze(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	dyn, stat := in.Dynamic, in.Static
 
 	total := len(s.Prog.Branches)
 	fmt.Printf("program: %d branch locations\n", total)
@@ -52,8 +66,13 @@ func main() {
 		stat.CountSymbolic(), stat.Contexts, stat.Passes)
 
 	fmt.Println("\ninstrumentation decisions:")
-	for _, m := range instrument.Methods {
-		plan := s.Plan(m, in, true)
+	plans := map[string]*pathlog.Plan{}
+	for _, m := range pathlog.Methods {
+		plan, err := sess.PlanFor(ctx, m)
+		if err != nil {
+			fatal(err)
+		}
+		plans[m.String()] = plan
 		fmt.Printf("  %-15s %4d locations (%5.1f%%)\n", m, plan.NumInstrumented(),
 			100*float64(plan.NumInstrumented())/float64(total))
 	}
@@ -64,17 +83,13 @@ func main() {
 			"id", "kind", "location", "dynamic", "static", "methods")
 		fmt.Println(header)
 		fmt.Println("  " + strings.Repeat("-", len(header)-2))
-		plans := map[string]*instrument.Plan{}
-		for _, m := range instrument.Methods {
-			plans[m.String()] = s.Plan(m, in, true)
-		}
 		for _, b := range s.Prog.Branches {
 			statLabel := "concrete"
 			if stat.SymbolicBranches[b.ID] {
 				statLabel = "symbolic"
 			}
 			var methods []string
-			for _, m := range instrument.Methods {
+			for _, m := range pathlog.Methods {
 				if plans[m.String()].Instrumented[b.ID] {
 					methods = append(methods, shortName(m))
 				}

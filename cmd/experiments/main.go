@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pathlog/internal/harness"
@@ -44,7 +47,12 @@ func main() {
 		"replay run budget")
 	flag.DurationVar(&cfg.ReplayBudget, "replay-budget", cfg.ReplayBudget,
 		"replay wall-clock budget (the paper's 1-hour cutoff)")
+	flag.IntVar(&cfg.ReplayWorkers, "replay-workers", cfg.ReplayWorkers,
+		"concurrent replay workers per reproduction (1 = serial depth-first)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *list:
@@ -53,13 +61,13 @@ func main() {
 		}
 	case *all:
 		start := time.Now()
-		if err := cfg.RunAll(os.Stdout); err != nil {
+		if err := cfg.RunAll(ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
 	case *exp != "":
-		if err := cfg.Run(*exp, os.Stdout); err != nil {
+		if err := cfg.Run(ctx, *exp, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
+	"pathlog"
 	"pathlog/internal/apps"
-	"pathlog/internal/concolic"
 	"pathlog/internal/instrument"
-	"pathlog/internal/static"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s, err := apps.ScenarioByName(*scenario)
 	if err != nil {
@@ -51,16 +56,27 @@ func main() {
 	}
 
 	an := apps.AnalysisScenarioFor(*scenario, s)
-	libMode := *scenario != "" && len(*scenario) >= 7 && (*scenario)[:7] == "userver"
-	in := instrument.Inputs{
-		Dynamic: an.AnalyzeDynamic(concolic.Options{MaxRuns: *dynRuns}),
-		Static:  an.AnalyzeStatic(static.Options{LibAsSymbolic: libMode}),
+	opts := []pathlog.Option{
+		pathlog.WithMethod(m),
+		pathlog.WithAnalysisSpec(an.Spec),
+		pathlog.WithDynamicBudget(*dynRuns, 0),
+		pathlog.WithStaticOptions(pathlog.StaticOptions{
+			LibAsSymbolic: strings.HasPrefix(*scenario, "userver"),
+		}),
 	}
-	plan := s.Plan(m, in, *syscalls)
+	if *syscalls {
+		opts = append(opts, pathlog.WithSyscallLog())
+	}
+	sess := pathlog.SessionOf(s, opts...)
+
+	plan, err := sess.Plan(ctx)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("plan: %s instruments %d of %d branch locations\n",
 		m, plan.NumInstrumented(), len(s.Prog.Branches))
 
-	rec, stats, err := s.Record(plan)
+	rec, stats, err := sess.Record(ctx, nil)
 	if err != nil {
 		fatal(err)
 	}

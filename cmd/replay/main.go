@@ -1,18 +1,24 @@
 // Command replay performs the developer-site half of the workflow: it loads
 // a bug report produced by cmd/record and reproduces the crash, printing the
-// reconstructed bug-triggering inputs.
+// reconstructed bug-triggering inputs. Ctrl-C cancels the search cleanly;
+// -workers fans the search out over concurrent workers.
 //
 // Usage:
 //
-//	replay -scenario paste -in bug.report
+//	replay -scenario paste -in bug.report -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
+	"pathlog"
 	"pathlog/internal/apps"
 	"pathlog/internal/replay"
 )
@@ -24,6 +30,8 @@ func main() {
 		maxRuns  = flag.Int("max-runs", 4000, "replay run budget")
 		budget   = flag.Duration("budget", 60*time.Second,
 			"wall-clock budget (the paper's 1-hour cutoff, scaled)")
+		workers = flag.Int("workers", runtime.NumCPU(),
+			"concurrent replay workers (1 = the paper's serial depth-first search)")
 		noSyslog = flag.Bool("ignore-syslog", false,
 			"discard the syscall log and use the symbolic models of §3.3")
 	)
@@ -32,6 +40,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s, err := apps.ScenarioByName(*scenario)
 	if err != nil {
@@ -47,19 +57,27 @@ func main() {
 		rec.SysLog = nil
 	}
 
-	res := s.Replay(rec, replay.Options{MaxRuns: *maxRuns, TimeBudget: *budget})
+	sess := pathlog.SessionOf(s,
+		pathlog.WithReplayBudget(*maxRuns, *budget),
+		pathlog.WithReplayWorkers(*workers),
+	)
+	res := sess.Replay(ctx, rec)
 	if !res.Reproduced {
-		fmt.Printf("NOT reproduced: %d runs, %s elapsed (budget exhausted — the paper's inf)\n",
-			res.Runs, res.Elapsed.Round(time.Millisecond))
+		why := "budget exhausted — the paper's inf"
+		if res.Cancelled {
+			why = "cancelled"
+		}
+		fmt.Printf("NOT reproduced: %d runs, %s elapsed (%s)\n",
+			res.Runs, res.Elapsed.Round(time.Millisecond), why)
 		os.Exit(1)
 	}
-	fmt.Printf("reproduced in %d runs (%s); %d aborted paths; solver: %d calls (%d sat)\n",
-		res.Runs, res.Elapsed.Round(time.Millisecond), res.Aborts,
+	fmt.Printf("reproduced in %d runs (%s, %d workers); %d aborted paths; solver: %d calls (%d sat)\n",
+		res.Runs, res.Elapsed.Round(time.Millisecond), res.Workers, res.Aborts,
 		res.SolverStats.Calls, res.SolverStats.Sat)
 	fmt.Printf("symbolic branches on the bug path: %d locations logged (%d execs), %d not logged (%d execs)\n",
 		res.SymLoggedLocs, res.SymLoggedExecs, res.SymNotLoggedLocs, res.SymNotLoggedExecs)
 
-	if s.VerifyInput(res.InputBytes, rec.Crash) {
+	if sess.Verify(res.InputBytes, rec.Crash) {
 		fmt.Println("verified: the reconstructed input crashes at the recorded site")
 	} else {
 		fmt.Println("WARNING: reconstructed input failed verification")

@@ -3,12 +3,14 @@
 // diff is the paper's stress case: nearly every branch depends on the two
 // input files, so the dynamic method (with its low analysis coverage) leaves
 // many symbolic branches unlogged and replay blows up — while dynamic+static
-// replays quickly. This example shows that contrast directly.
+// replays quickly. This example shows that contrast directly, with the
+// replay search fanned out over four workers (WithReplayWorkers).
 //
 // Run with: go run ./examples/diffdebug
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	scn, err := apps.DiffExperimentScenario(1)
 	if err != nil {
 		log.Fatal(err)
@@ -28,30 +31,36 @@ func main() {
 
 	// Low-coverage dynamic analysis — §5.4 reports only 20% coverage for
 	// diff within the budget — plus the full static analysis.
-	an := apps.AnalysisSpec(scn)
-	in := pathlog.Inputs{
-		Dynamic: an.AnalyzeDynamic(pathlog.DynamicOptions{MaxRuns: 30}),
-		Static:  an.AnalyzeStatic(pathlog.StaticOptions{}),
+	sess := pathlog.SessionOf(scn,
+		pathlog.WithAnalysisSpec(apps.AnalysisSpec(scn).Spec),
+		pathlog.WithSyscallLog(),
+		pathlog.WithDynamicBudget(30, 0),
+		pathlog.WithReplayBudget(2500, 15*time.Second),
+		pathlog.WithReplayWorkers(4),
+	)
+	in, err := sess.Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("analysis: dynamic labels %d symbolic; static labels %d symbolic (of %d)\n\n",
 		in.Dynamic.CountLabel(2), in.Static.CountSymbolic(), len(scn.Prog.Branches))
 
 	for _, method := range pathlog.Methods {
-		plan := scn.Plan(method, in, true)
-		rec, _, err := scn.Record(plan)
+		plan, err := sess.PlanFor(ctx, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, _, err := sess.RecordWith(ctx, plan, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if rec == nil {
 			log.Fatalf("%v: no crash recorded", method)
 		}
-		res := scn.Replay(rec, pathlog.ReplayOptions{
-			MaxRuns:    2500,
-			TimeBudget: 15 * time.Second,
-		})
+		res := sess.Replay(ctx, rec)
 		if res.Reproduced {
-			fmt.Printf("%-15s reproduced in %4d runs (%s); %d/%d symbolic locations logged/unlogged\n",
-				method, res.Runs, res.Elapsed.Round(time.Millisecond),
+			fmt.Printf("%-15s reproduced in %4d runs (%s, %d workers); %d/%d symbolic locations logged/unlogged\n",
+				method, res.Runs, res.Elapsed.Round(time.Millisecond), res.Workers,
 				res.SymLoggedLocs, res.SymNotLoggedLocs)
 			fmt.Printf("%-15s  reconstructed a.txt: %q\n", "",
 				printable(res.InputBytes["file:a.txt"]))

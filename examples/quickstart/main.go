@@ -1,4 +1,4 @@
-// Quickstart: the paper's Listing 1 end to end.
+// Quickstart: the paper's Listing 1 end to end, through the Session API.
 //
 // A program computes a Fibonacci number for one of two options. Only the two
 // option branches depend on input, so the selective instrumentation methods
@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,25 +50,28 @@ int main() {
 `
 
 func main() {
+	ctx := context.Background()
 	prog, err := pathlog.Compile(pathlog.Unit{Name: "fib.mc", Source: source})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled: %d branch locations\n", len(prog.Branches))
 
-	// The scenario: one argument of up to 4 bytes. The neutral seed is what
+	// The session: one argument of up to 4 bytes. The neutral seed is what
 	// analysis and replay see; the user's actual input is 'c'.
-	scn := &pathlog.Scenario{
-		Name:      "quickstart",
-		Prog:      prog,
-		Spec:      &pathlog.Spec{Args: []pathlog.Stream{pathlog.ArgStream(0, "x", 4)}},
-		UserBytes: map[string][]byte{"arg0": []byte("c")},
-	}
+	sess := pathlog.NewSession(prog,
+		&pathlog.Spec{Args: []pathlog.Stream{pathlog.ArgStream(0, "x", 4)}},
+		pathlog.WithName("quickstart"),
+		pathlog.WithUserBytes(map[string][]byte{"arg0": []byte("c")}),
+		pathlog.WithSyscallLog(),
+		pathlog.WithDynamicBudget(50, 0),
+		pathlog.WithReplayBudget(500, 0),
+	)
 
 	// Pre-deployment analysis: which branches depend on input?
-	in := pathlog.Inputs{
-		Dynamic: scn.AnalyzeDynamic(pathlog.DynamicOptions{MaxRuns: 50}),
-		Static:  scn.AnalyzeStatic(pathlog.StaticOptions{}),
+	in, err := sess.Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("dynamic analysis: %d runs, %d symbolic / %d concrete branch locations\n",
 		in.Dynamic.Runs,
@@ -77,11 +81,14 @@ func main() {
 		in.Static.CountSymbolic())
 
 	for _, method := range pathlog.Methods {
-		plan := scn.Plan(method, in, true)
+		plan, err := sess.PlanFor(ctx, method)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		// User site: the instrumented run crashes; the bug report holds the
 		// branch bits and the crash site — no input bytes.
-		rec, stats, err := scn.Record(plan)
+		rec, stats, err := sess.RecordWith(ctx, plan, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,7 +97,7 @@ func main() {
 		}
 
 		// Developer site: reproduce.
-		res := scn.Replay(rec, pathlog.ReplayOptions{MaxRuns: 500})
+		res := sess.Replay(ctx, rec)
 		status := "failed"
 		if res.Reproduced {
 			status = fmt.Sprintf("reproduced in %d runs; input arg0=%q",
@@ -99,7 +106,7 @@ func main() {
 		fmt.Printf("%-15s  %2d branches instrumented, %2d bits logged -> %s\n",
 			method, plan.NumInstrumented(), stats.TraceBits, status)
 
-		if res.Reproduced && !scn.VerifyInput(res.InputBytes, rec.Crash) {
+		if res.Reproduced && !sess.Verify(res.InputBytes, rec.Crash) {
 			log.Fatalf("%v: reproduced input does not verify", method)
 		}
 	}

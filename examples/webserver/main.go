@@ -4,12 +4,14 @@
 // receives a crash signal (the paper's SIGSEGV). The instrumented build logs
 // one bit per instrumented branch; the replay engine reconstructs HTTP
 // request bytes that drive the server down the recorded path to the crash —
-// without the bug report ever containing the user's requests.
+// without the bug report ever containing the user's requests. The replay
+// search runs on four workers.
 //
 // Run with: go run ./examples/webserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// uServer experiment 2: a GET with query string and Host header.
 	scn, err := apps.UServerScenario(2, 72)
 	if err != nil {
@@ -29,38 +32,45 @@ func main() {
 		apps.UServerExperiments[1][0])
 
 	// Pre-deployment analysis, seeded by the developer test suite.
-	an := apps.UServerAnalysisScenario()
-	in := pathlog.Inputs{
-		Dynamic: an.AnalyzeDynamic(pathlog.DynamicOptions{MaxRuns: 40}),
-		Static:  an.AnalyzeStatic(pathlog.StaticOptions{LibAsSymbolic: true}),
+	sess := pathlog.SessionOf(scn,
+		pathlog.WithAnalysisSpec(apps.UServerAnalysisScenario().Spec),
+		pathlog.WithSyscallLog(),
+		pathlog.WithDynamicBudget(40, 0),
+		pathlog.WithStaticOptions(pathlog.StaticOptions{LibAsSymbolic: true}),
+		pathlog.WithReplayBudget(3000, 30*time.Second),
+		pathlog.WithReplayWorkers(4),
+	)
+	in, err := sess.Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("analysis: dynamic %d runs / %d symbolic; static %d symbolic\n",
 		in.Dynamic.Runs, in.Dynamic.CountLabel(2), in.Static.CountSymbolic())
 
 	for _, method := range pathlog.Methods {
-		plan := scn.Plan(method, in, true)
-		rec, stats, err := scn.Record(plan)
+		plan, err := sess.PlanFor(ctx, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, stats, err := sess.RecordWith(ctx, plan, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if rec == nil {
 			log.Fatalf("%v: the server did not crash", method)
 		}
-		res := scn.Replay(rec, pathlog.ReplayOptions{
-			MaxRuns:    3000,
-			TimeBudget: 30 * time.Second,
-		})
+		res := sess.Replay(ctx, rec)
 		verdict := "FAILED (budget exhausted — the paper's inf)"
 		if res.Reproduced {
 			req := res.InputBytes["conn0"]
-			verdict = fmt.Sprintf("reproduced in %d runs (%.0fms); reconstructed request %q",
-				res.Runs, res.Elapsed.Seconds()*1000, printable(req))
+			verdict = fmt.Sprintf("reproduced in %d runs (%.0fms, %d workers); reconstructed request %q",
+				res.Runs, res.Elapsed.Seconds()*1000, res.Workers, printable(req))
 		}
 		fmt.Printf("\n%-15s instruments %3d locations, logged %4d bits (%d B + %d B syscalls)\n  -> %s\n",
 			method, plan.NumInstrumented(), stats.TraceBits,
 			stats.TraceBytes, stats.SyslogBytes, verdict)
 		if res.Reproduced {
-			if !scn.VerifyInput(res.InputBytes, rec.Crash) {
+			if !sess.Verify(res.InputBytes, rec.Crash) {
 				log.Fatalf("%v: reconstructed input does not verify", method)
 			}
 			fmt.Println("  verified: re-running the reconstructed input hits the same crash site")

@@ -1,0 +1,3 @@
+module pathlog
+
+go 1.24

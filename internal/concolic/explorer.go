@@ -14,6 +14,7 @@
 package concolic
 
 import (
+	"context"
 	"time"
 
 	"pathlog/internal/lang"
@@ -56,6 +57,9 @@ type Options struct {
 	// paths (diff's LCS loops) would otherwise spawn thousands of solver
 	// calls per run.
 	MaxChildrenPerRun int
+	// OnRun, when set, is called after each exploration run with the number
+	// of runs completed so far.
+	OnRun func(completed int)
 	// Solver options.
 	Solver solver.Options
 }
@@ -180,9 +184,11 @@ func (t *tracer) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) erro
 	return nil
 }
 
-// Explore runs the analysis until its budget is exhausted and returns the
-// labeling report.
-func (e *Explorer) Explore() *Report {
+// Explore runs the analysis until its budget is exhausted, the context is
+// cancelled, or its deadline passes, and returns the labeling report. The
+// context subsumes the TimeBudget option: whichever bound fires first stops
+// exploration after the current run.
+func (e *Explorer) Explore(ctx context.Context) *Report {
 	e.report = Report{
 		Labels:       make(map[lang.BranchID]Label, len(e.prog.Branches)),
 		ExecCount:    make(map[lang.BranchID]int64),
@@ -193,19 +199,23 @@ func (e *Explorer) Explore() *Report {
 	}
 
 	start := time.Now()
-	deadline := time.Time{}
 	if e.opts.TimeBudget > 0 {
-		deadline = start.Add(e.opts.TimeBudget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(e.opts.TimeBudget))
+		defer cancel()
 	}
 
 	e.queue = []sym.MapAssignment{{}} // initial run: all-seed input
 	for len(e.queue) > 0 && e.report.Runs < e.opts.MaxRuns {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			break
 		}
 		asn := e.queue[0]
 		e.queue = e.queue[1:]
 		conds := e.runOnce(asn)
+		if e.opts.OnRun != nil {
+			e.opts.OnRun(e.report.Runs)
+		}
 		if e.report.Runs >= e.opts.MaxRuns {
 			break // the budget is spent; child generation would be wasted
 		}

@@ -1,6 +1,7 @@
 package concolic
 
 import (
+	"context"
 	"testing"
 
 	"pathlog/internal/lang"
@@ -61,7 +62,7 @@ func TestListing1Labels(t *testing.T) {
 	prog := compile(t, listing1)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "x", 4)}}
 	ex := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 50})
-	rep := ex.Explore()
+	rep := ex.Explore(context.Background())
 
 	if rep.Runs < 3 {
 		t.Fatalf("expected at least 3 runs, got %d", rep.Runs)
@@ -91,7 +92,7 @@ func TestExplorationFindsBothOptions(t *testing.T) {
 	prog := compile(t, listing1)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "x", 4)}}
 	ex := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 50})
-	rep := ex.Explore()
+	rep := ex.Explore(context.Background())
 
 	forB := branchByPosLine(prog, 6)
 	// Paths: 'x' (no fib), 'a' (21 execs), 'b' (41 execs) => >= 62.
@@ -105,8 +106,8 @@ func TestCoverageBudget(t *testing.T) {
 	prog := compile(t, listing1)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "x", 4)}}
 
-	low := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 1}).Explore()
-	high := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 50}).Explore()
+	low := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 1}).Explore(context.Background())
+	high := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 50}).Explore(context.Background())
 
 	total := len(prog.Branches)
 	if low.Coverage(total) > high.Coverage(total) {
@@ -142,7 +143,7 @@ func TestRelabelConcreteToSymbolic(t *testing.T) {
 	`
 	prog := compile(t, src)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "z", 2)}}
-	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 20}).Explore()
+	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 20}).Explore(context.Background())
 	b := branchByPosLine(prog, 3)
 	if rep.Labels[b.ID] != Symbolic {
 		t.Errorf("relabel: got %v", rep.Labels[b.ID])
@@ -165,7 +166,7 @@ func TestUnvisitedStaysUnvisited(t *testing.T) {
 	`
 	prog := compile(t, src)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
-	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 30}).Explore()
+	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 30}).Explore(context.Background())
 	deadBranch := branchByPosLine(prog, 3)
 	if rep.Labels[deadBranch.ID] != Unvisited {
 		t.Errorf("dead branch: %v", rep.Labels[deadBranch.ID])
@@ -190,7 +191,7 @@ func TestExplorerFindsGuardedCrash(t *testing.T) {
 	`
 	prog := compile(t, src)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
-	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 30}).Explore()
+	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 30}).Explore(context.Background())
 	inner := branchByPosLine(prog, 6)
 	if rep.ExecCount[inner.ID] == 0 {
 		t.Fatal("inner guard never reached; solver failed to flip outer guard")
@@ -203,7 +204,7 @@ func TestExplorerFindsGuardedCrash(t *testing.T) {
 func TestHistogramConsistency(t *testing.T) {
 	prog := compile(t, listing1)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "a", 2)}}
-	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 10}).Explore()
+	rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 10}).Explore(context.Background())
 
 	var execs, symExecs int64
 	for _, n := range rep.ExecCount {
@@ -231,7 +232,7 @@ func TestDeterministicExploration(t *testing.T) {
 	run := func() (int, int) {
 		prog := compile(t, listing1)
 		spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "x", 4)}}
-		rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 25}).Explore()
+		rep := New(prog, spec, world.NewRegistry(), Options{MaxRuns: 25}).Explore(context.Background())
 		return rep.Runs, rep.CountLabel(Symbolic)
 	}
 	r1, s1 := run()

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,8 +43,26 @@ type Scenario struct {
 }
 
 // UserSpec materializes the user-site input space: the neutral spec with
-// seeds replaced by the user's bytes.
+// seeds replaced by the user's bytes. Every UserBytes key must name a
+// declared stream; a key that matches nothing is an error, not a silent
+// no-op — a typo'd stream name would otherwise record the wrong input.
 func (s *Scenario) UserSpec() (*world.Spec, error) {
+	declared := make(map[string]bool,
+		len(s.Spec.Args)+len(s.Spec.Files)+len(s.Spec.Conns))
+	for _, a := range s.Spec.Args {
+		declared[a.Name] = true
+	}
+	for _, f := range s.Spec.Files {
+		declared[f.Stream.Name] = true
+	}
+	for _, c := range s.Spec.Conns {
+		declared[c.Stream.Name] = true
+	}
+	for name := range s.UserBytes {
+		if !declared[name] {
+			return nil, fmt.Errorf("core: user input names stream %q, but the spec declares no such stream", name)
+		}
+	}
 	cp := *s.Spec
 	cp.Args = append([]world.Stream(nil), s.Spec.Args...)
 	cp.Files = append([]world.FileInput(nil), s.Spec.Files...)
@@ -79,10 +98,19 @@ func overrideSeed(st *world.Stream, user map[string][]byte) error {
 	return nil
 }
 
-// AnalyzeDynamic runs the concolic analysis over the neutral input space.
-func (s *Scenario) AnalyzeDynamic(opts concolic.Options) *concolic.Report {
+// AnalyzeDynamicContext runs the concolic analysis over the neutral input
+// space; the context's cancellation or deadline stops exploration after the
+// current run.
+func (s *Scenario) AnalyzeDynamicContext(ctx context.Context, opts concolic.Options) *concolic.Report {
 	ex := concolic.New(s.Prog, s.Spec, world.NewRegistry(), opts)
-	return ex.Explore()
+	return ex.Explore(ctx)
+}
+
+// AnalyzeDynamic runs the concolic analysis over the neutral input space.
+//
+// Deprecated: use AnalyzeDynamicContext, or the pathlog.Session API.
+func (s *Scenario) AnalyzeDynamic(opts concolic.Options) *concolic.Report {
+	return s.AnalyzeDynamicContext(context.Background(), opts)
 }
 
 // AnalyzeStatic runs the static analysis.
@@ -110,12 +138,15 @@ type RecordStats struct {
 	Syscalls          int64
 }
 
-// Record executes the user-site run under a plan and assembles the bug
-// report. The run is fully concrete — no symbolic machinery is attached, so
-// measured overhead is exactly the branch logger plus syscall-result
-// logging. Returns an error when the user run does not crash (no bug, no
-// report).
-func (s *Scenario) Record(plan *instrument.Plan) (*replay.Recording, *RecordStats, error) {
+// RecordContext executes the user-site run under a plan and assembles the
+// bug report. The run is fully concrete — no symbolic machinery is attached,
+// so measured overhead is exactly the branch logger plus syscall-result
+// logging. The context gates only the start of the run: a user-site run is
+// one bounded concrete execution, so once started it completes.
+func (s *Scenario) RecordContext(ctx context.Context, plan *instrument.Plan) (*replay.Recording, *RecordStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	userSpec, err := s.UserSpec()
 	if err != nil {
 		return nil, nil, err
@@ -179,12 +210,20 @@ func (s *Scenario) Record(plan *instrument.Plan) (*replay.Recording, *RecordStat
 	return rec, stats, nil
 }
 
-// MeasureOverhead runs the user-site workload repeatedly under a plan and
-// returns the average wall time, without requiring a crash. One untimed
+// Record executes the user-site run under a plan and assembles the bug
+// report.
+//
+// Deprecated: use RecordContext, or the pathlog.Session API.
+func (s *Scenario) Record(plan *instrument.Plan) (*replay.Recording, *RecordStats, error) {
+	return s.RecordContext(context.Background(), plan)
+}
+
+// MeasureOverheadContext runs the user-site workload repeatedly under a plan
+// and returns the average wall time, without requiring a crash. One untimed
 // warm-up run precedes the measured rounds so allocator and cache effects do
 // not pollute the first sample; overhead comparisons need many rounds for
-// microsecond-scale workloads.
-func (s *Scenario) MeasureOverhead(plan *instrument.Plan, rounds int) (time.Duration, *RecordStats, error) {
+// microsecond-scale workloads. Cancelling the context stops between rounds.
+func (s *Scenario) MeasureOverheadContext(ctx context.Context, plan *instrument.Plan, rounds int) (time.Duration, *RecordStats, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
@@ -193,14 +232,14 @@ func (s *Scenario) MeasureOverhead(plan *instrument.Plan, rounds int) (time.Dura
 		warmup = 20
 	}
 	for i := 0; i < warmup; i++ {
-		if _, _, err := s.Record(plan); err != nil {
+		if _, _, err := s.RecordContext(ctx, plan); err != nil {
 			return 0, nil, err
 		}
 	}
 	var total time.Duration
 	var last *RecordStats
 	for i := 0; i < rounds; i++ {
-		_, stats, err := s.Record(plan)
+		_, stats, err := s.RecordContext(ctx, plan)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -210,10 +249,27 @@ func (s *Scenario) MeasureOverhead(plan *instrument.Plan, rounds int) (time.Dura
 	return total / time.Duration(rounds), last, nil
 }
 
-// Replay reproduces a recorded bug.
-func (s *Scenario) Replay(rec *replay.Recording, opts replay.Options) *replay.Result {
+// MeasureOverhead runs the user-site workload repeatedly under a plan and
+// returns the average wall time.
+//
+// Deprecated: use MeasureOverheadContext, or the pathlog.Session API.
+func (s *Scenario) MeasureOverhead(plan *instrument.Plan, rounds int) (time.Duration, *RecordStats, error) {
+	return s.MeasureOverheadContext(context.Background(), plan, rounds)
+}
+
+// ReplayContext reproduces a recorded bug. The context's cancellation or
+// deadline stops the guided search within one run; opts.Workers > 1
+// parallelizes the pending-list exploration.
+func (s *Scenario) ReplayContext(ctx context.Context, rec *replay.Recording, opts replay.Options) *replay.Result {
 	eng := replay.New(s.Prog, s.Spec, world.NewRegistry(), rec, opts)
-	return eng.Reproduce()
+	return eng.Reproduce(ctx)
+}
+
+// Replay reproduces a recorded bug.
+//
+// Deprecated: use ReplayContext, or the pathlog.Session API.
+func (s *Scenario) Replay(rec *replay.Recording, opts replay.Options) *replay.Result {
+	return s.ReplayContext(context.Background(), rec, opts)
 }
 
 // StripSyslog returns a recording with the syscall log removed, for the

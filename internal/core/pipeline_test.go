@@ -287,6 +287,20 @@ func TestUserSpecValidation(t *testing.T) {
 	}
 }
 
+func TestUserSpecRejectsUnknownStream(t *testing.T) {
+	s := guardedScenario(t)
+	// A typo'd stream name must fail loudly, not silently record the
+	// neutral seed in place of the user's input.
+	s.UserBytes = map[string][]byte{"arg9": []byte("PQ")}
+	_, err := s.UserSpec()
+	if err == nil {
+		t.Fatal("unknown stream key must be rejected")
+	}
+	if !strings.Contains(err.Error(), "arg9") {
+		t.Fatalf("error does not name the unknown stream: %v", err)
+	}
+}
+
 func TestMeasureOverheadOrdering(t *testing.T) {
 	// Instrumented configurations must not be cheaper than none, and all
 	// must not be cheaper than dynamic (sanity, not a benchmark).

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,7 +10,6 @@ import (
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
 	"pathlog/internal/lang"
-	"pathlog/internal/replay"
 	"pathlog/internal/world"
 )
 
@@ -33,15 +33,16 @@ func (c Config) healthyMkdir() (*core.Scenario, error) {
 // run. The paper's two assumptions must be visible in the data: few
 // locations carry all symbolic executions, and each location is either
 // always symbolic or always concrete.
-func (c Config) Figure1() (*Table, error) {
+func (c Config) Figure1(ctx context.Context) (*Table, error) {
 	s, err := c.healthyMkdir()
 	if err != nil {
 		return nil, err
 	}
 	// A single concolic run over the user input is the paper's "sample run
-	// with concrete inputs, recording per-branch symbolic/concrete".
+	// with concrete inputs, recording per-branch symbolic/concrete" — a
+	// sampling probe, so no static pass is wanted here.
 	sample := &core.Scenario{Name: s.Name, Prog: s.Prog, Spec: mustUserSpec(s)}
-	rep := sample.AnalyzeDynamic(concolic.Options{MaxRuns: 1})
+	rep := sample.AnalyzeDynamicContext(ctx, concolic.Options{MaxRuns: 1})
 
 	var rows []branchRow
 	for id, n := range rep.ExecCount {
@@ -97,12 +98,15 @@ func mustUserSpec(s *core.Scenario) *world.Spec {
 // Figure2 reproduces mkdir's normalized CPU time under the four
 // instrumentation methods (plus none). The paper: dynamic, dynamic+static
 // and static are near-identical; all-branches pays ~31%.
-func (c Config) Figure2() (*Table, error) {
+func (c Config) Figure2(ctx context.Context) (*Table, error) {
 	s, err := c.healthyMkdir()
 	if err != nil {
 		return nil, err
 	}
-	in := analyze(apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+	in, err := analyze(ctx, apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "Figure 2",
@@ -111,14 +115,14 @@ func (c Config) Figure2() (*Table, error) {
 			"proj. native overhead", "logged bits"},
 	}
 	none := s.Plan(instrument.MethodNone, in, true)
-	baseline, _, err := s.MeasureOverhead(none, c.SmallWorkloadRounds)
+	baseline, _, err := measure(ctx, s, none, c.SmallWorkloadRounds)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("none", "0", fmtDur(baseline), "100%", "+0%", "0")
 	for _, m := range instrument.Methods {
 		plan := s.Plan(m, in, true)
-		avg, stats, err := s.MeasureOverhead(plan, c.SmallWorkloadRounds)
+		avg, stats, err := measure(ctx, s, plan, c.SmallWorkloadRounds)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +138,7 @@ func (c Config) Figure2() (*Table, error) {
 
 // Table1 reproduces the coreutils bug-replay times: all four programs under
 // all four methods (the paper reports 1-1.5s, identical across methods).
-func (c Config) Table1() (*Table, error) {
+func (c Config) Table1(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "Table 1",
 		Title:  "time to replay a real bug in four coreutils programs",
@@ -145,20 +149,20 @@ func (c Config) Table1() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in := analyze(apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+		in, err := analyze(ctx, apps.AnalysisSpec(s), c.CoreutilAnalysisRuns, false)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range instrument.Methods {
 			plan := s.Plan(m, in, true)
-			rec, _, err := s.Record(plan)
+			rec, _, err := record(ctx, s, plan)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", name, m, err)
 			}
 			if rec == nil {
 				return nil, fmt.Errorf("%s/%v: user run did not crash", name, m)
 			}
-			res := s.Replay(rec, replay.Options{
-				MaxRuns:    c.ReplayMaxRuns,
-				TimeBudget: c.ReplayBudget,
-			})
+			res := c.replay(ctx, s, rec)
 			cell := fmtDur(res.Elapsed)
 			if !res.Reproduced {
 				cell = Infinity

@@ -1,27 +1,30 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pathlog/internal/apps"
 	"pathlog/internal/instrument"
-	"pathlog/internal/replay"
 )
 
 // diffAnalyses runs the §5.4 analyses: diff is input-heavy, so the concolic
 // budget achieves only partial coverage (the paper reports 20% after one
 // hour) while the full static analysis runs normally.
-func (c Config) diffAnalyses() instrument.Inputs {
+func (c Config) diffAnalyses(ctx context.Context) (instrument.Inputs, error) {
 	s, err := apps.DiffExperimentScenario(1)
 	if err != nil {
 		panic(err) // static scenario table; cannot fail
 	}
-	return analyze(apps.AnalysisSpec(s), c.DiffAnalysisRuns, false)
+	return analyze(ctx, apps.AnalysisSpec(s), c.DiffAnalysisRuns, false)
 }
 
 // Figure5 reproduces diff's normalized CPU time under the four methods.
-func (c Config) Figure5() (*Table, error) {
-	in := c.diffAnalyses()
+func (c Config) Figure5(ctx context.Context) (*Table, error) {
+	in, err := c.diffAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
 	s, err := apps.DiffExperimentScenario(1)
 	if err != nil {
 		return nil, err
@@ -33,14 +36,14 @@ func (c Config) Figure5() (*Table, error) {
 			"proj. native overhead", "logged bits"},
 	}
 	none := s.Plan(instrument.MethodNone, in, true)
-	baseline, _, err := s.MeasureOverhead(none, c.OverheadRounds)
+	baseline, _, err := measure(ctx, s, none, c.OverheadRounds)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("none", "0", fmtDur(baseline), "100%", "+0%", "0")
 	for _, m := range instrument.Methods {
 		plan := s.Plan(m, in, true)
-		avg, stats, err := s.MeasureOverhead(plan, c.OverheadRounds)
+		avg, stats, err := measure(ctx, s, plan, c.OverheadRounds)
 		if err != nil {
 			return nil, err
 		}
@@ -60,8 +63,11 @@ func (c Config) Figure5() (*Table, error) {
 // comparison scenarios. The paper: dynamic never finishes (inf); the other
 // three configurations replay in 1s / 12s with zero unlogged symbolic
 // branches.
-func (c Config) Tables6and7() (*Table, *Table, error) {
-	in := c.diffAnalyses()
+func (c Config) Tables6and7(ctx context.Context) (*Table, *Table, error) {
+	in, err := c.diffAnalyses(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 	t6 := &Table{
 		ID:     "Table 6",
 		Title:  "diff bug reproduction times, two input scenarios",
@@ -79,17 +85,14 @@ func (c Config) Tables6and7() (*Table, *Table, error) {
 		}
 		for _, m := range instrument.Methods {
 			plan := s.Plan(m, in, true)
-			rec, _, err := s.Record(plan)
+			rec, _, err := record(ctx, s, plan)
 			if err != nil {
 				return nil, nil, fmt.Errorf("diff exp%d/%v: %w", exp, m, err)
 			}
 			if rec == nil {
 				return nil, nil, fmt.Errorf("diff exp%d/%v: no crash", exp, m)
 			}
-			res := s.Replay(rec, replay.Options{
-				MaxRuns:    c.ReplayMaxRuns,
-				TimeBudget: c.ReplayBudget,
-			})
+			res := c.replay(ctx, s, rec)
 			t6.AddRow(fmt.Sprintf("%d", exp), m.String(), replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged, notLogged := "-", "-"

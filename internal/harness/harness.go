@@ -11,14 +11,16 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
-	"pathlog/internal/concolic"
+	"pathlog"
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
+	"pathlog/internal/replay"
 	"pathlog/internal/static"
 )
 
@@ -51,6 +53,9 @@ type Config struct {
 	// exhausted budget renders as the paper's ∞.
 	ReplayMaxRuns int
 	ReplayBudget  time.Duration
+	// ReplayWorkers fans each reproduction's pending-list search out over N
+	// concurrent workers (1 = the paper's serial depth-first search).
+	ReplayWorkers int
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.
@@ -67,6 +72,7 @@ func DefaultConfig() Config {
 		DiffAnalysisRuns:      40,
 		ReplayMaxRuns:         4000,
 		ReplayBudget:          20 * time.Second,
+		ReplayWorkers:         1,
 	}
 }
 
@@ -147,12 +153,34 @@ func fmtDur(d time.Duration) string {
 // fmtPct renders a ratio as a percentage.
 func fmtPct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
 
-// analyze runs both analyses over a scenario's neutral spec.
-func analyze(s *core.Scenario, dynRuns int, libAsSymbolic bool) instrument.Inputs {
-	return instrument.Inputs{
-		Dynamic: s.AnalyzeDynamic(concolic.Options{MaxRuns: dynRuns}),
-		Static:  s.AnalyzeStatic(static.Options{LibAsSymbolic: libAsSymbolic}),
-	}
+// analyze runs both analyses over a scenario's neutral spec through the
+// Session API; the context bounds the concolic exploration.
+func analyze(ctx context.Context, s *core.Scenario, dynRuns int, libAsSymbolic bool) (instrument.Inputs, error) {
+	sess := pathlog.SessionOf(s,
+		pathlog.WithDynamicBudget(dynRuns, 0),
+		pathlog.WithStaticOptions(static.Options{LibAsSymbolic: libAsSymbolic}))
+	return sess.Analyze(ctx)
+}
+
+// record performs one user-site run under an explicit plan through the
+// Session API.
+func record(ctx context.Context, s *core.Scenario, plan *instrument.Plan) (*replay.Recording, *core.RecordStats, error) {
+	return pathlog.SessionOf(s).RecordWith(ctx, plan, nil)
+}
+
+// measure averages the user-site wall time under a plan through the Session
+// API.
+func measure(ctx context.Context, s *core.Scenario, plan *instrument.Plan, rounds int) (time.Duration, *core.RecordStats, error) {
+	return pathlog.SessionOf(s).MeasureOverhead(ctx, plan, rounds)
+}
+
+// replay reproduces a recording under the Config's replay budget and worker
+// count through the Session API.
+func (c Config) replay(ctx context.Context, s *core.Scenario, rec *replay.Recording) *replay.Result {
+	sess := pathlog.SessionOf(s,
+		pathlog.WithReplayBudget(c.ReplayMaxRuns, c.ReplayBudget),
+		pathlog.WithReplayWorkers(c.ReplayWorkers))
+	return sess.Replay(ctx, rec)
 }
 
 // staticLibOpts is the §5.3 static configuration: library treated as

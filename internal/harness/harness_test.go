@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestMicroLoopShape(t *testing.T) {
-	tbl, err := fastConfig().MicroLoop()
+	tbl, err := fastConfig().MicroLoop(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMicroLoopShape(t *testing.T) {
 }
 
 func TestMicroFibShape(t *testing.T) {
-	tbl, err := fastConfig().MicroFib()
+	tbl, err := fastConfig().MicroFib(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestMicroFibShape(t *testing.T) {
 }
 
 func TestFigure1Assumptions(t *testing.T) {
-	tbl, err := fastConfig().Figure1()
+	tbl, err := fastConfig().Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFigure1Assumptions(t *testing.T) {
 }
 
 func TestTable1AllReproduced(t *testing.T) {
-	tbl, err := fastConfig().Table1()
+	tbl, err := fastConfig().Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTable1AllReproduced(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	c := fastConfig()
-	tbl, err := c.Table2()
+	tbl, err := c.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func atoiT(t *testing.T, s string) int {
 
 func TestFigure4StorageOrdering(t *testing.T) {
 	c := fastConfig()
-	tbl, err := c.Figure4()
+	tbl, err := c.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFigure4StorageOrdering(t *testing.T) {
 
 func TestTables6and7DiffContrast(t *testing.T) {
 	c := fastConfig()
-	t6, t7, err := c.Tables6and7()
+	t6, t7, err := c.Tables6and7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestTables6and7DiffContrast(t *testing.T) {
 }
 
 func TestCompressRatio(t *testing.T) {
-	tbl, err := fastConfig().Compress()
+	tbl, err := fastConfig().Compress(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,14 +213,14 @@ func TestCompressRatio(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := fastConfig().Run("nope", &buf); err == nil {
+	if err := fastConfig().Run(context.Background(), "nope", &buf); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestRunNamedExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := fastConfig().Run("micro-fib", &buf); err != nil {
+	if err := fastConfig().Run(context.Background(), "micro-fib", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Micro 2") {
@@ -228,7 +229,7 @@ func TestRunNamedExperiment(t *testing.T) {
 }
 
 func TestSummaryReduction(t *testing.T) {
-	tbl, err := fastConfig().Summary()
+	tbl, err := fastConfig().Summary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,16 +13,16 @@ import (
 // uninstrumented and with all branches logged. The paper measures 17
 // instructions / ~3ns per instrumented branch and 107% total overhead; the
 // harness reports the same quantities for this VM.
-func (c Config) MicroLoop() (*Table, error) {
+func (c Config) MicroLoop(ctx context.Context) (*Table, error) {
 	s := apps.MicroLoopScenario(c.MicroLoopIters)
 	none := s.Plan(instrument.MethodNone, instrument.Inputs{}, false)
 	all := s.Plan(instrument.MethodAll, instrument.Inputs{}, false)
 
-	baseline, baseStats, err := s.MeasureOverhead(none, c.OverheadRounds)
+	baseline, baseStats, err := measure(ctx, s, none, c.OverheadRounds)
 	if err != nil {
 		return nil, err
 	}
-	logged, allStats, err := s.MeasureOverhead(all, c.OverheadRounds)
+	logged, allStats, err := measure(ctx, s, all, c.OverheadRounds)
 	if err != nil {
 		return nil, err
 	}
@@ -53,9 +54,12 @@ func (c Config) MicroLoop() (*Table, error) {
 // five configurations. The selective methods instrument only the two option
 // branches, so their overhead is negligible; all-branches pays per loop
 // iteration (the paper's 110%).
-func (c Config) MicroFib() (*Table, error) {
+func (c Config) MicroFib(ctx context.Context) (*Table, error) {
 	s := apps.MicroFibScenario('b') // fibonacci(40): the longer loop
-	in := analyze(apps.AnalysisSpec(s), 60, false)
+	in, err := analyze(ctx, apps.AnalysisSpec(s), 60, false)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "Micro 2",
@@ -64,14 +68,14 @@ func (c Config) MicroFib() (*Table, error) {
 			"proj. native overhead", "logged bits"},
 	}
 	none := s.Plan(instrument.MethodNone, in, false)
-	baseline, _, err := s.MeasureOverhead(none, c.SmallWorkloadRounds)
+	baseline, _, err := measure(ctx, s, none, c.SmallWorkloadRounds)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("none", "0", fmtDur(baseline), "100%", "+0%", "0")
 	for _, m := range instrument.Methods {
 		plan := s.Plan(m, in, false)
-		avg, stats, err := s.MeasureOverhead(plan, c.SmallWorkloadRounds)
+		avg, stats, err := measure(ctx, s, plan, c.SmallWorkloadRounds)
 		if err != nil {
 			return nil, err
 		}

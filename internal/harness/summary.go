@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // keeping bug reproduction within budget. It measures the logged-bits
 // reduction (the driver of both CPU and storage overhead) of dynamic+static
 // versus static across the three workload families.
-func (c Config) Summary() (*Table, error) {
+func (c Config) Summary(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "Summary",
 		Title: "dynamic+static vs static: instrumentation reduction (paper: 10-92%)",
@@ -25,11 +26,11 @@ func (c Config) Summary() (*Table, error) {
 	emit := func(name string, scn *core.Scenario, in instrument.Inputs) error {
 		stPlan := scn.Plan(instrument.MethodStatic, in, true)
 		dsPlan := scn.Plan(instrument.MethodDynamicStatic, in, true)
-		_, stStats, err := scn.MeasureOverhead(stPlan, 1)
+		_, stStats, err := measure(ctx, scn, stPlan, 1)
 		if err != nil {
 			return err
 		}
-		_, dsStats, err := scn.MeasureOverhead(dsPlan, 1)
+		_, dsStats, err := measure(ctx, scn, dsPlan, 1)
 		if err != nil {
 			return err
 		}
@@ -51,18 +52,30 @@ func (c Config) Summary() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := emit("mkdir", mk, analyze(apps.AnalysisSpec(mk), c.CoreutilAnalysisRuns, false)); err != nil {
+	mkIn, err := analyze(ctx, apps.AnalysisSpec(mk), c.CoreutilAnalysisRuns, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit("mkdir", mk, mkIn); err != nil {
 		return nil, err
 	}
 	us := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
-	if err := emit("userver", us, c.uServerAnalyses().hc); err != nil {
+	uan, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit("userver", us, uan.hc); err != nil {
 		return nil, err
 	}
 	df, err := apps.DiffExperimentScenario(1)
 	if err != nil {
 		return nil, err
 	}
-	if err := emit("diff", df, c.diffAnalyses()); err != nil {
+	dfIn, err := c.diffAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit("diff", df, dfIn); err != nil {
 		return nil, err
 	}
 	t.Notes = append(t.Notes,
@@ -78,8 +91,9 @@ var Experiments = []string{
 	"figure5", "table6", "table7", "compress", "summary",
 }
 
-// Run executes one named experiment and renders it to w.
-func (c Config) Run(name string, w io.Writer) error {
+// Run executes one named experiment and renders it to w. The context
+// cancels analysis and replay work in flight.
+func (c Config) Run(ctx context.Context, name string, w io.Writer) error {
 	render := func(t *Table, err error) error {
 		if err != nil {
 			return err
@@ -97,50 +111,50 @@ func (c Config) Run(name string, w io.Writer) error {
 	}
 	switch name {
 	case "micro-loop":
-		return render(c.MicroLoop())
+		return render(c.MicroLoop(ctx))
 	case "micro-fib":
-		return render(c.MicroFib())
+		return render(c.MicroFib(ctx))
 	case "figure1":
-		return render(c.Figure1())
+		return render(c.Figure1(ctx))
 	case "figure2":
-		return render(c.Figure2())
+		return render(c.Figure2(ctx))
 	case "table1":
-		return render(c.Table1())
+		return render(c.Table1(ctx))
 	case "figure3":
-		return render(c.Figure3())
+		return render(c.Figure3(ctx))
 	case "table2":
-		return render(c.Table2())
+		return render(c.Table2(ctx))
 	case "figure4":
-		return render(c.Figure4())
+		return render(c.Figure4(ctx))
 	case "table3", "table4":
-		a, b, err := c.Tables3and4()
+		a, b, err := c.Tables3and4(ctx)
 		return render2(a, b, err)
 	case "table5", "table8":
-		a, b, err := c.Tables5and8()
+		a, b, err := c.Tables5and8(ctx)
 		return render2(a, b, err)
 	case "figure5":
-		return render(c.Figure5())
+		return render(c.Figure5(ctx))
 	case "table6", "table7":
-		a, b, err := c.Tables6and7()
+		a, b, err := c.Tables6and7(ctx)
 		return render2(a, b, err)
 	case "compress":
-		return render(c.Compress())
+		return render(c.Compress(ctx))
 	case "summary":
-		return render(c.Summary())
+		return render(c.Summary(ctx))
 	}
 	return fmt.Errorf("harness: unknown experiment %q (known: %v)", name, Experiments)
 }
 
 // RunAll executes every experiment in presentation order, skipping the
 // second name of rendered pairs.
-func (c Config) RunAll(w io.Writer) error {
+func (c Config) RunAll(ctx context.Context, w io.Writer) error {
 	skip := map[string]bool{"table4": true, "table8": true, "table7": true}
 	for _, name := range Experiments {
 		if skip[name] {
 			continue
 		}
 		fmt.Fprintf(w, "-- running %s --\n", name)
-		if err := c.Run(name, w); err != nil {
+		if err := c.Run(ctx, name, w); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ type uAnalyses struct {
 	hc instrument.Inputs
 }
 
-func (c Config) uServerAnalyses() uAnalyses {
+func (c Config) uServerAnalyses(ctx context.Context) (uAnalyses, error) {
 	// Pre-deployment exploration is seeded with developer test requests —
 	// the paper's engine (Oasis) is "concolic execution driven by test
 	// suites", and §6 notes that manual test cases boost coverage. The
@@ -27,24 +28,30 @@ func (c Config) uServerAnalyses() uAnalyses {
 	an := apps.UServerAnalysisScenario()
 	// §5.3: static analysis cannot process the merged library sources, so it
 	// runs on the application only and treats every library branch as
-	// symbolic.
-	lcDyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: c.UServerAnalysisRunsLC})
-	hcDyn := an.AnalyzeDynamic(concolic.Options{MaxRuns: c.UServerAnalysisRunsHC})
+	// symbolic. The static report is shared between the two coverage levels
+	// (only the concolic budget differs), so run it once.
+	lcDyn := an.AnalyzeDynamicContext(ctx, concolic.Options{MaxRuns: c.UServerAnalysisRunsLC})
+	hcDyn := an.AnalyzeDynamicContext(ctx, concolic.Options{MaxRuns: c.UServerAnalysisRunsHC})
+	if err := ctx.Err(); err != nil {
+		return uAnalyses{}, err
+	}
 	stat := an.AnalyzeStatic(staticLibOpts())
 	return uAnalyses{
 		lc: instrument.Inputs{Dynamic: lcDyn, Static: stat},
 		hc: instrument.Inputs{Dynamic: hcDyn, Static: stat},
-	}
+	}, nil
 }
 
 // Figure3 reproduces the uServer branch histogram: per-location execution
 // counts split between application and library code. The paper observes ~18M
 // executions with ~10% symbolic, 81% of executions in the library but only
 // 28% of symbolic executions there.
-func (c Config) Figure3() (*Table, error) {
+func (c Config) Figure3(ctx context.Context) (*Table, error) {
 	s := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
 	sample := &core.Scenario{Name: s.Name, Prog: s.Prog, Spec: mustUserSpec(s)}
-	rep := sample.AnalyzeDynamic(concolic.Options{MaxRuns: 1})
+	// One concolic run over the user input — a sampling probe, so the static
+	// half of the full analysis pipeline is not wanted here.
+	rep := sample.AnalyzeDynamicContext(ctx, concolic.Options{MaxRuns: 1})
 
 	var rows []branchRow
 	for id, n := range rep.ExecCount {
@@ -92,8 +99,11 @@ func max64(a, b int64) int64 {
 
 // Table2 reproduces the uServer instrumented-branch-location counts for the
 // four methods under low and high analysis coverage.
-func (c Config) Table2() (*Table, error) {
-	an := c.uServerAnalyses()
+func (c Config) Table2(ctx context.Context) (*Table, error) {
+	an, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
 	prog := apps.UServerProgram()
 	s := apps.UServerLoadScenario(2, apps.DefaultHTTPRequest)
 
@@ -124,8 +134,11 @@ func (c Config) Table2() (*Table, error) {
 // Figure4 reproduces the uServer CPU-time and storage measurements per
 // configuration: dynamic and dynamic+static at both coverages, static, all
 // branches, against the uninstrumented baseline.
-func (c Config) Figure4() (*Table, error) {
-	an := c.uServerAnalyses()
+func (c Config) Figure4(ctx context.Context) (*Table, error) {
+	an, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
 	s := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
 
 	t := &Table{
@@ -135,7 +148,7 @@ func (c Config) Figure4() (*Table, error) {
 			"proj. native overhead", "storage bytes", "bytes/request", "syslog bytes"},
 	}
 	none := s.Plan(instrument.MethodNone, instrument.Inputs{}, false)
-	baseline, _, err := s.MeasureOverhead(none, c.OverheadRounds)
+	baseline, _, err := measure(ctx, s, none, c.OverheadRounds)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +169,7 @@ func (c Config) Figure4() (*Table, error) {
 	}
 	for _, cf := range cfgs {
 		plan := s.Plan(cf.m, cf.in, true)
-		avg, stats, err := s.MeasureOverhead(plan, c.OverheadRounds)
+		avg, stats, err := measure(ctx, s, plan, c.OverheadRounds)
 		if err != nil {
 			return nil, err
 		}
@@ -201,8 +214,11 @@ var uReplayRows = []uReplayRow{
 // Tables3and4 reproduces the uServer replay-time matrix (Table 3) and the
 // logged/not-logged symbolic-branch statistics (Table 4) in one pass over
 // the five input scenarios.
-func (c Config) Tables3and4() (*Table, *Table, error) {
-	an := c.uServerAnalyses()
+func (c Config) Tables3and4(ctx context.Context) (*Table, *Table, error) {
+	an, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 	t3 := &Table{
 		ID:     "Table 3",
 		Title:  "uServer bug reproduction times, five input scenarios",
@@ -230,17 +246,14 @@ func (c Config) Tables3and4() (*Table, *Table, error) {
 				cov = "-"
 			}
 			plan := s.Plan(rowCfg.m, in, true)
-			rec, _, err := s.Record(plan)
+			rec, _, err := record(ctx, s, plan)
 			if err != nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
 			}
 			if rec == nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
 			}
-			res := s.Replay(rec, replay.Options{
-				MaxRuns:    c.ReplayMaxRuns,
-				TimeBudget: c.ReplayBudget,
-			})
+			res := c.replay(ctx, s, rec)
 			t3.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged := "-"
@@ -263,8 +276,11 @@ func (c Config) Tables3and4() (*Table, *Table, error) {
 
 // Tables5and8 reproduces the no-syscall-logging experiments: replay times
 // (Table 5) and branch statistics (Table 8) for experiments 1 and 4.
-func (c Config) Tables5and8() (*Table, *Table, error) {
-	an := c.uServerAnalyses()
+func (c Config) Tables5and8(ctx context.Context) (*Table, *Table, error) {
+	an, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 	t5 := &Table{
 		ID:     "Table 5",
 		Title:  "uServer reproduction times without syscall-result logging (exps 1, 4)",
@@ -294,17 +310,14 @@ func (c Config) Tables5and8() (*Table, *Table, error) {
 			// Plans without syscall logging: the recording carries no
 			// syscall results, so replay falls back to the §3.3 models.
 			plan := s.Plan(rowCfg.m, in, false)
-			rec, _, err := s.Record(plan)
+			rec, _, err := record(ctx, s, plan)
 			if err != nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
 			}
 			if rec == nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
 			}
-			res := s.Replay(rec, replay.Options{
-				MaxRuns:    c.ReplayMaxRuns,
-				TimeBudget: c.ReplayBudget,
-			})
+			res := c.replay(ctx, s, rec)
 			t5.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged := "-"
@@ -327,8 +340,11 @@ func (c Config) Tables5and8() (*Table, *Table, error) {
 // Compress reports the branch-log gzip compression ratio (§5.3 text:
 // 10-20x). The load workload is re-armed with the crash signal so Record
 // yields a recording whose trace can be compressed.
-func (c Config) Compress() (*Table, error) {
-	an := c.uServerAnalyses()
+func (c Config) Compress(ctx context.Context) (*Table, error) {
+	an, err := c.uServerAnalyses(ctx)
+	if err != nil {
+		return nil, err
+	}
 	load := apps.UServerLoadScenario(c.UServerLoadRequests, apps.DefaultHTTPRequest)
 	crashSpec := *load.Spec
 	crashSpec.CrashSignalAfterConns = true
@@ -342,7 +358,7 @@ func (c Config) Compress() (*Table, error) {
 	}
 	for _, m := range []instrument.Method{instrument.MethodStatic, instrument.MethodAll} {
 		plan := s.Plan(m, an.hc, false)
-		rec, _, err := s.Record(plan)
+		rec, _, err := record(ctx, s, plan)
 		if err != nil {
 			return nil, err
 		}

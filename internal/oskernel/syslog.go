@@ -67,6 +67,13 @@ func (l *SyscallLog) nextSelect() ([]int, bool) {
 // before every new run.
 func (l *SyscallLog) Rewind() { l.readPos, l.selectPos = 0, 0 }
 
+// Clone returns a view over the same recorded results with fresh, independent
+// replay cursors. The backing result slices are shared and must no longer be
+// appended to; parallel replay runs each consume their own clone.
+func (l *SyscallLog) Clone() *SyscallLog {
+	return &SyscallLog{reads: l.reads, selects: l.selects}
+}
+
 // NumReads returns how many read() results were recorded.
 func (l *SyscallLog) NumReads() int { return len(l.reads) }
 

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,7 +46,7 @@ func TestRecordingSaveLoadRoundTrip(t *testing.T) {
 
 	// The loaded recording must replay identically.
 	eng := New(f.prog, f.spec, world.NewRegistry(), loaded, Options{MaxRuns: 300})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if !res.Reproduced {
 		t.Fatalf("loaded recording did not reproduce: %+v", res)
 	}

@@ -21,9 +21,16 @@
 // §3.2), solves it for a new input, and starts over. Reproduction succeeds
 // when a run crashes at the recorded bug site having matched the entire
 // bitvector.
+//
+// The search is context-aware and optionally parallel: Options.Workers > 1
+// fans the pending-list exploration out over a pool of workers that share
+// the pending stack and the variable registry but own their solvers and
+// per-run worlds. The reproduction with the lowest run sequence number wins.
 package replay
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"pathlog/internal/instrument"
@@ -38,7 +45,8 @@ import (
 
 // Options bound the replay effort. TimeBudget is the paper's one-hour
 // cutoff, scaled; exceeding it reports TimedOut (the ∞ entries of Tables 3,
-// 5 and 6).
+// 5 and 6). The context passed to Reproduce subsumes both bounds: its
+// cancellation or deadline stops the search within one run.
 type Options struct {
 	MaxRuns        int           // 0 means DefaultMaxRuns
 	TimeBudget     time.Duration // 0 means no limit
@@ -47,7 +55,18 @@ type Options struct {
 	// PickFIFO explores pending constraint sets oldest-first instead of the
 	// paper's depth-first choice (§3.2), for the pick-heuristic ablation.
 	PickFIFO bool
-	Solver   solver.Options
+	// Workers is the number of concurrent search workers sharing the pending
+	// list. 0 or 1 selects the serial search, which explores exactly the
+	// paper's depth-first order; N>1 fans the pending-list exploration out
+	// and selects the reproduction with the lowest run sequence number, so
+	// the reported result does not depend on goroutine scheduling.
+	Workers int
+	// OnRun, when set, is called after every completed replay run with the
+	// total number of completed runs, in completion order (the engine holds
+	// its coordination lock across the call, so counts never go backwards).
+	// It must be cheap and must not call back into the engine.
+	OnRun  func(completed int)
+	Solver solver.Options
 }
 
 // Default bounds.
@@ -70,9 +89,14 @@ type Recording struct {
 type Result struct {
 	Reproduced bool
 	TimedOut   bool
-	Runs       int
-	Aborts     int
-	Elapsed    time.Duration
+	// Cancelled reports that the context was cancelled (not merely past its
+	// deadline) before a reproduction was found.
+	Cancelled bool
+	// Workers echoes how many concurrent search workers performed the search.
+	Workers int
+	Runs    int
+	Aborts  int
+	Elapsed time.Duration
 	// Input is the reproducing assignment (a set of inputs that activates
 	// the bug — not necessarily the user's input).
 	Input sym.MapAssignment
@@ -94,7 +118,6 @@ type Engine struct {
 	spec *world.Spec
 	reg  *world.Registry
 	rec  *Recording
-	slv  *solver.Solver
 	opts Options
 }
 
@@ -107,12 +130,14 @@ func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, rec *Recordi
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = DefaultMaxPending
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
 	return &Engine{
 		prog: prog,
 		spec: spec,
 		reg:  reg,
 		rec:  rec,
-		slv:  solver.New(opts.Solver),
 		opts: opts,
 	}
 }
@@ -223,89 +248,298 @@ func (s *runSink) pushPending(appended sym.Constraint) {
 	})
 }
 
-// Reproduce runs the guided search until the bug is reproduced or the budget
-// is exhausted.
-func (e *Engine) Reproduce() *Result {
-	start := time.Now()
-	deadline := time.Time{}
-	if e.opts.TimeBudget > 0 {
-		deadline = start.Add(e.opts.TimeBudget)
+// searchState is the coordination hub shared by the search workers: the
+// pending lists, the run budget, and the termination flags. All fields are
+// guarded by mu; workers block on cond when every pending list is empty
+// while sibling runs that may still queue alternatives are in flight.
+//
+// Each worker owns a deque of pending sets and explores it depth-first —
+// newest last, popped from the back — exactly as the serial engine does.
+// A worker whose deque is empty steals from the FRONT (oldest end) of the
+// fullest sibling deque. Stealing oldest-first matters: the newest sets on
+// a deque are the owner's forced-direction chain (§3.1 case 2b), the
+// productive continuation of the recorded path; a naive shared stack lets
+// speculative children bury that chain and multiplies the run count.
+type searchState struct {
+	eng  *Engine
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	deques    [][]pendingSet
+	pending   int  // total sets across all deques
+	seedTaken bool // the initial all-seed run has been claimed
+	active    int  // workers holding claimed work (solving or running)
+	started   int  // runs claimed against MaxRuns
+	completed int  // runs finished
+	aborts    int
+	peak      int
+
+	done      bool
+	timedOut  bool
+	cancelled bool
+
+	winner *runOutcome // reproduction with the lowest run sequence number
+}
+
+// runOutcome captures everything needed to assemble the result of one
+// reproducing run.
+type runOutcome struct {
+	seq  int
+	asn  sym.MapAssignment
+	sink *runSink
+	w    *world.World
+}
+
+// stopOn records why the context fired and wakes every blocked worker.
+func (st *searchState) stopOn(err error) {
+	if st.done {
+		return
 	}
-	res := &Result{}
+	if err == context.DeadlineExceeded {
+		st.timedOut = true
+	} else {
+		st.cancelled = true
+	}
+	st.done = true
+	st.cond.Broadcast()
+}
 
-	// DFS stack of pending constraint sets.
-	var stack []pendingSet
-	asn := sym.MapAssignment{} // initial run: seed input
-
-	for res.Runs < e.opts.MaxRuns {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.TimedOut = true
-			break
+// popLocked removes the next pending set for worker w: depth-first from its
+// own deque (or oldest-first under PickFIFO), else stolen from the oldest
+// end of the fullest sibling deque. Callers hold mu.
+func (st *searchState) popLocked(w int) (pendingSet, bool) {
+	if d := st.deques[w]; len(d) > 0 {
+		var top pendingSet
+		if st.eng.opts.PickFIFO {
+			top = d[0]
+			st.deques[w] = d[1:]
+		} else {
+			top = d[len(d)-1]
+			st.deques[w] = d[:len(d)-1]
 		}
-		res.Runs++
-		sink, vmRes, w := e.runOnce(asn)
-
-		if e.isReproduction(sink, vmRes) {
-			res.Reproduced = true
-			res.Input = asn
-			res.InputBytes = materializeAll(w)
-			res.Elapsed = time.Since(start)
-			res.SolverStats = e.slv.Stats()
-			fillPathStats(res, sink)
-			return res
+		st.pending--
+		return top, true
+	}
+	victim, best := -1, 0
+	for i, d := range st.deques {
+		if len(d) > best {
+			victim, best = i, len(d)
 		}
-		res.Aborts++
+	}
+	if victim < 0 {
+		return pendingSet{}, false
+	}
+	d := st.deques[victim]
+	top := d[0]
+	st.deques[victim] = d[1:]
+	st.pending--
+	return top, true
+}
 
-		// Queue this run's alternatives; deepest alternatives are pushed
-		// last and popped first (depth-first, §3.2). The sets share the
-		// run's final constraint slice.
-		for i := range sink.queued {
-			sink.queued[i].runConds = sink.conds
+// take claims the next run for worker w: the initial seed run, or a pending
+// constraint set popped and solved with the worker's own solver. It returns
+// ok=false when the search is over (success, budget, cancellation, or
+// exhaustion).
+func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn sym.MapAssignment, seq int, ok bool) {
+	e := st.eng
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			st.stopOn(err)
 		}
-		stack = append(stack, sink.queued...)
-		if len(stack) > res.PendingPeak {
-			res.PendingPeak = len(stack)
+		if st.done {
+			return nil, 0, false
 		}
-
-		found := false
-		for len(stack) > 0 {
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				res.TimedOut = true
-				res.Elapsed = time.Since(start)
-				res.SolverStats = e.slv.Stats()
-				return res
-			}
-			var top pendingSet
-			if e.opts.PickFIFO {
-				top = stack[0]
-				stack = stack[1:]
-			} else {
-				top = stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-			}
+		if st.started >= e.opts.MaxRuns {
+			st.timedOut = true
+			st.done = true
+			st.cond.Broadcast()
+			return nil, 0, false
+		}
+		if !st.seedTaken {
+			st.seedTaken = true
+			st.active++
+			seq = st.started
+			st.started++
+			return sym.MapAssignment{}, seq, true
+		}
+		if top, got := st.popLocked(w); got {
+			// Solve outside the lock: the solver is the expensive part, and
+			// each worker owns its own instance.
+			st.active++
+			st.mu.Unlock()
 			conds := top.materialize()
 			vars := sym.ConstraintVars(conds)
-			solved, ok := e.slv.Solve(solver.Problem{
+			solved, sat := slv.Solve(solver.Problem{
 				Constraints: conds,
 				Domains:     e.reg.Domains(vars),
 				Seed:        seedFor(top.parent, vars),
 			})
-			if !ok {
+			st.mu.Lock()
+			st.active--
+			if !sat {
+				// This set is dead; siblings waiting on empty deques may
+				// now be the last ones standing.
+				st.cond.Broadcast()
 				continue
 			}
-			asn = mergeAsn(top.parent, solved)
-			found = true
-			break
+			if st.done {
+				return nil, 0, false
+			}
+			if st.started >= e.opts.MaxRuns {
+				st.timedOut = true
+				st.done = true
+				st.cond.Broadcast()
+				return nil, 0, false
+			}
+			st.active++
+			seq = st.started
+			st.started++
+			return mergeAsn(top.parent, solved), seq, true
 		}
-		if !found {
-			break // search space exhausted
+		if st.active == 0 {
+			// Nothing pending and nobody who could add work: exhausted.
+			st.done = true
+			st.cond.Broadcast()
+			return nil, 0, false
+		}
+		st.cond.Wait()
+	}
+}
+
+// finish accounts for one completed run of worker w: a reproduction closes
+// the search (lowest sequence number wins); an abort queues the run's
+// alternatives on the worker's own deque.
+func (st *searchState) finish(w, seq int, asn sym.MapAssignment, sink *runSink, vmRes vm.Result, world *world.World) {
+	e := st.eng
+	st.mu.Lock()
+	st.active--
+	st.completed++
+	completed := st.completed
+	if e.isReproduction(sink, vmRes) {
+		if st.winner == nil || seq < st.winner.seq {
+			st.winner = &runOutcome{seq: seq, asn: asn, sink: sink, w: world}
+		}
+		st.done = true
+	} else {
+		st.aborts++
+		if !st.done {
+			// Queue this run's alternatives; deepest alternatives are pushed
+			// last and popped first (depth-first, §3.2). The sets share the
+			// run's final constraint slice.
+			for i := range sink.queued {
+				sink.queued[i].runConds = sink.conds
+			}
+			if room := e.opts.MaxPending - st.pending; room > 0 {
+				q := sink.queued
+				if len(q) > room {
+					// Keep the newest sets: the run's forced-direction
+					// continuation (case 2b) is pushed last and must survive
+					// the cap, or the recorded path is lost.
+					q = q[len(q)-room:]
+				}
+				st.deques[w] = append(st.deques[w], q...)
+				st.pending += len(q)
+			}
+			if st.pending > st.peak {
+				st.peak = st.pending
+			}
 		}
 	}
+	st.cond.Broadcast()
+	// Invoked under mu so completion counts arrive in order even with
+	// concurrent workers; the callback must be cheap and must not call back
+	// into this engine.
+	if e.opts.OnRun != nil {
+		e.opts.OnRun(completed)
+	}
+	st.mu.Unlock()
+}
 
-	res.Elapsed = time.Since(start)
-	res.SolverStats = e.slv.Stats()
-	if !res.TimedOut && res.Runs >= e.opts.MaxRuns {
-		res.TimedOut = true
+// worker claims and executes runs until the search terminates.
+func (e *Engine) worker(ctx context.Context, st *searchState, w int, slv *solver.Solver) {
+	for {
+		asn, seq, ok := st.take(ctx, w, slv)
+		if !ok {
+			return
+		}
+		sink, vmRes, wld := e.runOnce(asn)
+		st.finish(w, seq, asn, sink, vmRes, wld)
+	}
+}
+
+// Reproduce runs the guided search until the bug is reproduced or the budget
+// is exhausted. The context's cancellation or deadline stops the search
+// promptly — in-flight runs finish (each is bounded by MaxStepsPerRun) but no
+// new run starts. With Options.Workers > 1 the pending-list exploration is
+// fanned out over a worker pool; the reproduction with the lowest run
+// sequence number wins, so the selected result is independent of goroutine
+// scheduling among the runs in flight when the first reproduction lands.
+func (e *Engine) Reproduce(ctx context.Context) *Result {
+	start := time.Now()
+	if e.opts.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(e.opts.TimeBudget))
+		defer cancel()
+	}
+
+	st := &searchState{eng: e, deques: make([][]pendingSet, e.opts.Workers)}
+	st.cond = sync.NewCond(&st.mu)
+
+	// The watcher wakes workers blocked on the pending list when the context
+	// fires; without it a cancelled search would sleep until the next run.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.mu.Lock()
+			st.stopOn(ctx.Err())
+			st.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	workers := e.opts.Workers
+	solvers := make([]*solver.Solver, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		slv := solver.New(e.opts.Solver)
+		solvers[i] = slv
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(ctx, st, w, slv)
+		}(i)
+	}
+	wg.Wait()
+	close(watchDone)
+
+	res := &Result{
+		Workers:     workers,
+		Runs:        st.started,
+		Aborts:      st.aborts,
+		PendingPeak: st.peak,
+		TimedOut:    st.timedOut,
+		Cancelled:   st.cancelled,
+		Elapsed:     time.Since(start),
+	}
+	for _, slv := range solvers {
+		s := slv.Stats()
+		res.SolverStats.Calls += s.Calls
+		res.SolverStats.Sat += s.Sat
+		res.SolverStats.Unsat += s.Unsat
+		res.SolverStats.Nodes += s.Nodes
+		res.SolverStats.Atoms += s.Atoms
+		res.SolverStats.Fallbacks += s.Fallbacks
+	}
+	if st.winner != nil {
+		res.Reproduced = true
+		res.TimedOut = false
+		res.Cancelled = false
+		res.Input = st.winner.asn
+		res.InputBytes = materializeAll(st.winner.w)
+		fillPathStats(res, st.winner.sink)
 	}
 	return res
 }
@@ -330,9 +564,10 @@ func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.Wor
 	w := world.NewWorld(e.spec, e.reg, asn)
 	cfg := w.KernelConfig()
 	if e.rec.SysLog != nil {
-		e.rec.SysLog.Rewind()
+		// Each run consumes its own clone of the recorded results, so
+		// concurrent runs never share replay cursors.
 		cfg.Mode = oskernel.ModeReplayLogged
-		cfg.Log = e.rec.SysLog
+		cfg.Log = e.rec.SysLog.Clone()
 	} else {
 		cfg.Mode = oskernel.ModeReplayModel
 		cfg.Model = w

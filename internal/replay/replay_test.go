@@ -1,6 +1,8 @@
 package replay
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -85,7 +87,7 @@ func buildFixture(t *testing.T, method instrument.Method) *fixture {
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
 	analysis := concolic.New(prog, spec, world.NewRegistry(), concolic.Options{MaxRuns: 40})
 	in := instrument.Inputs{
-		Dynamic: analysis.Explore(),
+		Dynamic: analysis.Explore(context.Background()),
 		Static:  static.Analyze(prog, static.Options{}),
 	}
 	plan := instrument.BuildPlan(prog, method, in, true)
@@ -96,7 +98,7 @@ func buildFixture(t *testing.T, method instrument.Method) *fixture {
 func TestReproduceWithFullLog(t *testing.T) {
 	f := buildFixture(t, instrument.MethodAll)
 	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 200})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if !res.Reproduced {
 		t.Fatalf("not reproduced: %+v", res)
 	}
@@ -125,7 +127,7 @@ func TestReproduceWithEmptyPlan(t *testing.T) {
 		t.Fatalf("trace should be empty, got %d bits", rec.Trace.Len())
 	}
 	eng := New(prog, spec, world.NewRegistry(), rec, Options{MaxRuns: 500})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if !res.Reproduced {
 		t.Fatalf("not reproduced: %+v", res)
 	}
@@ -139,14 +141,14 @@ func TestRunsOrderedByInstrumentationDensity(t *testing.T) {
 	// all-branches fixture needs at most as many runs as the empty plan.
 	full := buildFixture(t, instrument.MethodAll)
 	engFull := New(full.prog, full.spec, world.NewRegistry(), full.rec, Options{MaxRuns: 500})
-	resFull := engFull.Reproduce()
+	resFull := engFull.Reproduce(context.Background())
 
 	prog := compile(t, twoByteGuard)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
 	empty := &instrument.Plan{Method: instrument.MethodDynamic, Instrumented: map[lang.BranchID]bool{}}
 	rec := record(t, prog, spec, empty, map[string][]byte{"arg0": []byte("PQ")})
 	engEmpty := New(prog, spec, world.NewRegistry(), rec, Options{MaxRuns: 500})
-	resEmpty := engEmpty.Reproduce()
+	resEmpty := engEmpty.Reproduce(context.Background())
 
 	if !resFull.Reproduced || !resEmpty.Reproduced {
 		t.Fatalf("full=%v empty=%v", resFull.Reproduced, resEmpty.Reproduced)
@@ -161,7 +163,7 @@ func TestWrongCrashSiteRejected(t *testing.T) {
 	f := buildFixture(t, instrument.MethodAll)
 	f.rec.Crash.Pos.Line += 100
 	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 50})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if res.Reproduced {
 		t.Fatal("reproduction claimed for a different crash site")
 	}
@@ -173,7 +175,7 @@ func TestTraceTampering(t *testing.T) {
 	prog := compile(t, twoByteGuard)
 	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
 	in := instrument.Inputs{
-		Dynamic: concolic.New(prog, spec, world.NewRegistry(), concolic.Options{MaxRuns: 40}).Explore(),
+		Dynamic: concolic.New(prog, spec, world.NewRegistry(), concolic.Options{MaxRuns: 40}).Explore(context.Background()),
 		Static:  static.Analyze(prog, static.Options{}),
 	}
 	plan := instrument.BuildPlan(prog, instrument.MethodAll, in, true)
@@ -185,7 +187,7 @@ func TestTraceTampering(t *testing.T) {
 	}
 	rec.Trace = w.Finish()
 	eng := New(prog, spec, world.NewRegistry(), rec, Options{MaxRuns: 100, TimeBudget: 5 * time.Second})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if res.Reproduced {
 		t.Fatal("reproduced an impossible trace")
 	}
@@ -194,7 +196,7 @@ func TestTraceTampering(t *testing.T) {
 func TestStatsConsistency(t *testing.T) {
 	f := buildFixture(t, instrument.MethodAll)
 	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 200})
-	res := eng.Reproduce()
+	res := eng.Reproduce(context.Background())
 	if !res.Reproduced {
 		t.Fatal("not reproduced")
 	}
@@ -213,7 +215,7 @@ func TestDeterministicReplay(t *testing.T) {
 	run := func() int {
 		f := buildFixture(t, instrument.MethodDynamicStatic)
 		eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 300})
-		res := eng.Reproduce()
+		res := eng.Reproduce(context.Background())
 		if !res.Reproduced {
 			t.Fatal("not reproduced")
 		}
@@ -230,9 +232,82 @@ func TestPickHeuristicAblation(t *testing.T) {
 		f := buildFixture(t, instrument.MethodDynamic)
 		eng := New(f.prog, f.spec, world.NewRegistry(), f.rec,
 			Options{MaxRuns: 1000, PickFIFO: fifo})
-		res := eng.Reproduce()
+		res := eng.Reproduce(context.Background())
 		if !res.Reproduced {
 			t.Errorf("fifo=%v: not reproduced after %d runs", fifo, res.Runs)
+		}
+	}
+}
+
+func TestParallelWorkersReproduce(t *testing.T) {
+	// Every worker count must reproduce what the serial engine does, and
+	// the echoed worker count must match the request.
+	for _, workers := range []int{1, 2, 4} {
+		f := buildFixture(t, instrument.MethodDynamicStatic)
+		eng := New(f.prog, f.spec, world.NewRegistry(), f.rec,
+			Options{MaxRuns: 300, Workers: workers})
+		res := eng.Reproduce(context.Background())
+		if !res.Reproduced {
+			t.Fatalf("workers=%d: not reproduced: %+v", workers, res)
+		}
+		if res.Workers != workers {
+			t.Fatalf("workers=%d echoed as %d", workers, res.Workers)
+		}
+		got := res.InputBytes["arg0"]
+		if got[0] != 'P' || got[1] != 'Q' {
+			t.Fatalf("workers=%d: input %q", workers, got)
+		}
+	}
+}
+
+func TestReproduceContextCancelled(t *testing.T) {
+	f := buildFixture(t, instrument.MethodAll)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 200})
+	res := eng.Reproduce(ctx)
+	if res.Reproduced || !res.Cancelled || res.Runs != 0 {
+		t.Fatalf("pre-cancelled replay: %+v", res)
+	}
+}
+
+func TestReproduceContextDeadlineReportsTimeout(t *testing.T) {
+	f := buildFixture(t, instrument.MethodAll)
+	ctx, cancel := context.WithDeadline(context.Background(),
+		time.Now().Add(-time.Second))
+	defer cancel()
+	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{MaxRuns: 200})
+	res := eng.Reproduce(ctx)
+	if res.Reproduced || !res.TimedOut || res.Cancelled {
+		t.Fatalf("expired-deadline replay: %+v", res)
+	}
+}
+
+func TestParallelOnRunMonotonic(t *testing.T) {
+	f := buildFixture(t, instrument.MethodDynamic)
+	var mu sync.Mutex
+	var seen []int
+	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{
+		MaxRuns: 300,
+		Workers: 4,
+		OnRun: func(completed int) {
+			mu.Lock()
+			seen = append(seen, completed)
+			mu.Unlock()
+		},
+	})
+	res := eng.Reproduce(context.Background())
+	if !res.Reproduced {
+		t.Fatalf("not reproduced: %+v", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no OnRun callbacks")
+	}
+	for i, n := range seen {
+		if n != i+1 {
+			t.Fatalf("OnRun sequence %v not monotonically complete", seen)
 		}
 	}
 }

@@ -14,6 +14,7 @@ package world
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pathlog/internal/oskernel"
 	"pathlog/internal/solver"
@@ -89,8 +90,11 @@ func ConnSpec(i int, seed string, maxLen int, arrival int64) ConnInput {
 
 // Registry assigns stable symbolic input variables. It persists across the
 // runs of one analysis or replay session; IDs are allocated on first use of
-// a coordinate and never change afterwards.
+// a coordinate and never change afterwards. A Registry is safe for
+// concurrent use: parallel replay workers share one registry so constraints
+// produced by different runs agree on variable identity.
 type Registry struct {
+	mu     sync.Mutex
 	byKey  map[string]*sym.Input
 	inputs []*sym.Input
 }
@@ -109,6 +113,8 @@ func (r *Registry) ByteVar(stream string, off int64) *sym.Input {
 // custom domain; the domain is fixed on first use.
 func (r *Registry) BoundedByteVar(stream string, off, lo, hi int64) *sym.Input {
 	key := fmt.Sprintf("%s:%d", stream, off)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if in, ok := r.byKey[key]; ok {
 		return in
 	}
@@ -123,6 +129,8 @@ func (r *Registry) BoundedByteVar(stream string, off, lo, hi int64) *sym.Input {
 // fixed on first use.
 func (r *Registry) SyscallVar(kind string, seq int, lo, hi int64) *sym.Input {
 	key := fmt.Sprintf("sys:%s:%d", kind, seq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if in, ok := r.byKey[key]; ok {
 		return in
 	}
@@ -134,12 +142,16 @@ func (r *Registry) SyscallVar(kind string, seq int, lo, hi int64) *sym.Input {
 
 // Lookup returns the variable registered under a key, if any.
 func (r *Registry) Lookup(key string) (*sym.Input, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	in, ok := r.byKey[key]
 	return in, ok
 }
 
 // Get returns the variable with the given ID.
 func (r *Registry) Get(id int) *sym.Input {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if id < 0 || id >= len(r.inputs) {
 		return nil
 	}
@@ -147,7 +159,23 @@ func (r *Registry) Get(id int) *sym.Input {
 }
 
 // Len returns the number of registered variables.
-func (r *Registry) Len() int { return len(r.inputs) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inputs)
+}
+
+// SortedKeys lists the registered coordinate keys in lexical order.
+func (r *Registry) SortedKeys() []string {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.byKey))
+	for k := range r.byKey {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
 
 // Domains returns the solver domains of the given variable IDs.
 func (r *Registry) Domains(ids map[int]struct{}) map[int]solver.Domain {
@@ -379,14 +407,10 @@ func (w *World) selectCountExprs() *selectCountTable {
 // Seeds returns a deterministic listing of registered variables and their
 // current concrete values, for debugging and reports.
 func (w *World) Seeds() []string {
-	keys := make([]string, 0, len(w.Reg.byKey))
-	for k := range w.Reg.byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := w.Reg.SortedKeys()
 	out := make([]string, len(keys))
 	for i, k := range keys {
-		in := w.Reg.byKey[k]
+		in, _ := w.Reg.Lookup(k)
 		v, bound := w.Asn[in.ID]
 		if !bound {
 			out[i] = fmt.Sprintf("%s=seed", k)

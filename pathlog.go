@@ -3,29 +3,37 @@
 // Zwaenepoel — EuroSys 2011): partial branch logging for privacy-preserving
 // bug reporting, with log-guided symbolic execution for bug reproduction.
 //
-// The workflow mirrors the paper end to end:
+// The workflow mirrors the paper end to end, driven through a Session built
+// with functional options:
 //
 //	prog, _ := pathlog.Compile(
 //		pathlog.Unit{Name: "app.mc", Source: src},
 //	)
-//	scn := &pathlog.Scenario{Name: "demo", Prog: prog, Spec: spec,
-//		UserBytes: userInput}
+//	s := pathlog.NewSession(prog, spec,
+//		pathlog.WithMethod(pathlog.MethodDynamicStatic),
+//		pathlog.WithSyscallLog(),
+//		pathlog.WithDynamicBudget(200, 0),
+//		pathlog.WithReplayBudget(2000, time.Minute),
+//		pathlog.WithReplayWorkers(4),
+//	)
 //
 //	// Pre-deployment: label branches with dynamic and/or static analysis
 //	// and choose an instrumentation method (§2).
-//	in := pathlog.Inputs{
-//		Dynamic: scn.AnalyzeDynamic(pathlog.DynamicOptions{MaxRuns: 200}),
-//		Static:  scn.AnalyzeStatic(pathlog.StaticOptions{}),
-//	}
-//	plan := scn.Plan(pathlog.MethodDynamicStatic, in, true)
+//	in, _ := s.Analyze(ctx)
 //
 //	// User site: the instrumented run logs one bit per instrumented
 //	// branch; a crash yields a bug report with no input bytes in it.
-//	rec, stats, _ := scn.Record(plan)
+//	rec, stats, _ := s.Record(ctx, userInput)
 //
 //	// Developer site: reproduce the bug from the partial branch log (§3).
-//	res := scn.Replay(rec, pathlog.ReplayOptions{MaxRuns: 2000})
+//	res := s.Replay(ctx, rec)
 //	if res.Reproduced { fmt.Println(res.InputBytes) }
+//
+// Cancellation and deadlines flow through the context: a cancelled analyze
+// or replay returns promptly with partial results, and the classic
+// MaxRuns/TimeBudget bounds remain available as options. The pre-Session
+// Scenario methods (AnalyzeDynamic, Record, Replay, ...) and the one-shot
+// Reproduce remain as thin deprecated wrappers.
 //
 // Programs under test are written in MiniC, a small C-like language
 // interpreted by a VM with branch hooks (the substitution this reproduction
@@ -37,6 +45,8 @@
 package pathlog
 
 import (
+	"context"
+
 	"pathlog/internal/concolic"
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
@@ -138,21 +148,18 @@ var (
 func StripSyscallLog(rec *Recording) *Recording { return core.StripSyslog(rec) }
 
 // Reproduce runs the full pipeline for one scenario and method: analyze,
-// plan, record the user run, and replay the resulting bug report. It is the
-// one-call form of the workflow for experiments and examples.
+// plan, record the user run, and replay the resulting bug report.
+//
+// Deprecated: build a Session and call Session.Reproduce; it adds context
+// cancellation, parallel replay and progress reporting.
 func Reproduce(scn *Scenario, method Method, dyn DynamicOptions, ropts ReplayOptions, logSyscalls bool) (*ReplayResult, *Recording, error) {
-	in := Inputs{
-		Dynamic: scn.AnalyzeDynamic(dyn),
-		Static:  scn.AnalyzeStatic(StaticOptions{}),
+	opts := []Option{
+		WithMethod(method),
+		WithDynamicOptions(dyn),
+		WithReplayOptions(ropts),
 	}
-	plan := scn.Plan(method, in, logSyscalls)
-	rec, _, err := scn.Record(plan)
-	if err != nil {
-		return nil, nil, err
+	if logSyscalls {
+		opts = append(opts, WithSyscallLog())
 	}
-	if rec == nil {
-		return nil, nil, nil // the user run did not crash: nothing to replay
-	}
-	res := scn.Replay(rec, ropts)
-	return res, rec, nil
+	return SessionOf(scn, opts...).Reproduce(context.Background(), nil)
 }

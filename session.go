@@ -1,0 +1,373 @@
+package pathlog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pathlog/internal/core"
+	"pathlog/internal/instrument"
+	"pathlog/internal/vm"
+)
+
+// CrashInfo identifies a crash site (kind and source position); it is what a
+// bug report carries instead of input bytes.
+type CrashInfo = vm.CrashInfo
+
+// ProgressEvent is one progress notification from a Session phase.
+type ProgressEvent struct {
+	// Scenario is the session name (WithName / SessionOf).
+	Scenario string
+	// Phase is "analyze", "record" or "replay".
+	Phase string
+	// Runs is the number of completed runs within the phase (analysis and
+	// replay are iterated searches; record is a single run, reported as 1).
+	Runs int
+}
+
+// ProgressFunc observes session progress. It must be cheap, safe for
+// concurrent use (replay workers report from their own goroutines), and must
+// not call back into the Session or the engine that invoked it — events fire
+// from inside the phase that is running.
+type ProgressFunc func(ProgressEvent)
+
+// sessionConfig collects everything the functional options configure.
+type sessionConfig struct {
+	name         string
+	userBytes    map[string][]byte
+	analysisSpec *Spec
+	method       Method
+	logSyscalls  bool
+	dyn          DynamicOptions
+	static       StaticOptions
+	rep          ReplayOptions
+	workers      int
+	progress     ProgressFunc
+}
+
+// Option configures a Session; see the With* constructors.
+type Option func(*sessionConfig)
+
+// WithName labels the session; the name appears in progress events.
+func WithName(name string) Option {
+	return func(c *sessionConfig) { c.name = name }
+}
+
+// WithUserBytes sets the default user-site input used when Record or
+// Reproduce is called with a nil map. The keys must name declared streams.
+func WithUserBytes(user map[string][]byte) Option {
+	return func(c *sessionConfig) { c.userBytes = user }
+}
+
+// WithAnalysisSpec runs the pre-deployment analyses over a widened input
+// space instead of the session's own spec (the paper seeds exploration with
+// developer test suites; see internal/apps.AnalysisSpec). Branch labels
+// transfer because both specs describe the same program.
+func WithAnalysisSpec(spec *Spec) Option {
+	return func(c *sessionConfig) { c.analysisSpec = spec }
+}
+
+// WithMethod selects the instrumentation method (§2.3). The default is
+// MethodDynamicStatic, the paper's headline configuration.
+func WithMethod(m Method) Option {
+	return func(c *sessionConfig) { c.method = m }
+}
+
+// WithSyscallLog enables syscall-result logging in the instrumented build
+// (§2.3): recordings then carry read()/select() results and replay does not
+// need the symbolic syscall models of §3.3.
+func WithSyscallLog() Option {
+	return func(c *sessionConfig) { c.logSyscalls = true }
+}
+
+// WithDynamicBudget bounds the concolic analysis — the paper's coverage
+// knob. maxRuns <= 0 keeps the default; budget 0 means no wall-clock limit.
+func WithDynamicBudget(maxRuns int, budget time.Duration) Option {
+	return func(c *sessionConfig) {
+		c.dyn.MaxRuns = maxRuns
+		c.dyn.TimeBudget = budget
+	}
+}
+
+// WithDynamicOptions replaces the full concolic-analysis option set.
+func WithDynamicOptions(o DynamicOptions) Option {
+	return func(c *sessionConfig) { c.dyn = o }
+}
+
+// WithStaticOptions configures the static analysis (e.g. LibAsSymbolic for
+// the §5.3 library-as-symbolic mode).
+func WithStaticOptions(o StaticOptions) Option {
+	return func(c *sessionConfig) { c.static = o }
+}
+
+// WithReplayBudget bounds each reproduction attempt — the paper's one-hour
+// cutoff, scaled. maxRuns <= 0 keeps the default; budget 0 means no
+// wall-clock limit beyond the context's own deadline.
+func WithReplayBudget(maxRuns int, budget time.Duration) Option {
+	return func(c *sessionConfig) {
+		c.rep.MaxRuns = maxRuns
+		c.rep.TimeBudget = budget
+	}
+}
+
+// WithReplayOptions replaces the full replay option set. Workers and OnRun
+// set here are overridden by WithReplayWorkers and WithProgress.
+func WithReplayOptions(o ReplayOptions) Option {
+	return func(c *sessionConfig) { c.rep = o }
+}
+
+// WithReplayWorkers fans the replay engine's pending-list exploration out
+// over n concurrent workers. n <= 1 keeps the serial depth-first search;
+// larger n trades the paper's exact exploration order for wall-clock speed,
+// with the lowest-run-sequence reproduction selected deterministically.
+func WithReplayWorkers(n int) Option {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithProgress registers a progress observer for every phase.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *sessionConfig) { c.progress = fn }
+}
+
+// Session is the top-level handle on the paper's workflow for one program
+// and input space: analyze → plan → record → replay, with shared
+// configuration and a cached analysis. A Session is safe for concurrent use;
+// the analysis runs at most once.
+type Session struct {
+	prog *Program
+	spec *Spec
+	cfg  sessionConfig
+
+	anMu   sync.Mutex // serializes the analysis computation
+	mu     sync.Mutex // guards the caches below
+	inputs *Inputs
+	plans  map[planKey]*Plan
+}
+
+type planKey struct {
+	method      Method
+	logSyscalls bool
+}
+
+// NewSession binds a compiled program to an input space under the given
+// options.
+func NewSession(prog *Program, spec *Spec, opts ...Option) *Session {
+	cfg := sessionConfig{method: MethodDynamicStatic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Session{prog: prog, spec: spec, cfg: cfg, plans: make(map[planKey]*Plan)}
+}
+
+// SessionOf wraps an existing Scenario: its name, program, spec and user
+// bytes seed the session, and the options apply on top.
+func SessionOf(scn *Scenario, opts ...Option) *Session {
+	base := []Option{WithName(scn.Name), WithUserBytes(scn.UserBytes)}
+	return NewSession(scn.Prog, scn.Spec, append(base, opts...)...)
+}
+
+// Program returns the session's compiled program.
+func (s *Session) Program() *Program { return s.prog }
+
+// Spec returns the session's input space.
+func (s *Session) Spec() *Spec { return s.spec }
+
+// scenario builds the core pipeline view of this session; user may be nil
+// for the neutral spec (analysis) or the configured default user bytes.
+func (s *Session) scenario(user map[string][]byte) *core.Scenario {
+	return &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: s.spec, UserBytes: user}
+}
+
+func (s *Session) emit(phase string, runs int) {
+	if s.cfg.progress != nil {
+		s.cfg.progress(ProgressEvent{Scenario: s.cfg.name, Phase: phase, Runs: runs})
+	}
+}
+
+// Analyze runs the pre-deployment analyses (dynamic concolic exploration and
+// static dataflow) over the neutral input space and caches the result for
+// the session's lifetime. The context bounds the concolic exploration and is
+// re-checked before the static pass, so a cancelled analysis returns without
+// starting it.
+func (s *Session) Analyze(ctx context.Context) (Inputs, error) {
+	// anMu serializes the computation; mu guards only the cache, so progress
+	// callbacks fire without holding the lock PlanFor and friends take.
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	s.mu.Lock()
+	if s.inputs != nil {
+		in := *s.inputs
+		s.mu.Unlock()
+		return in, nil
+	}
+	s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Inputs{}, err
+	}
+	spec := s.spec
+	if s.cfg.analysisSpec != nil {
+		spec = s.cfg.analysisSpec
+	}
+	an := &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: spec}
+	dynOpts := s.cfg.dyn
+	if s.cfg.progress != nil {
+		dynOpts.OnRun = func(completed int) { s.emit("analyze", completed) }
+	}
+	in := Inputs{Dynamic: an.AnalyzeDynamicContext(ctx, dynOpts)}
+	if err := ctx.Err(); err != nil {
+		// The dynamic exploration was cut short; skip the static pass and do
+		// not cache the partial result.
+		return in, err
+	}
+	in.Static = an.AnalyzeStatic(s.cfg.static)
+	s.mu.Lock()
+	s.inputs = &in
+	s.mu.Unlock()
+	return in, nil
+}
+
+// PlanFor builds (and caches) the instrumentation plan for an explicit
+// method, using the session's cached analysis.
+func (s *Session) PlanFor(ctx context.Context, m Method) (*Plan, error) {
+	in, err := s.Analyze(ctx)
+	if err != nil {
+		return nil, err
+	}
+	key := planKey{method: m, logSyscalls: s.cfg.logSyscalls}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.plans[key]; ok {
+		return p, nil
+	}
+	p := instrument.BuildPlan(s.prog, m, in, s.cfg.logSyscalls)
+	s.plans[key] = p
+	return p, nil
+}
+
+// Plan builds the instrumentation plan for the session's configured method.
+func (s *Session) Plan(ctx context.Context) (*Plan, error) {
+	return s.PlanFor(ctx, s.cfg.method)
+}
+
+// Record performs the user-site half of the workflow: the instrumented
+// program runs on the user's bytes (nil selects WithUserBytes) and a crash
+// yields a bug report with no input bytes in it. A nil recording with a nil
+// error means the run did not crash.
+func (s *Session) Record(ctx context.Context, user map[string][]byte) (*Recording, *RecordStats, error) {
+	plan, err := s.Plan(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.RecordWith(ctx, plan, user)
+}
+
+// RecordWith is Record under an explicit plan, for callers comparing
+// instrumentation methods over one session.
+func (s *Session) RecordWith(ctx context.Context, plan *Plan, user map[string][]byte) (*Recording, *RecordStats, error) {
+	if user == nil {
+		user = s.cfg.userBytes
+	}
+	rec, stats, err := s.scenario(user).RecordContext(ctx, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.emit("record", 1)
+	return rec, stats, nil
+}
+
+// MeasureOverhead runs the user-site workload repeatedly under a plan and
+// returns the average wall time, for instrumentation-overhead measurements;
+// no crash is required. Cancelling the context stops between rounds.
+func (s *Session) MeasureOverhead(ctx context.Context, plan *Plan, rounds int) (time.Duration, *RecordStats, error) {
+	return s.scenario(s.cfg.userBytes).MeasureOverheadContext(ctx, plan, rounds)
+}
+
+// Replay performs the developer-site half of the workflow: it reproduces the
+// recorded bug from the partial branch log. The context's cancellation or
+// deadline stops the search within one run; WithReplayBudget and
+// WithReplayWorkers shape the search.
+func (s *Session) Replay(ctx context.Context, rec *Recording) *ReplayResult {
+	return s.replayWith(ctx, rec, s.cfg.workers)
+}
+
+// replayWith runs one replay; workers > 0 overrides the option set's worker
+// count (0 leaves a WithReplayOptions-provided Workers value in place).
+func (s *Session) replayWith(ctx context.Context, rec *Recording, workers int) *ReplayResult {
+	opts := s.cfg.rep
+	if workers > 0 {
+		opts.Workers = workers
+	}
+	if s.cfg.progress != nil {
+		opts.OnRun = func(completed int) { s.emit("replay", completed) }
+	}
+	return s.scenario(nil).ReplayContext(ctx, rec, opts)
+}
+
+// ReproduceAll replays a batch of recordings, fanning them out over the
+// session's worker pool (WithReplayWorkers). Results align with the input
+// slice. Each recording is replayed serially so the pool parallelizes across
+// recordings; a single recording falls back to parallel in-replay search.
+func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) []*ReplayResult {
+	out := make([]*ReplayResult, len(recs))
+	if len(recs) == 0 {
+		return out
+	}
+	pool := s.cfg.workers
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > len(recs) {
+		pool = len(recs)
+	}
+	if pool == 1 {
+		for i, rec := range recs {
+			out[i] = s.Replay(ctx, rec)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = s.replayWith(ctx, recs[i], 1)
+			}
+		}()
+	}
+	for i := range recs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Reproduce runs the full pipeline once: analyze, plan, record the user run
+// (nil selects WithUserBytes), and replay the resulting bug report. A nil
+// result with a nil error means the user run did not crash.
+func (s *Session) Reproduce(ctx context.Context, user map[string][]byte) (*ReplayResult, *Recording, error) {
+	rec, _, err := s.Record(ctx, user)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec == nil {
+		return nil, nil, nil // the user run did not crash: nothing to replay
+	}
+	res := s.Replay(ctx, rec)
+	return res, rec, nil
+}
+
+// Verify checks that an input found by replay really activates the recorded
+// bug: it re-runs the program concretely and compares crash sites (§5.3).
+func (s *Session) Verify(inputBytes map[string][]byte, crash CrashInfo) bool {
+	return s.scenario(nil).VerifyInput(inputBytes, crash)
+}
+
+// String renders the session's configuration for logs.
+func (s *Session) String() string {
+	return fmt.Sprintf("session(%s method=%v syscalls=%v workers=%d)",
+		s.cfg.name, s.cfg.method, s.cfg.logSyscalls, s.cfg.workers)
+}

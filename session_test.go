@@ -1,0 +1,307 @@
+package pathlog
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chainSrc needs a six-character password, one nested branch per byte, so a
+// full-log replay walks one forced constraint per run: a predictable
+// multi-run search for cancellation and parallelism tests.
+const chainSrc = `
+int main() {
+	char a[8];
+	getarg(0, a, 8);
+	if (a[0] == 'R') {
+		if (a[1] == 'E') {
+			if (a[2] == 'P') {
+				if (a[3] == 'L') {
+					if (a[4] == 'A') {
+						if (a[5] == 'Y') {
+							crash(7);
+						}
+					}
+				}
+			}
+		}
+	}
+	print_str("ok");
+	return 0;
+}
+`
+
+func chainSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	prog, err := Compile(Unit{Name: "chain.mc", Source: chainSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{
+		WithName("chain"),
+		WithUserBytes(map[string][]byte{"arg0": []byte("REPLAY")}),
+		WithSyscallLog(),
+		WithDynamicBudget(50, 0),
+		WithReplayBudget(500, 10*time.Second),
+	}
+	return NewSession(prog,
+		&Spec{Args: []Stream{ArgStream(0, "xxxxxx", 8)}},
+		append(base, opts...)...)
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	sess := chainSession(t)
+	for _, m := range Methods {
+		plan, err := sess.PlanFor(ctx, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		rec, stats, err := sess.RecordWith(ctx, plan, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rec == nil {
+			t.Fatalf("%v: no recording", m)
+		}
+		if stats.TraceBits != int64(stats.InstrumentedExecs) {
+			t.Fatalf("%v: bits/execs mismatch", m)
+		}
+		res := sess.Replay(ctx, rec)
+		if !res.Reproduced {
+			t.Fatalf("%v: not reproduced: %+v", m, res)
+		}
+		if got := res.InputBytes["arg0"]; string(got[:6]) != "REPLAY" {
+			t.Fatalf("%v: input %q", m, got)
+		}
+		if !sess.Verify(res.InputBytes, rec.Crash) {
+			t.Fatalf("%v: input does not verify", m)
+		}
+	}
+}
+
+func TestSessionAnalysisCached(t *testing.T) {
+	ctx := context.Background()
+	sess := chainSession(t)
+	a, err := sess.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dynamic != b.Dynamic || a.Static != b.Static {
+		t.Fatal("analysis not cached: got distinct reports")
+	}
+}
+
+// TestSessionReplayWorkersParity is the acceptance check for parallel
+// replay: WithReplayWorkers(4) must reproduce everything workers=1 does,
+// with verifying inputs.
+func TestSessionReplayWorkersParity(t *testing.T) {
+	ctx := context.Background()
+	serial := chainSession(t, WithReplayWorkers(1))
+	parallel := chainSession(t, WithReplayWorkers(4))
+	for _, m := range Methods {
+		plan, err := serial.PlanFor(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := serial.RecordWith(ctx, plan, nil)
+		if err != nil || rec == nil {
+			t.Fatalf("%v: record: %v", m, err)
+		}
+		one := serial.Replay(ctx, rec)
+		four := parallel.Replay(ctx, rec)
+		if !one.Reproduced {
+			t.Fatalf("%v: workers=1 did not reproduce", m)
+		}
+		if !four.Reproduced {
+			t.Fatalf("%v: workers=4 did not reproduce what workers=1 did", m)
+		}
+		if four.Workers != 4 {
+			t.Fatalf("%v: workers echoed %d", m, four.Workers)
+		}
+		if !parallel.Verify(four.InputBytes, rec.Crash) {
+			t.Fatalf("%v: workers=4 input does not verify", m)
+		}
+	}
+}
+
+func TestWithReplayOptionsWorkersRespected(t *testing.T) {
+	// Workers set through WithReplayOptions must survive when
+	// WithReplayWorkers is never called.
+	ctx := context.Background()
+	sess := chainSession(t, WithReplayOptions(ReplayOptions{MaxRuns: 500, Workers: 2}))
+	rec, _, err := sess.Record(ctx, nil)
+	if err != nil || rec == nil {
+		t.Fatalf("record: %v", err)
+	}
+	res := sess.Replay(ctx, rec)
+	if !res.Reproduced {
+		t.Fatalf("not reproduced: %+v", res)
+	}
+	if res.Workers != 2 {
+		t.Fatalf("WithReplayOptions workers dropped: got %d, want 2", res.Workers)
+	}
+}
+
+func TestSessionReplayCancelledBeforeStart(t *testing.T) {
+	sess := chainSession(t)
+	rec, _, err := sess.Record(context.Background(), nil)
+	if err != nil || rec == nil {
+		t.Fatalf("record: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := sess.Replay(ctx, rec)
+	if res.Reproduced {
+		t.Fatal("cancelled replay must not reproduce")
+	}
+	if !res.Cancelled {
+		t.Fatalf("expected Cancelled, got %+v", res)
+	}
+	if res.Runs != 0 {
+		t.Fatalf("cancelled-before-start replay ran %d runs", res.Runs)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled replay took %s", elapsed)
+	}
+}
+
+// TestSessionReplayCancelMidSearch cancels after the second completed run
+// and checks the search overshoots by at most one run per worker.
+func TestSessionReplayCancelMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var replayRuns []int
+	sess := chainSession(t,
+		WithReplayWorkers(1),
+		WithProgress(func(ev ProgressEvent) {
+			if ev.Phase != "replay" {
+				return
+			}
+			mu.Lock()
+			replayRuns = append(replayRuns, ev.Runs)
+			mu.Unlock()
+			if ev.Runs >= 2 {
+				cancel()
+			}
+		}),
+	)
+	rec, _, err := sess.Record(context.Background(), nil)
+	if err != nil || rec == nil {
+		t.Fatalf("record: %v", err)
+	}
+	res := sess.Replay(ctx, rec)
+	if res.Reproduced {
+		// The chain needs ~7 runs; cancellation at 2 must cut it short.
+		t.Fatalf("replay reproduced despite cancellation after 2 runs (%d runs)", res.Runs)
+	}
+	if !res.Cancelled {
+		t.Fatalf("expected Cancelled, got %+v", res)
+	}
+	// One run per worker may already be claimed when the cancel lands.
+	if res.Runs > 3 {
+		t.Fatalf("cancelled at run 2, but %d runs started (overshoot > 1)", res.Runs)
+	}
+	mu.Lock()
+	events := len(replayRuns)
+	mu.Unlock()
+	if events < 2 {
+		t.Fatalf("progress events: %d", events)
+	}
+}
+
+func TestSessionReproduceAll(t *testing.T) {
+	ctx := context.Background()
+	sess := chainSession(t, WithReplayWorkers(4))
+	var recs []*Recording
+	for _, m := range Methods {
+		plan, err := sess.PlanFor(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := sess.RecordWith(ctx, plan, nil)
+		if err != nil || rec == nil {
+			t.Fatalf("%v: record: %v", m, err)
+		}
+		recs = append(recs, rec)
+	}
+	results := sess.ReproduceAll(ctx, recs)
+	if len(results) != len(recs) {
+		t.Fatalf("results: %d for %d recordings", len(results), len(recs))
+	}
+	for i, res := range results {
+		if res == nil || !res.Reproduced {
+			t.Fatalf("recording %d not reproduced: %+v", i, res)
+		}
+		if !sess.Verify(res.InputBytes, recs[i].Crash) {
+			t.Fatalf("recording %d: input does not verify", i)
+		}
+	}
+}
+
+func TestSessionReproduceOneShot(t *testing.T) {
+	ctx := context.Background()
+	sess := chainSession(t)
+	res, rec, err := sess.Reproduce(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || res == nil || !res.Reproduced {
+		t.Fatalf("one-shot failed: rec=%v res=%+v", rec != nil, res)
+	}
+	// A non-crashing input yields no report and no error.
+	res, rec, err = sess.Reproduce(ctx, map[string][]byte{"arg0": []byte("no")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil || rec != nil {
+		t.Fatal("non-crashing run must yield no report")
+	}
+}
+
+// TestSessionRejectsUnknownStream: a typo'd UserBytes key must fail loudly
+// instead of silently recording the wrong input.
+func TestSessionRejectsUnknownStream(t *testing.T) {
+	ctx := context.Background()
+	sess := chainSession(t)
+	_, _, err := sess.Record(ctx, map[string][]byte{"arg1": []byte("REPLAY")})
+	if err == nil {
+		t.Fatal("unknown stream key must error")
+	}
+	if !strings.Contains(err.Error(), "arg1") {
+		t.Fatalf("error does not name the bad stream: %v", err)
+	}
+}
+
+func TestSessionProgressPhases(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	phases := map[string]int{}
+	sess := chainSession(t, WithProgress(func(ev ProgressEvent) {
+		if ev.Scenario != "chain" {
+			t.Errorf("scenario: %q", ev.Scenario)
+		}
+		mu.Lock()
+		phases[ev.Phase]++
+		mu.Unlock()
+	}))
+	res, rec, err := sess.Reproduce(ctx, nil)
+	if err != nil || rec == nil || !res.Reproduced {
+		t.Fatalf("reproduce: %v %v", err, res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, phase := range []string{"analyze", "record", "replay"} {
+		if phases[phase] == 0 {
+			t.Errorf("no %s progress events (got %v)", phase, phases)
+		}
+	}
+}
