@@ -294,7 +294,10 @@ func BenchmarkReplayWorkers(b *testing.B) {
 			var runs int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := sess.Replay(context.Background(), rec)
+				res, err := sess.Replay(context.Background(), rec)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if !res.Reproduced {
 					b.Fatalf("workers=%d: not reproduced after %d runs", workers, res.Runs)
 				}

@@ -28,7 +28,11 @@ func main() {
 		dynRuns  = flag.Int("dynamic-runs", 200, "concolic analysis budget (the coverage knob)")
 		libSym   = flag.Bool("lib-as-symbolic", false,
 			"static analysis skips library bodies and labels all library branches symbolic (§5.3)")
-		verbose = flag.Bool("v", false, "print every branch location")
+		verbose  = flag.Bool("v", false, "print every branch location")
+		method   = flag.String("method", "dynamic+static", "method for -plan-out")
+		planOut  = flag.String("plan-out", "", "save the -method plan to this file")
+		frontier = flag.Bool("frontier", false,
+			"sweep the default strategy set and print the overhead/debug-time Pareto frontier")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -73,8 +77,41 @@ func main() {
 			fatal(err)
 		}
 		plans[m.String()] = plan
-		fmt.Printf("  %-15s %4d locations (%5.1f%%)\n", m, plan.NumInstrumented(),
-			100*float64(plan.NumInstrumented())/float64(total))
+		fmt.Printf("  %-15s %4d locations (%5.1f%%)  ~%.0f bits/run, ~%.0f replay runs\n",
+			m, plan.NumInstrumented(),
+			100*float64(plan.NumInstrumented())/float64(total),
+			plan.EstimatedOverhead(), plan.EstimatedReplayRuns())
+	}
+
+	if *frontier {
+		points, err := sess.Frontier(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\noverhead/debug-time Pareto frontier (cost model):")
+		fmt.Printf("  %-34s %6s %14s %14s  %s\n",
+			"strategy", "locs", "est bits/run", "est replay", "fingerprint")
+		for _, pt := range points {
+			fmt.Printf("  %-34s %6d %14.1f %14.1f  %s\n",
+				pt.Strategy, pt.Plan.NumInstrumented(), pt.Overhead, pt.ReplayRuns,
+				pt.Plan.Fingerprint())
+		}
+	}
+
+	if *planOut != "" {
+		m, err := instrument.ParseMethod(*method)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := sess.PlanFor(ctx, m)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.Save(*planOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nplan %s written to %s (fingerprint %s)\n",
+			m, *planOut, plan.Fingerprint())
 	}
 
 	if *verbose {

@@ -31,6 +31,10 @@ func main() {
 		dynRuns  = flag.Int("dynamic-runs", 400, "concolic analysis budget")
 		syscalls = flag.Bool("log-syscalls", true, "log select()/read() results")
 		list     = flag.Bool("list", false, "list scenario names")
+		planIn   = flag.String("plan", "",
+			"instrument with this saved plan file instead of deriving one (skips analysis)")
+		planOut = flag.String("plan-out", "",
+			"save the plan used for this recording (ship it to the developer site)")
 	)
 	flag.Parse()
 	if *list {
@@ -50,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m, err := parseMethod(*method)
+	m, err := instrument.ParseMethod(*method)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,14 +73,38 @@ func main() {
 	}
 	sess := pathlog.SessionOf(s, opts...)
 
-	plan, err := sess.Plan(ctx)
-	if err != nil {
+	var plan *pathlog.Plan
+	if *planIn != "" {
+		// A saved plan carries its own branch set and fingerprint; it must
+		// fit this program, and no analysis is needed.
+		plan, err = pathlog.LoadPlan(*planIn)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.ValidateForProgram(s.Prog); err != nil {
+			fatal(err)
+		}
+	} else if plan, err = sess.Plan(ctx); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("plan: %s instruments %d of %d branch locations\n",
-		m, plan.NumInstrumented(), len(s.Prog.Branches))
+	label := plan.Strategy
+	if label == "" {
+		label = m.String()
+	}
+	fmt.Printf("plan: %s instruments %d of %d branch locations (fingerprint %s)\n",
+		label, plan.NumInstrumented(), len(s.Prog.Branches), plan.Fingerprint())
+	if plan.Cost.Modeled {
+		fmt.Printf("cost model: ~%.0f logged bits/run, ~%.0f estimated replay runs\n",
+			plan.EstimatedOverhead(), plan.EstimatedReplayRuns())
+	}
+	if *planOut != "" {
+		if err := plan.Save(*planOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *planOut)
+	}
 
-	rec, stats, err := sess.Record(ctx, nil)
+	rec, stats, err := sess.RecordWith(ctx, plan, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,20 +120,6 @@ func main() {
 	}
 	fmt.Printf("bug report written to %s (trace %d bytes, syslog %d bytes) — no input bytes included\n",
 		*out, rec.Trace.SizeBytes(), stats.SyslogBytes)
-}
-
-func parseMethod(s string) (instrument.Method, error) {
-	switch s {
-	case "dynamic":
-		return instrument.MethodDynamic, nil
-	case "static":
-		return instrument.MethodStatic, nil
-	case "dynamic+static":
-		return instrument.MethodDynamicStatic, nil
-	case "all":
-		return instrument.MethodAll, nil
-	}
-	return 0, fmt.Errorf("unknown method %q", s)
 }
 
 func fatal(err error) {

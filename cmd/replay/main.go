@@ -3,9 +3,17 @@
 // reconstructed bug-triggering inputs. Ctrl-C cancels the search cleanly;
 // -workers fans the search out over concurrent workers.
 //
+// The search plan comes from the recording envelope itself — the plan the
+// user site actually recorded under, validated against the program (branch
+// IDs and program hash must match, and the envelope's fingerprint stamp
+// must agree with its plan). To search under a different plan, pass an
+// explicit -force-plan file; there is no silent way to disagree with the
+// recording.
+//
 // Usage:
 //
 //	replay -scenario paste -in bug.report -workers 4
+//	replay -scenario paste -in bug.report -force-plan other.plan.json
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"pathlog"
 	"pathlog/internal/apps"
+	"pathlog/internal/instrument"
 	"pathlog/internal/replay"
 )
 
@@ -34,6 +43,8 @@ func main() {
 			"concurrent replay workers (1 = the paper's serial depth-first search)")
 		noSyslog = flag.Bool("ignore-syslog", false,
 			"discard the syscall log and use the symbolic models of §3.3")
+		forcePlan = flag.String("force-plan", "",
+			"replay under this plan file instead of the recording's own plan (explicit override)")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -47,12 +58,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rec, err := replay.LoadRecording(*in)
-	if err != nil {
-		fatal(err)
+	var rec *replay.Recording
+	var err2 error
+	if *forcePlan == "" {
+		// The envelope's plan is validated against the program: wrong-program
+		// or tampered reports fail here, not as a nonsense search.
+		rec, err2 = replay.LoadRecordingFor(*in, s.Prog)
+	} else {
+		// An explicit override replaces the envelope's plan, so only the
+		// envelope's structure is checked here; it is the forced plan that
+		// must fit the program.
+		rec, err2 = replay.LoadRecording(*in)
 	}
-	fmt.Printf("report: %s, %d instrumented locations, %d trace bits, crash at %s\n",
-		rec.Plan.Method, rec.Plan.NumInstrumented(), rec.Trace.Len(), rec.Crash.Site())
+	if err2 != nil {
+		fatal(err2)
+	}
+	if *forcePlan != "" {
+		plan, err := instrument.LoadPlan(*forcePlan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.ValidateForProgram(s.Prog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OVERRIDE: searching under plan %s (%s), not the recording's %s\n",
+			*forcePlan, plan.Fingerprint(), rec.Fingerprint)
+		rec.Plan = plan
+		rec.Fingerprint = plan.Fingerprint()
+	}
+	fmt.Printf("report: %s (plan %s), %d instrumented locations, %d trace bits, crash at %s\n",
+		planLabel(rec.Plan), rec.Fingerprint, rec.Plan.NumInstrumented(),
+		rec.Trace.Len(), rec.Crash.Site())
 	if *noSyslog {
 		rec.SysLog = nil
 	}
@@ -61,7 +97,10 @@ func main() {
 		pathlog.WithReplayBudget(*maxRuns, *budget),
 		pathlog.WithReplayWorkers(*workers),
 	)
-	res := sess.Replay(ctx, rec)
+	res, err := sess.Replay(ctx, rec)
+	if err != nil {
+		fatal(err)
+	}
 	if !res.Reproduced {
 		why := "budget exhausted — the paper's inf"
 		if res.Cancelled {
@@ -86,6 +125,15 @@ func main() {
 	for stream, bytes := range res.InputBytes {
 		fmt.Printf("  %-14s %q\n", stream, printable(bytes))
 	}
+}
+
+// planLabel prefers the strategy provenance, falling back to the method tag
+// of version-1 envelopes.
+func planLabel(p *pathlog.Plan) string {
+	if p.Strategy != "" {
+		return p.Strategy
+	}
+	return p.Method.String()
 }
 
 func printable(b []byte) string {

@@ -57,7 +57,10 @@ func main() {
 		if rec == nil {
 			log.Fatalf("%v: no crash recorded", method)
 		}
-		res := sess.Replay(ctx, rec)
+		res, err := sess.Replay(ctx, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if res.Reproduced {
 			fmt.Printf("%-15s reproduced in %4d runs (%s, %d workers); %d/%d symbolic locations logged/unlogged\n",
 				method, res.Runs, res.Elapsed.Round(time.Millisecond), res.Workers,

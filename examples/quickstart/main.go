@@ -80,6 +80,19 @@ func main() {
 	fmt.Printf("static analysis:  %d symbolic branch locations\n",
 		in.Static.CountSymbolic())
 
+	// The paper's titular balance as an API: sweep strategies, print the
+	// Pareto frontier of (record overhead, estimated debug time).
+	points, err := sess.Frontier(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noverhead/debug-time frontier:")
+	for _, pt := range points {
+		fmt.Printf("  %-28s %2d locations  ~%4.0f bits/run  ~%4.1f replay runs\n",
+			pt.Strategy, pt.Plan.NumInstrumented(), pt.Overhead, pt.ReplayRuns)
+	}
+	fmt.Println()
+
 	for _, method := range pathlog.Methods {
 		plan, err := sess.PlanFor(ctx, method)
 		if err != nil {
@@ -96,8 +109,12 @@ func main() {
 			log.Fatalf("%v: user run did not crash", method)
 		}
 
-		// Developer site: reproduce.
-		res := sess.Replay(ctx, rec)
+		// Developer site: reproduce. Replay would refuse a recording whose
+		// plan or program did not match this session.
+		res, err := sess.Replay(ctx, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		status := "failed"
 		if res.Reproduced {
 			status = fmt.Sprintf("reproduced in %d runs; input arg0=%q",

@@ -47,31 +47,50 @@ func main() {
 	fmt.Printf("analysis: dynamic %d runs / %d symbolic; static %d symbolic\n",
 		in.Dynamic.Runs, in.Dynamic.CountLabel(2), in.Static.CountSymbolic())
 
-	for _, method := range pathlog.Methods {
-		plan, err := sess.PlanFor(ctx, method)
-		if err != nil {
-			log.Fatal(err)
+	// Sweep the strategy space and walk the overhead/debug-time Pareto
+	// frontier: every point below is the best available balance at its
+	// overhead level. Each point's plan records and replays the crash.
+	points, err := sess.Frontier(ctx,
+		pathlog.None(),
+		pathlog.Dynamic(),
+		pathlog.Union(pathlog.Dynamic(), pathlog.StaticResidue()),
+		pathlog.Static(),
+		pathlog.All(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frontier: %d Pareto-optimal strategies\n", len(points))
+
+	for _, pt := range points {
+		if !pt.Plan.Instruments() {
+			fmt.Printf("\n%-30s baseline: nothing logged, nothing reproducible\n", pt.Strategy)
+			continue
 		}
-		rec, stats, err := sess.RecordWith(ctx, plan, nil)
+		rec, stats, err := sess.RecordWith(ctx, pt.Plan, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if rec == nil {
-			log.Fatalf("%v: the server did not crash", method)
+			log.Fatalf("%v: the server did not crash", pt.Strategy)
 		}
-		res := sess.Replay(ctx, rec)
+		res, err := sess.Replay(ctx, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		verdict := "FAILED (budget exhausted — the paper's inf)"
 		if res.Reproduced {
 			req := res.InputBytes["conn0"]
 			verdict = fmt.Sprintf("reproduced in %d runs (%.0fms, %d workers); reconstructed request %q",
 				res.Runs, res.Elapsed.Seconds()*1000, res.Workers, printable(req))
 		}
-		fmt.Printf("\n%-15s instruments %3d locations, logged %4d bits (%d B + %d B syscalls)\n  -> %s\n",
-			method, plan.NumInstrumented(), stats.TraceBits,
-			stats.TraceBytes, stats.SyslogBytes, verdict)
+		fmt.Printf("\n%-30s instruments %3d locations (~%.0f est bits/run, ~%.0f est replay runs)\n"+
+			"  logged %4d bits (%d B + %d B syscalls)\n  -> %s\n",
+			pt.Strategy, pt.Plan.NumInstrumented(), pt.Overhead, pt.ReplayRuns,
+			stats.TraceBits, stats.TraceBytes, stats.SyslogBytes, verdict)
 		if res.Reproduced {
 			if !sess.Verify(res.InputBytes, rec.Crash) {
-				log.Fatalf("%v: reconstructed input does not verify", method)
+				log.Fatalf("%v: reconstructed input does not verify", pt.Strategy)
 			}
 			fmt.Println("  verified: re-running the reconstructed input hits the same crash site")
 		}

@@ -1,0 +1,137 @@
+package pathlog
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pathlog/internal/instrument"
+)
+
+// Frontier is the paper's titular balance as a callable API: it sweeps a
+// set of instrumentation strategies over the session's analysis, prices
+// each resulting plan with the cost model (estimated record overhead
+// versus estimated debug time), and returns the Pareto frontier — the
+// plans no other swept plan beats on both axes. The developer picks a
+// point; everything off the frontier is strictly worse somewhere.
+
+// PlanPoint is one Pareto-optimal plan from a Frontier sweep.
+type PlanPoint struct {
+	// Strategy is the name of the strategy that produced the plan.
+	Strategy string
+	// Plan is the priced, durable plan (save it with Plan.Save).
+	Plan *Plan
+	// Overhead is the estimated record overhead in logged bits per
+	// user-site run (Plan.EstimatedOverhead).
+	Overhead float64
+	// ReplayRuns is the estimated debug time in replay search runs
+	// (Plan.EstimatedReplayRuns).
+	ReplayRuns float64
+}
+
+// DefaultSweep returns the strategy sweep Frontier uses when called with
+// no strategies: the paper's four methods plus the baseline, and a
+// Budgeted ladder between dynamic+static and all branches that fills the
+// curve with intermediate points (1/8, 1/4 and 1/2 of the program's
+// branch locations, chosen by cost-model value density).
+func DefaultSweep(numBranches int) []Strategy {
+	combined := instrument.Union(instrument.Dynamic(), instrument.StaticResidue())
+	sweep := []Strategy{
+		instrument.None(),
+		instrument.Dynamic(),
+		combined,
+		instrument.Static(),
+		instrument.All(),
+	}
+	for _, frac := range []int{8, 4, 2} {
+		if k := numBranches / frac; k > 0 {
+			sweep = append(sweep, instrument.Budgeted(instrument.All(), k))
+		}
+	}
+	return sweep
+}
+
+// Frontier sweeps the given strategies (DefaultSweep when none are given)
+// and returns the Pareto frontier of (estimated record overhead, estimated
+// replay runs), sorted by strictly increasing overhead — so estimated
+// replay runs strictly decrease along the result. Plans with identical
+// fingerprints collapse to one point. Plan construction fans out over the
+// session's worker pool (WithReplayWorkers).
+func (s *Session) Frontier(ctx context.Context, strategies ...Strategy) ([]PlanPoint, error) {
+	in, err := s.Analyze(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(strategies) == 0 {
+		strategies = DefaultSweep(len(s.prog.Branches))
+	}
+	pc := s.planContext(in)
+
+	plans := make([]*Plan, len(strategies))
+	errs := make([]error, len(strategies))
+	pool := s.cfg.workers
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > len(strategies) {
+		pool = len(strategies)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				plans[i], errs[i] = strategies[i].Plan(ctx, pc)
+			}
+		}()
+	}
+	for i := range strategies {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	points := make([]PlanPoint, 0, len(strategies))
+	seen := make(map[string]bool)
+	for i, p := range plans {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("pathlog: frontier strategy %s: %w", strategies[i].Name(), errs[i])
+		}
+		fp := p.Fingerprint()
+		if seen[fp] {
+			continue // identical plan under another name: one point
+		}
+		seen[fp] = true
+		points = append(points, PlanPoint{
+			Strategy:   strategies[i].Name(),
+			Plan:       p,
+			Overhead:   p.EstimatedOverhead(),
+			ReplayRuns: p.EstimatedReplayRuns(),
+		})
+	}
+	return paretoFrontier(points), nil
+}
+
+// paretoFrontier keeps the non-dominated points, sorted by strictly
+// increasing overhead (and therefore strictly decreasing replay runs). Of
+// cost-identical plans, the first in sweep order survives.
+func paretoFrontier(points []PlanPoint) []PlanPoint {
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].Overhead != points[j].Overhead {
+			return points[i].Overhead < points[j].Overhead
+		}
+		return points[i].ReplayRuns < points[j].ReplayRuns
+	})
+	out := points[:0]
+	bestRuns := 0.0
+	for i, p := range points {
+		if i == 0 || p.ReplayRuns < bestRuns {
+			out = append(out, p)
+			bestRuns = p.ReplayRuns
+		}
+	}
+	return out
+}

@@ -165,7 +165,7 @@ func (s *Scenario) RecordContext(ctx context.Context, plan *instrument.Plan) (*r
 
 	var sink vm.BranchSink
 	var logger *instrument.Logger
-	if plan.Method != instrument.MethodNone {
+	if plan.Instruments() {
 		logger = instrument.NewLogger(plan)
 		sink = logger
 	}
@@ -195,7 +195,10 @@ func (s *Scenario) RecordContext(ctx context.Context, plan *instrument.Plan) (*r
 		stats.TraceBits = tr.Len()
 		stats.TraceBytes = tr.SizeBytes()
 		stats.Flushes = logger.Flushes()
-		rec = &replay.Recording{Plan: plan, Trace: tr, SysLog: sysLog}
+		// The recording is stamped with the plan's fingerprint so the
+		// developer site can refuse a plan/recording/program mismatch.
+		rec = &replay.Recording{Plan: plan, Trace: tr, SysLog: sysLog,
+			Fingerprint: plan.Fingerprint()}
 	}
 
 	if !res.Crashed {
@@ -276,7 +279,8 @@ func (s *Scenario) Replay(rec *replay.Recording, opts replay.Options) *replay.Re
 // "without logging system calls" experiments (Tables 5 and 8). The trace and
 // crash site are shared.
 func StripSyslog(rec *replay.Recording) *replay.Recording {
-	return &replay.Recording{Plan: rec.Plan, Trace: rec.Trace, SysLog: nil, Crash: rec.Crash}
+	return &replay.Recording{Plan: rec.Plan, Trace: rec.Trace, SysLog: nil,
+		Crash: rec.Crash, Fingerprint: rec.Fingerprint}
 }
 
 // VerifyInput checks that an input found by replay really activates the

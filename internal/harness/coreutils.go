@@ -162,7 +162,10 @@ func (c Config) Table1(ctx context.Context) (*Table, error) {
 			if rec == nil {
 				return nil, fmt.Errorf("%s/%v: user run did not crash", name, m)
 			}
-			res := c.replay(ctx, s, rec)
+			res, err := c.replay(ctx, s, rec)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", name, m, err)
+			}
 			cell := fmtDur(res.Elapsed)
 			if !res.Reproduced {
 				cell = Infinity

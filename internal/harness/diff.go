@@ -92,7 +92,10 @@ func (c Config) Tables6and7(ctx context.Context) (*Table, *Table, error) {
 			if rec == nil {
 				return nil, nil, fmt.Errorf("diff exp%d/%v: no crash", exp, m)
 			}
-			res := c.replay(ctx, s, rec)
+			res, err := c.replay(ctx, s, rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("diff exp%d/%v: %w", exp, m, err)
+			}
 			t6.AddRow(fmt.Sprintf("%d", exp), m.String(), replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged, notLogged := "-", "-"

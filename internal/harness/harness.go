@@ -176,7 +176,7 @@ func measure(ctx context.Context, s *core.Scenario, plan *instrument.Plan, round
 
 // replay reproduces a recording under the Config's replay budget and worker
 // count through the Session API.
-func (c Config) replay(ctx context.Context, s *core.Scenario, rec *replay.Recording) *replay.Result {
+func (c Config) replay(ctx context.Context, s *core.Scenario, rec *replay.Recording) (*replay.Result, error) {
 	sess := pathlog.SessionOf(s,
 		pathlog.WithReplayBudget(c.ReplayMaxRuns, c.ReplayBudget),
 		pathlog.WithReplayWorkers(c.ReplayWorkers))

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"context"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -199,6 +200,48 @@ func TestTables6and7DiffContrast(t *testing.T) {
 			t.Errorf("diff %s/%s not reproduced", row[0], row[1])
 		}
 	}
+}
+
+// TestFrontierUServer is the acceptance check for the Planner redesign:
+// the uServer sweep must return at least 4 distinct Pareto points whose
+// estimated replay runs decrease monotonically as estimated overhead
+// rises — the paper's titular balance, queryable.
+func TestFrontierUServer(t *testing.T) {
+	tbl, err := fastConfig().Frontier(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("frontier has %d points, want >= 4:\n%v", len(tbl.Rows), tbl.Rows)
+	}
+	fps := map[string]bool{}
+	prevOver, prevRuns := -1.0, 0.0
+	for i, row := range tbl.Rows {
+		if fps[row[5]] {
+			t.Errorf("duplicate fingerprint %s", row[5])
+		}
+		fps[row[5]] = true
+		over := atofT(t, row[2])
+		runs := atofT(t, row[3])
+		if i > 0 {
+			if !(over > prevOver) {
+				t.Errorf("row %d: overhead %.1f not above %.1f", i, over, prevOver)
+			}
+			if !(runs < prevRuns) {
+				t.Errorf("row %d: replay runs %.1f not below %.1f", i, runs, prevRuns)
+			}
+		}
+		prevOver, prevRuns = over, runs
+	}
+}
+
+func atofT(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return f
 }
 
 func TestCompressRatio(t *testing.T) {

@@ -253,7 +253,10 @@ func (c Config) Tables3and4(ctx context.Context) (*Table, *Table, error) {
 			if rec == nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
 			}
-			res := c.replay(ctx, s, rec)
+			res, err := c.replay(ctx, s, rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
+			}
 			t3.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged := "-"
@@ -317,7 +320,10 @@ func (c Config) Tables5and8(ctx context.Context) (*Table, *Table, error) {
 			if rec == nil {
 				return nil, nil, fmt.Errorf("exp%d/%s: no crash", exp, rowCfg.label)
 			}
-			res := c.replay(ctx, s, rec)
+			res, err := c.replay(ctx, s, rec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp%d/%s: %w", exp, rowCfg.label, err)
+			}
 			t5.AddRow(fmt.Sprintf("%d", exp), rowCfg.label, cov, replayCell(res),
 				fmt.Sprintf("%d", res.Runs), fmt.Sprintf("%v", res.Reproduced))
 			logged := "-"

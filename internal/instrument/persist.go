@@ -1,0 +1,107 @@
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"pathlog/internal/lang"
+)
+
+// Plans serialize to a small JSON envelope so a decided plan can be
+// shipped to user sites and retained at the developer site: the strategy
+// provenance, the program hash, the sorted branch-ID set, the syscall
+// flag, the cost estimate, and a self-describing fingerprint verified on
+// load (a hand-edited or corrupted plan file fails loudly instead of
+// silently instrumenting the wrong branches).
+
+type planJSON struct {
+	Version      int          `json:"version"`
+	Strategy     string       `json:"strategy,omitempty"`
+	Method       string       `json:"method"`
+	MethodID     int          `json:"method_id"`
+	ProgHash     string       `json:"prog_hash,omitempty"`
+	Instrumented []int        `json:"instrumented_branches"`
+	LogSyscalls  bool         `json:"log_syscalls"`
+	Cost         CostEstimate `json:"cost"`
+	Fingerprint  string       `json:"fingerprint"`
+}
+
+// planVersion is the current plan envelope version.
+const planVersion = 1
+
+// Save writes the plan to path.
+func (p *Plan) Save(path string) error {
+	enc := planJSON{
+		Version:     planVersion,
+		Strategy:    p.Strategy,
+		Method:      p.Method.String(),
+		MethodID:    int(p.Method),
+		ProgHash:    p.ProgHash,
+		LogSyscalls: p.LogSyscalls,
+		Cost:        p.Cost,
+		Fingerprint: p.Fingerprint(),
+	}
+	enc.Instrumented = make([]int, 0, len(p.Instrumented))
+	for _, id := range p.IDs() {
+		enc.Instrumented = append(enc.Instrumented, int(id))
+	}
+	data, err := json.MarshalIndent(enc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("instrument: encode plan: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// DecodeBranchSet validates and converts a serialized branch-ID list, as
+// found in plan and recording envelopes: negative, duplicate or unsorted
+// IDs are corruption, not data.
+func DecodeBranchSet(ids []int) (map[lang.BranchID]bool, error) {
+	if !sort.IntsAreSorted(ids) {
+		return nil, fmt.Errorf("branch IDs not sorted")
+	}
+	set := make(map[lang.BranchID]bool, len(ids))
+	for i, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("negative branch ID %d", id)
+		}
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("duplicate branch ID %d", id)
+		}
+		set[lang.BranchID(id)] = true
+	}
+	return set, nil
+}
+
+// LoadPlan reads a plan saved by Save, verifying its fingerprint.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var enc planJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, fmt.Errorf("instrument: decode plan: %w", err)
+	}
+	if enc.Version != planVersion {
+		return nil, fmt.Errorf("instrument: unsupported plan version %d", enc.Version)
+	}
+	set, err := DecodeBranchSet(enc.Instrumented)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: decode plan: %w", err)
+	}
+	p := &Plan{
+		Method:       Method(enc.MethodID),
+		Strategy:     enc.Strategy,
+		Instrumented: set,
+		LogSyscalls:  enc.LogSyscalls,
+		ProgHash:     enc.ProgHash,
+		Cost:         enc.Cost,
+	}
+	if enc.Fingerprint != "" && p.Fingerprint() != enc.Fingerprint {
+		return nil, fmt.Errorf("instrument: plan fingerprint mismatch: file says %s, content hashes to %s (plan file corrupted or edited)",
+			enc.Fingerprint, p.Fingerprint())
+	}
+	return p, nil
+}

@@ -1,0 +1,118 @@
+package instrument
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenPlan is the deterministic fixture plan: fakeProgram under the
+// combined method with syscall logging.
+func goldenPlan(t *testing.T) *Plan {
+	t.Helper()
+	return BuildPlan(fakeProgram(t), MethodDynamicStatic, fakeInputs(), true)
+}
+
+// TestPlanGoldenFile pins the serialized plan format: program hash,
+// fingerprint, branch set and cost survive exactly as checked in. A
+// failure here means the envelope changed — bump the version and the
+// golden file deliberately, not accidentally.
+func TestPlanGoldenFile(t *testing.T) {
+	golden := filepath.Join("testdata", "plan_golden.json")
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := goldenPlan(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("plan serialization drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPlanSaveLoadRoundTrip(t *testing.T) {
+	p := goldenPlan(t)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != p.Fingerprint() {
+		t.Errorf("fingerprint: %s vs %s", loaded.Fingerprint(), p.Fingerprint())
+	}
+	if loaded.Method != p.Method || loaded.Strategy != p.Strategy ||
+		loaded.LogSyscalls != p.LogSyscalls || loaded.ProgHash != p.ProgHash {
+		t.Errorf("metadata drifted: %+v vs %+v", loaded, p)
+	}
+	if loaded.Cost != p.Cost {
+		t.Errorf("cost: %+v vs %+v", loaded.Cost, p.Cost)
+	}
+	if loaded.NumInstrumented() != p.NumInstrumented() {
+		t.Errorf("instrumented: %d vs %d", loaded.NumInstrumented(), p.NumInstrumented())
+	}
+	if err := loaded.ValidateForProgram(fakeProgram(t)); err != nil {
+		t.Errorf("round-tripped plan does not validate: %v", err)
+	}
+}
+
+func TestLoadPlanRejectsTampering(t *testing.T) {
+	p := goldenPlan(t)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quietly flipping the syscall flag must break the fingerprint.
+	tampered := strings.Replace(string(data), `"log_syscalls": true`,
+		`"log_syscalls": false`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	bad := filepath.Join(t.TempDir(), "tampered.json")
+	os.WriteFile(bad, []byte(tampered), 0o644)
+	if _, err := LoadPlan(bad); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("tampered plan not caught by fingerprint: %v", err)
+	}
+}
+
+func TestLoadPlanErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	for name, content := range map[string]string{
+		"garbage.json":   "{not json",
+		"version.json":   `{"version":9}`,
+		"negative.json":  `{"version":1,"instrumented_branches":[-1],"fingerprint":""}`,
+		"duplicate.json": `{"version":1,"instrumented_branches":[1,1],"fingerprint":""}`,
+		"unsorted.json":  `{"version":1,"instrumented_branches":[2,1],"fingerprint":""}`,
+	} {
+		path := filepath.Join(dir, name)
+		os.WriteFile(path, []byte(content), 0o644)
+		if _, err := LoadPlan(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package instrument
 
 import (
+	"fmt"
 	"sort"
 
 	"pathlog/internal/concolic"
@@ -47,13 +48,52 @@ func (m Method) String() string {
 // Methods lists the instrumented methods in the paper's presentation order.
 var Methods = []Method{MethodDynamic, MethodDynamicStatic, MethodStatic, MethodAll}
 
-// Plan is the instrumentation decision for one program build.
+// ParseMethod parses the CLI spelling of a method ("none", "dynamic",
+// "static", "dynamic+static", "all").
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "none":
+		return MethodNone, nil
+	case "dynamic":
+		return MethodDynamic, nil
+	case "static":
+		return MethodStatic, nil
+	case "dynamic+static":
+		return MethodDynamicStatic, nil
+	case "all":
+		return MethodAll, nil
+	}
+	return 0, fmt.Errorf("instrument: unknown method %q (want none, dynamic, static, dynamic+static or all)", s)
+}
+
+// Plan is the instrumentation decision for one program build. Plans are
+// durable artifacts: Save/LoadPlan round-trip them through JSON, and
+// Fingerprint gives them a shippable identity covering the program, the
+// branch set and the syscall flag.
 type Plan struct {
+	// Method is the legacy §2.3 tag. Plans built by a strategy composition
+	// with no legacy equivalent leave it at MethodNone; Strategy is the
+	// authoritative provenance.
 	Method Method
+	// Strategy names the strategy that produced the plan (e.g.
+	// "union(dynamic,static-residue)"); empty on hand-built plans.
+	Strategy string
 	// Instrumented holds the branch locations whose directions are logged.
 	Instrumented map[lang.BranchID]bool
 	// LogSyscalls enables recording of select()/read() results (§2.3).
 	LogSyscalls bool
+	// ProgHash identifies the program the plan was built for (see
+	// ProgramHash); empty on hand-built plans, which skips program checks.
+	ProgHash string
+	// Cost is the plan's modeled position in the overhead/debug-time plane.
+	Cost CostEstimate
+}
+
+// Instruments reports whether applying the plan changes the build at all:
+// an empty branch set with no syscall logging is the uninstrumented
+// baseline and produces no recording.
+func (p *Plan) Instruments() bool {
+	return p.LogSyscalls || p.NumInstrumented() > 0
 }
 
 // NumInstrumented returns the number of instrumented branch locations.
@@ -97,12 +137,18 @@ type Inputs struct {
 	Static  *static.Report
 }
 
-// BuildPlan derives the instrumented-branch set for a method (§2.3).
+// BuildPlan derives the instrumented-branch set for a method (§2.3). It is
+// the literal reference implementation of the paper's four methods; the
+// strategy compositions of strategy.go reproduce it exactly (gated by
+// TestMethodStrategyParity). The returned plan carries the program hash
+// and a cost estimate like any strategy-built plan.
 func BuildPlan(prog *lang.Program, method Method, in Inputs, logSyscalls bool) *Plan {
 	p := &Plan{
 		Method:       method,
+		Strategy:     StrategyForMethod(method).Name(),
 		Instrumented: make(map[lang.BranchID]bool),
 		LogSyscalls:  logSyscalls,
+		ProgHash:     ProgramHash(prog),
 	}
 	switch method {
 	case MethodNone:
@@ -144,6 +190,7 @@ func BuildPlan(prog *lang.Program, method Method, in Inputs, logSyscalls bool) *
 			}
 		}
 	}
+	p.Cost = NewCostModel(prog, in.Dynamic).Estimate(p)
 	return p
 }
 

@@ -1,0 +1,410 @@
+package instrument
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"pathlog/internal/concolic"
+	"pathlog/internal/lang"
+)
+
+// The Planner API makes the paper's instrumentation decision a first-class,
+// composable value instead of a closed enum. A Strategy turns analysis
+// results into a Plan; combinators build new strategies out of existing
+// ones. Every legacy Method is reproduced exactly as a composition (gated
+// by the parity test in strategy_test.go):
+//
+//	MethodNone          == None()
+//	MethodDynamic       == Dynamic()
+//	MethodStatic        == Static()
+//	MethodDynamicStatic == Union(Dynamic(), StaticResidue())
+//	MethodAll           == All()
+//
+// Compositions beyond the paper's four become available for free:
+//
+//	Budgeted(All(), 64)                    // best 64 branches by value density
+//	Sampled(Static(), 0.5)                 // half of static's set, deterministic
+//	Intersect(Dynamic(), Static())         // branches both analyses agree on
+//
+// Strategy names are identifiers: the Session caches plans by name, and
+// frontier tables label points with them, so a custom Strategy must return
+// a name that uniquely describes its decision.
+
+// PlanContext carries everything a Strategy may consult: the program, the
+// analysis results, the session's syscall-logging flag, and lazily built
+// shared state (the cost model and program hash). It is safe for
+// concurrent use by strategies planned in parallel.
+type PlanContext struct {
+	Prog        *lang.Program
+	In          Inputs
+	LogSyscalls bool
+
+	costOnce sync.Once
+	cost     *CostModel
+	hashOnce sync.Once
+	progHash string
+}
+
+// NewPlanContext binds a program and its analysis results for planning.
+func NewPlanContext(prog *lang.Program, in Inputs, logSyscalls bool) *PlanContext {
+	return &PlanContext{Prog: prog, In: in, LogSyscalls: logSyscalls}
+}
+
+// CostModel returns the shared cost model, built on first use from the
+// dynamic analysis profile.
+func (pc *PlanContext) CostModel() *CostModel {
+	pc.costOnce.Do(func() { pc.cost = NewCostModel(pc.Prog, pc.In.Dynamic) })
+	return pc.cost
+}
+
+// ProgHash returns the program identity hash, computed on first use.
+func (pc *PlanContext) ProgHash() string {
+	pc.hashOnce.Do(func() { pc.progHash = ProgramHash(pc.Prog) })
+	return pc.progHash
+}
+
+// NewPlan assembles and prices a finished plan from an explicit
+// instrumented-branch set — the one constructor every strategy (built-in or
+// user-written) funnels through, so every plan carries its provenance
+// label, program hash and cost estimate.
+func (pc *PlanContext) NewPlan(name string, instrumented map[lang.BranchID]bool) *Plan {
+	if instrumented == nil {
+		instrumented = make(map[lang.BranchID]bool)
+	}
+	p := &Plan{
+		Strategy:     name,
+		Instrumented: instrumented,
+		LogSyscalls:  pc.LogSyscalls,
+		ProgHash:     pc.ProgHash(),
+	}
+	p.Cost = pc.CostModel().Estimate(p)
+	return p
+}
+
+// Strategy decides which branch locations to instrument. Implementations
+// must be deterministic: the same PlanContext must always yield the same
+// plan (fingerprints, plan caching and recordings shipped between sites
+// all depend on it).
+type Strategy interface {
+	// Name uniquely identifies the strategy's decision, e.g.
+	// "union(dynamic,static-residue)". Combinators compose names.
+	Name() string
+	// Plan derives the instrumentation plan. The context bounds any work;
+	// strategies needing an analysis the PlanContext lacks return an error.
+	Plan(ctx context.Context, pc *PlanContext) (*Plan, error)
+}
+
+// strategyFunc adapts a name and a set-builder to the Strategy interface.
+type strategyFunc struct {
+	name  string
+	build func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error)
+}
+
+func (s *strategyFunc) Name() string { return s.name }
+
+func (s *strategyFunc) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	set, err := s.build(ctx, pc)
+	if err != nil {
+		return nil, err
+	}
+	return pc.NewPlan(s.name, set), nil
+}
+
+// noneStrategy is the uninstrumented baseline. It is its own type because
+// it overrides the session's syscall-logging flag: the baseline never logs
+// anything (matching the legacy MethodNone exactly).
+type noneStrategy struct{}
+
+func (noneStrategy) Name() string { return "none" }
+
+func (noneStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := pc.NewPlan("none", nil)
+	p.LogSyscalls = false
+	return p, nil
+}
+
+// None returns the uninstrumented-baseline strategy: no branches, no
+// syscall logging.
+func None() Strategy { return noneStrategy{} }
+
+// Dynamic returns the strategy instrumenting every branch the concolic
+// analysis labeled symbolic (§2.3 "dynamic"). It errors without a dynamic
+// report.
+func Dynamic() Strategy {
+	return &strategyFunc{name: "dynamic", build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+		if pc.In.Dynamic == nil {
+			return nil, fmt.Errorf("instrument: strategy dynamic needs a dynamic analysis report")
+		}
+		set := make(map[lang.BranchID]bool)
+		for id, l := range pc.In.Dynamic.Labels {
+			if l == concolic.Symbolic {
+				set[id] = true
+			}
+		}
+		return set, nil
+	}}
+}
+
+// Static returns the strategy instrumenting every branch the static
+// analysis labeled symbolic (§2.3 "static"). It errors without a static
+// report.
+func Static() Strategy {
+	return &strategyFunc{name: "static", build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+		if pc.In.Static == nil {
+			return nil, fmt.Errorf("instrument: strategy static needs a static analysis report")
+		}
+		set := make(map[lang.BranchID]bool)
+		for id, v := range pc.In.Static.SymbolicBranches {
+			if v {
+				set[id] = true
+			}
+		}
+		return set, nil
+	}}
+}
+
+// StaticResidue returns the strategy instrumenting the statically-symbolic
+// branches the dynamic analysis never visited — static's contribution to
+// the combined method, where dynamic evidence always wins on visited
+// branches (§2.3). Union(Dynamic(), StaticResidue()) reproduces
+// MethodDynamicStatic exactly.
+func StaticResidue() Strategy {
+	return &strategyFunc{name: "static-residue", build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+		if pc.In.Dynamic == nil || pc.In.Static == nil {
+			return nil, fmt.Errorf("instrument: strategy static-residue needs both analysis reports")
+		}
+		set := make(map[lang.BranchID]bool)
+		for _, b := range pc.Prog.Branches {
+			if pc.In.Dynamic.Labels[b.ID] == concolic.Unvisited && pc.In.Static.SymbolicBranches[b.ID] {
+				set[b.ID] = true
+			}
+		}
+		return set, nil
+	}}
+}
+
+// All returns the strategy instrumenting every branch location (§2.3 "all
+// branches").
+func All() Strategy {
+	return &strategyFunc{name: "all", build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+		set := make(map[lang.BranchID]bool, len(pc.Prog.Branches))
+		for _, b := range pc.Prog.Branches {
+			set[b.ID] = true
+		}
+		return set, nil
+	}}
+}
+
+// composeName renders a combinator name from its parts.
+func composeName(op string, parts ...string) string {
+	return op + "(" + strings.Join(parts, ",") + ")"
+}
+
+// innerSets plans every inner strategy and returns their instrumented sets.
+func innerSets(ctx context.Context, pc *PlanContext, inner []Strategy) ([]map[lang.BranchID]bool, error) {
+	sets := make([]map[lang.BranchID]bool, len(inner))
+	for i, s := range inner {
+		p, err := s.Plan(ctx, pc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		sets[i] = p.Instrumented
+	}
+	return sets, nil
+}
+
+func strategyNames(ss []Strategy) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Union returns the strategy instrumenting every branch any of the inner
+// strategies instruments.
+func Union(inner ...Strategy) Strategy {
+	return &strategyFunc{
+		name: composeName("union", strategyNames(inner)...),
+		build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+			sets, err := innerSets(ctx, pc, inner)
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[lang.BranchID]bool)
+			for _, set := range sets {
+				for id, v := range set {
+					if v {
+						out[id] = true
+					}
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// Intersect returns the strategy instrumenting only the branches every
+// inner strategy instruments.
+func Intersect(inner ...Strategy) Strategy {
+	return &strategyFunc{
+		name: composeName("intersect", strategyNames(inner)...),
+		build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+			sets, err := innerSets(ctx, pc, inner)
+			if err != nil {
+				return nil, err
+			}
+			if len(sets) == 0 {
+				return nil, nil
+			}
+			out := make(map[lang.BranchID]bool)
+			for id, v := range sets[0] {
+				if !v {
+					continue
+				}
+				in := true
+				for _, set := range sets[1:] {
+					if !set[id] {
+						in = false
+						break
+					}
+				}
+				if in {
+					out[id] = true
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// Budgeted returns the strategy that keeps at most k branches of the inner
+// strategy's set — the k with the highest value density under the cost
+// model, where value is the replay fan-out the branch's bit removes and
+// cost is the expected bits per run it adds. This sweeps smooth
+// intermediate points onto the overhead/debug-time curve between the
+// paper's fixed methods. Ties break toward higher replay value, then lower
+// branch ID, so the selection is deterministic.
+func Budgeted(inner Strategy, k int) Strategy {
+	return &strategyFunc{
+		name: fmt.Sprintf("budgeted(%s,%d)", inner.Name(), k),
+		build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+			p, err := inner.Plan(ctx, pc)
+			if err != nil {
+				return nil, err
+			}
+			ids := p.IDs()
+			if k < 0 {
+				k = 0
+			}
+			if len(ids) <= k {
+				return p.Instrumented, nil
+			}
+			model := pc.CostModel()
+			type ranked struct {
+				id      lang.BranchID
+				value   float64
+				density float64
+			}
+			rs := make([]ranked, len(ids))
+			for i, id := range ids {
+				v := model.branchReplayCost(id)
+				rs[i] = ranked{id: id, value: v, density: v / model.branchOverhead(id)}
+			}
+			sort.Slice(rs, func(i, j int) bool {
+				if rs[i].density != rs[j].density {
+					return rs[i].density > rs[j].density
+				}
+				if rs[i].value != rs[j].value {
+					return rs[i].value > rs[j].value
+				}
+				return rs[i].id < rs[j].id
+			})
+			out := make(map[lang.BranchID]bool, k)
+			for _, r := range rs[:k] {
+				out[r.id] = true
+			}
+			return out, nil
+		},
+	}
+}
+
+// Sampled returns the strategy that keeps a deterministic rate-fraction of
+// the inner strategy's set, selected by hashing branch IDs (no randomness:
+// the same program and rate always keep the same branches, so fingerprints
+// stay stable across sites).
+func Sampled(inner Strategy, rate float64) Strategy {
+	return &strategyFunc{
+		name: fmt.Sprintf("sampled(%s,%g)", inner.Name(), rate),
+		build: func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error) {
+			p, err := inner.Plan(ctx, pc)
+			if err != nil {
+				return nil, err
+			}
+			if rate >= 1 {
+				return p.Instrumented, nil
+			}
+			out := make(map[lang.BranchID]bool)
+			if rate <= 0 {
+				return out, nil
+			}
+			threshold := uint32(rate * float64(1<<24))
+			for _, id := range p.IDs() {
+				h := fnv.New32a()
+				fmt.Fprintf(h, "b%d", id)
+				if h.Sum32()%(1<<24) < threshold {
+					out[id] = true
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// methodStrategy wraps a composition so plans built through the legacy
+// Method sugar carry the method tag alongside the strategy label.
+type methodStrategy struct {
+	m     Method
+	inner Strategy
+}
+
+func (s *methodStrategy) Name() string { return "method:" + s.m.String() }
+
+func (s *methodStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
+	p, err := s.inner.Plan(ctx, pc)
+	if err != nil {
+		return nil, err
+	}
+	p.Method = s.m
+	return p, nil
+}
+
+// StrategyForMethod returns the composition reproducing a legacy Method
+// (§2.3) exactly: same branch set, same flags, same fingerprint. Unknown
+// methods map to None().
+func StrategyForMethod(m Method) Strategy {
+	var inner Strategy
+	switch m {
+	case MethodDynamic:
+		inner = Dynamic()
+	case MethodStatic:
+		inner = Static()
+	case MethodDynamicStatic:
+		inner = Union(Dynamic(), StaticResidue())
+	case MethodAll:
+		inner = All()
+	default:
+		inner = None()
+	}
+	return &methodStrategy{m: m, inner: inner}
+}

@@ -1,0 +1,262 @@
+package instrument
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pathlog/internal/concolic"
+	"pathlog/internal/lang"
+)
+
+// fakeInputs labels the 5-branch fakeProgram with a profile exercising
+// every §2.3 case: b0 visited symbolic, b2 visited concrete (statically
+// symbolic — dynamic evidence must win), b1 unvisited statically symbolic,
+// b3/b4 unvisited statically concrete.
+func fakeInputs() Inputs {
+	return Inputs{
+		Dynamic: &concolic.Report{
+			Runs: 4,
+			Labels: map[lang.BranchID]concolic.Label{
+				0: concolic.Symbolic,
+				2: concolic.Concrete,
+			},
+			ExecCount:    map[lang.BranchID]int64{0: 8, 2: 40},
+			SymExecCount: map[lang.BranchID]int64{0: 8},
+		},
+		Static: statics(0, 1, 2),
+	}
+}
+
+func planOf(t *testing.T, s Strategy, pc *PlanContext) *Plan {
+	t.Helper()
+	p, err := s.Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return p
+}
+
+// TestMethodStrategyParity is the gate on the Planner redesign: every
+// legacy Method's plan must be byte-identical — same branch-ID set, same
+// flags, same fingerprint — to its strategy composition.
+func TestMethodStrategyParity(t *testing.T) {
+	prog := fakeProgram(t)
+	in := fakeInputs()
+	compositions := map[Method]Strategy{
+		MethodNone:          None(),
+		MethodDynamic:       Dynamic(),
+		MethodStatic:        Static(),
+		MethodDynamicStatic: Union(Dynamic(), StaticResidue()),
+		MethodAll:           All(),
+	}
+	for _, logSyscalls := range []bool{false, true} {
+		pc := NewPlanContext(prog, in, logSyscalls)
+		for m, comp := range compositions {
+			legacy := BuildPlan(prog, m, in, logSyscalls)
+			for _, strat := range []Strategy{comp, StrategyForMethod(m)} {
+				got := planOf(t, strat, pc)
+				if a, b := fmt.Sprint(legacy.IDs()), fmt.Sprint(got.IDs()); a != b {
+					t.Errorf("%v vs %s (syscalls=%v): IDs %s != %s", m, strat.Name(), logSyscalls, a, b)
+				}
+				if legacy.LogSyscalls != got.LogSyscalls {
+					t.Errorf("%v vs %s: LogSyscalls %v != %v", m, strat.Name(), legacy.LogSyscalls, got.LogSyscalls)
+				}
+				if a, b := legacy.Fingerprint(), got.Fingerprint(); a != b {
+					t.Errorf("%v vs %s (syscalls=%v): fingerprint %s != %s", m, strat.Name(), logSyscalls, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStrategyForMethodCarriesMethodTag(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), true)
+	for _, m := range append(Methods, MethodNone) {
+		p := planOf(t, StrategyForMethod(m), pc)
+		if p.Method != m {
+			t.Errorf("%v: plan tagged %v", m, p.Method)
+		}
+	}
+}
+
+func TestNoneNeverLogsSyscalls(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), true)
+	p := planOf(t, None(), pc)
+	if p.LogSyscalls || p.NumInstrumented() != 0 || p.Instruments() {
+		t.Fatalf("none plan: %+v", p)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), false)
+	// dynamic = {0}; static = {0,1,2}.
+	u := planOf(t, Union(Dynamic(), Static()), pc)
+	if got := fmt.Sprint(u.IDs()); got != "[0 1 2]" {
+		t.Errorf("union: %s", got)
+	}
+	i := planOf(t, Intersect(Dynamic(), Static()), pc)
+	if got := fmt.Sprint(i.IDs()); got != "[0]" {
+		t.Errorf("intersect: %s", got)
+	}
+	empty := planOf(t, Intersect(), pc)
+	if empty.NumInstrumented() != 0 {
+		t.Errorf("empty intersect instruments %d", empty.NumInstrumented())
+	}
+}
+
+func TestBudgetedKeepsTopKDeterministically(t *testing.T) {
+	prog := fakeProgram(t)
+	pc := NewPlanContext(prog, fakeInputs(), false)
+	full := planOf(t, All(), pc)
+	for k := 0; k <= len(prog.Branches)+1; k++ {
+		s := Budgeted(All(), k)
+		a := planOf(t, s, pc)
+		b := planOf(t, s, pc)
+		want := k
+		if want > full.NumInstrumented() {
+			want = full.NumInstrumented()
+		}
+		if a.NumInstrumented() != want {
+			t.Errorf("k=%d: instruments %d", k, a.NumInstrumented())
+		}
+		if fmt.Sprint(a.IDs()) != fmt.Sprint(b.IDs()) {
+			t.Errorf("k=%d: nondeterministic selection", k)
+		}
+		// The kept set must be a subset of the inner strategy's set.
+		for _, id := range a.IDs() {
+			if !full.Instrumented[id] {
+				t.Errorf("k=%d: b%d not in inner set", k, id)
+			}
+		}
+	}
+	// Budgets must nest: the k-set is contained in the (k+1)-set, so a
+	// budget sweep walks one monotone curve.
+	prev := map[lang.BranchID]bool{}
+	for k := 1; k <= len(prog.Branches); k++ {
+		p := planOf(t, Budgeted(All(), k), pc)
+		for id := range prev {
+			if !p.Instrumented[id] {
+				t.Errorf("k=%d dropped b%d kept at k=%d", k, id, k-1)
+			}
+		}
+		prev = p.Instrumented
+	}
+}
+
+func TestSampledDeterministicAndBounded(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), false)
+	if p := planOf(t, Sampled(All(), 0), pc); p.NumInstrumented() != 0 {
+		t.Errorf("rate 0 instruments %d", p.NumInstrumented())
+	}
+	if p := planOf(t, Sampled(All(), 1), pc); p.NumInstrumented() != 5 {
+		t.Errorf("rate 1 instruments %d", p.NumInstrumented())
+	}
+	s := Sampled(All(), 0.5)
+	a, b := planOf(t, s, pc), planOf(t, s, pc)
+	if fmt.Sprint(a.IDs()) != fmt.Sprint(b.IDs()) {
+		t.Error("sampling not deterministic")
+	}
+}
+
+func TestStrategyErrorsWithoutReports(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), Inputs{}, false)
+	for _, s := range []Strategy{Dynamic(), Static(), StaticResidue(),
+		Union(Dynamic()), Budgeted(Static(), 2)} {
+		if _, err := s.Plan(context.Background(), pc); err == nil {
+			t.Errorf("%s: no error without analysis reports", s.Name())
+		}
+	}
+	// All and None need no analysis.
+	for _, s := range []Strategy{All(), None()} {
+		if _, err := s.Plan(context.Background(), pc); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestStrategyHonorsContext(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := All().Plan(ctx, pc); err == nil {
+		t.Error("cancelled context must abort planning")
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	prog := fakeProgram(t)
+	in := fakeInputs()
+	pc := NewPlanContext(prog, in, true)
+	none := planOf(t, None(), pc)
+	dyn := planOf(t, Dynamic(), pc)
+	ds := planOf(t, Union(Dynamic(), StaticResidue()), pc)
+	all := planOf(t, All(), pc)
+
+	// Overhead rises with instrumentation; replay estimate falls.
+	if !(none.EstimatedOverhead() < dyn.EstimatedOverhead() &&
+		dyn.EstimatedOverhead() < ds.EstimatedOverhead() &&
+		ds.EstimatedOverhead() < all.EstimatedOverhead()) {
+		t.Errorf("overhead ordering: none=%.1f dyn=%.1f ds=%.1f all=%.1f",
+			none.EstimatedOverhead(), dyn.EstimatedOverhead(),
+			ds.EstimatedOverhead(), all.EstimatedOverhead())
+	}
+	if !(none.EstimatedReplayRuns() > dyn.EstimatedReplayRuns() &&
+		dyn.EstimatedReplayRuns() > ds.EstimatedReplayRuns() &&
+		ds.EstimatedReplayRuns() >= all.EstimatedReplayRuns()) {
+		t.Errorf("replay ordering: none=%.1f dyn=%.1f ds=%.1f all=%.1f",
+			none.EstimatedReplayRuns(), dyn.EstimatedReplayRuns(),
+			ds.EstimatedReplayRuns(), all.EstimatedReplayRuns())
+	}
+	// A fully instrumented program needs exactly the base run.
+	if all.EstimatedReplayRuns() != 1 {
+		t.Errorf("all: estimated replay runs %.2f, want 1", all.EstimatedReplayRuns())
+	}
+	if !all.Cost.Modeled {
+		t.Error("profiled estimate not marked modeled")
+	}
+	// Without a profile the estimate is structural, and says so.
+	bare := NewPlanContext(prog, Inputs{}, false)
+	if p := planOf(t, All(), bare); p.Cost.Modeled {
+		t.Error("unprofiled estimate marked modeled")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	prog := fakeProgram(t)
+	in := fakeInputs()
+	base := BuildPlan(prog, MethodStatic, in, true)
+	same := BuildPlan(prog, MethodStatic, in, true)
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Error("identical plans hash differently")
+	}
+	noSys := BuildPlan(prog, MethodStatic, in, false)
+	if base.Fingerprint() == noSys.Fingerprint() {
+		t.Error("syscall flag not covered by fingerprint")
+	}
+	smaller := BuildPlan(prog, MethodDynamic, in, true)
+	if base.Fingerprint() == smaller.Fingerprint() {
+		t.Error("branch set not covered by fingerprint")
+	}
+	// A different program changes the hash even under the same branch set.
+	other := &Plan{Instrumented: base.Instrumented, LogSyscalls: true, ProgHash: "deadbeef"}
+	if base.Fingerprint() == other.Fingerprint() {
+		t.Error("program hash not covered by fingerprint")
+	}
+}
+
+func TestValidateForProgram(t *testing.T) {
+	prog := fakeProgram(t)
+	good := BuildPlan(prog, MethodAll, fakeInputs(), false)
+	if err := good.ValidateForProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Plan{Instrumented: map[lang.BranchID]bool{99: true}}
+	if err := bad.ValidateForProgram(prog); err == nil {
+		t.Error("out-of-range branch ID accepted")
+	}
+	wrongProg := &Plan{Instrumented: map[lang.BranchID]bool{0: true}, ProgHash: "not-this-program"}
+	if err := wrongProg.ValidateForProgram(prog); err == nil {
+		t.Error("wrong program hash accepted")
+	}
+}

@@ -17,18 +17,30 @@ import (
 // (the plan the developer retained), the packed bitvector, the syscall
 // results, and the crash site. Input bytes do not exist in this format by
 // construction — there is nothing to redact.
+//
+// Version 2 additionally stamps the envelope with the plan's provenance:
+// the strategy name, the program hash, the cost estimate, and the plan
+// fingerprint — so the developer site can refuse a recording that does not
+// match the plan or the program it is about to search under. Version 1
+// envelopes (no stamp) still load, with the provenance checks skipped.
 
 type recordingJSON struct {
-	Version      int       `json:"version"`
-	Method       string    `json:"method"`
-	MethodID     int       `json:"method_id"`
-	Instrumented []int     `json:"instrumented_branches"`
-	LogSyscalls  bool      `json:"log_syscalls"`
-	TraceBits    int64     `json:"trace_bits"`
-	TraceData    string    `json:"trace_data"` // base64 of packed bits
-	SysReads     []int64   `json:"sys_reads,omitempty"`
-	SysSelects   [][]int   `json:"sys_selects,omitempty"`
-	Crash        crashJSON `json:"crash"`
+	Version      int    `json:"version"`
+	Method       string `json:"method"`
+	MethodID     int    `json:"method_id"`
+	Instrumented []int  `json:"instrumented_branches"`
+	LogSyscalls  bool   `json:"log_syscalls"`
+	TraceBits    int64  `json:"trace_bits"`
+	TraceData    string `json:"trace_data"` // base64 of packed bits
+	// Version 2 provenance stamp.
+	Strategy        string                   `json:"strategy,omitempty"`
+	ProgHash        string                   `json:"prog_hash,omitempty"`
+	Cost            *instrument.CostEstimate `json:"cost,omitempty"`
+	PlanFingerprint string                   `json:"plan_fingerprint,omitempty"`
+
+	SysReads   []int64   `json:"sys_reads,omitempty"`
+	SysSelects [][]int   `json:"sys_selects,omitempty"`
+	Crash      crashJSON `json:"crash"`
 }
 
 type crashJSON struct {
@@ -39,15 +51,27 @@ type crashJSON struct {
 	Code int64  `json:"code"`
 }
 
-// Save writes the recording to path.
+// recordingVersion is the envelope version Save writes.
+const recordingVersion = 2
+
+// Save writes the recording to path as a version-2 envelope.
 func (r *Recording) Save(path string) error {
+	fp := r.Fingerprint
+	if fp == "" {
+		fp = r.Plan.Fingerprint()
+	}
+	cost := r.Plan.Cost
 	enc := recordingJSON{
-		Version:     1,
-		Method:      r.Plan.Method.String(),
-		MethodID:    int(r.Plan.Method),
-		LogSyscalls: r.Plan.LogSyscalls,
-		TraceBits:   r.Trace.Len(),
-		TraceData:   base64.StdEncoding.EncodeToString(r.Trace.Bytes()),
+		Version:         recordingVersion,
+		Method:          r.Plan.Method.String(),
+		MethodID:        int(r.Plan.Method),
+		LogSyscalls:     r.Plan.LogSyscalls,
+		TraceBits:       r.Trace.Len(),
+		TraceData:       base64.StdEncoding.EncodeToString(r.Trace.Bytes()),
+		Strategy:        r.Plan.Strategy,
+		ProgHash:        r.Plan.ProgHash,
+		Cost:            &cost,
+		PlanFingerprint: fp,
 		Crash: crashJSON{
 			Kind: int(r.Crash.Kind),
 			Unit: r.Crash.Pos.Unit,
@@ -69,7 +93,12 @@ func (r *Recording) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadRecording reads a recording saved by Save.
+// LoadRecording reads a recording saved by Save (envelope version 1 or 2),
+// rejecting structurally corrupt envelopes: negative, duplicate or
+// descending branch IDs, and a trace_bits count inconsistent with the
+// decoded trace_data length. Callers that know the target program should
+// prefer LoadRecordingFor, which additionally rejects plans that do not
+// fit the program.
 func LoadRecording(path string) (*Recording, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -79,24 +108,39 @@ func LoadRecording(path string) (*Recording, error) {
 	if err := json.Unmarshal(data, &enc); err != nil {
 		return nil, fmt.Errorf("replay: decode recording: %w", err)
 	}
-	if enc.Version != 1 {
-		return nil, fmt.Errorf("replay: unsupported recording version %d", enc.Version)
+	if enc.Version != 1 && enc.Version != recordingVersion {
+		return nil, fmt.Errorf("replay: unsupported recording version %d (this build reads 1 and %d)",
+			enc.Version, recordingVersion)
 	}
 	bits, err := base64.StdEncoding.DecodeString(enc.TraceData)
 	if err != nil {
 		return nil, fmt.Errorf("replay: decode trace: %w", err)
 	}
+	if enc.TraceBits < 0 {
+		return nil, fmt.Errorf("replay: decode recording: negative trace_bits %d", enc.TraceBits)
+	}
+	if want := (enc.TraceBits + 7) / 8; int64(len(bits)) != want {
+		return nil, fmt.Errorf("replay: decode recording: trace_bits %d needs %d bytes, trace_data decodes to %d",
+			enc.TraceBits, want, len(bits))
+	}
+	set, err := instrument.DecodeBranchSet(enc.Instrumented)
+	if err != nil {
+		return nil, fmt.Errorf("replay: decode recording: %w", err)
+	}
 	plan := &instrument.Plan{
 		Method:       instrument.Method(enc.MethodID),
-		Instrumented: make(map[lang.BranchID]bool, len(enc.Instrumented)),
+		Strategy:     enc.Strategy,
+		Instrumented: set,
 		LogSyscalls:  enc.LogSyscalls,
+		ProgHash:     enc.ProgHash,
 	}
-	for _, id := range enc.Instrumented {
-		plan.Instrumented[lang.BranchID(id)] = true
+	if enc.Cost != nil {
+		plan.Cost = *enc.Cost
 	}
 	rec := &Recording{
-		Plan:  plan,
-		Trace: trace.FromBytes(bits, enc.TraceBits),
+		Plan:        plan,
+		Trace:       trace.FromBytes(bits, enc.TraceBits),
+		Fingerprint: enc.PlanFingerprint,
 		Crash: vm.CrashInfo{
 			Kind: vm.CrashKind(enc.Crash.Kind),
 			Pos: lang.Pos{
@@ -107,8 +151,30 @@ func LoadRecording(path string) (*Recording, error) {
 			Code: enc.Crash.Code,
 		},
 	}
+	if enc.Version >= 2 && enc.PlanFingerprint != "" {
+		if got := plan.Fingerprint(); got != enc.PlanFingerprint {
+			return nil, fmt.Errorf("replay: decode recording: plan fingerprint mismatch: stamp %s, content hashes to %s",
+				enc.PlanFingerprint, got)
+		}
+	}
 	if enc.LogSyscalls {
 		rec.SysLog = oskernel.SyscallLogFromData(enc.SysReads, enc.SysSelects)
+	}
+	return rec, nil
+}
+
+// LoadRecordingFor reads a recording and validates it against the program
+// it will be replayed on: branch IDs must name existing branch sites and a
+// recorded program hash must match. This is the loader the developer site
+// should use — a recording from a different build fails here, not as a
+// nonsense search result.
+func LoadRecordingFor(path string, prog *lang.Program) (*Recording, error) {
+	rec, err := LoadRecording(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Validate(prog); err != nil {
+		return nil, err
 	}
 	return rec, nil
 }

@@ -1,7 +1,10 @@
 package replay
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +14,8 @@ import (
 	"pathlog/internal/world"
 )
 
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
 func TestRecordingSaveLoadRoundTrip(t *testing.T) {
 	f := buildFixture(t, instrument.MethodDynamicStatic)
 	path := filepath.Join(t.TempDir(), "bug.report")
@@ -18,16 +23,26 @@ func TestRecordingSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := LoadRecording(path)
+	loaded, err := LoadRecordingFor(path, f.prog)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loaded.Plan.Method != f.rec.Plan.Method {
 		t.Errorf("method: %v vs %v", loaded.Plan.Method, f.rec.Plan.Method)
 	}
+	if loaded.Plan.Strategy != f.rec.Plan.Strategy {
+		t.Errorf("strategy: %q vs %q", loaded.Plan.Strategy, f.rec.Plan.Strategy)
+	}
 	if loaded.Plan.NumInstrumented() != f.rec.Plan.NumInstrumented() {
 		t.Errorf("instrumented: %d vs %d",
 			loaded.Plan.NumInstrumented(), f.rec.Plan.NumInstrumented())
+	}
+	// The stamp must survive and agree with the reloaded plan.
+	if loaded.Fingerprint == "" || loaded.Fingerprint != f.rec.Plan.Fingerprint() {
+		t.Errorf("fingerprint: %q vs %q", loaded.Fingerprint, f.rec.Plan.Fingerprint())
+	}
+	if loaded.Plan.Cost != f.rec.Plan.Cost {
+		t.Errorf("cost: %+v vs %+v", loaded.Plan.Cost, f.rec.Plan.Cost)
 	}
 	if loaded.Trace.Len() != f.rec.Trace.Len() {
 		t.Fatalf("trace bits: %d vs %d", loaded.Trace.Len(), f.rec.Trace.Len())
@@ -52,6 +67,93 @@ func TestRecordingSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// saveV1 writes rec in the legacy version-1 envelope (no provenance stamp)
+// — the format v0/PR-1 builds produced.
+func saveV1(t *testing.T, rec *Recording, path string) {
+	t.Helper()
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc map[string]any
+	if err := json.Unmarshal(data, &enc); err != nil {
+		t.Fatal(err)
+	}
+	enc["version"] = 1
+	delete(enc, "strategy")
+	delete(enc, "prog_hash")
+	delete(enc, "cost")
+	delete(enc, "plan_fingerprint")
+	out, err := json.MarshalIndent(enc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordingV1FixtureStillLoads is the backward-compat gate: the
+// checked-in version-1 report (produced before envelopes carried a
+// provenance stamp) must load, validate leniently, and replay.
+func TestRecordingV1FixtureStillLoads(t *testing.T) {
+	fixturePath := filepath.Join("testdata", "recording_v1.json")
+	f := buildFixture(t, instrument.MethodDynamicStatic)
+	if *updateGolden {
+		saveV1(t, f.rec, fixturePath)
+	}
+	rec, err := LoadRecordingFor(fixturePath, f.prog)
+	if err != nil {
+		t.Fatalf("v1 fixture rejected: %v (run with -update-golden to regenerate)", err)
+	}
+	if rec.Fingerprint != "" {
+		t.Errorf("v1 recording grew a fingerprint: %q", rec.Fingerprint)
+	}
+	if rec.Plan.ProgHash != "" || rec.Plan.Strategy != "" {
+		t.Errorf("v1 recording grew provenance: %+v", rec.Plan)
+	}
+	if rec.Plan.Method != instrument.MethodDynamicStatic {
+		t.Errorf("method: %v", rec.Plan.Method)
+	}
+	eng := New(f.prog, f.spec, world.NewRegistry(), rec, Options{MaxRuns: 300})
+	if res := eng.Reproduce(context.Background()); !res.Reproduced {
+		t.Fatalf("v1 recording did not reproduce: %+v", res)
+	}
+}
+
+// TestRecordingV2GoldenFile pins the current envelope byte-for-byte.
+func TestRecordingV2GoldenFile(t *testing.T) {
+	golden := filepath.Join("testdata", "recording_v2_golden.json")
+	f := buildFixture(t, instrument.MethodDynamicStatic)
+	path := filepath.Join(t.TempDir(), "bug.report")
+	if err := f.rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recording serialization drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// And the golden file itself loads and validates.
+	if _, err := LoadRecordingFor(golden, f.prog); err != nil {
+		t.Errorf("golden recording rejected: %v", err)
+	}
+}
+
 func TestRecordingFileHasNoInputBytes(t *testing.T) {
 	// The serialized report must not contain the user's distinctive input.
 	f := buildFixture(t, instrument.MethodAll)
@@ -72,10 +174,106 @@ func TestRecordingFileHasNoInputBytes(t *testing.T) {
 		}
 		t.Error("report appears to contain the user's input bytes")
 	}
-	for _, field := range []string{"instrumented_branches", "trace_data", "crash"} {
+	for _, field := range []string{"instrumented_branches", "trace_data", "crash", "plan_fingerprint"} {
 		if !strings.Contains(string(data), field) {
 			t.Errorf("missing field %q", field)
 		}
+	}
+}
+
+// mutateRecording saves the fixture, applies a JSON-level edit, and
+// returns the path of the edited report.
+func mutateRecording(t *testing.T, rec *Recording, edit func(map[string]any)) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bug.report")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc map[string]any
+	if err := json.Unmarshal(data, &enc); err != nil {
+		t.Fatal(err)
+	}
+	edit(enc)
+	out, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRecordingHardening(t *testing.T) {
+	f := buildFixture(t, instrument.MethodDynamicStatic)
+	cases := map[string]func(map[string]any){
+		"trace_bits exceeds data": func(m map[string]any) {
+			m["trace_bits"] = float64(1 << 20)
+		},
+		"trace_bits negative": func(m map[string]any) {
+			m["trace_bits"] = float64(-1)
+		},
+		"trace_bits undercounts data": func(m map[string]any) {
+			m["trace_bits"] = float64(0)
+		},
+		"negative branch ID": func(m map[string]any) {
+			m["instrumented_branches"] = []any{float64(-3), float64(1)}
+		},
+		"duplicate branch ID": func(m map[string]any) {
+			m["instrumented_branches"] = []any{float64(1), float64(1)}
+		},
+		"unsorted branch IDs": func(m map[string]any) {
+			m["instrumented_branches"] = []any{float64(2), float64(1)}
+		},
+		"fingerprint mismatch": func(m map[string]any) {
+			m["log_syscalls"] = false // flag no longer matches the stamp
+		},
+		"unknown version": func(m map[string]any) {
+			m["version"] = float64(9)
+		},
+	}
+	for name, edit := range cases {
+		path := mutateRecording(t, f.rec, edit)
+		if _, err := LoadRecording(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadRecordingForWrongProgram: a recording from one build must be
+// refused for another, both on out-of-range branch IDs and on the program
+// hash.
+func TestLoadRecordingForWrongProgram(t *testing.T) {
+	f := buildFixture(t, instrument.MethodAll)
+	path := filepath.Join(t.TempDir(), "bug.report")
+	if err := f.rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	other := compile(t, `int main() { return 0; }`) // no branches at all
+	if _, err := LoadRecordingFor(path, other); err == nil {
+		t.Error("recording accepted for a program without its branches")
+	}
+	// A later build of the "same" program: branch IDs fit (still two
+	// branches) but their source positions moved, so the hash differs.
+	similar := compile(t, `
+int main() {
+	char a[8];
+	int pad = 0;
+	getarg(0, a, 8);
+	if (a[0] == 'P') {
+		if (a[1] == 'Q') {
+			crash(1);
+		}
+	}
+	return pad;
+}
+`)
+	if _, err := LoadRecordingFor(path, similar); err == nil {
+		t.Error("recording accepted for a different program with compatible IDs")
 	}
 }
 

@@ -30,6 +30,7 @@ package replay
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -83,6 +84,33 @@ type Recording struct {
 	Trace  *trace.Trace
 	SysLog *oskernel.SyscallLog // nil when syscall logging was off
 	Crash  vm.CrashInfo
+	// Fingerprint is the stamp of the plan the recording was taken under
+	// (instrument.Plan.Fingerprint). Replay refuses a recording whose stamp
+	// disagrees with its plan or program instead of silently searching under
+	// the wrong plan. Empty on recordings from before stamping existed.
+	Fingerprint string
+}
+
+// Validate checks the recording's internal consistency and its fit to a
+// program: every instrumented branch ID must exist in prog, the plan must
+// match the fingerprint stamp, and the trace must be present.
+func (r *Recording) Validate(prog *lang.Program) error {
+	if r.Plan == nil {
+		return fmt.Errorf("replay: recording has no plan")
+	}
+	if r.Trace == nil {
+		return fmt.Errorf("replay: recording has no branch trace")
+	}
+	if err := r.Plan.ValidateForProgram(prog); err != nil {
+		return fmt.Errorf("replay: recording does not fit the program: %w", err)
+	}
+	if r.Fingerprint != "" {
+		if got := r.Plan.Fingerprint(); got != r.Fingerprint {
+			return fmt.Errorf("replay: recording was taken under plan %s, but its plan hashes to %s (plan/recording mismatch)",
+				r.Fingerprint, got)
+		}
+	}
+	return nil
 }
 
 // Result summarizes one reproduction attempt.

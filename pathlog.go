@@ -4,13 +4,17 @@
 // bug reporting, with log-guided symbolic execution for bug reproduction.
 //
 // The workflow mirrors the paper end to end, driven through a Session built
-// with functional options:
+// with functional options. Instrumentation decisions are first-class
+// strategies: built-ins (Dynamic, Static, All, None) compose through
+// combinators (Union, Intersect, Budgeted, Sampled), and the legacy
+// methods of §2.3 are fixed compositions (WithMethod is sugar for
+// WithStrategy):
 //
 //	prog, _ := pathlog.Compile(
 //		pathlog.Unit{Name: "app.mc", Source: src},
 //	)
 //	s := pathlog.NewSession(prog, spec,
-//		pathlog.WithMethod(pathlog.MethodDynamicStatic),
+//		pathlog.WithStrategy(pathlog.Union(pathlog.Dynamic(), pathlog.StaticResidue())),
 //		pathlog.WithSyscallLog(),
 //		pathlog.WithDynamicBudget(200, 0),
 //		pathlog.WithReplayBudget(2000, time.Minute),
@@ -18,16 +22,24 @@
 //	)
 //
 //	// Pre-deployment: label branches with dynamic and/or static analysis
-//	// and choose an instrumentation method (§2).
-//	in, _ := s.Analyze(ctx)
+//	// (§2), then sweep strategies for the paper's titular balance — the
+//	// Pareto frontier of (record overhead, estimated debug time).
+//	points, _ := s.Frontier(ctx)
+//	for _, pt := range points {
+//		fmt.Printf("%-28s %6.0f bits/run  ~%4.0f replay runs\n",
+//			pt.Strategy, pt.Overhead, pt.ReplayRuns)
+//	}
+//	plan := points[1].Plan         // pick a balance point ...
+//	_ = plan.Save("app.plan.json") // ... and ship it (Fingerprint-stamped)
 //
 //	// User site: the instrumented run logs one bit per instrumented
 //	// branch; a crash yields a bug report with no input bytes in it.
-//	rec, stats, _ := s.Record(ctx, userInput)
+//	rec, stats, _ := s.RecordWith(ctx, plan, userInput)
 //
 //	// Developer site: reproduce the bug from the partial branch log (§3).
-//	res := s.Replay(ctx, rec)
-//	if res.Reproduced { fmt.Println(res.InputBytes) }
+//	// Replay refuses a plan/recording/program mismatch.
+//	res, err := s.Replay(ctx, rec)
+//	if err == nil && res.Reproduced { fmt.Println(res.InputBytes) }
 //
 // Cancellation and deadlines flow through the context: a cancelled analyze
 // or replay returns promptly with partial results, and the classic
@@ -119,6 +131,51 @@ type (
 	Plan = instrument.Plan
 	// Inputs carries analysis results into plan construction.
 	Inputs = instrument.Inputs
+	// Strategy decides which branch locations to instrument; strategies
+	// compose through Union, Intersect, Budgeted and Sampled.
+	Strategy = instrument.Strategy
+	// PlanContext carries the program and analysis results a Strategy
+	// consults.
+	PlanContext = instrument.PlanContext
+	// CostEstimate is a plan's modeled (overhead, debug-time) position.
+	CostEstimate = instrument.CostEstimate
+)
+
+// Strategy constructors and combinators, re-exported from
+// internal/instrument. Each legacy Method is a fixed composition:
+// MethodDynamicStatic == Union(Dynamic(), StaticResidue()).
+var (
+	// Dynamic instruments branches the concolic analysis labeled symbolic.
+	Dynamic = instrument.Dynamic
+	// Static instruments branches the static analysis labeled symbolic.
+	Static = instrument.Static
+	// StaticResidue instruments statically-symbolic branches the dynamic
+	// analysis never visited (static's share of the combined method).
+	StaticResidue = instrument.StaticResidue
+	// All instruments every branch location.
+	All = instrument.All
+	// None is the uninstrumented baseline.
+	None = instrument.None
+	// Union instruments what any inner strategy instruments.
+	Union = instrument.Union
+	// Intersect instruments only what every inner strategy instruments.
+	Intersect = instrument.Intersect
+	// Budgeted keeps the top-k branches of a strategy by cost-model value
+	// density.
+	Budgeted = instrument.Budgeted
+	// Sampled keeps a deterministic fraction of a strategy's branches.
+	Sampled = instrument.Sampled
+	// StrategyForMethod returns the composition reproducing a legacy
+	// Method exactly.
+	StrategyForMethod = instrument.StrategyForMethod
+	// LoadPlan reads a plan saved with Plan.Save, verifying its
+	// fingerprint.
+	LoadPlan = instrument.LoadPlan
+	// LoadRecording reads a saved bug report (envelope version 1 or 2).
+	LoadRecording = replay.LoadRecording
+	// LoadRecordingFor reads a saved bug report and validates it against
+	// the program it will be replayed on.
+	LoadRecordingFor = replay.LoadRecordingFor
 )
 
 // Instrumentation methods (§2.3).

@@ -37,7 +37,7 @@ type sessionConfig struct {
 	name         string
 	userBytes    map[string][]byte
 	analysisSpec *Spec
-	method       Method
+	strategy     Strategy
 	logSyscalls  bool
 	dyn          DynamicOptions
 	static       StaticOptions
@@ -68,10 +68,20 @@ func WithAnalysisSpec(spec *Spec) Option {
 	return func(c *sessionConfig) { c.analysisSpec = spec }
 }
 
-// WithMethod selects the instrumentation method (§2.3). The default is
-// MethodDynamicStatic, the paper's headline configuration.
+// WithStrategy selects the instrumentation strategy the session plans
+// with: a built-in (Dynamic, Static, All, None), a combinator composition
+// (Union, Intersect, Budgeted, Sampled), or any custom Strategy. The
+// default is the paper's headline configuration,
+// Union(Dynamic(), StaticResidue()) — i.e. MethodDynamicStatic.
+func WithStrategy(s Strategy) Option {
+	return func(c *sessionConfig) { c.strategy = s }
+}
+
+// WithMethod selects the instrumentation method (§2.3). It is sugar for
+// WithStrategy(StrategyForMethod(m)): each legacy method is a fixed
+// strategy composition.
 func WithMethod(m Method) Option {
-	return func(c *sessionConfig) { c.method = m }
+	return func(c *sessionConfig) { c.strategy = instrument.StrategyForMethod(m) }
 }
 
 // WithSyscallLog enables syscall-result logging in the instrumented build
@@ -143,17 +153,20 @@ type Session struct {
 	mu     sync.Mutex // guards the caches below
 	inputs *Inputs
 	plans  map[planKey]*Plan
+	pc     *instrument.PlanContext
 }
 
+// planKey caches plans by strategy identity; strategy names are required
+// to uniquely describe the decision (combinators compose names).
 type planKey struct {
-	method      Method
+	strategy    string
 	logSyscalls bool
 }
 
 // NewSession binds a compiled program to an input space under the given
 // options.
 func NewSession(prog *Program, spec *Spec, opts ...Option) *Session {
-	cfg := sessionConfig{method: MethodDynamicStatic}
+	cfg := sessionConfig{strategy: instrument.StrategyForMethod(MethodDynamicStatic)}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -227,27 +240,54 @@ func (s *Session) Analyze(ctx context.Context) (Inputs, error) {
 	return in, nil
 }
 
-// PlanFor builds (and caches) the instrumentation plan for an explicit
-// method, using the session's cached analysis.
-func (s *Session) PlanFor(ctx context.Context, m Method) (*Plan, error) {
+// PlanWith builds (and caches) the instrumentation plan for an explicit
+// strategy, using the session's cached analysis. Plans are cached by
+// strategy name, so a custom Strategy must name its decision uniquely.
+func (s *Session) PlanWith(ctx context.Context, strat Strategy) (*Plan, error) {
 	in, err := s.Analyze(ctx)
 	if err != nil {
 		return nil, err
 	}
-	key := planKey{method: m, logSyscalls: s.cfg.logSyscalls}
+	key := planKey{strategy: strat.Name(), logSyscalls: s.cfg.logSyscalls}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if p, ok := s.plans[key]; ok {
+		s.mu.Unlock()
 		return p, nil
 	}
-	p := instrument.BuildPlan(s.prog, m, in, s.cfg.logSyscalls)
+	s.mu.Unlock()
+	// Plan outside the lock: strategies may do real work (cost ranking).
+	p, err := strat.Plan(ctx, s.planContext(in))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.plans[key] = p
+	s.mu.Unlock()
 	return p, nil
 }
 
-// Plan builds the instrumentation plan for the session's configured method.
+// PlanFor builds (and caches) the instrumentation plan for an explicit
+// legacy method — sugar for PlanWith(StrategyForMethod(m)).
+func (s *Session) PlanFor(ctx context.Context, m Method) (*Plan, error) {
+	return s.PlanWith(ctx, instrument.StrategyForMethod(m))
+}
+
+// Plan builds the instrumentation plan for the session's configured
+// strategy.
 func (s *Session) Plan(ctx context.Context) (*Plan, error) {
-	return s.PlanFor(ctx, s.cfg.method)
+	return s.PlanWith(ctx, s.cfg.strategy)
+}
+
+// planContext assembles the shared strategy-planning context for one
+// analysis result. The PlanContext is cached so concurrent Frontier sweeps
+// share one cost model and program hash.
+func (s *Session) planContext(in Inputs) *instrument.PlanContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pc == nil {
+		s.pc = instrument.NewPlanContext(s.prog, in, s.cfg.logSyscalls)
+	}
+	return s.pc
 }
 
 // Record performs the user-site half of the workflow: the instrumented
@@ -287,8 +327,25 @@ func (s *Session) MeasureOverhead(ctx context.Context, plan *Plan, rounds int) (
 // recorded bug from the partial branch log. The context's cancellation or
 // deadline stops the search within one run; WithReplayBudget and
 // WithReplayWorkers shape the search.
-func (s *Session) Replay(ctx context.Context, rec *Recording) *ReplayResult {
-	return s.replayWith(ctx, rec, s.cfg.workers)
+//
+// Replay refuses a recording that does not fit this session: a plan whose
+// branch IDs or program hash disagree with the session's program, or a
+// recording whose fingerprint stamp disagrees with its plan, returns an
+// error instead of silently searching under the wrong plan.
+func (s *Session) Replay(ctx context.Context, rec *Recording) (*ReplayResult, error) {
+	if err := s.validateRecording(rec); err != nil {
+		return nil, err
+	}
+	return s.replayWith(ctx, rec, s.cfg.workers), nil
+}
+
+// validateRecording checks a recording against the session's program
+// before any search is spent on it.
+func (s *Session) validateRecording(rec *Recording) error {
+	if rec == nil {
+		return fmt.Errorf("pathlog: nil recording")
+	}
+	return rec.Validate(s.prog)
 }
 
 // replayWith runs one replay; workers > 0 overrides the option set's worker
@@ -308,10 +365,17 @@ func (s *Session) replayWith(ctx context.Context, rec *Recording, workers int) *
 // session's worker pool (WithReplayWorkers). Results align with the input
 // slice. Each recording is replayed serially so the pool parallelizes across
 // recordings; a single recording falls back to parallel in-replay search.
-func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) []*ReplayResult {
+// Every recording is validated against the session's program first; a
+// mismatch fails the whole batch before any search is spent.
+func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) ([]*ReplayResult, error) {
 	out := make([]*ReplayResult, len(recs))
 	if len(recs) == 0 {
-		return out
+		return out, nil
+	}
+	for i, rec := range recs {
+		if err := s.validateRecording(rec); err != nil {
+			return nil, fmt.Errorf("recording %d: %w", i, err)
+		}
 	}
 	pool := s.cfg.workers
 	if pool < 1 {
@@ -322,9 +386,9 @@ func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) []*Replay
 	}
 	if pool == 1 {
 		for i, rec := range recs {
-			out[i] = s.Replay(ctx, rec)
+			out[i] = s.replayWith(ctx, rec, s.cfg.workers)
 		}
-		return out
+		return out, nil
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -342,7 +406,7 @@ func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) []*Replay
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, nil
 }
 
 // Reproduce runs the full pipeline once: analyze, plan, record the user run
@@ -356,7 +420,10 @@ func (s *Session) Reproduce(ctx context.Context, user map[string][]byte) (*Repla
 	if rec == nil {
 		return nil, nil, nil // the user run did not crash: nothing to replay
 	}
-	res := s.Replay(ctx, rec)
+	res, err := s.Replay(ctx, rec)
+	if err != nil {
+		return nil, rec, err
+	}
 	return res, rec, nil
 }
 
@@ -368,6 +435,6 @@ func (s *Session) Verify(inputBytes map[string][]byte, crash CrashInfo) bool {
 
 // String renders the session's configuration for logs.
 func (s *Session) String() string {
-	return fmt.Sprintf("session(%s method=%v syscalls=%v workers=%d)",
-		s.cfg.name, s.cfg.method, s.cfg.logSyscalls, s.cfg.workers)
+	return fmt.Sprintf("session(%s strategy=%s syscalls=%v workers=%d)",
+		s.cfg.name, s.cfg.strategy.Name(), s.cfg.logSyscalls, s.cfg.workers)
 }

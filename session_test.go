@@ -33,6 +33,16 @@ int main() {
 }
 `
 
+// mustReplay replays and fails the test on a validation error.
+func mustReplay(t *testing.T, ctx context.Context, sess *Session, rec *Recording) *ReplayResult {
+	t.Helper()
+	res, err := sess.Replay(ctx, rec)
+	if err != nil {
+		t.Fatalf("replay refused: %v", err)
+	}
+	return res
+}
+
 func chainSession(t *testing.T, opts ...Option) *Session {
 	t.Helper()
 	prog, err := Compile(Unit{Name: "chain.mc", Source: chainSrc})
@@ -69,7 +79,7 @@ func TestSessionEndToEnd(t *testing.T) {
 		if stats.TraceBits != int64(stats.InstrumentedExecs) {
 			t.Fatalf("%v: bits/execs mismatch", m)
 		}
-		res := sess.Replay(ctx, rec)
+		res := mustReplay(t, ctx, sess, rec)
 		if !res.Reproduced {
 			t.Fatalf("%v: not reproduced: %+v", m, res)
 		}
@@ -114,8 +124,8 @@ func TestSessionReplayWorkersParity(t *testing.T) {
 		if err != nil || rec == nil {
 			t.Fatalf("%v: record: %v", m, err)
 		}
-		one := serial.Replay(ctx, rec)
-		four := parallel.Replay(ctx, rec)
+		one := mustReplay(t, ctx, serial, rec)
+		four := mustReplay(t, ctx, parallel, rec)
 		if !one.Reproduced {
 			t.Fatalf("%v: workers=1 did not reproduce", m)
 		}
@@ -140,7 +150,7 @@ func TestWithReplayOptionsWorkersRespected(t *testing.T) {
 	if err != nil || rec == nil {
 		t.Fatalf("record: %v", err)
 	}
-	res := sess.Replay(ctx, rec)
+	res := mustReplay(t, ctx, sess, rec)
 	if !res.Reproduced {
 		t.Fatalf("not reproduced: %+v", res)
 	}
@@ -158,7 +168,7 @@ func TestSessionReplayCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	res := sess.Replay(ctx, rec)
+	res := mustReplay(t, ctx, sess, rec)
 	if res.Reproduced {
 		t.Fatal("cancelled replay must not reproduce")
 	}
@@ -198,7 +208,7 @@ func TestSessionReplayCancelMidSearch(t *testing.T) {
 	if err != nil || rec == nil {
 		t.Fatalf("record: %v", err)
 	}
-	res := sess.Replay(ctx, rec)
+	res := mustReplay(t, ctx, sess, rec)
 	if res.Reproduced {
 		// The chain needs ~7 runs; cancellation at 2 must cut it short.
 		t.Fatalf("replay reproduced despite cancellation after 2 runs (%d runs)", res.Runs)
@@ -233,7 +243,10 @@ func TestSessionReproduceAll(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	results := sess.ReproduceAll(ctx, recs)
+	results, err := sess.ReproduceAll(ctx, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(recs) {
 		t.Fatalf("results: %d for %d recordings", len(results), len(recs))
 	}
