@@ -2,9 +2,15 @@
 // the classification of every branch location: the dynamic label, the static
 // label, and the instrumentation decision each method would take.
 //
+// -refine closes the loop from the developer site: given a saved bug
+// report, it replays the recording, attributes the search cost per branch,
+// and prints (and with -plan-out saves) the next plan generation — the
+// recording's plan plus the top blowup branches.
+//
 // Usage:
 //
 //	analyze -scenario userver-exp1 -dynamic-runs 60
+//	analyze -scenario userver-exp3 -refine bug.report -plan-out gen1.plan.json
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"pathlog"
 	"pathlog/internal/apps"
@@ -33,6 +40,15 @@ func main() {
 		planOut  = flag.String("plan-out", "", "save the -method plan to this file")
 		frontier = flag.Bool("frontier", false,
 			"sweep the default strategy set and print the overhead/debug-time Pareto frontier")
+		refine = flag.String("refine", "",
+			"replay this bug report and derive the next plan generation from the search's blame")
+		topK = flag.Int("topk", pathlog.DefaultRefineTopK,
+			"blowup branches promoted by -refine")
+		refineRuns   = flag.Int("refine-runs", 2000, "replay run budget for -refine")
+		refineBudget = flag.Duration("refine-budget", 30*time.Second,
+			"replay wall-clock budget for -refine")
+		refineWorkers = flag.Int("refine-workers", 1,
+			"concurrent replay workers for -refine (1 = serial depth-first)")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -98,7 +114,48 @@ func main() {
 		}
 	}
 
-	if *planOut != "" {
+	if *refine != "" {
+		rec, err := pathlog.LoadRecordingFor(*refine, s.Prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nrefining plan %s (generation %d, %d locations) from %s\n",
+			rec.Fingerprint, rec.Plan.Generation, rec.Plan.NumInstrumented(), *refine)
+		rsess := pathlog.SessionOf(s,
+			pathlog.WithReplayBudget(*refineRuns, *refineBudget),
+			pathlog.WithReplayWorkers(*refineWorkers))
+		res, err := rsess.Replay(ctx, rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replay: reproduced=%v in %d runs (%s)\n",
+			res.Reproduced, res.Runs, res.Elapsed.Round(time.Millisecond))
+		k := *topK
+		if k <= 0 {
+			k = pathlog.DefaultRefineTopK
+		}
+		refined, err := sess.RefineWith(ctx, rec, res, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generation %d plan %s: %d locations (%+d), ~%.0f bits/run, ~%.0f replay runs (calibrated)\n",
+			refined.Generation, refined.Fingerprint(), refined.NumInstrumented(),
+			refined.NumInstrumented()-rec.Plan.NumInstrumented(),
+			refined.EstimatedOverhead(), refined.EstimatedReplayRuns())
+		for _, id := range res.Profile.TopBlowup(k, rec.Plan.Instrumented) {
+			b := s.Prog.Branches[id]
+			bc := res.Profile.Branch(id)
+			fmt.Printf("  promoted b%-5d %-30s forks=%d aborted=%d solver=%d\n",
+				id, fmt.Sprintf("%s@%s:%d", b.Func, b.Pos.Unit, b.Pos.Line),
+				bc.Forks, bc.AbortedRuns, bc.SolverCalls)
+		}
+		if *planOut != "" {
+			if err := refined.Save(*planOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("refined plan written to %s\n", *planOut)
+		}
+	} else if *planOut != "" {
 		m, err := instrument.ParseMethod(*method)
 		if err != nil {
 			fatal(err)

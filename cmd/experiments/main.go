@@ -49,6 +49,14 @@ func main() {
 		"replay wall-clock budget (the paper's 1-hour cutoff)")
 	flag.IntVar(&cfg.ReplayWorkers, "replay-workers", cfg.ReplayWorkers,
 		"concurrent replay workers per reproduction (1 = serial depth-first)")
+	flag.IntVar(&cfg.AdaptiveTargetRuns, "adaptive-target-runs", cfg.AdaptiveTargetRuns,
+		"replay-run target a generation of the adaptive experiment must meet")
+	flag.IntVar(&cfg.AdaptiveMaxGenerations, "adaptive-max-generations", cfg.AdaptiveMaxGenerations,
+		"refinement steps the adaptive experiment may take")
+	flag.StringVar(&cfg.AdaptiveTrajectoryOut, "adaptive-trajectory-out", cfg.AdaptiveTrajectoryOut,
+		"write the adaptive experiment's per-generation trajectory JSON here")
+	flag.StringVar(&cfg.AdaptiveProfileOut, "adaptive-profile-out", cfg.AdaptiveProfileOut,
+		"write the adaptive experiment's final search profile JSON here")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,14 +10,21 @@
 // explicit -force-plan file; there is no silent way to disagree with the
 // recording.
 //
+// -json prints one machine-readable result object to stdout instead of the
+// human transcript (the harness and CI consume it; nothing scrapes text),
+// and -profile-out writes the search's per-branch cost attribution for the
+// refinement loop (cmd/analyze -refine, cmd/tune).
+//
 // Usage:
 //
 //	replay -scenario paste -in bug.report -workers 4
 //	replay -scenario paste -in bug.report -force-plan other.plan.json
+//	replay -scenario paste -in bug.report -json -profile-out search.profile.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,7 @@ import (
 	"pathlog/internal/apps"
 	"pathlog/internal/instrument"
 	"pathlog/internal/replay"
+	"pathlog/internal/solver"
 )
 
 func main() {
@@ -45,6 +53,10 @@ func main() {
 			"discard the syscall log and use the symbolic models of §3.3")
 		forcePlan = flag.String("force-plan", "",
 			"replay under this plan file instead of the recording's own plan (explicit override)")
+		jsonOut = flag.Bool("json", false,
+			"print one machine-readable JSON result object to stdout instead of the transcript")
+		profileOut = flag.String("profile-out", "",
+			"write the search's per-branch cost attribution (refinement input) to this file")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -81,14 +93,18 @@ func main() {
 		if err := plan.ValidateForProgram(s.Prog); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("OVERRIDE: searching under plan %s (%s), not the recording's %s\n",
-			*forcePlan, plan.Fingerprint(), rec.Fingerprint)
+		if !*jsonOut {
+			fmt.Printf("OVERRIDE: searching under plan %s (%s), not the recording's %s\n",
+				*forcePlan, plan.Fingerprint(), rec.Fingerprint)
+		}
 		rec.Plan = plan
 		rec.Fingerprint = plan.Fingerprint()
 	}
-	fmt.Printf("report: %s (plan %s), %d instrumented locations, %d trace bits, crash at %s\n",
-		planLabel(rec.Plan), rec.Fingerprint, rec.Plan.NumInstrumented(),
-		rec.Trace.Len(), rec.Crash.Site())
+	if !*jsonOut {
+		fmt.Printf("report: %s (plan %s), %d instrumented locations, %d trace bits, crash at %s\n",
+			planLabel(rec.Plan), rec.Fingerprint, rec.Plan.NumInstrumented(),
+			rec.Trace.Len(), rec.Crash.Site())
+	}
 	if *noSyslog {
 		rec.SysLog = nil
 	}
@@ -100,6 +116,24 @@ func main() {
 	res, err := sess.Replay(ctx, rec)
 	if err != nil {
 		fatal(err)
+	}
+	if *profileOut != "" && res.Profile != nil {
+		if err := res.Profile.Save(*profileOut); err != nil {
+			fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("search profile written to %s\n", *profileOut)
+		}
+	}
+	verified := res.Reproduced && sess.Verify(res.InputBytes, rec.Crash)
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(resultJSON(rec, res, verified)); err != nil {
+			fatal(err)
+		}
+		if !res.Reproduced {
+			os.Exit(1)
+		}
+		return
 	}
 	if !res.Reproduced {
 		why := "budget exhausted — the paper's inf"
@@ -116,7 +150,7 @@ func main() {
 	fmt.Printf("symbolic branches on the bug path: %d locations logged (%d execs), %d not logged (%d execs)\n",
 		res.SymLoggedLocs, res.SymLoggedExecs, res.SymNotLoggedLocs, res.SymNotLoggedExecs)
 
-	if sess.Verify(res.InputBytes, rec.Crash) {
+	if verified {
 		fmt.Println("verified: the reconstructed input crashes at the recorded site")
 	} else {
 		fmt.Println("WARNING: reconstructed input failed verification")
@@ -125,6 +159,88 @@ func main() {
 	for stream, bytes := range res.InputBytes {
 		fmt.Printf("  %-14s %q\n", stream, printable(bytes))
 	}
+}
+
+// replayJSON is the -json result envelope: everything the transcript says,
+// as one stable object.
+type replayJSON struct {
+	Reproduced      bool              `json:"reproduced"`
+	Verified        bool              `json:"verified"`
+	TimedOut        bool              `json:"timed_out"`
+	Cancelled       bool              `json:"cancelled"`
+	Runs            int               `json:"runs"`
+	Aborts          int               `json:"aborts"`
+	Workers         int               `json:"workers"`
+	WallMS          int64             `json:"wall_ms"`
+	PendingPeak     int               `json:"pending_peak"`
+	PlanStrategy    string            `json:"plan_strategy"`
+	PlanFingerprint string            `json:"plan_fingerprint"`
+	PlanGeneration  int               `json:"plan_generation"`
+	Instrumented    int               `json:"instrumented_locations"`
+	TraceBits       int64             `json:"trace_bits"`
+	SymLogged       [2]int64          `json:"sym_logged_locs_execs"`
+	SymNotLogged    [2]int64          `json:"sym_not_logged_locs_execs"`
+	Solver          solver.Stats      `json:"solver"`
+	Profile         *profileSummary   `json:"profile,omitempty"`
+	Inputs          map[string]string `json:"inputs,omitempty"`
+}
+
+// profileSummary condenses the search profile for the JSON envelope; the
+// full attribution goes to -profile-out.
+type profileSummary struct {
+	ChargedBranches int            `json:"charged_branches"`
+	TopBlowup       []blowupBranch `json:"top_blowup,omitempty"`
+}
+
+type blowupBranch struct {
+	Branch      int   `json:"branch"`
+	Forks       int64 `json:"forks"`
+	AbortedRuns int64 `json:"aborted_runs"`
+	WastedRuns  int64 `json:"wasted_runs"`
+	SolverCalls int64 `json:"solver_calls"`
+}
+
+func resultJSON(rec *replay.Recording, res *pathlog.ReplayResult, verified bool) replayJSON {
+	out := replayJSON{
+		Reproduced:      res.Reproduced,
+		Verified:        verified,
+		TimedOut:        res.TimedOut,
+		Cancelled:       res.Cancelled,
+		Runs:            res.Runs,
+		Aborts:          res.Aborts,
+		Workers:         res.Workers,
+		WallMS:          res.Elapsed.Milliseconds(),
+		PendingPeak:     res.PendingPeak,
+		PlanStrategy:    planLabel(rec.Plan),
+		PlanFingerprint: rec.Fingerprint,
+		PlanGeneration:  rec.Plan.Generation,
+		Instrumented:    rec.Plan.NumInstrumented(),
+		TraceBits:       rec.Trace.Len(),
+		SymLogged:       [2]int64{int64(res.SymLoggedLocs), res.SymLoggedExecs},
+		SymNotLogged:    [2]int64{int64(res.SymNotLoggedLocs), res.SymNotLoggedExecs},
+		Solver:          res.SolverStats,
+	}
+	if res.Reproduced {
+		out.Inputs = make(map[string]string, len(res.InputBytes))
+		for stream, bytes := range res.InputBytes {
+			out.Inputs[stream] = printable(bytes)
+		}
+	}
+	if p := res.Profile; p != nil {
+		sum := &profileSummary{ChargedBranches: len(p.Branches)}
+		for _, id := range p.TopBlowup(5, rec.Plan.Instrumented) {
+			bc := p.Branch(id)
+			sum.TopBlowup = append(sum.TopBlowup, blowupBranch{
+				Branch:      int(id),
+				Forks:       bc.Forks,
+				AbortedRuns: bc.AbortedRuns,
+				WastedRuns:  bc.WastedRuns,
+				SolverCalls: bc.SolverCalls,
+			})
+		}
+		out.Profile = sum
+	}
+	return out
 }
 
 // planLabel prefers the strategy provenance, falling back to the method tag

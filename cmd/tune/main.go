@@ -1,0 +1,182 @@
+// Command tune drives the adaptive refinement loop end to end: starting
+// from a cheap instrumentation strategy, it records the named scenario's
+// crashing run, replays it, and — while the replay budget is not met —
+// promotes the branches the search blames into the next plan generation
+// and goes again (the paper's deploy → too slow → instrument more →
+// redeploy workflow, automated).
+//
+// Usage:
+//
+//	tune -scenario userver-exp3 -strategy dynamic -target-runs 200
+//	tune -scenario userver-exp3 -trajectory-out traj.json -plan-out final.plan.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathlog"
+	"pathlog/internal/apps"
+	"pathlog/internal/instrument"
+	"pathlog/internal/static"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "scenario name (cmd/record -list shows names)")
+		strategy = flag.String("strategy", "dynamic",
+			"starting strategy: none, dynamic, static, static-residue, dynamic+static, all")
+		dynRuns = flag.Int("dynamic-runs", 10,
+			"concolic analysis budget for the starting plan (low coverage makes the loop earn its keep)")
+		targetRuns = flag.Int("target-runs", 0,
+			"replay-run target; 0 means 'reproduce within the replay budget at all'")
+		targetTime = flag.Duration("target-time", 0, "replay wall-clock target (0 = none)")
+		maxGens    = flag.Int("max-generations", pathlog.DefaultMaxGenerations,
+			"refinement steps before giving up")
+		ceiling = flag.Float64("overhead-ceiling", 0,
+			"stop before deploying a plan estimated above this many bits/run (0 = none)")
+		topK = flag.Int("topk", pathlog.DefaultRefineTopK,
+			"blowup branches promoted per generation")
+		maxRuns = flag.Int("replay-runs", 2000, "per-generation replay run budget")
+		budget  = flag.Duration("replay-budget", 30*time.Second,
+			"per-generation replay wall-clock budget")
+		workers = flag.Int("workers", 1,
+			"concurrent replay workers per search (1 = the paper's serial depth-first)")
+		trajOut = flag.String("trajectory-out", "",
+			"write the per-generation trajectory JSON to this file")
+		planOut = flag.String("plan-out", "", "save the final generation's plan to this file")
+		profOut = flag.String("profile-out", "",
+			"write the final generation's replay search profile JSON to this file")
+	)
+	flag.Parse()
+	if *scenario == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := apps.ScenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	an := apps.AnalysisScenarioFor(*scenario, s)
+	sess := pathlog.SessionOf(s,
+		pathlog.WithAnalysisSpec(an.Spec),
+		pathlog.WithDynamicBudget(*dynRuns, 0),
+		pathlog.WithStaticOptions(static.Options{LibAsSymbolic: true}),
+		pathlog.WithSyscallLog(),
+		pathlog.WithStrategy(strat),
+		pathlog.WithReplayBudget(*maxRuns, *budget),
+		pathlog.WithReplayWorkers(*workers),
+	)
+
+	fmt.Printf("tuning %s from strategy %s (target: %s)\n",
+		*scenario, strat.Name(), describeTarget(*targetRuns, *targetTime))
+	fmt.Printf("  %-4s %-44s %6s %10s %12s %10s %6s\n",
+		"gen", "strategy", "locs", "bits/run", "replay runs", "time", "repro")
+	tr, err := sess.AutoBalance(ctx, nil, pathlog.BalanceOptions{
+		TargetReplayRuns: *targetRuns,
+		TargetReplayTime: *targetTime,
+		MaxGenerations:   *maxGens,
+		OverheadCeiling:  *ceiling,
+		TopK:             *topK,
+		OnGeneration: func(pt pathlog.BalancePoint) {
+			fmt.Printf("  %-4d %-44s %6d %10d %12d %10s %6v\n",
+				pt.Generation, truncate(pt.Plan.Strategy, 44), pt.Plan.NumInstrumented(),
+				pt.OverheadBits, pt.ReplayRuns, pt.ReplayTime.Round(time.Millisecond),
+				pt.Reproduced)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if tr.Converged {
+		fmt.Printf("converged: %s\n", tr.Reason)
+	} else {
+		fmt.Printf("NOT converged: %s\n", tr.Reason)
+	}
+	final := tr.Final()
+	if final == nil {
+		fatal(fmt.Errorf("empty trajectory"))
+	}
+	fmt.Printf("final plan: generation %d, %d locations, fingerprint %s\n",
+		final.Plan.Generation, final.Plan.NumInstrumented(), final.Plan.Fingerprint())
+
+	if *trajOut != "" {
+		if err := tr.Save(*trajOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trajectory written to %s\n", *trajOut)
+	}
+	if *planOut != "" {
+		if err := final.Plan.Save(*planOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *planOut)
+	}
+	if *profOut != "" && final.Result != nil && final.Result.Profile != nil {
+		if err := final.Result.Profile.Save(*profOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("search profile written to %s\n", *profOut)
+	}
+	if !tr.Converged {
+		os.Exit(1)
+	}
+}
+
+// parseStrategy maps the CLI spelling to a starting strategy.
+func parseStrategy(s string) (pathlog.Strategy, error) {
+	switch s {
+	case "none":
+		return pathlog.None(), nil
+	case "dynamic":
+		return pathlog.Dynamic(), nil
+	case "static":
+		return pathlog.Static(), nil
+	case "static-residue":
+		return pathlog.StaticResidue(), nil
+	case "dynamic+static":
+		return pathlog.Union(pathlog.Dynamic(), pathlog.StaticResidue()), nil
+	case "all":
+		return pathlog.All(), nil
+	}
+	if m, err := instrument.ParseMethod(s); err == nil {
+		return pathlog.StrategyForMethod(m), nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", s)
+}
+
+func describeTarget(runs int, d time.Duration) string {
+	switch {
+	case runs > 0 && d > 0:
+		return fmt.Sprintf("<= %d runs and <= %s", runs, d)
+	case runs > 0:
+		return fmt.Sprintf("<= %d runs", runs)
+	case d > 0:
+		return fmt.Sprintf("<= %s", d)
+	}
+	return "reproduce within the replay budget"
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tune:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,11 @@ type PlanPoint struct {
 	// ReplayRuns is the estimated debug time in replay search runs
 	// (Plan.EstimatedReplayRuns).
 	ReplayRuns float64
+	// Measured marks a point whose coordinates were observed (a recorded
+	// run's logged bits, a replay search's run count) rather than priced by
+	// the cost model — an AutoBalance trajectory point merged in through
+	// MergeMeasured.
+	Measured bool
 }
 
 // DefaultSweep returns the strategy sweep Frontier uses when called with
@@ -113,6 +118,33 @@ func (s *Session) Frontier(ctx context.Context, strategies ...Strategy) ([]PlanP
 		})
 	}
 	return paretoFrontier(points), nil
+}
+
+// MergeMeasured folds an AutoBalance trajectory's measured points into an
+// estimated frontier sweep and returns the recomputed Pareto frontier.
+// Where a measured point and an estimated point describe the same plan
+// (same fingerprint), the measurement wins: the cost model proposed the
+// plan, the deployment graded it. The result is sorted like Frontier's —
+// strictly increasing overhead, strictly decreasing replay runs — with
+// Measured marking which points are ground truth.
+func MergeMeasured(estimated []PlanPoint, traj *BalanceTrajectory) []PlanPoint {
+	merged := make([]PlanPoint, 0, len(estimated)+len(traj.Points))
+	measured := make(map[string]bool, len(traj.Points))
+	for _, pt := range traj.PlanPoints() {
+		fp := pt.Plan.Fingerprint()
+		if measured[fp] {
+			continue
+		}
+		measured[fp] = true
+		merged = append(merged, pt)
+	}
+	for _, pt := range estimated {
+		if measured[pt.Plan.Fingerprint()] {
+			continue
+		}
+		merged = append(merged, pt)
+	}
+	return paretoFrontier(merged)
 }
 
 // paretoFrontier keeps the non-dominated points, sorted by strictly

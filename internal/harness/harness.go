@@ -56,23 +56,35 @@ type Config struct {
 	// ReplayWorkers fans each reproduction's pending-list search out over N
 	// concurrent workers (1 = the paper's serial depth-first search).
 	ReplayWorkers int
+	// AdaptiveTargetRuns and AdaptiveMaxGenerations shape the adaptive
+	// refinement experiment: the replay-run budget a generation must meet
+	// and the refinement steps allowed to get there.
+	AdaptiveTargetRuns     int
+	AdaptiveMaxGenerations int
+	// AdaptiveTrajectoryOut / AdaptiveProfileOut, when set, write the
+	// adaptive experiment's per-generation trajectory and final search
+	// profile as JSON artifacts (CI uploads them).
+	AdaptiveTrajectoryOut string
+	AdaptiveProfileOut    string
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.
 func DefaultConfig() Config {
 	return Config{
-		MicroLoopIters:        200_000,
-		OverheadRounds:        3,
-		SmallWorkloadRounds:   300,
-		CoreutilArgLen:        12,
-		CoreutilAnalysisRuns:  800,
-		UServerLoadRequests:   30,
-		UServerAnalysisRunsLC: 6,
-		UServerAnalysisRunsHC: 60,
-		DiffAnalysisRuns:      40,
-		ReplayMaxRuns:         4000,
-		ReplayBudget:          20 * time.Second,
-		ReplayWorkers:         1,
+		MicroLoopIters:         200_000,
+		OverheadRounds:         3,
+		SmallWorkloadRounds:    300,
+		CoreutilArgLen:         12,
+		CoreutilAnalysisRuns:   800,
+		UServerLoadRequests:    30,
+		UServerAnalysisRunsLC:  6,
+		UServerAnalysisRunsHC:  60,
+		DiffAnalysisRuns:       40,
+		ReplayMaxRuns:          4000,
+		ReplayBudget:           20 * time.Second,
+		ReplayWorkers:          1,
+		AdaptiveTargetRuns:     200,
+		AdaptiveMaxGenerations: 4,
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"context"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -242,6 +243,50 @@ func atofT(t *testing.T, s string) float64 {
 		t.Fatalf("not a number: %q", s)
 	}
 	return f
+}
+
+// TestAdaptiveShape runs the feedback-loop experiment at test scale and
+// checks the paper's claim holds structurally: replay runs never rise
+// across generations, the final generation reproduces within the target,
+// and its recorded bits stay below the all-branches bar. The artifact
+// JSONs round-trip through the Config knobs CI uses.
+func TestAdaptiveShape(t *testing.T) {
+	c := fastConfig()
+	c.AdaptiveTrajectoryOut = t.TempDir() + "/trajectory.json"
+	c.AdaptiveProfileOut = t.TempDir() + "/profile.json"
+	tbl, err := c.Adaptive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row is the all-branches bar; at least two generations before it.
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("adaptive table has %d rows, want >= 3:\n%v", len(tbl.Rows), tbl.Rows)
+	}
+	gens := tbl.Rows[:len(tbl.Rows)-1]
+	bar := tbl.Rows[len(tbl.Rows)-1]
+	prevRuns := -1.0
+	for i, row := range gens {
+		runs := atofT(t, row[4])
+		if i > 0 && runs > prevRuns {
+			t.Errorf("generation %d replay runs rose: %.0f after %.0f", i, runs, prevRuns)
+		}
+		prevRuns = runs
+	}
+	final := gens[len(gens)-1]
+	if final[6] != "true" {
+		t.Errorf("final generation did not reproduce: %v", final)
+	}
+	if atofT(t, final[4]) > float64(c.AdaptiveTargetRuns) {
+		t.Errorf("final generation used %s replay runs, target %d", final[4], c.AdaptiveTargetRuns)
+	}
+	if atofT(t, final[3]) >= atofT(t, bar[3]) {
+		t.Errorf("bits/run %s not below the all-branches bar %s", final[3], bar[3])
+	}
+	for _, path := range []string{c.AdaptiveTrajectoryOut, c.AdaptiveProfileOut} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("artifact missing: %v", err)
+		}
+	}
 }
 
 func TestCompressRatio(t *testing.T) {

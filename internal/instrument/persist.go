@@ -25,7 +25,11 @@ type planJSON struct {
 	Instrumented []int        `json:"instrumented_branches"`
 	LogSyscalls  bool         `json:"log_syscalls"`
 	Cost         CostEstimate `json:"cost"`
-	Fingerprint  string       `json:"fingerprint"`
+	// Refinement lineage (omitted for generation-0 plans, so pre-lineage
+	// envelopes and their golden files are byte-identical).
+	Generation  int    `json:"generation,omitempty"`
+	Parent      string `json:"parent,omitempty"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // planVersion is the current plan envelope version.
@@ -41,6 +45,8 @@ func (p *Plan) Save(path string) error {
 		ProgHash:    p.ProgHash,
 		LogSyscalls: p.LogSyscalls,
 		Cost:        p.Cost,
+		Generation:  p.Generation,
+		Parent:      p.Parent,
 		Fingerprint: p.Fingerprint(),
 	}
 	enc.Instrumented = make([]int, 0, len(p.Instrumented))
@@ -98,6 +104,11 @@ func LoadPlan(path string) (*Plan, error) {
 		LogSyscalls:  enc.LogSyscalls,
 		ProgHash:     enc.ProgHash,
 		Cost:         enc.Cost,
+		Generation:   enc.Generation,
+		Parent:       enc.Parent,
+	}
+	if enc.Generation < 0 {
+		return nil, fmt.Errorf("instrument: decode plan: negative generation %d", enc.Generation)
 	}
 	if enc.Fingerprint != "" && p.Fingerprint() != enc.Fingerprint {
 		return nil, fmt.Errorf("instrument: plan fingerprint mismatch: file says %s, content hashes to %s (plan file corrupted or edited)",

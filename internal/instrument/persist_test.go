@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pathlog/internal/lang"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
@@ -71,6 +73,51 @@ func TestPlanSaveLoadRoundTrip(t *testing.T) {
 	}
 	if err := loaded.ValidateForProgram(fakeProgram(t)); err != nil {
 		t.Errorf("round-tripped plan does not validate: %v", err)
+	}
+}
+
+// TestRefinedPlanRoundTripKeepsLineage pins the adaptive loop's durability
+// claim: a refined plan survives Save/LoadPlan with its generation and
+// parent fingerprint intact, and a generation-0 plan serializes without
+// lineage fields (byte-stable with pre-lineage envelopes — the golden-file
+// test above is the proof).
+func TestRefinedPlanRoundTripKeepsLineage(t *testing.T) {
+	base := goldenPlan(t)
+	p := *base
+	p.Instrumented = map[lang.BranchID]bool{0: true, 1: true, 4: true}
+	p.Strategy = "refine(method:dynamic+static,gen2,+b4)"
+	p.Generation = 2
+	p.Parent = base.Fingerprint()
+
+	path := filepath.Join(t.TempDir(), "refined.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"generation": 2`) ||
+		!strings.Contains(string(data), `"parent": "`+p.Parent+`"`) {
+		t.Errorf("lineage not serialized:\n%s", data)
+	}
+	loaded, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Generation != 2 || loaded.Parent != p.Parent {
+		t.Errorf("lineage drifted: generation %d parent %s", loaded.Generation, loaded.Parent)
+	}
+	if loaded.Fingerprint() != p.Fingerprint() {
+		t.Errorf("fingerprint drifted: %s vs %s", loaded.Fingerprint(), p.Fingerprint())
+	}
+
+	// A negative generation is corruption.
+	bad := strings.Replace(string(data), `"generation": 2`, `"generation": -2`, 1)
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte(bad), 0o644)
+	if _, err := LoadPlan(badPath); err == nil || !strings.Contains(err.Error(), "generation") {
+		t.Errorf("negative generation accepted: %v", err)
 	}
 }
 

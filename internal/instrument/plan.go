@@ -87,6 +87,15 @@ type Plan struct {
 	ProgHash string
 	// Cost is the plan's modeled position in the overhead/debug-time plane.
 	Cost CostEstimate
+	// Generation counts refinement steps: 0 for a plan built from analysis
+	// alone, n+1 for a plan Refine derived from a generation-n plan.
+	// Lineage is provenance, not identity — it is deliberately outside the
+	// fingerprint, because two plans with the same branch set are
+	// interchangeable at record and replay time however they were reached.
+	Generation int
+	// Parent is the fingerprint of the plan this one was refined from;
+	// empty for generation 0.
+	Parent string
 }
 
 // Instruments reports whether applying the plan changes the build at all:

@@ -1,0 +1,232 @@
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"time"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/solver"
+)
+
+// A SearchProfile attributes the cost of one replay search to the branch
+// sites that caused it. It is the observational half of the paper's
+// feedback loop: the cost model prices plans *before* deployment from
+// analysis-time hit counts, and the profile re-prices them *after* a
+// developer-site search has shown where the fan-out actually happened.
+// Refine promotes the guiltiest branches into the next plan generation and
+// CalibrateCosts folds the observed rates back into the cost model, so the
+// estimates the Frontier reports converge toward measured behavior.
+//
+// The profile lives in this package, not in internal/replay, because it is
+// planner input: replay produces it (Result.Profile), Refine and
+// CalibrateCosts consume it, and putting it next to the cost model keeps
+// the dependency arrow pointing the way it already does (replay imports
+// instrument).
+type SearchProfile struct {
+	// ProgHash and PlanFingerprint identify what was searched: the program
+	// and the plan of the recording the search ran under. Refine refuses a
+	// profile whose fingerprint disagrees with the plan it is refining.
+	ProgHash        string `json:"prog_hash,omitempty"`
+	PlanFingerprint string `json:"plan_fingerprint,omitempty"`
+	// Generation echoes the searched plan's refinement generation.
+	Generation int `json:"generation,omitempty"`
+	// Runs is the number of completed search runs the profile aggregates
+	// over (the denominator for per-run rates). Aborts counts the runs that
+	// ended without reproducing; Reproduced reports the search outcome.
+	Runs       int  `json:"runs"`
+	Aborts     int  `json:"aborts"`
+	Reproduced bool `json:"reproduced"`
+	// Workers echoes the search's worker count. Per-branch aggregation is
+	// identical for any worker count on a search that runs to exhaustion;
+	// with an early winner, only WastedRuns depends on scheduling.
+	Workers int `json:"workers"`
+	// Solver aggregates the solver counters across all workers.
+	Solver solver.Stats `json:"solver"`
+	// Branches holds the per-site attribution. Keys are branch IDs that
+	// queued at least one pending set: uninstrumented symbolic branches
+	// (case-1 forks, the refinable blowup) and instrumented branches whose
+	// forced-direction sets drove the productive §3.1 case-2b chain.
+	Branches map[lang.BranchID]*BranchCost `json:"branches"`
+}
+
+// BranchCost is the search cost charged to one branch site.
+type BranchCost struct {
+	// Forks counts case-1 pending alternatives queued at this branch: each
+	// is an uninstrumented symbolic execution whose other direction the
+	// search may have to try. Forced case-2b sets are not forks.
+	Forks int64 `json:"forks"`
+	// AbortedRuns counts completed runs, seeded from a pending set that
+	// originated at this branch, that ended without reproducing the bug.
+	AbortedRuns int64 `json:"aborted_runs"`
+	// WastedRuns is the subset of AbortedRuns that finished after the
+	// search was already decided — speculative work a serial search would
+	// not have started. Always 0 with one worker.
+	WastedRuns int64 `json:"wasted_runs"`
+	// SolverCalls and SolverTime charge the constraint solving spent on
+	// pending sets originating at this branch (including unsat sets that
+	// never became runs).
+	SolverCalls int64         `json:"solver_calls"`
+	SolverTime  time.Duration `json:"solver_time_ns"`
+}
+
+// add merges o into c.
+func (c *BranchCost) add(o *BranchCost) {
+	c.Forks += o.Forks
+	c.AbortedRuns += o.AbortedRuns
+	c.WastedRuns += o.WastedRuns
+	c.SolverCalls += o.SolverCalls
+	c.SolverTime += o.SolverTime
+}
+
+// blowup is the branch's responsibility for search length, in runs. Runs
+// are the paper's unit of debugging time, so aborted and wasted runs lead;
+// forks and solver calls break ties (cost the search paid even when the
+// resulting sets were unsat or unexplored).
+func (c *BranchCost) blowup() (runs, forks, solves int64) {
+	return c.AbortedRuns + c.WastedRuns, c.Forks, c.SolverCalls
+}
+
+// Branch returns the cost entry for id, or a zero entry if the search
+// never charged it.
+func (p *SearchProfile) Branch(id lang.BranchID) BranchCost {
+	if c, ok := p.Branches[id]; ok {
+		return *c
+	}
+	return BranchCost{}
+}
+
+// Merge folds another profile (e.g. from replaying a second recording under
+// the same plan) into p. Identity fields must agree — Merge refuses to mix
+// profiles from different plans — and an accumulator that has no identity
+// yet (a zero value) adopts the source's, so the refusal also protects
+// chains of merges.
+func (p *SearchProfile) Merge(o *SearchProfile) error {
+	if o == nil {
+		return nil
+	}
+	if p.PlanFingerprint != "" && o.PlanFingerprint != "" && p.PlanFingerprint != o.PlanFingerprint {
+		return fmt.Errorf("instrument: cannot merge search profiles from different plans (%s vs %s)",
+			p.PlanFingerprint, o.PlanFingerprint)
+	}
+	if p.PlanFingerprint == "" {
+		p.PlanFingerprint = o.PlanFingerprint
+		p.Generation = o.Generation
+	}
+	if p.ProgHash == "" {
+		p.ProgHash = o.ProgHash
+	}
+	if o.Workers > p.Workers {
+		p.Workers = o.Workers
+	}
+	p.Runs += o.Runs
+	p.Aborts += o.Aborts
+	p.Reproduced = p.Reproduced || o.Reproduced
+	p.Solver.Add(o.Solver)
+	if p.Branches == nil {
+		p.Branches = make(map[lang.BranchID]*BranchCost, len(o.Branches))
+	}
+	for id, bc := range o.Branches {
+		if have, ok := p.Branches[id]; ok {
+			have.add(bc)
+		} else {
+			cp := *bc
+			p.Branches[id] = &cp
+		}
+	}
+	return nil
+}
+
+// TopBlowup returns up to k branch IDs ranked by their blowup — the
+// branches most responsible for search length — restricted to branches NOT
+// in the instrumented set (promoting an already-logged branch buys
+// nothing). Ranking is deterministic: aborted+wasted runs, then forks,
+// then solver calls, then lower branch ID. Branches that charged nothing
+// are never returned, so the result may be shorter than k.
+func (p *SearchProfile) TopBlowup(k int, instrumented map[lang.BranchID]bool) []lang.BranchID {
+	if k <= 0 || len(p.Branches) == 0 {
+		return nil
+	}
+	type cand struct {
+		id                  lang.BranchID
+		runs, forks, solves int64
+	}
+	cands := make([]cand, 0, len(p.Branches))
+	for id, bc := range p.Branches {
+		if instrumented[id] {
+			continue
+		}
+		runs, forks, solves := bc.blowup()
+		if runs == 0 && forks == 0 && solves == 0 {
+			continue
+		}
+		cands = append(cands, cand{id: id, runs: runs, forks: forks, solves: solves})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].runs != cands[j].runs {
+			return cands[i].runs > cands[j].runs
+		}
+		if cands[i].forks != cands[j].forks {
+			return cands[i].forks > cands[j].forks
+		}
+		if cands[i].solves != cands[j].solves {
+			return cands[i].solves > cands[j].solves
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]lang.BranchID, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// ForkRate is the observed per-run rate of case-1 forks at id — the
+// measured counterpart of the cost model's symRate for uninstrumented
+// branches.
+func (p *SearchProfile) ForkRate(id lang.BranchID) float64 {
+	bc, ok := p.Branches[id]
+	if !ok || p.Runs == 0 {
+		return 0
+	}
+	return float64(bc.Forks) / float64(p.Runs)
+}
+
+// hashIDs renders a short deterministic tag for a promoted branch set, used
+// in refined strategy names so distinct promotions cache as distinct plans.
+func hashIDs(ids []lang.BranchID) string {
+	h := fnv.New32a()
+	for _, id := range ids {
+		fmt.Fprintf(h, "b%d,", id)
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Save writes the profile to path as indented JSON, the artifact
+// cmd/replay -profile-out and the harness's adaptive experiment emit.
+func (p *SearchProfile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("instrument: encode search profile: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSearchProfile reads a profile saved by Save.
+func LoadSearchProfile(path string) (*SearchProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p SearchProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("instrument: decode search profile: %w", err)
+	}
+	return &p, nil
+}

@@ -43,7 +43,7 @@ type PlanContext struct {
 	In          Inputs
 	LogSyscalls bool
 
-	costOnce sync.Once
+	costMu   sync.Mutex
 	cost     *CostModel
 	hashOnce sync.Once
 	progHash string
@@ -55,10 +55,30 @@ func NewPlanContext(prog *lang.Program, in Inputs, logSyscalls bool) *PlanContex
 }
 
 // CostModel returns the shared cost model, built on first use from the
-// dynamic analysis profile.
+// dynamic analysis profile (and possibly recalibrated since — see
+// Calibrate).
 func (pc *PlanContext) CostModel() *CostModel {
-	pc.costOnce.Do(func() { pc.cost = NewCostModel(pc.Prog, pc.In.Dynamic) })
+	pc.costMu.Lock()
+	defer pc.costMu.Unlock()
+	if pc.cost == nil {
+		pc.cost = NewCostModel(pc.Prog, pc.In.Dynamic)
+	}
 	return pc.cost
+}
+
+// Calibrate folds an observed replay profile into the shared cost model
+// (see CostModel.CalibrateCosts). Plans built after the call are priced
+// with measured rates; plans already built keep the estimate they were
+// born with — an estimate is a statement about what was known at planning
+// time. The read-calibrate-swap holds costMu throughout, so concurrent
+// calibrations compose instead of overwriting each other.
+func (pc *PlanContext) Calibrate(profile *SearchProfile) {
+	pc.costMu.Lock()
+	defer pc.costMu.Unlock()
+	if pc.cost == nil {
+		pc.cost = NewCostModel(pc.Prog, pc.In.Dynamic)
+	}
+	pc.cost = pc.cost.CalibrateCosts(profile)
 }
 
 // ProgHash returns the program identity hash, computed on first use.

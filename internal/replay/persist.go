@@ -37,6 +37,10 @@ type recordingJSON struct {
 	ProgHash        string                   `json:"prog_hash,omitempty"`
 	Cost            *instrument.CostEstimate `json:"cost,omitempty"`
 	PlanFingerprint string                   `json:"plan_fingerprint,omitempty"`
+	// Refinement lineage of the plan the recording was taken under
+	// (omitted for generation-0 plans, keeping old envelopes byte-stable).
+	Generation int    `json:"generation,omitempty"`
+	Parent     string `json:"parent,omitempty"`
 
 	SysReads   []int64   `json:"sys_reads,omitempty"`
 	SysSelects [][]int   `json:"sys_selects,omitempty"`
@@ -72,6 +76,8 @@ func (r *Recording) Save(path string) error {
 		ProgHash:        r.Plan.ProgHash,
 		Cost:            &cost,
 		PlanFingerprint: fp,
+		Generation:      r.Plan.Generation,
+		Parent:          r.Plan.Parent,
 		Crash: crashJSON{
 			Kind: int(r.Crash.Kind),
 			Unit: r.Crash.Pos.Unit,
@@ -127,12 +133,17 @@ func LoadRecording(path string) (*Recording, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replay: decode recording: %w", err)
 	}
+	if enc.Generation < 0 {
+		return nil, fmt.Errorf("replay: decode recording: negative generation %d", enc.Generation)
+	}
 	plan := &instrument.Plan{
 		Method:       instrument.Method(enc.MethodID),
 		Strategy:     enc.Strategy,
 		Instrumented: set,
 		LogSyscalls:  enc.LogSyscalls,
 		ProgHash:     enc.ProgHash,
+		Generation:   enc.Generation,
+		Parent:       enc.Parent,
 	}
 	if enc.Cost != nil {
 		plan.Cost = *enc.Cost

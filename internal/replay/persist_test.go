@@ -235,6 +235,11 @@ func TestLoadRecordingHardening(t *testing.T) {
 		"unknown version": func(m map[string]any) {
 			m["version"] = float64(9)
 		},
+		// Lineage lives outside the fingerprint, so it gets its own
+		// structural check — LoadPlan rejects the same corruption.
+		"negative generation": func(m map[string]any) {
+			m["generation"] = float64(-3)
+		},
 	}
 	for name, edit := range cases {
 		path := mutateRecording(t, f.rec, edit)

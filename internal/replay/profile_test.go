@@ -1,0 +1,183 @@
+package replay
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/world"
+)
+
+// sideBranchSrc has a two-branch instrumented chain guarding the crash and
+// one extra symbolic branch (a[2] == 'Z') that plans below leave
+// uninstrumented: every run that reaches the crash site forks there, so
+// the search profile has both case-2b chain attribution (b0, b1) and
+// case-1 fork attribution (b2).
+const sideBranchSrc = `
+int main() {
+	char a[8];
+	getarg(0, a, 8);
+	if (a[0] == 'P') {
+		if (a[1] == 'Q') {
+			if (a[2] == 'Z') {
+				print_str("z");
+			}
+			crash(1);
+		}
+	}
+	return 0;
+}
+`
+
+// chainFixture records sideBranchSrc under a plan instrumenting only the
+// two chain branches, then points the recorded crash at an unreachable
+// site. The resulting search is single-file — at any moment at most one
+// pending set exists (a forced case-2b set while walking the chain, then
+// one case-1 alternative per crash-site visit) — so every worker count
+// claims exactly the same MaxRuns runs in the same order and the profile
+// aggregation must come out identical.
+func chainFixture(t *testing.T) *fixture {
+	t.Helper()
+	prog := compile(t, sideBranchSrc)
+	if len(prog.Branches) != 3 {
+		t.Fatalf("fixture expects 3 branches, got %d", len(prog.Branches))
+	}
+	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "xxx", 4)}}
+	plan := &instrument.Plan{
+		Method:       instrument.MethodDynamic,
+		Instrumented: map[lang.BranchID]bool{0: true, 1: true},
+	}
+	rec := record(t, prog, spec, plan, map[string][]byte{"arg0": []byte("PQx")})
+	rec.Crash.Pos.Line = 9999 // unreachable: the search can never reproduce
+	return &fixture{prog: prog, spec: spec, rec: rec}
+}
+
+// runProfiled runs the chain fixture to its MaxRuns budget and returns the
+// profile with wall-clock fields zeroed (solver time is real time and can
+// never be parity-checked).
+func runProfiled(t *testing.T, f *fixture, workers, maxRuns int) *Result {
+	t.Helper()
+	eng := New(f.prog, f.spec, world.NewRegistry(), f.rec, Options{
+		MaxRuns: maxRuns,
+		Workers: workers,
+	})
+	res := eng.Reproduce(context.Background())
+	if res.Reproduced {
+		t.Fatalf("workers=%d: reproduced an unreachable crash", workers)
+	}
+	if res.Profile == nil {
+		t.Fatalf("workers=%d: no search profile", workers)
+	}
+	return res
+}
+
+func normalizedBranches(p *instrument.SearchProfile) map[lang.BranchID]instrument.BranchCost {
+	out := make(map[lang.BranchID]instrument.BranchCost, len(p.Branches))
+	for id, bc := range p.Branches {
+		c := *bc
+		c.SolverTime = 0
+		out[id] = c
+	}
+	return out
+}
+
+// TestSearchProfileParityAcrossWorkers is the parallel-accounting check of
+// the adaptive loop: the per-branch attribution and the aggregated solver
+// counters must not depend on the worker count. Run under -race (CI does),
+// this also exercises the popLocked steal path, the take solve-outside-
+// the-lock path and the finish merge concurrently.
+func TestSearchProfileParityAcrossWorkers(t *testing.T) {
+	const maxRuns = 24
+	f := chainFixture(t)
+	serial := runProfiled(t, f, 1, maxRuns)
+	parallel := runProfiled(t, f, 4, maxRuns)
+
+	if serial.Runs != maxRuns || parallel.Runs != maxRuns {
+		t.Fatalf("runs: serial %d, parallel %d, want %d (single-file search must exhaust the budget)",
+			serial.Runs, parallel.Runs, maxRuns)
+	}
+	sp, pp := serial.Profile, parallel.Profile
+	if sp.Runs != pp.Runs || sp.Aborts != pp.Aborts || sp.Reproduced != pp.Reproduced {
+		t.Errorf("profile totals diverge: serial %d/%d/%v, parallel %d/%d/%v",
+			sp.Runs, sp.Aborts, sp.Reproduced, pp.Runs, pp.Aborts, pp.Reproduced)
+	}
+	if sp.Solver != pp.Solver {
+		t.Errorf("solver stats diverge:\nserial   %+v\nparallel %+v", sp.Solver, pp.Solver)
+	}
+	if serial.SolverStats != parallel.SolverStats {
+		t.Errorf("result solver stats diverge:\nserial   %+v\nparallel %+v",
+			serial.SolverStats, parallel.SolverStats)
+	}
+	sb, pb := normalizedBranches(sp), normalizedBranches(pp)
+	if !reflect.DeepEqual(sb, pb) {
+		t.Errorf("per-branch attribution diverges:\nserial   %+v\nparallel %+v", sb, pb)
+	}
+	// The attribution itself: the uninstrumented side branch (b2) must
+	// carry case-1 forks and the aborted ping-pong runs; the instrumented
+	// chain (b0, b1) only its forced-direction runs; nobody any wasted
+	// runs (the search never had an early winner to waste work against).
+	if sb[2].Forks == 0 {
+		t.Error("uninstrumented symbolic branch b2 shows no forks")
+	}
+	if sb[2].AbortedRuns == 0 {
+		t.Error("branch b2 shows no aborted runs despite driving the search")
+	}
+	if sb[0].Forks != 0 || sb[1].Forks != 0 {
+		t.Errorf("instrumented branches show case-1 forks: b0=%d b1=%d", sb[0].Forks, sb[1].Forks)
+	}
+	if sb[0].AbortedRuns != 1 || sb[1].AbortedRuns != 1 {
+		t.Errorf("forced-chain attribution: b0=%d b1=%d aborted runs, want 1 each",
+			sb[0].AbortedRuns, sb[1].AbortedRuns)
+	}
+	for id, bc := range sb {
+		if bc.WastedRuns != 0 {
+			t.Errorf("b%d: %d wasted runs in a search with no winner", id, bc.WastedRuns)
+		}
+		if bc.SolverCalls == 0 && bc.Forks == 0 {
+			t.Errorf("b%d: profiled but never charged", id)
+		}
+	}
+}
+
+// TestProfileOnReproducingSearch checks the profile of a successful search:
+// the empty-plan reproduction of twoByteGuard must blame its runs on the
+// uninstrumented symbolic branches and stamp the profile with the plan
+// identity the refinement loop keys on.
+func TestProfileOnReproducingSearch(t *testing.T) {
+	prog := compile(t, twoByteGuard)
+	spec := &world.Spec{Args: []world.Stream{world.ArgSpec(0, "ab", 4)}}
+	plan := &instrument.Plan{
+		Method:       instrument.MethodDynamic,
+		Instrumented: map[lang.BranchID]bool{},
+	}
+	rec := record(t, prog, spec, plan, map[string][]byte{"arg0": []byte("PQ")})
+	eng := New(prog, spec, world.NewRegistry(), rec, Options{MaxRuns: 500})
+	res := eng.Reproduce(context.Background())
+	if !res.Reproduced {
+		t.Fatalf("not reproduced: %+v", res)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("no profile on a reproducing search")
+	}
+	if !p.Reproduced || p.Runs != res.Runs || p.Aborts != res.Aborts {
+		t.Errorf("profile totals disagree with result: %+v vs runs=%d aborts=%d",
+			p, res.Runs, res.Aborts)
+	}
+	if want := plan.Fingerprint(); p.PlanFingerprint != want {
+		t.Errorf("profile fingerprint %s, want %s", p.PlanFingerprint, want)
+	}
+	var forks int64
+	for _, bc := range p.Branches {
+		forks += bc.Forks
+	}
+	if forks == 0 {
+		t.Error("empty-plan search profiled no forks")
+	}
+	top := p.TopBlowup(2, plan.Instrumented)
+	if len(top) == 0 {
+		t.Error("TopBlowup returned nothing for a multi-run search")
+	}
+}

@@ -138,6 +138,11 @@ type Result struct {
 	SymNotLoggedExecs int64
 	SolverStats       solver.Stats
 	PendingPeak       int
+	// Profile attributes the search's cost per branch site: forks, aborted
+	// and wasted runs, solver calls and time, aggregated race-free across
+	// the worker pool. It is always populated — a search that timed out is
+	// exactly the one whose attribution the refinement loop needs.
+	Profile *instrument.SearchProfile
 }
 
 // Engine reproduces one recorded bug.
@@ -182,6 +187,12 @@ type pendingSet struct {
 	prefixLen int
 	appended  sym.Constraint
 	parent    sym.MapAssignment
+	// origin is the branch site whose alternative this set explores: the
+	// uninstrumented symbolic branch that forked (case 1) or the
+	// instrumented branch whose recorded direction is forced (case 2b).
+	// Solver effort and the resulting run's outcome are charged to it in
+	// the search profile.
+	origin lang.BranchID
 }
 
 // materialize builds the full constraint conjunction (copying, because the
@@ -209,6 +220,9 @@ type runSink struct {
 	// Per-location stats over this run (symbolic executions only).
 	symExecLogged    map[lang.BranchID]int64
 	symExecNotLogged map[lang.BranchID]int64
+	// forks counts case-1 pending alternatives actually queued per branch
+	// site this run — the per-run slice of the search profile.
+	forks map[lang.BranchID]int64
 }
 
 // OnBranch implements vm.BranchSink.
@@ -222,7 +236,9 @@ func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) err
 		s.symExecNotLogged[site.ID]++
 		c := sym.Constraint{E: cond.Sym, Truth: taken}
 		if len(s.conds) < maxRunConds {
-			s.pushPending(c.Negated())
+			if s.pushPending(site.ID, c.Negated()) {
+				s.forks[site.ID]++
+			}
 			s.conds = append(s.conds, c)
 		}
 		return nil
@@ -244,7 +260,7 @@ func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) err
 			return nil
 		}
 		// 2b: force the recorded direction in a pending set and abort.
-		s.pushPending(sym.Constraint{E: cond.Sym, Truth: logged})
+		s.pushPending(site.ID, sym.Constraint{E: cond.Sym, Truth: logged})
 		s.mismatch = true
 		return vm.ErrAbortRun
 
@@ -264,16 +280,20 @@ func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) err
 	}
 }
 
-// pushPending queues the current prefix plus one appended constraint.
-func (s *runSink) pushPending(appended sym.Constraint) {
+// pushPending queues the current prefix plus one appended constraint,
+// reporting whether the set was actually queued (the per-run cap can drop
+// it).
+func (s *runSink) pushPending(origin lang.BranchID, appended sym.Constraint) bool {
 	if len(s.queued) >= s.eng.opts.MaxPending {
-		return
+		return false
 	}
 	s.queued = append(s.queued, pendingSet{
 		prefixLen: len(s.conds),
 		appended:  appended,
 		parent:    s.asn,
+		origin:    origin,
 	})
+	return true
 }
 
 // searchState is the coordination hub shared by the search workers: the
@@ -307,6 +327,23 @@ type searchState struct {
 	cancelled bool
 
 	winner *runOutcome // reproduction with the lowest run sequence number
+
+	// profile accumulates the per-branch search attribution. Every write
+	// happens under mu (solver charges in take, run outcomes and fork
+	// merges in finish), so the aggregation is identical whether one worker
+	// or many performed the search — up to WastedRuns, which only exist
+	// when a parallel search keeps running past an early winner.
+	profile map[lang.BranchID]*instrument.BranchCost
+}
+
+// chargeLocked returns the profile entry for a branch site. Callers hold mu.
+func (st *searchState) chargeLocked(id lang.BranchID) *instrument.BranchCost {
+	bc, ok := st.profile[id]
+	if !ok {
+		bc = &instrument.BranchCost{}
+		st.profile[id] = bc
+	}
+	return bc
 }
 
 // runOutcome captures everything needed to assemble the result of one
@@ -364,11 +401,17 @@ func (st *searchState) popLocked(w int) (pendingSet, bool) {
 	return top, true
 }
 
+// noOrigin marks a run not seeded from any pending set (the initial
+// all-seed run); its outcome is charged to no branch.
+const noOrigin = lang.BranchID(-1)
+
 // take claims the next run for worker w: the initial seed run, or a pending
 // constraint set popped and solved with the worker's own solver. It returns
 // ok=false when the search is over (success, budget, cancellation, or
-// exhaustion).
-func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn sym.MapAssignment, seq int, ok bool) {
+// exhaustion). origin is the branch site the claimed run's pending set
+// originated at (noOrigin for the seed run), so finish can charge the run's
+// outcome to it.
+func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn sym.MapAssignment, seq int, origin lang.BranchID, ok bool) {
 	e := st.eng
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -377,20 +420,20 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn
 			st.stopOn(err)
 		}
 		if st.done {
-			return nil, 0, false
+			return nil, 0, noOrigin, false
 		}
 		if st.started >= e.opts.MaxRuns {
 			st.timedOut = true
 			st.done = true
 			st.cond.Broadcast()
-			return nil, 0, false
+			return nil, 0, noOrigin, false
 		}
 		if !st.seedTaken {
 			st.seedTaken = true
 			st.active++
 			seq = st.started
 			st.started++
-			return sym.MapAssignment{}, seq, true
+			return sym.MapAssignment{}, seq, noOrigin, true
 		}
 		if top, got := st.popLocked(w); got {
 			// Solve outside the lock: the solver is the expensive part, and
@@ -399,13 +442,20 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn
 			st.mu.Unlock()
 			conds := top.materialize()
 			vars := sym.ConstraintVars(conds)
+			solveStart := time.Now()
 			solved, sat := slv.Solve(solver.Problem{
 				Constraints: conds,
 				Domains:     e.reg.Domains(vars),
 				Seed:        seedFor(top.parent, vars),
 			})
+			solveTime := time.Since(solveStart)
 			st.mu.Lock()
 			st.active--
+			// The solving effort is charged to the branch whose alternative
+			// demanded it, sat or not — unsat sets are pure search cost.
+			bc := st.chargeLocked(top.origin)
+			bc.SolverCalls++
+			bc.SolverTime += solveTime
 			if !sat {
 				// This set is dead; siblings waiting on empty deques may
 				// now be the last ones standing.
@@ -413,24 +463,24 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn
 				continue
 			}
 			if st.done {
-				return nil, 0, false
+				return nil, 0, noOrigin, false
 			}
 			if st.started >= e.opts.MaxRuns {
 				st.timedOut = true
 				st.done = true
 				st.cond.Broadcast()
-				return nil, 0, false
+				return nil, 0, noOrigin, false
 			}
 			st.active++
 			seq = st.started
 			st.started++
-			return mergeAsn(top.parent, solved), seq, true
+			return mergeAsn(top.parent, solved), seq, top.origin, true
 		}
 		if st.active == 0 {
 			// Nothing pending and nobody who could add work: exhausted.
 			st.done = true
 			st.cond.Broadcast()
-			return nil, 0, false
+			return nil, 0, noOrigin, false
 		}
 		st.cond.Wait()
 	}
@@ -438,13 +488,19 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn
 
 // finish accounts for one completed run of worker w: a reproduction closes
 // the search (lowest sequence number wins); an abort queues the run's
-// alternatives on the worker's own deque.
-func (st *searchState) finish(w, seq int, asn sym.MapAssignment, sink *runSink, vmRes vm.Result, world *world.World) {
+// alternatives on the worker's own deque. The run's outcome and its case-1
+// forks are merged into the search profile under the coordination lock, so
+// attribution never races.
+func (st *searchState) finish(w, seq int, origin lang.BranchID, asn sym.MapAssignment, sink *runSink, vmRes vm.Result, world *world.World) {
 	e := st.eng
 	st.mu.Lock()
 	st.active--
 	st.completed++
 	completed := st.completed
+	wasDecided := st.done && st.winner != nil
+	for id, n := range sink.forks {
+		st.chargeLocked(id).Forks += n
+	}
 	if e.isReproduction(sink, vmRes) {
 		if st.winner == nil || seq < st.winner.seq {
 			st.winner = &runOutcome{seq: seq, asn: asn, sink: sink, w: world}
@@ -452,6 +508,15 @@ func (st *searchState) finish(w, seq int, asn sym.MapAssignment, sink *runSink, 
 		st.done = true
 	} else {
 		st.aborts++
+		if origin != noOrigin {
+			bc := st.chargeLocked(origin)
+			bc.AbortedRuns++
+			if wasDecided {
+				// The search already had its winner when this run came
+				// back: speculative work a serial search never starts.
+				bc.WastedRuns++
+			}
+		}
 		if !st.done {
 			// Queue this run's alternatives; deepest alternatives are pushed
 			// last and popped first (depth-first, §3.2). The sets share the
@@ -488,12 +553,12 @@ func (st *searchState) finish(w, seq int, asn sym.MapAssignment, sink *runSink, 
 // worker claims and executes runs until the search terminates.
 func (e *Engine) worker(ctx context.Context, st *searchState, w int, slv *solver.Solver) {
 	for {
-		asn, seq, ok := st.take(ctx, w, slv)
+		asn, seq, origin, ok := st.take(ctx, w, slv)
 		if !ok {
 			return
 		}
 		sink, vmRes, wld := e.runOnce(asn)
-		st.finish(w, seq, asn, sink, vmRes, wld)
+		st.finish(w, seq, origin, asn, sink, vmRes, wld)
 	}
 }
 
@@ -512,7 +577,11 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 		defer cancel()
 	}
 
-	st := &searchState{eng: e, deques: make([][]pendingSet, e.opts.Workers)}
+	st := &searchState{
+		eng:     e,
+		deques:  make([][]pendingSet, e.opts.Workers),
+		profile: make(map[lang.BranchID]*instrument.BranchCost),
+	}
 	st.cond = sync.NewCond(&st.mu)
 
 	// The watcher wakes workers blocked on the pending list when the context
@@ -553,13 +622,22 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 		Elapsed:     time.Since(start),
 	}
 	for _, slv := range solvers {
-		s := slv.Stats()
-		res.SolverStats.Calls += s.Calls
-		res.SolverStats.Sat += s.Sat
-		res.SolverStats.Unsat += s.Unsat
-		res.SolverStats.Nodes += s.Nodes
-		res.SolverStats.Atoms += s.Atoms
-		res.SolverStats.Fallbacks += s.Fallbacks
+		res.SolverStats.Add(slv.Stats())
+	}
+	fp := e.rec.Fingerprint
+	if fp == "" {
+		fp = e.rec.Plan.Fingerprint()
+	}
+	res.Profile = &instrument.SearchProfile{
+		ProgHash:        e.rec.Plan.ProgHash,
+		PlanFingerprint: fp,
+		Generation:      e.rec.Plan.Generation,
+		Runs:            st.completed,
+		Aborts:          st.aborts,
+		Reproduced:      st.winner != nil,
+		Workers:         workers,
+		Solver:          res.SolverStats,
+		Branches:        st.profile,
 	}
 	if st.winner != nil {
 		res.Reproduced = true
@@ -608,6 +686,7 @@ func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.Wor
 		asn:              asn,
 		symExecLogged:    make(map[lang.BranchID]int64),
 		symExecNotLogged: make(map[lang.BranchID]int64),
+		forks:            make(map[lang.BranchID]int64),
 	}
 	machine := vm.New(e.prog, vm.Options{
 		Kernel:   kern,

@@ -59,6 +59,17 @@ type Stats struct {
 	Fallbacks int64 // atoms that could not be linearized
 }
 
+// Add folds another Stats into s — the one aggregation point for callers
+// combining per-worker or per-search counters.
+func (s *Stats) Add(o Stats) {
+	s.Calls += o.Calls
+	s.Sat += o.Sat
+	s.Unsat += o.Unsat
+	s.Nodes += o.Nodes
+	s.Atoms += o.Atoms
+	s.Fallbacks += o.Fallbacks
+}
+
 // Solver solves conjunctions of sym.Constraint over bounded integer domains.
 // A Solver is not safe for concurrent use.
 type Solver struct {

@@ -41,6 +41,15 @@
 //	res, err := s.Replay(ctx, rec)
 //	if err == nil && res.Reproduced { fmt.Println(res.InputBytes) }
 //
+//	// Or close the paper's feedback loop: when replay takes too long,
+//	// AutoBalance promotes the branches the search blames
+//	// (ReplayResult.Profile) into the next plan generation and redeploys
+//	// until the replay budget is met — Session.Refine is the single step.
+//	tr, _ := s.AutoBalance(ctx, userInput, pathlog.BalanceOptions{
+//		TargetReplayRuns: 200, MaxGenerations: 4,
+//	})
+//	plan := tr.Final().Plan // lineage-stamped: Generation, Parent
+//
 // Cancellation and deadlines flow through the context: a cancelled analyze
 // or replay returns promptly with partial results, and the classic
 // MaxRuns/TimeBudget bounds remain available as options. The pre-Session
@@ -168,6 +177,13 @@ var (
 	// StrategyForMethod returns the composition reproducing a legacy
 	// Method exactly.
 	StrategyForMethod = instrument.StrategyForMethod
+	// Refine returns the strategy deriving the next plan generation from a
+	// base plan and the replay search profile measured under it (see
+	// Session.Refine and Session.AutoBalance for the driven loop).
+	Refine = instrument.Refine
+	// LoadSearchProfile reads a search profile saved with
+	// SearchProfile.Save (cmd/replay -profile-out writes them).
+	LoadSearchProfile = instrument.LoadSearchProfile
 	// LoadPlan reads a plan saved with Plan.Save, verifying its
 	// fingerprint.
 	LoadPlan = instrument.LoadPlan
@@ -189,6 +205,9 @@ const (
 
 // Methods lists the instrumented methods in the paper's order.
 var Methods = instrument.Methods
+
+// DefaultRefineTopK is the default promotion width of one refinement step.
+const DefaultRefineTopK = instrument.DefaultRefineTopK
 
 // Stream constructors.
 var (

@@ -19,10 +19,11 @@ type CrashInfo = vm.CrashInfo
 type ProgressEvent struct {
 	// Scenario is the session name (WithName / SessionOf).
 	Scenario string
-	// Phase is "analyze", "record" or "replay".
+	// Phase is "analyze", "record", "replay" or "balance".
 	Phase string
 	// Runs is the number of completed runs within the phase (analysis and
-	// replay are iterated searches; record is a single run, reported as 1).
+	// replay are iterated searches; record is a single run, reported as 1;
+	// balance reports completed generations).
 	Runs int
 }
 
@@ -112,27 +113,66 @@ func WithStaticOptions(o StaticOptions) Option {
 }
 
 // WithReplayBudget bounds each reproduction attempt — the paper's one-hour
-// cutoff, scaled. maxRuns <= 0 keeps the default; budget 0 means no
-// wall-clock limit beyond the context's own deadline.
+// cutoff, scaled. Nonsensical values are clamped at option-apply time with
+// one documented rule: anything below zero becomes zero, the "use the
+// default / no limit" value (maxRuns <= 0 keeps the default run budget;
+// budget <= 0 means no wall-clock limit beyond the context's own deadline).
 func WithReplayBudget(maxRuns int, budget time.Duration) Option {
 	return func(c *sessionConfig) {
-		c.rep.MaxRuns = maxRuns
-		c.rep.TimeBudget = budget
+		c.rep.MaxRuns = clampNonNegative(maxRuns)
+		c.rep.TimeBudget = clampDurNonNegative(budget)
 	}
 }
 
 // WithReplayOptions replaces the full replay option set. Workers and OnRun
-// set here are overridden by WithReplayWorkers and WithProgress.
+// set here are overridden by WithReplayWorkers and WithProgress. Negative
+// bounds (MaxRuns, TimeBudget, MaxStepsPerRun, MaxPending, Workers) are
+// clamped to zero — the documented "default" value of each — at
+// option-apply time, so a miscomputed budget surfaces as the default
+// behavior here rather than as an engine-internal surprise later.
 func WithReplayOptions(o ReplayOptions) Option {
-	return func(c *sessionConfig) { c.rep = o }
+	return func(c *sessionConfig) {
+		o.MaxRuns = clampNonNegative(o.MaxRuns)
+		o.MaxPending = clampNonNegative(o.MaxPending)
+		o.Workers = clampNonNegative(o.Workers)
+		o.TimeBudget = clampDurNonNegative(o.TimeBudget)
+		if o.MaxStepsPerRun < 0 {
+			o.MaxStepsPerRun = 0
+		}
+		c.rep = o
+	}
 }
 
 // WithReplayWorkers fans the replay engine's pending-list exploration out
-// over n concurrent workers. n <= 1 keeps the serial depth-first search;
-// larger n trades the paper's exact exploration order for wall-clock speed,
-// with the lowest-run-sequence reproduction selected deterministically.
+// over n concurrent workers. n <= 1 selects the serial depth-first search
+// (anything below 1 is clamped to 1 at option-apply time — asking for "no
+// workers" means asking for the paper's serial search, never an engine
+// error); larger n trades the paper's exact exploration order for
+// wall-clock speed, with the lowest-run-sequence reproduction selected
+// deterministically.
 func WithReplayWorkers(n int) Option {
-	return func(c *sessionConfig) { c.workers = n }
+	return func(c *sessionConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.workers = n
+	}
+}
+
+// clampNonNegative is the option-apply guard rule: negative counts become
+// 0, the "use the default" value.
+func clampNonNegative(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+func clampDurNonNegative(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // WithProgress registers a progress observer for every phase.
@@ -154,6 +194,13 @@ type Session struct {
 	inputs *Inputs
 	plans  map[planKey]*Plan
 	pc     *instrument.PlanContext
+	// Refinement lineage bookkeeping: which chain each refined plan belongs
+	// to (keyed by fingerprint) and how far each chain has been refined, so
+	// Refine can refuse a stale-generation recording instead of silently
+	// rewinding the loop.
+	roots      map[string]string // plan fingerprint → root plan fingerprint
+	latestGen  map[string]int    // root plan fingerprint → highest generation
+	latestPlan map[string]*Plan  // root plan fingerprint → latest generation's plan
 }
 
 // planKey caches plans by strategy identity; strategy names are required
@@ -170,7 +217,15 @@ func NewSession(prog *Program, spec *Spec, opts ...Option) *Session {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Session{prog: prog, spec: spec, cfg: cfg, plans: make(map[planKey]*Plan)}
+	return &Session{
+		prog:       prog,
+		spec:       spec,
+		cfg:        cfg,
+		plans:      make(map[planKey]*Plan),
+		roots:      make(map[string]string),
+		latestGen:  make(map[string]int),
+		latestPlan: make(map[string]*Plan),
+	}
 }
 
 // SessionOf wraps an existing Scenario: its name, program, spec and user
