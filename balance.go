@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pathlog/internal/instrument"
+	"pathlog/internal/store"
 )
 
 // This file closes the paper's titular loop at the Session level. The
@@ -37,50 +38,77 @@ type BranchCost = instrument.BranchCost
 // Refine refuses mismatches loudly: a recording that does not fit the
 // session's program, a result with no profile, a profile measured under a
 // different plan than the recording's, and a stale-generation recording —
-// one taken under a plan this session has already refined past — are all
-// errors, not silent rewinds of the loop.
+// one taken under a plan this session or any earlier session over the
+// same plan store has already refined past — are all errors, not silent
+// rewinds of the loop. A stamped-only recording resolves its base plan
+// from the plan store first, exactly as Replay does.
 func (s *Session) Refine(ctx context.Context, rec *Recording, res *ReplayResult) (*Plan, error) {
 	return s.RefineWith(ctx, rec, res, 0)
 }
 
 // RefineWith is Refine with an explicit promotion width (k <= 0 selects
 // instrument.DefaultRefineTopK); AutoBalance threads its TopK through.
+// With a plan store configured, both ends of the step are retained: the
+// base plan the recording was taken under (resolved from the store when
+// the recording is stamped-only) and the refined generation about to be
+// deployed, so the store's lineage index stays complete.
 func (s *Session) RefineWith(ctx context.Context, rec *Recording, res *ReplayResult, k int) (*Plan, error) {
-	plan, baseFP, err := s.refineStep(ctx, rec, res, k)
+	plan, base, err := s.refineStep(ctx, rec, res, k)
 	if err != nil {
 		return nil, err
+	}
+	if err := s.persistPlan(base); err != nil {
+		return nil, fmt.Errorf("pathlog: retain base plan: %w", err)
 	}
 	// A fixed point (nothing promoted, identical branch set) is not a new
 	// generation: advancing the lineage would mark the still-current base
 	// plan stale and wedge every later refinement of it.
-	if plan.Fingerprint() != baseFP {
+	if baseFP := base.Fingerprint(); plan.Fingerprint() != baseFP {
 		s.recordLineage(baseFP, plan)
+		if err := s.persistPlan(plan); err != nil {
+			return nil, fmt.Errorf("pathlog: retain refined plan: %w", err)
+		}
 	}
 	return plan, nil
 }
 
 // refineStep builds the refined plan without touching the lineage, so
 // callers with their own acceptance checks (AutoBalance's overhead
-// ceiling) can reject the plan before it becomes the chain's head.
-func (s *Session) refineStep(ctx context.Context, rec *Recording, res *ReplayResult, k int) (*Plan, string, error) {
+// ceiling) can reject the plan before it becomes the chain's head. It
+// returns the refined plan and the base plan it was derived from (the
+// recording's embedded plan, or the retained plan a stamped-only
+// recording resolves to).
+func (s *Session) refineStep(ctx context.Context, rec *Recording, res *ReplayResult, k int) (*Plan, *Plan, error) {
+	// Open (and lineage-seed) the plan store before the staleness check:
+	// a chain an earlier session refined past must be refused even when
+	// this session has not touched the store yet.
+	if _, err := s.planStore(); err != nil {
+		return nil, nil, err
+	}
+	// A stamped-only recording resolves its base plan from the store, the
+	// same way Replay does.
+	rec, err := s.resolveRecording(rec)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := s.validateRecording(rec); err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	if res == nil || res.Profile == nil {
-		return nil, "", fmt.Errorf("pathlog: refine needs a replay result carrying a search profile")
+		return nil, nil, fmt.Errorf("pathlog: refine needs a replay result carrying a search profile")
 	}
 	base := rec.Plan
 	baseFP := base.Fingerprint()
 	if err := s.checkGenerationFresh(base, baseFP); err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	strat, err := instrument.Refine(base, res.Profile, k)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	in, err := s.Analyze(ctx)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	// Fold the observed per-branch rates into the shared cost model before
 	// pricing the refined plan: the refined generation's estimate is built
@@ -88,9 +116,9 @@ func (s *Session) refineStep(ctx context.Context, rec *Recording, res *ReplayRes
 	s.planContext(in).Calibrate(res.Profile)
 	plan, err := s.PlanWith(ctx, strat)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
-	return plan, baseFP, nil
+	return plan, base, nil
 }
 
 // checkGenerationFresh refuses to refine a recording taken under a plan
@@ -123,22 +151,46 @@ func (s *Session) recordLineage(baseFP string, child *Plan) {
 	if child.Generation > s.latestGen[root] {
 		s.latestGen[root] = child.Generation
 		s.latestPlan[root] = child
+		s.latestFP[root] = child.Fingerprint()
 	}
 }
 
 // resumePlan returns the latest refined generation of the chain plan
 // belongs to, or plan itself when the chain has not moved past it — so a
 // second AutoBalance on the same session continues the loop instead of
-// rewinding to generation 0 and tripping the staleness check.
+// rewinding to generation 0 and tripping the staleness check. A chain
+// advanced by an earlier session (known from the plan store's lineage
+// index) resumes from the retained chain head fetched by fingerprint.
 func (s *Session) resumePlan(plan *Plan) *Plan {
+	// Opening the store seeds the lineage maps consulted below; an open
+	// error is deliberately not fatal here — the caller's next store
+	// operation (retaining the deployed plan) reports it loudly.
+	s.planStore()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	root, ok := s.roots[plan.Fingerprint()]
 	if !ok {
+		s.mu.Unlock()
 		return plan
 	}
-	if latest := s.latestPlan[root]; latest != nil && latest.Generation > plan.Generation {
+	latest := s.latestPlan[root]
+	latestGen := s.latestGen[root]
+	latestFP := s.latestFP[root]
+	s.mu.Unlock()
+	if latest != nil && latest.Generation > plan.Generation {
 		return latest
+	}
+	if latestGen > plan.Generation && latestFP != "" {
+		// The chain head was built by an earlier session; fetch it from the
+		// store. On a fetch failure the given plan stands, and the staleness
+		// check will still refuse refining past generations loudly.
+		if st, err := s.planStore(); err == nil && st != nil {
+			if p, err := st.GetPlan(latestFP); err == nil {
+				s.mu.Lock()
+				s.latestPlan[root] = p
+				s.mu.Unlock()
+				return p
+			}
+		}
 	}
 	return plan
 }
@@ -300,6 +352,10 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 		}
 		tr.Points = append(tr.Points, pt)
 		s.emit("balance", len(tr.Points))
+		if err := s.appendMeasured(pt); err != nil {
+			tr.Reason = "plan store write failed"
+			return tr, fmt.Errorf("pathlog: AutoBalance: persist measured point: %w", err)
+		}
 		if opts.OnGeneration != nil {
 			opts.OnGeneration(pt)
 		}
@@ -321,7 +377,7 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 		// every acceptance check: a plan the loop rejects here was never
 		// deployed, must not mark its base stale, and must not be what a
 		// later AutoBalance resumes from.
-		refined, baseFP, err := s.refineStep(ctx, rec, res, opts.TopK)
+		refined, base, err := s.refineStep(ctx, rec, res, opts.TopK)
 		if err != nil {
 			return tr, err
 		}
@@ -334,9 +390,35 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 				refined.Generation, refined.EstimatedOverhead(), opts.OverheadCeiling)
 			return tr, nil
 		}
-		s.recordLineage(baseFP, refined)
+		s.recordLineage(base.Fingerprint(), refined)
+		if err := s.persistPlan(refined); err != nil {
+			tr.Reason = "plan store write failed"
+			return tr, fmt.Errorf("pathlog: AutoBalance: retain refined plan: %w", err)
+		}
 		plan = refined
 	}
+}
+
+// appendMeasured persists one AutoBalance generation's measured point to
+// the session's plan store (a no-op without WithPlanStore). Points are
+// keyed by (program hash, workload name); non-reproduced generations are
+// stored too — as budget-censored history — but frontier merging skips
+// them. A plan with no program hash cannot reach here: RecordWith already
+// refused to deploy it through a store-backed session.
+func (s *Session) appendMeasured(pt BalancePoint) error {
+	st, err := s.planStore()
+	if err != nil || st == nil {
+		return err
+	}
+	return st.AppendMeasured(pt.Plan.ProgHash, s.cfg.name, store.MeasuredPoint{
+		Fingerprint:  pt.Plan.Fingerprint(),
+		Strategy:     pt.Plan.Strategy,
+		Generation:   pt.Generation,
+		OverheadBits: pt.OverheadBits,
+		ReplayRuns:   pt.ReplayRuns,
+		ReplayMS:     pt.ReplayTime.Milliseconds(),
+		Reproduced:   pt.Reproduced,
+	})
 }
 
 // targetMet checks a generation's replay against the loop's target.

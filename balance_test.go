@@ -2,6 +2,7 @@ package pathlog
 
 import (
 	"context"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -366,21 +367,27 @@ func TestMergeMeasuredFrontier(t *testing.T) {
 	if len(merged) == 0 {
 		t.Fatal("empty merged frontier")
 	}
+	// Strict Pareto holds per tier: replay runs strictly decrease along the
+	// estimated points and along the measured points separately (a measured
+	// ground-truth point may sit above the estimated curve — that gap is
+	// the drift the store renders).
 	foundMeasured := false
+	lastEst, lastMeas := PlanPoint{Overhead: -1, ReplayRuns: math.Inf(1)}, PlanPoint{Overhead: -1, ReplayRuns: math.Inf(1)}
 	for i, pt := range merged {
+		last := &lastEst
 		if pt.Measured {
 			foundMeasured = true
+			last = &lastMeas
 		}
-		if i > 0 {
-			if !(pt.Overhead > merged[i-1].Overhead) || !(pt.ReplayRuns < merged[i-1].ReplayRuns) {
-				t.Errorf("merged frontier not strictly Pareto at %d: %+v", i, merged)
-			}
+		if !(pt.Overhead > last.Overhead) || !(pt.ReplayRuns < last.ReplayRuns) {
+			t.Errorf("merged frontier not strictly Pareto within its tier at %d: %+v", i, merged)
 		}
+		*last = pt
 	}
-	// The trajectory's measured point dominates or replaces estimates; it
-	// must survive the merge whenever its plan also appeared in the sweep.
-	if !foundMeasured {
-		t.Log("no measured point on the merged frontier (dominated by estimates) — acceptable but unusual")
+	// Measured points are ground truth: estimates can never displace them,
+	// so the trajectory's reproduced generation must survive the merge.
+	if !foundMeasured && len(tr.PlanPoints()) > 0 {
+		t.Errorf("measured trajectory points %v missing from merged frontier %+v", tr.PlanPoints(), merged)
 	}
 	// Where the same plan appears measured and estimated, the measured
 	// coordinates win.

@@ -7,10 +7,17 @@
 // and prints (and with -plan-out saves) the next plan generation — the
 // recording's plan plus the top blowup branches.
 //
+// With -store, the analysis runs against a plan store: the -frontier sweep
+// folds the store's measured history for this scenario back in (measured
+// points marked, estimated-vs-measured drift rendered), a -refine'd plan
+// is retained in the store as it is derived, and the store's health (plans
+// retained, measured points, damaged entries) is reported.
+//
 // Usage:
 //
 //	analyze -scenario userver-exp1 -dynamic-runs 60
 //	analyze -scenario userver-exp3 -refine bug.report -plan-out gen1.plan.json
+//	analyze -scenario userver-exp3 -frontier -store ./planstore
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 			"replay wall-clock budget for -refine")
 		refineWorkers = flag.Int("refine-workers", 1,
 			"concurrent replay workers for -refine (1 = serial depth-first)")
+		storeDir = flag.String("store", "",
+			"plan store directory: fold measured history into -frontier, retain -refine results")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -63,12 +72,35 @@ func main() {
 		fatal(err)
 	}
 	an := apps.AnalysisScenarioFor(*scenario, s)
-	sess := pathlog.SessionOf(s,
+	sessOpts := []pathlog.Option{
 		pathlog.WithAnalysisSpec(an.Spec),
 		pathlog.WithDynamicBudget(*dynRuns, 0),
 		pathlog.WithStaticOptions(pathlog.StaticOptions{LibAsSymbolic: *libSym}),
 		pathlog.WithSyscallLog(),
-	)
+	}
+	if *storeDir != "" {
+		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
+	}
+	sess := pathlog.SessionOf(s, sessOpts...)
+
+	if *storeDir != "" {
+		// Scan the store up front, independent of the session: a damaged
+		// index that would refuse session operations still gets reported
+		// here instead of hiding the whole store from the operator.
+		st, err := pathlog.OpenPlanStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := st.Scan()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("store %s: %d plan(s) retained, %d measured point(s), %d damaged entr(ies)\n",
+			*storeDir, rep.Plans, rep.MeasuredPoints, len(rep.Damaged))
+		for _, d := range rep.Damaged {
+			fmt.Printf("  damaged: %s: %v\n", d.Path, d.Err)
+		}
+	}
 
 	in, err := sess.Analyze(ctx)
 	if err != nil {
@@ -104,19 +136,41 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("\noverhead/debug-time Pareto frontier (cost model):")
-		fmt.Printf("  %-34s %6s %14s %14s  %s\n",
-			"strategy", "locs", "est bits/run", "est replay", "fingerprint")
+		title := "cost model"
+		if *storeDir != "" {
+			title = "cost model + measured history from " + *storeDir
+		}
+		fmt.Printf("\noverhead/debug-time Pareto frontier (%s):\n", title)
+		fmt.Printf("  %-40s %6s %12s %12s %9s %11s  %s\n",
+			"strategy", "locs", "bits/run", "replay runs", "measured", "drift runs", "fingerprint")
 		for _, pt := range points {
-			fmt.Printf("  %-34s %6d %14.1f %14.1f  %s\n",
+			measured, drift := "", "-"
+			if pt.Measured {
+				measured = "yes"
+				drift = fmt.Sprintf("%+.1f", pt.ReplayRunsDrift())
+			}
+			fmt.Printf("  %-40s %6d %12.1f %12.1f %9s %11s  %s\n",
 				pt.Strategy, pt.Plan.NumInstrumented(), pt.Overhead, pt.ReplayRuns,
-				pt.Plan.Fingerprint())
+				measured, drift, pt.Plan.Fingerprint())
 		}
 	}
 
 	if *refine != "" {
-		rec, err := pathlog.LoadRecordingFor(*refine, s.Prog)
-		if err != nil {
+		var rec *pathlog.Recording
+		if *storeDir != "" {
+			// A store-backed report may be stamped-only: the session resolves
+			// the retained plan by fingerprint (with its store cross-checks),
+			// then the result validates like any embedded plan.
+			if rec, err = pathlog.LoadRecording(*refine); err != nil {
+				fatal(err)
+			}
+			if rec, err = sess.ResolveRecording(rec); err != nil {
+				fatal(err)
+			}
+			if err := rec.Validate(s.Prog); err != nil {
+				fatal(err)
+			}
+		} else if rec, err = pathlog.LoadRecordingFor(*refine, s.Prog); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nrefining plan %s (generation %d, %d locations) from %s\n",

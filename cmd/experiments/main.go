@@ -57,6 +57,8 @@ func main() {
 		"write the adaptive experiment's per-generation trajectory JSON here")
 	flag.StringVar(&cfg.AdaptiveProfileOut, "adaptive-profile-out", cfg.AdaptiveProfileOut,
 		"write the adaptive experiment's final search profile JSON here")
+	flag.StringVar(&cfg.StoreDir, "store-dir", cfg.StoreDir,
+		"plan store directory for the store experiment (left populated; empty = temp dir)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 
 type multiFlag []string
 
+// String implements flag.Value.
 func (m *multiFlag) String() string { return strings.Join(*m, ",") }
 
 // Set implements flag.Value.

@@ -3,9 +3,17 @@
 // user input to the crash, and writes the bug report (branch bitvector +
 // optional syscall results + crash site) to a file.
 //
+// With -store, the deployed plan is retained in the plan store under its
+// fingerprint and the report is written as a stamped-only reference
+// envelope: no branch set ships with the report at all — cmd/replay
+// resolves the exact retained plan generation from the same store by the
+// stamp. This is the deployment lifecycle; without -store the full
+// envelope (plan embedded) is written as before.
+//
 // Usage:
 //
 //	record -scenario paste -method dynamic+static -o bug.report
+//	record -scenario paste -store ./planstore -o bug.report
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 			"instrument with this saved plan file instead of deriving one (skips analysis)")
 		planOut = flag.String("plan-out", "",
 			"save the plan used for this recording (ship it to the developer site)")
+		storeDir = flag.String("store", "",
+			"retain the deployed plan in this plan store and write a stamped-only reference report")
 	)
 	flag.Parse()
 	if *list {
@@ -70,6 +80,9 @@ func main() {
 	}
 	if *syscalls {
 		opts = append(opts, pathlog.WithSyscallLog())
+	}
+	if *storeDir != "" {
+		opts = append(opts, pathlog.WithPlanStore(*storeDir))
 	}
 	sess := pathlog.SessionOf(s, opts...)
 
@@ -115,6 +128,17 @@ func main() {
 		return
 	}
 	fmt.Printf("crash: %s\n", rec.Crash.Site())
+	if *storeDir != "" {
+		// The plan was retained in the store by the record step itself; the
+		// report needs only the stamp.
+		if err := rec.SaveRef(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan retained in store %s; stamped-only bug report written to %s (trace %d bytes, syslog %d bytes) — no plan, no input bytes\n",
+			*storeDir, *out, rec.Trace.SizeBytes(), stats.SyslogBytes)
+		fmt.Printf("replay with: replay -scenario %s -in %s -store %s\n", *scenario, *out, *storeDir)
+		return
+	}
 	if err := rec.Save(*out); err != nil {
 		fatal(err)
 	}

@@ -6,9 +6,12 @@
 // The search plan comes from the recording envelope itself — the plan the
 // user site actually recorded under, validated against the program (branch
 // IDs and program hash must match, and the envelope's fingerprint stamp
-// must agree with its plan). To search under a different plan, pass an
-// explicit -force-plan file; there is no silent way to disagree with the
-// recording.
+// must agree with its plan). A stamped-only reference report (cmd/record
+// -store) carries no plan at all: pass -store and the exact retained plan
+// generation is resolved from the plan store by the report's fingerprint
+// stamp — a stamp matching no retained plan is refused by name. To search
+// under a different plan, pass an explicit -force-plan file; there is no
+// silent way to disagree with the recording.
 //
 // -json prints one machine-readable result object to stdout instead of the
 // human transcript (the harness and CI consume it; nothing scrapes text),
@@ -18,6 +21,7 @@
 // Usage:
 //
 //	replay -scenario paste -in bug.report -workers 4
+//	replay -scenario paste -in bug.report -store ./planstore
 //	replay -scenario paste -in bug.report -force-plan other.plan.json
 //	replay -scenario paste -in bug.report -json -profile-out search.profile.json
 package main
@@ -57,6 +61,8 @@ func main() {
 			"print one machine-readable JSON result object to stdout instead of the transcript")
 		profileOut = flag.String("profile-out", "",
 			"write the search's per-branch cost attribution (refinement input) to this file")
+		storeDir = flag.String("store", "",
+			"resolve a stamped-only report's retained plan from this plan store")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -70,20 +76,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var rec *replay.Recording
-	var err2 error
-	if *forcePlan == "" {
-		// The envelope's plan is validated against the program: wrong-program
-		// or tampered reports fail here, not as a nonsense search.
-		rec, err2 = replay.LoadRecordingFor(*in, s.Prog)
-	} else {
-		// An explicit override replaces the envelope's plan, so only the
-		// envelope's structure is checked here; it is the forced plan that
-		// must fit the program.
-		rec, err2 = replay.LoadRecording(*in)
-	}
+	// Load structurally first: a stamped-only report (no embedded plan)
+	// needs the store before any program validation can happen, and an
+	// explicit -force-plan replaces the envelope's plan anyway. The plan
+	// that ends up attached is always validated against the program below.
+	rec, err2 := replay.LoadRecording(*in)
 	if err2 != nil {
 		fatal(err2)
+	}
+	if rec.Plan == nil && *forcePlan == "" && *storeDir == "" {
+		fatal(fmt.Errorf("report %s carries no plan, only fingerprint stamp %s — pass -store <dir> so the retained plan can be resolved",
+			*in, rec.Fingerprint))
+	}
+	if *forcePlan == "" && *storeDir == "" {
+		// The envelope's plan is validated against the program up front:
+		// wrong-program or tampered reports fail here, not as a nonsense
+		// search.
+		if err := rec.Validate(s.Prog); err != nil {
+			fatal(err)
+		}
+	}
+	sessOpts := []pathlog.Option{
+		pathlog.WithReplayBudget(*maxRuns, *budget),
+		pathlog.WithReplayWorkers(*workers),
+	}
+	if *storeDir != "" {
+		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
+	}
+	sess := pathlog.SessionOf(s, sessOpts...)
+	if rec.Plan == nil && *forcePlan == "" {
+		// A stamped-only reference report: the session resolves the retained
+		// plan generation from the store by the stamp — refused by name when
+		// the stamp matches nothing or the report's program hash disagrees
+		// with the retained plan's. Replay re-validates the result as usual.
+		resolved, err := sess.ResolveRecording(rec)
+		if err != nil {
+			fatal(err)
+		}
+		rec = resolved
+		if !*jsonOut {
+			fmt.Printf("resolved plan %s (generation %d, strategy %s) from store %s\n",
+				rec.Fingerprint, rec.Plan.Generation, planLabel(rec.Plan), *storeDir)
+		}
 	}
 	if *forcePlan != "" {
 		plan, err := instrument.LoadPlan(*forcePlan)
@@ -109,10 +143,6 @@ func main() {
 		rec.SysLog = nil
 	}
 
-	sess := pathlog.SessionOf(s,
-		pathlog.WithReplayBudget(*maxRuns, *budget),
-		pathlog.WithReplayWorkers(*workers),
-	)
 	res, err := sess.Replay(ctx, rec)
 	if err != nil {
 		fatal(err)

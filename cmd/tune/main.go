@@ -5,10 +5,18 @@
 // and goes again (the paper's deploy → too slow → instrument more →
 // redeploy workflow, automated).
 //
+// With -store, the loop runs against a plan store: every generation's plan
+// is retained under its fingerprint as it is deployed, each generation's
+// measured (overhead, replay) point is appended to the store's history for
+// this scenario, and a later tune over the same store resumes from the
+// retained chain head instead of redeploying generation 0. cmd/analyze
+// -store then folds the measured history into its frontier sweep.
+//
 // Usage:
 //
 //	tune -scenario userver-exp3 -strategy dynamic -target-runs 200
 //	tune -scenario userver-exp3 -trajectory-out traj.json -plan-out final.plan.json
+//	tune -scenario userver-exp3 -store ./planstore -target-runs 200
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 		planOut = flag.String("plan-out", "", "save the final generation's plan to this file")
 		profOut = flag.String("profile-out", "",
 			"write the final generation's replay search profile JSON to this file")
+		storeDir = flag.String("store", "",
+			"plan store directory: retain every generation and append measured points")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -70,7 +80,7 @@ func main() {
 		fatal(err)
 	}
 	an := apps.AnalysisScenarioFor(*scenario, s)
-	sess := pathlog.SessionOf(s,
+	sessOpts := []pathlog.Option{
 		pathlog.WithAnalysisSpec(an.Spec),
 		pathlog.WithDynamicBudget(*dynRuns, 0),
 		pathlog.WithStaticOptions(static.Options{LibAsSymbolic: true}),
@@ -78,7 +88,11 @@ func main() {
 		pathlog.WithStrategy(strat),
 		pathlog.WithReplayBudget(*maxRuns, *budget),
 		pathlog.WithReplayWorkers(*workers),
-	)
+	}
+	if *storeDir != "" {
+		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
+	}
+	sess := pathlog.SessionOf(s, sessOpts...)
 
 	fmt.Printf("tuning %s from strategy %s (target: %s)\n",
 		*scenario, strat.Name(), describeTarget(*targetRuns, *targetTime))
@@ -111,6 +125,18 @@ func main() {
 	}
 	fmt.Printf("final plan: generation %d, %d locations, fingerprint %s\n",
 		final.Plan.Generation, final.Plan.NumInstrumented(), final.Plan.Fingerprint())
+	if *storeDir != "" {
+		st, err := sess.PlanStore()
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := st.Scan()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("store %s: %d plan(s) retained, %d measured point(s), %d damaged entr(ies)\n",
+			*storeDir, rep.Plans, rep.MeasuredPoints, len(rep.Damaged))
+	}
 
 	if *trajOut != "" {
 		if err := tr.Save(*trajOut); err != nil {

@@ -2,11 +2,14 @@ package pathlog
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
 	"pathlog/internal/instrument"
+	"pathlog/internal/store"
 )
 
 // Frontier is the paper's titular balance as a callable API: it sweeps a
@@ -31,8 +34,30 @@ type PlanPoint struct {
 	// Measured marks a point whose coordinates were observed (a recorded
 	// run's logged bits, a replay search's run count) rather than priced by
 	// the cost model — an AutoBalance trajectory point merged in through
-	// MergeMeasured.
+	// MergeMeasured, or a persisted measurement the plan store contributed
+	// to a Frontier sweep (WithPlanStore).
 	Measured bool
+}
+
+// OverheadDrift returns how far the measured record overhead landed from
+// the cost model's estimate for the same plan (measured minus estimated
+// bits per run): the model's pricing error, renderable next to the
+// frontier. It is 0 for estimated points — there is nothing to drift from.
+func (pt PlanPoint) OverheadDrift() float64 {
+	if !pt.Measured || pt.Plan == nil {
+		return 0
+	}
+	return pt.Overhead - pt.Plan.EstimatedOverhead()
+}
+
+// ReplayRunsDrift returns how far the measured replay search length landed
+// from the cost model's estimate for the same plan (measured minus
+// estimated runs); 0 for estimated points.
+func (pt PlanPoint) ReplayRunsDrift() float64 {
+	if !pt.Measured || pt.Plan == nil {
+		return 0
+	}
+	return pt.ReplayRuns - pt.Plan.EstimatedReplayRuns()
 }
 
 // DefaultSweep returns the strategy sweep Frontier uses when called with
@@ -63,6 +88,15 @@ func DefaultSweep(numBranches int) []Strategy {
 // replay runs strictly decrease along the result. Plans with identical
 // fingerprints collapse to one point. Plan construction fans out over the
 // session's worker pool (WithReplayWorkers).
+//
+// With a plan store configured (WithPlanStore), the sweep also folds in
+// the store's persisted measured points for this program and workload:
+// where a measurement and an estimate describe the same plan fingerprint
+// the measurement wins, and measured plans the sweep would never have
+// proposed (refined generations from earlier sessions) compete for the
+// frontier on their observed coordinates. Measured points carry
+// PlanPoint.Measured and nonzero drift accessors, so a cold session's
+// frontier improves with every deployment history the store accumulates.
 func (s *Session) Frontier(ctx context.Context, strategies ...Strategy) ([]PlanPoint, error) {
 	in, err := s.Analyze(ctx)
 	if err != nil {
@@ -117,29 +151,91 @@ func (s *Session) Frontier(ctx context.Context, strategies ...Strategy) ([]PlanP
 			ReplayRuns: p.EstimatedReplayRuns(),
 		})
 	}
-	return paretoFrontier(points), nil
+	measured, err := s.storedMeasuredPoints(pc.ProgHash())
+	if err != nil {
+		return nil, err
+	}
+	return mergeMeasured(measured, points), nil
+}
+
+// storedMeasuredPoints loads the plan store's measured history for this
+// program and workload as frontier points: one point per fingerprint (the
+// latest observation wins — re-measurement supersedes), with the retained
+// plan resolved from the store so each point keeps its cost estimate for
+// drift rendering. Budget-censored points (not reproduced) are the paper's
+// ∞ and are excluded; a damaged measured file, or a measurement whose
+// plan is missing or damaged, is skipped — Scan reports such entries, a
+// sweep does not fail on them (the estimates stand). Without
+// WithPlanStore it returns nothing.
+func (s *Session) storedMeasuredPoints(progHash string) ([]PlanPoint, error) {
+	st, err := s.planStore()
+	if err != nil || st == nil {
+		return nil, err
+	}
+	pts, err := st.Measured(progHash, s.cfg.name)
+	if errors.Is(err, store.ErrDamaged) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	latest := make(map[string]store.MeasuredPoint, len(pts))
+	order := make([]string, 0, len(pts))
+	for _, pt := range pts {
+		if !pt.Reproduced {
+			continue
+		}
+		if _, ok := latest[pt.Fingerprint]; !ok {
+			order = append(order, pt.Fingerprint)
+		}
+		latest[pt.Fingerprint] = pt
+	}
+	out := make([]PlanPoint, 0, len(order))
+	for _, fp := range order {
+		mp := latest[fp]
+		plan, err := st.GetPlan(fp)
+		if err != nil {
+			continue
+		}
+		out = append(out, PlanPoint{
+			Strategy:   mp.Strategy,
+			Plan:       plan,
+			Overhead:   float64(mp.OverheadBits),
+			ReplayRuns: float64(mp.ReplayRuns),
+			Measured:   true,
+		})
+	}
+	return out, nil
 }
 
 // MergeMeasured folds an AutoBalance trajectory's measured points into an
 // estimated frontier sweep and returns the recomputed Pareto frontier.
 // Where a measured point and an estimated point describe the same plan
 // (same fingerprint), the measurement wins: the cost model proposed the
-// plan, the deployment graded it. The result is sorted like Frontier's —
-// strictly increasing overhead, strictly decreasing replay runs — with
-// Measured marking which points are ground truth.
+// plan, the deployment graded it. Measured points are never displaced by
+// estimates (see paretoFrontier), so the result is sorted by increasing
+// overhead with replay runs strictly decreasing along each tier —
+// Measured marks which points are ground truth.
 func MergeMeasured(estimated []PlanPoint, traj *BalanceTrajectory) []PlanPoint {
-	merged := make([]PlanPoint, 0, len(estimated)+len(traj.Points))
-	measured := make(map[string]bool, len(traj.Points))
-	for _, pt := range traj.PlanPoints() {
+	return mergeMeasured(traj.PlanPoints(), estimated)
+}
+
+// mergeMeasured is the shared merge: measured points win over estimated
+// points for the same fingerprint (first measured occurrence survives
+// duplicate measurements), and the union is re-Pareto'd.
+func mergeMeasured(measured, estimated []PlanPoint) []PlanPoint {
+	merged := make([]PlanPoint, 0, len(estimated)+len(measured))
+	seen := make(map[string]bool, len(measured))
+	for _, pt := range measured {
 		fp := pt.Plan.Fingerprint()
-		if measured[fp] {
+		if seen[fp] {
 			continue
 		}
-		measured[fp] = true
+		seen[fp] = true
 		merged = append(merged, pt)
 	}
 	for _, pt := range estimated {
-		if measured[pt.Plan.Fingerprint()] {
+		if seen[pt.Plan.Fingerprint()] {
 			continue
 		}
 		merged = append(merged, pt)
@@ -147,9 +243,18 @@ func MergeMeasured(estimated []PlanPoint, traj *BalanceTrajectory) []PlanPoint {
 	return paretoFrontier(merged)
 }
 
-// paretoFrontier keeps the non-dominated points, sorted by strictly
-// increasing overhead (and therefore strictly decreasing replay runs). Of
-// cost-identical plans, the first in sweep order survives.
+// paretoFrontier keeps the non-dominated points, sorted by increasing
+// overhead. Of cost-identical plans, the first in sweep order survives.
+//
+// Estimates and measurements are not peers here: a measured point is
+// ground truth and is only ever displaced by another measured point,
+// while an estimated point dies to any point that beats it. An optimistic
+// estimate therefore cannot evict a measurement that the deployment
+// already disproved it against — the measurement stays on the frontier,
+// and the gap it leaves above the estimated curve is exactly the rendered
+// drift. Consequently replay runs strictly decrease along the estimated
+// points and along the measured points separately, not necessarily across
+// the union.
 func paretoFrontier(points []PlanPoint) []PlanPoint {
 	sort.SliceStable(points, func(i, j int) bool {
 		if points[i].Overhead != points[j].Overhead {
@@ -158,9 +263,17 @@ func paretoFrontier(points []PlanPoint) []PlanPoint {
 		return points[i].ReplayRuns < points[j].ReplayRuns
 	})
 	out := points[:0]
-	bestRuns := 0.0
-	for i, p := range points {
-		if i == 0 || p.ReplayRuns < bestRuns {
+	bestRuns := math.Inf(1)         // lowest replay runs of any kept point
+	bestMeasuredRuns := math.Inf(1) // lowest replay runs of any kept measured point
+	for _, p := range points {
+		switch {
+		case p.Measured && p.ReplayRuns < bestMeasuredRuns:
+			out = append(out, p)
+			bestMeasuredRuns = p.ReplayRuns
+			if p.ReplayRuns < bestRuns {
+				bestRuns = p.ReplayRuns
+			}
+		case !p.Measured && p.ReplayRuns < bestRuns:
 			out = append(out, p)
 			bestRuns = p.ReplayRuns
 		}

@@ -66,6 +66,10 @@ type Config struct {
 	// profile as JSON artifacts (CI uploads them).
 	AdaptiveTrajectoryOut string
 	AdaptiveProfileOut    string
+	// StoreDir, when set, is the plan store directory the store experiment
+	// runs against (and leaves populated — an inspectable artifact); empty
+	// uses a temporary directory discarded afterwards.
+	StoreDir string
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.

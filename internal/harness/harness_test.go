@@ -334,3 +334,44 @@ func TestSummaryReduction(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreShape(t *testing.T) {
+	c := fastConfig()
+	c.StoreDir = t.TempDir()
+	tbl, err := c.Store(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, withStore, measured int
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "cold (no store)":
+			before++
+			if row[5] == "yes" {
+				t.Errorf("storeless sweep claims a measured point: %v", row)
+			}
+		case "cold + store":
+			withStore++
+			if row[5] == "yes" {
+				measured++
+				if row[6] == "+0.0" && row[7] == "+0.0" {
+					t.Errorf("measured point renders zero drift on both axes: %v", row)
+				}
+			}
+		default:
+			t.Errorf("unknown sweep label %q", row[0])
+		}
+	}
+	if before == 0 || withStore == 0 {
+		t.Fatalf("missing sweep phase: before=%d withStore=%d", before, withStore)
+	}
+	// The acceptance bar: the store-backed cold sweep carries measured
+	// ground truth the storeless one cannot.
+	if measured == 0 {
+		t.Fatalf("cold + store sweep has no measured points:\n%+v", tbl.Rows)
+	}
+	// The store directory is left populated for inspection.
+	if entries, err := os.ReadDir(c.StoreDir + "/plans"); err != nil || len(entries) == 0 {
+		t.Errorf("store dir not populated: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package instrument decides which branch locations to log and implements
+// the branch logger that an instrumented build runs with.
+//
+// The four methods of §2.3 are reproduced literally:
+//
+//	dynamic         branches labeled symbolic by the concolic analysis
+//	static          branches labeled symbolic by the static analysis
+//	dynamic+static  dynamic's labels where visited, static's elsewhere
+//	all             every branch location
+//
+// The developer retains the plan (the instrumented-branch set); the replay
+// engine needs it to interpret the bitvector (§3.1).
+//
+// Beyond the paper's fixed methods, the package exposes the decision as a
+// composable Strategy algebra: built-ins (Dynamic, Static, StaticResidue,
+// All, None) compose through combinators (Union, Intersect, Budgeted,
+// Sampled), and each legacy Method is a fixed composition reproduced
+// exactly by StrategyForMethod. A CostModel built from concolic per-branch
+// hit counts prices every plan in the paper's two currencies — expected
+// logged bits per user-site run and expected replay search runs — and
+// CalibrateCosts corrects those prices with rates observed by a real
+// developer-site search (SearchProfile), which Refine also consumes to
+// derive the next plan generation.
+//
+// Plans are durable deployment artifacts. Fingerprint gives a plan a
+// content identity (program hash + branch set + syscall flag) that records
+// and recordings are stamped with; Save and LoadPlan round-trip the full
+// envelope through JSON, verifying the fingerprint on load; lineage
+// (Plan.Generation, Plan.Parent) travels with the envelope so refinement
+// chains stay auditable across sites. A damaged plan file fails LoadPlan
+// with an error wrapping ErrPlanCorrupt, which the plan store
+// (internal/store) uses to skip and report damaged entries during scans.
+package instrument

@@ -2,12 +2,21 @@ package instrument
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 
 	"pathlog/internal/lang"
 )
+
+// ErrPlanCorrupt marks a plan file whose content is damaged: truncated or
+// invalid JSON, a malformed branch set, a negative generation, or a
+// fingerprint that does not hash from the content. Store scans test for it
+// with errors.Is to skip (and report) damaged entries instead of failing
+// the whole scan; every other LoadPlan failure (missing file, unsupported
+// version) is a different condition and is not wrapped.
+var ErrPlanCorrupt = errors.New("plan file corrupt")
 
 // Plans serialize to a small JSON envelope so a decided plan can be
 // shipped to user sites and retained at the developer site: the strategy
@@ -80,7 +89,11 @@ func DecodeBranchSet(ids []int) (map[lang.BranchID]bool, error) {
 	return set, nil
 }
 
-// LoadPlan reads a plan saved by Save, verifying its fingerprint.
+// LoadPlan reads a plan saved by Save, verifying its fingerprint. A
+// damaged file — truncated or otherwise unparseable JSON, a malformed
+// branch set, a fingerprint that does not match the content — returns an
+// error wrapping ErrPlanCorrupt, so a caller scanning many plan files can
+// identify (and skip past) corruption without string-matching.
 func LoadPlan(path string) (*Plan, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -88,14 +101,14 @@ func LoadPlan(path string) (*Plan, error) {
 	}
 	var enc planJSON
 	if err := json.Unmarshal(data, &enc); err != nil {
-		return nil, fmt.Errorf("instrument: decode plan: %w", err)
+		return nil, fmt.Errorf("instrument: decode plan %s: %w: %w", path, ErrPlanCorrupt, err)
 	}
 	if enc.Version != planVersion {
-		return nil, fmt.Errorf("instrument: unsupported plan version %d", enc.Version)
+		return nil, fmt.Errorf("instrument: unsupported plan version %d in %s", enc.Version, path)
 	}
 	set, err := DecodeBranchSet(enc.Instrumented)
 	if err != nil {
-		return nil, fmt.Errorf("instrument: decode plan: %w", err)
+		return nil, fmt.Errorf("instrument: decode plan %s: %w: %w", path, ErrPlanCorrupt, err)
 	}
 	p := &Plan{
 		Method:       Method(enc.MethodID),
@@ -108,11 +121,11 @@ func LoadPlan(path string) (*Plan, error) {
 		Parent:       enc.Parent,
 	}
 	if enc.Generation < 0 {
-		return nil, fmt.Errorf("instrument: decode plan: negative generation %d", enc.Generation)
+		return nil, fmt.Errorf("instrument: decode plan %s: %w: negative generation %d", path, ErrPlanCorrupt, enc.Generation)
 	}
 	if enc.Fingerprint != "" && p.Fingerprint() != enc.Fingerprint {
-		return nil, fmt.Errorf("instrument: plan fingerprint mismatch: file says %s, content hashes to %s (plan file corrupted or edited)",
-			enc.Fingerprint, p.Fingerprint())
+		return nil, fmt.Errorf("instrument: decode plan %s: %w: file says fingerprint %s, content hashes to %s (plan file corrupted or edited)",
+			path, ErrPlanCorrupt, enc.Fingerprint, p.Fingerprint())
 	}
 	return p, nil
 }

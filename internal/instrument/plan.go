@@ -1,15 +1,3 @@
-// Package instrument decides which branch locations to log and implements
-// the branch logger that an instrumented build runs with.
-//
-// The four methods of §2.3 are reproduced literally:
-//
-//	dynamic         branches labeled symbolic by the concolic analysis
-//	static          branches labeled symbolic by the static analysis
-//	dynamic+static  dynamic's labels where visited, static's elsewhere
-//	all             every branch location
-//
-// The developer retains the plan (the instrumented-branch set); the replay
-// engine needs it to interpret the bitvector (§3.1).
 package instrument
 
 import (

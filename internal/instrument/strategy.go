@@ -124,8 +124,10 @@ type strategyFunc struct {
 	build func(ctx context.Context, pc *PlanContext) (map[lang.BranchID]bool, error)
 }
 
+// Name implements Strategy.
 func (s *strategyFunc) Name() string { return s.name }
 
+// Plan implements Strategy: it builds the branch set and prices it.
 func (s *strategyFunc) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -142,8 +144,10 @@ func (s *strategyFunc) Plan(ctx context.Context, pc *PlanContext) (*Plan, error)
 // anything (matching the legacy MethodNone exactly).
 type noneStrategy struct{}
 
+// Name implements Strategy.
 func (noneStrategy) Name() string { return "none" }
 
+// Plan implements Strategy: an empty branch set with syscall logging off.
 func (noneStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -398,8 +402,11 @@ type methodStrategy struct {
 	inner Strategy
 }
 
+// Name implements Strategy.
 func (s *methodStrategy) Name() string { return "method:" + s.m.String() }
 
+// Plan implements Strategy: the inner composition's plan, tagged with the
+// legacy method.
 func (s *methodStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
 	p, err := s.inner.Plan(ctx, pc)
 	if err != nil {

@@ -1,0 +1,40 @@
+// Package replay implements the paper's bug reproduction engine (§3): a
+// symbolic execution engine guided by the partial branch log recorded at the
+// user site.
+//
+// The engine performs a sequence of concolic runs. Each run executes the
+// program with fully concrete inputs while the branch sink enforces the
+// recorded bitvector: at every instrumented branch the next bit is consumed
+// and compared with the direction the current input takes. The four cases of
+// §3.1 are implemented literally:
+//
+//  1. symbolic, not instrumented — record the constraint, queue the negated
+//     alternative on the pending list, continue;
+//  2. symbolic, instrumented — on agreement record the constraint and
+//     continue; on disagreement queue the constraint set that forces the
+//     recorded direction and abort the run;
+//  3. concrete, instrumented — on agreement continue; on disagreement abort
+//     (an earlier uninstrumented symbolic branch went the wrong way);
+//  4. concrete, not instrumented — continue.
+//
+// When a run aborts, the engine pops a pending constraint set (depth-first,
+// §3.2), solves it for a new input, and starts over. Reproduction succeeds
+// when a run crashes at the recorded bug site having matched the entire
+// bitvector.
+//
+// The search is context-aware and optionally parallel: Options.Workers > 1
+// fans the pending-list exploration out over a pool of workers that share
+// the pending stack and the variable registry but own their solvers and
+// per-run worlds. The reproduction with the lowest run sequence number wins.
+//
+// Recordings are durable bug reports. Save writes the full envelope
+// (version 2): the plan the user site recorded under, the packed
+// bitvector, optional syscall results and the crash site — never input
+// bytes. SaveRef writes the stamped-only reference envelope (version 3)
+// for deployments where the developer site retains every shipped plan in a
+// plan store (internal/store): the report carries just the plan's
+// fingerprint stamp, and replay resolves the exact retained plan
+// generation from the store by that stamp. LoadRecording reads all three
+// versions; LoadRecordingFor additionally validates the embedded plan
+// against the program it will be searched on.
+package replay

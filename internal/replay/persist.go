@@ -23,12 +23,21 @@ import (
 // fingerprint — so the developer site can refuse a recording that does not
 // match the plan or the program it is about to search under. Version 1
 // envelopes (no stamp) still load, with the provenance checks skipped.
+//
+// Version 3 (SaveRef) is the stamped-only reference envelope for
+// store-backed deployments: no branch set travels with the report at all,
+// only the plan fingerprint, the program hash and the lineage stamp. The
+// developer site resolves the exact retained plan generation from its plan
+// store by the fingerprint; a report whose stamp matches no retained plan
+// is refused by name. LoadRecording reads all three versions.
 
 type recordingJSON struct {
-	Version      int    `json:"version"`
-	Method       string `json:"method"`
-	MethodID     int    `json:"method_id"`
-	Instrumented []int  `json:"instrumented_branches"`
+	Version  int    `json:"version"`
+	Method   string `json:"method,omitempty"`
+	MethodID int    `json:"method_id,omitempty"`
+	// Instrumented is the recording plan's branch set; absent in version-3
+	// reference envelopes, which carry only the fingerprint stamp.
+	Instrumented []int  `json:"instrumented_branches,omitempty"`
 	LogSyscalls  bool   `json:"log_syscalls"`
 	TraceBits    int64  `json:"trace_bits"`
 	TraceData    string `json:"trace_data"` // base64 of packed bits
@@ -55,8 +64,12 @@ type crashJSON struct {
 	Code int64  `json:"code"`
 }
 
-// recordingVersion is the envelope version Save writes.
-const recordingVersion = 2
+// recordingVersion is the envelope version Save writes; refVersion is the
+// stamped-only reference envelope SaveRef writes.
+const (
+	recordingVersion = 2
+	refVersion       = 3
+)
 
 // Save writes the recording to path as a version-2 envelope.
 func (r *Recording) Save(path string) error {
@@ -99,12 +112,67 @@ func (r *Recording) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadRecording reads a recording saved by Save (envelope version 1 or 2),
-// rejecting structurally corrupt envelopes: negative, duplicate or
-// descending branch IDs, and a trace_bits count inconsistent with the
-// decoded trace_data length. Callers that know the target program should
-// prefer LoadRecordingFor, which additionally rejects plans that do not
-// fit the program.
+// SaveRef writes the recording to path as a stamped-only reference
+// envelope (version 3): the plan fingerprint, program hash and lineage
+// stamp travel with the report, but the branch set does not — the
+// developer site resolves the retained plan from its plan store by the
+// stamp. The recording must carry a plan or an explicit fingerprint to
+// stamp with.
+func (r *Recording) SaveRef(path string) error {
+	fp := r.Fingerprint
+	progHash := r.ProgHash
+	generation := 0
+	parent := ""
+	logSyscalls := r.SysLog != nil
+	if r.Plan != nil {
+		if fp == "" {
+			fp = r.Plan.Fingerprint()
+		}
+		if progHash == "" {
+			progHash = r.Plan.ProgHash
+		}
+		generation = r.Plan.Generation
+		parent = r.Plan.Parent
+		logSyscalls = r.Plan.LogSyscalls
+	}
+	if fp == "" {
+		return fmt.Errorf("replay: cannot save reference recording: no plan and no fingerprint stamp")
+	}
+	enc := recordingJSON{
+		Version:         refVersion,
+		LogSyscalls:     logSyscalls,
+		TraceBits:       r.Trace.Len(),
+		TraceData:       base64.StdEncoding.EncodeToString(r.Trace.Bytes()),
+		ProgHash:        progHash,
+		PlanFingerprint: fp,
+		Generation:      generation,
+		Parent:          parent,
+		Crash: crashJSON{
+			Kind: int(r.Crash.Kind),
+			Unit: r.Crash.Pos.Unit,
+			Line: r.Crash.Pos.Line,
+			Col:  r.Crash.Pos.Col,
+			Code: r.Crash.Code,
+		},
+	}
+	if r.SysLog != nil {
+		enc.SysReads, enc.SysSelects = r.SysLog.Snapshot()
+	}
+	data, err := json.MarshalIndent(enc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("replay: encode recording: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRecording reads a recording saved by Save or SaveRef (envelope
+// version 1, 2 or 3), rejecting structurally corrupt envelopes: negative,
+// duplicate or descending branch IDs, and a trace_bits count inconsistent
+// with the decoded trace_data length. A version-3 reference envelope loads
+// with a nil Plan and the Fingerprint stamp set; it cannot be replayed
+// until the retained plan is resolved from a plan store. Callers that know
+// the target program should prefer LoadRecordingFor, which additionally
+// rejects plans that do not fit the program.
 func LoadRecording(path string) (*Recording, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -114,9 +182,9 @@ func LoadRecording(path string) (*Recording, error) {
 	if err := json.Unmarshal(data, &enc); err != nil {
 		return nil, fmt.Errorf("replay: decode recording: %w", err)
 	}
-	if enc.Version != 1 && enc.Version != recordingVersion {
-		return nil, fmt.Errorf("replay: unsupported recording version %d (this build reads 1 and %d)",
-			enc.Version, recordingVersion)
+	if enc.Version != 1 && enc.Version != recordingVersion && enc.Version != refVersion {
+		return nil, fmt.Errorf("replay: unsupported recording version %d (this build reads 1, %d and %d)",
+			enc.Version, recordingVersion, refVersion)
 	}
 	bits, err := base64.StdEncoding.DecodeString(enc.TraceData)
 	if err != nil {
@@ -129,12 +197,41 @@ func LoadRecording(path string) (*Recording, error) {
 		return nil, fmt.Errorf("replay: decode recording: trace_bits %d needs %d bytes, trace_data decodes to %d",
 			enc.TraceBits, want, len(bits))
 	}
+	if enc.Generation < 0 {
+		return nil, fmt.Errorf("replay: decode recording: negative generation %d", enc.Generation)
+	}
+	rec := &Recording{
+		Trace:       trace.FromBytes(bits, enc.TraceBits),
+		Fingerprint: enc.PlanFingerprint,
+		ProgHash:    enc.ProgHash,
+		Crash: vm.CrashInfo{
+			Kind: vm.CrashKind(enc.Crash.Kind),
+			Pos: lang.Pos{
+				Unit: enc.Crash.Unit,
+				Line: enc.Crash.Line,
+				Col:  enc.Crash.Col,
+			},
+			Code: enc.Crash.Code,
+		},
+	}
+	if enc.Version == refVersion {
+		// Reference envelope: the stamp is the only plan identity, so its
+		// absence (or a smuggled branch set) is corruption, not data.
+		if enc.PlanFingerprint == "" {
+			return nil, fmt.Errorf("replay: decode recording: version %d reference envelope has no plan fingerprint stamp", refVersion)
+		}
+		if len(enc.Instrumented) > 0 {
+			return nil, fmt.Errorf("replay: decode recording: version %d reference envelope carries %d instrumented branches (stamp-only envelopes must not embed a plan)",
+				refVersion, len(enc.Instrumented))
+		}
+		if enc.LogSyscalls {
+			rec.SysLog = oskernel.SyscallLogFromData(enc.SysReads, enc.SysSelects)
+		}
+		return rec, nil
+	}
 	set, err := instrument.DecodeBranchSet(enc.Instrumented)
 	if err != nil {
 		return nil, fmt.Errorf("replay: decode recording: %w", err)
-	}
-	if enc.Generation < 0 {
-		return nil, fmt.Errorf("replay: decode recording: negative generation %d", enc.Generation)
 	}
 	plan := &instrument.Plan{
 		Method:       instrument.Method(enc.MethodID),
@@ -148,20 +245,7 @@ func LoadRecording(path string) (*Recording, error) {
 	if enc.Cost != nil {
 		plan.Cost = *enc.Cost
 	}
-	rec := &Recording{
-		Plan:        plan,
-		Trace:       trace.FromBytes(bits, enc.TraceBits),
-		Fingerprint: enc.PlanFingerprint,
-		Crash: vm.CrashInfo{
-			Kind: vm.CrashKind(enc.Crash.Kind),
-			Pos: lang.Pos{
-				Unit: enc.Crash.Unit,
-				Line: enc.Crash.Line,
-				Col:  enc.Crash.Col,
-			},
-			Code: enc.Crash.Code,
-		},
-	}
+	rec.Plan = plan
 	if enc.Version >= 2 && enc.PlanFingerprint != "" {
 		if got := plan.Fingerprint(); got != enc.PlanFingerprint {
 			return nil, fmt.Errorf("replay: decode recording: plan fingerprint mismatch: stamp %s, content hashes to %s",

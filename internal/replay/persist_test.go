@@ -297,3 +297,113 @@ func TestLoadRecordingErrors(t *testing.T) {
 		t.Error("unknown version must error")
 	}
 }
+
+// TestRecordingRefEnvelope round-trips the stamped-only reference
+// envelope (version 3): no plan travels, the stamp does, and the
+// recording replays once the retained plan is attached — the store-backed
+// deployment path.
+func TestRecordingRefEnvelope(t *testing.T) {
+	f := buildFixture(t, instrument.MethodDynamicStatic)
+	path := filepath.Join(t.TempDir(), "bug.report")
+	if err := f.rec.SaveRef(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must not embed the plan's branch set.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "instrumented_branches") {
+		t.Fatal("reference envelope leaked the instrumented branch set")
+	}
+
+	loaded, err := LoadRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Plan != nil {
+		t.Fatal("reference envelope loaded with an embedded plan")
+	}
+	if want := f.rec.Plan.Fingerprint(); loaded.Fingerprint != want {
+		t.Errorf("stamp %q, want %q", loaded.Fingerprint, want)
+	}
+	if loaded.ProgHash != f.rec.Plan.ProgHash {
+		t.Errorf("prog hash %q, want %q", loaded.ProgHash, f.rec.Plan.ProgHash)
+	}
+	if loaded.Trace.Len() != f.rec.Trace.Len() {
+		t.Fatalf("trace bits %d, want %d", loaded.Trace.Len(), f.rec.Trace.Len())
+	}
+	if (loaded.SysLog == nil) != (f.rec.SysLog == nil) {
+		t.Error("syslog presence differs")
+	}
+
+	// Unresolved, it cannot be validated — and the error names the stamp
+	// and points at the plan store.
+	err = loaded.Validate(f.prog)
+	if err == nil || !strings.Contains(err.Error(), loaded.Fingerprint) ||
+		!strings.Contains(err.Error(), "WithPlanStore") {
+		t.Errorf("unresolved reference recording validated, or unhelpfully refused: %v", err)
+	}
+
+	// LoadRecordingFor refuses it for the same reason (it cannot validate
+	// a plan that is not there).
+	if _, err := LoadRecordingFor(path, f.prog); err == nil {
+		t.Error("LoadRecordingFor accepted an unresolved reference recording")
+	}
+
+	// With the retained plan attached (what Session.Replay does via the
+	// store), it validates and replays identically.
+	loaded.Plan = f.rec.Plan
+	if err := loaded.Validate(f.prog); err != nil {
+		t.Fatalf("resolved reference recording rejected: %v", err)
+	}
+	eng := New(f.prog, f.spec, world.NewRegistry(), loaded, Options{MaxRuns: 300})
+	if res := eng.Reproduce(context.Background()); !res.Reproduced {
+		t.Fatalf("resolved reference recording did not reproduce: %+v", res)
+	}
+}
+
+// A reference envelope that smuggles a branch set, or lost its stamp, is
+// corrupt — there must be exactly one plan identity, the fingerprint.
+func TestRefEnvelopeHardening(t *testing.T) {
+	f := buildFixture(t, instrument.MethodDynamicStatic)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bug.report")
+	if err := f.rec.SaveRef(path); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, edit func(enc map[string]any)) string {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var enc map[string]any
+		if err := json.Unmarshal(data, &enc); err != nil {
+			t.Fatal(err)
+		}
+		edit(enc)
+		out, err := json.Marshal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := filepath.Join(dir, name)
+		if err := os.WriteFile(bad, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return bad
+	}
+	noStamp := mutate("nostamp.json", func(enc map[string]any) {
+		delete(enc, "plan_fingerprint")
+	})
+	if _, err := LoadRecording(noStamp); err == nil {
+		t.Error("reference envelope without a stamp loaded")
+	}
+	smuggled := mutate("smuggled.json", func(enc map[string]any) {
+		enc["instrumented_branches"] = []int{0, 1}
+	})
+	if _, err := LoadRecording(smuggled); err == nil {
+		t.Error("reference envelope with a smuggled branch set loaded")
+	}
+}

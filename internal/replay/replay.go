@@ -1,31 +1,3 @@
-// Package replay implements the paper's bug reproduction engine (§3): a
-// symbolic execution engine guided by the partial branch log recorded at the
-// user site.
-//
-// The engine performs a sequence of concolic runs. Each run executes the
-// program with fully concrete inputs while the branch sink enforces the
-// recorded bitvector: at every instrumented branch the next bit is consumed
-// and compared with the direction the current input takes. The four cases of
-// §3.1 are implemented literally:
-//
-//  1. symbolic, not instrumented — record the constraint, queue the negated
-//     alternative on the pending list, continue;
-//  2. symbolic, instrumented — on agreement record the constraint and
-//     continue; on disagreement queue the constraint set that forces the
-//     recorded direction and abort the run;
-//  3. concrete, instrumented — on agreement continue; on disagreement abort
-//     (an earlier uninstrumented symbolic branch went the wrong way);
-//  4. concrete, not instrumented — continue.
-//
-// When a run aborts, the engine pops a pending constraint set (depth-first,
-// §3.2), solves it for a new input, and starts over. Reproduction succeeds
-// when a run crashes at the recorded bug site having matched the entire
-// bitvector.
-//
-// The search is context-aware and optionally parallel: Options.Workers > 1
-// fans the pending-list exploration out over a pool of workers that share
-// the pending stack and the variable registry but own their solvers and
-// per-run worlds. The reproduction with the lowest run sequence number wins.
 package replay
 
 import (
@@ -80,6 +52,10 @@ const (
 // plan (kept at instrumentation time), the branch bitvector, the optional
 // syscall-result log, and the crash site from the report.
 type Recording struct {
+	// Plan is the instrumentation plan the recording was taken under. It is
+	// nil on a stamped-only reference recording (envelope version 3, see
+	// SaveRef), which carries only the Fingerprint stamp; the developer site
+	// resolves the retained plan from a plan store before replaying.
 	Plan   *instrument.Plan
 	Trace  *trace.Trace
 	SysLog *oskernel.SyscallLog // nil when syscall logging was off
@@ -89,6 +65,11 @@ type Recording struct {
 	// disagrees with its plan or program instead of silently searching under
 	// the wrong plan. Empty on recordings from before stamping existed.
 	Fingerprint string
+	// ProgHash identifies the program the recording was taken on
+	// (instrument.ProgramHash). It lets a developer site refuse a
+	// wrong-program report before plan resolution; empty on envelopes from
+	// before it was stamped (the plan's own ProgHash still protects those).
+	ProgHash string
 }
 
 // Validate checks the recording's internal consistency and its fit to a
@@ -96,6 +77,10 @@ type Recording struct {
 // match the fingerprint stamp, and the trace must be present.
 func (r *Recording) Validate(prog *lang.Program) error {
 	if r.Plan == nil {
+		if r.Fingerprint != "" {
+			return fmt.Errorf("replay: recording carries no plan, only the fingerprint stamp %s — resolve the retained plan from a plan store (Session WithPlanStore) before replaying",
+				r.Fingerprint)
+		}
 		return fmt.Errorf("replay: recording has no plan")
 	}
 	if r.Trace == nil {

@@ -223,6 +223,7 @@ const (
 	relGE
 )
 
+// String implements fmt.Stringer.
 func (r rel) String() string {
 	return [...]string{"==", "!=", "<", "<=", ">", ">="}[r]
 }

@@ -133,6 +133,7 @@ type runError struct {
 	err    error
 }
 
+// Error implements error.
 func (e *runError) Error() string {
 	switch {
 	case e.crash != nil:

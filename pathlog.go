@@ -50,6 +50,15 @@
 //	})
 //	plan := tr.Final().Plan // lineage-stamped: Generation, Parent
 //
+// For real deployments, WithPlanStore(dir) backs the session with an
+// on-disk plan store: every deployed or refined plan is retained under its
+// fingerprint, recordings can ship as stamped-only reference envelopes
+// (Recording.SaveRef) that Replay resolves back to the exact retained plan
+// generation, AutoBalance persists each generation's measured (overhead,
+// debug-time) point, and later Frontier sweeps — even in a cold session —
+// fold that measured history back in as ground truth next to the cost
+// model's estimates (PlanPoint.Measured, OverheadDrift, ReplayRunsDrift).
+//
 // Cancellation and deadlines flow through the context: a cancelled analyze
 // or replay returns promptly with partial results, and the classic
 // MaxRuns/TimeBudget bounds remain available as options. The pre-Session
@@ -74,6 +83,7 @@ import (
 	"pathlog/internal/lang"
 	"pathlog/internal/replay"
 	"pathlog/internal/static"
+	"pathlog/internal/store"
 	"pathlog/internal/world"
 )
 
@@ -148,6 +158,18 @@ type (
 	PlanContext = instrument.PlanContext
 	// CostEstimate is a plan's modeled (overhead, debug-time) position.
 	CostEstimate = instrument.CostEstimate
+	// PlanStore is the on-disk plan, lineage and measured-point store
+	// backing WithPlanStore (see internal/store).
+	PlanStore = store.Store
+	// MeasuredPoint is one persisted (overhead, debug-time) observation of
+	// a deployed plan on a workload.
+	MeasuredPoint = store.MeasuredPoint
+	// LineageEntry is one retained plan's position in its program's
+	// refinement chains, from a plan store's lineage index.
+	LineageEntry = store.LineageEntry
+	// StoreScanReport summarizes a plan store scan: retained plans,
+	// measured points, and damaged entries that were skipped.
+	StoreScanReport = store.ScanReport
 )
 
 // Strategy constructors and combinators, re-exported from
@@ -192,6 +214,20 @@ var (
 	// LoadRecordingFor reads a saved bug report and validates it against
 	// the program it will be replayed on.
 	LoadRecordingFor = replay.LoadRecordingFor
+	// OpenPlanStore opens (creating if needed) the plan store rooted at a
+	// directory; Session WithPlanStore does this lazily, this is for tools
+	// that inspect a store directly.
+	OpenPlanStore = store.Open
+)
+
+// Plan store errors, for errors.Is tests at CLI and store-scan layers.
+var (
+	// ErrPlanNotFound reports a recording fingerprint stamp that matches no
+	// plan retained in the store.
+	ErrPlanNotFound = store.ErrPlanNotFound
+	// ErrPlanCorrupt marks a damaged plan file (truncated or edited JSON,
+	// content that no longer hashes to its fingerprint).
+	ErrPlanCorrupt = instrument.ErrPlanCorrupt
 )
 
 // Instrumentation methods (§2.3).

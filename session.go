@@ -8,6 +8,7 @@ import (
 
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
+	"pathlog/internal/store"
 	"pathlog/internal/vm"
 )
 
@@ -45,6 +46,7 @@ type sessionConfig struct {
 	rep          ReplayOptions
 	workers      int
 	progress     ProgressFunc
+	storeDir     string
 }
 
 // Option configures a Session; see the With* constructors.
@@ -180,6 +182,32 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(c *sessionConfig) { c.progress = fn }
 }
 
+// WithPlanStore backs the session with the on-disk plan store rooted at
+// dir (created on first use), closing the deployment loop around the
+// session's artifacts:
+//
+//   - every plan the session deploys (RecordWith) or refines (Refine,
+//     AutoBalance) is retained in the store under its fingerprint;
+//   - Replay and ReproduceAll resolve a stamped-only recording's exact
+//     retained plan generation from the store by its fingerprint, so the
+//     caller never tracks plan files — a stamp matching no retained plan
+//     is refused by name;
+//   - AutoBalance appends each generation's measured (overhead, replay)
+//     point to the store, and Frontier folds the retained measurements for
+//     this program and workload back into its sweep as ground truth
+//     (PlanPoint.Measured), correcting cost-model estimates with history;
+//   - the session seeds its stale-generation bookkeeping from the store's
+//     lineage index, so refinement chains advanced by earlier sessions are
+//     not silently rewound.
+//
+// The store keys measured points by (program hash, workload): the workload
+// is the session's WithName, or "default" when unnamed. The directory is
+// opened lazily; an unopenable or damaged store surfaces as an error from
+// the first operation that needs it.
+func WithPlanStore(dir string) Option {
+	return func(c *sessionConfig) { c.storeDir = dir }
+}
+
 // Session is the top-level handle on the paper's workflow for one program
 // and input space: analyze → plan → record → replay, with shared
 // configuration and a cached analysis. A Session is safe for concurrent use;
@@ -197,10 +225,19 @@ type Session struct {
 	// Refinement lineage bookkeeping: which chain each refined plan belongs
 	// to (keyed by fingerprint) and how far each chain has been refined, so
 	// Refine can refuse a stale-generation recording instead of silently
-	// rewinding the loop.
+	// rewinding the loop. With a plan store configured, the maps are seeded
+	// from the store's lineage index, extending the staleness guarantee
+	// across sessions; latestFP lets resumePlan fetch a chain head this
+	// session never built (latestPlan holds only in-session plans).
 	roots      map[string]string // plan fingerprint → root plan fingerprint
 	latestGen  map[string]int    // root plan fingerprint → highest generation
 	latestPlan map[string]*Plan  // root plan fingerprint → latest generation's plan
+	latestFP   map[string]string // root plan fingerprint → latest generation's fingerprint
+
+	// Plan store plumbing (WithPlanStore): opened lazily, at most once.
+	storeOnce sync.Once
+	st        *store.Store
+	stErr     error
 }
 
 // planKey caches plans by strategy identity; strategy names are required
@@ -225,6 +262,7 @@ func NewSession(prog *Program, spec *Spec, opts ...Option) *Session {
 		roots:      make(map[string]string),
 		latestGen:  make(map[string]int),
 		latestPlan: make(map[string]*Plan),
+		latestFP:   make(map[string]string),
 	}
 }
 
@@ -251,6 +289,128 @@ func (s *Session) emit(phase string, runs int) {
 	if s.cfg.progress != nil {
 		s.cfg.progress(ProgressEvent{Scenario: s.cfg.name, Phase: phase, Runs: runs})
 	}
+}
+
+// PlanStore returns the session's plan store, opening (and creating) the
+// WithPlanStore directory on first use. A session built without
+// WithPlanStore returns (nil, nil). The first successful open also seeds
+// the session's refinement-lineage bookkeeping from the store's lineage
+// index for this program.
+func (s *Session) PlanStore() (*store.Store, error) { return s.planStore() }
+
+func (s *Session) planStore() (*store.Store, error) {
+	if s.cfg.storeDir == "" {
+		return nil, nil
+	}
+	s.storeOnce.Do(func() {
+		st, err := store.Open(s.cfg.storeDir)
+		if err != nil {
+			s.stErr = err
+			return
+		}
+		if err := s.seedLineage(st); err != nil {
+			// A lineage index that cannot be read means generation
+			// bookkeeping cannot be trusted: refuse the store loudly rather
+			// than silently rewinding refinement chains.
+			s.stErr = err
+			return
+		}
+		s.st = st
+	})
+	return s.st, s.stErr
+}
+
+// seedLineage folds the store's lineage index for this program into the
+// session's chain bookkeeping, so stale-generation refusal and AutoBalance
+// resumption work across sessions, not just within one.
+func (s *Session) seedLineage(st *store.Store) error {
+	entries, err := st.Lineage(instrument.ProgramHash(s.prog))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Entries arrive in generation order, so every parent's root is
+	// resolved before its children need it.
+	for _, e := range entries {
+		root := e.Fingerprint
+		if e.Parent != "" {
+			if r, ok := s.roots[e.Parent]; ok {
+				root = r
+			} else {
+				root = e.Parent
+				s.roots[e.Parent] = root
+			}
+		}
+		if r, ok := s.roots[e.Fingerprint]; ok {
+			root = r
+		} else {
+			s.roots[e.Fingerprint] = root
+		}
+		if e.Generation > s.latestGen[root] {
+			s.latestGen[root] = e.Generation
+			s.latestFP[root] = e.Fingerprint
+		}
+	}
+	return nil
+}
+
+// persistPlan retains a plan in the session's plan store, when one is
+// configured. A hand-built plan with no program hash has no deployment
+// identity to file it under: deploying one through a store-backed session
+// is an error (store.PutPlan names it), never a silent skip — a recording
+// stamped with its fingerprint could otherwise never be resolved.
+func (s *Session) persistPlan(plan *Plan) error {
+	if plan == nil {
+		return nil
+	}
+	st, err := s.planStore()
+	if err != nil || st == nil {
+		return err
+	}
+	return st.PutPlan(plan)
+}
+
+// ResolveRecording attaches the retained plan to a stamped-only recording
+// (one loaded from a version-3 reference envelope, Plan == nil) by looking
+// its fingerprint stamp up in the plan store. Recordings that already
+// carry a plan pass through untouched; the caller's recording is never
+// mutated — the resolved copy is returned. A stamp matching no retained
+// plan, or a report whose program hash disagrees with the retained
+// plan's, is refused with the identities named. Replay, ReproduceAll and
+// Refine resolve internally; this is exported for tools that want the
+// resolved plan before replaying (to print or inspect it) without
+// reimplementing the store checks.
+func (s *Session) ResolveRecording(rec *Recording) (*Recording, error) {
+	return s.resolveRecording(rec)
+}
+
+func (s *Session) resolveRecording(rec *Recording) (*Recording, error) {
+	if rec == nil || rec.Plan != nil {
+		return rec, nil
+	}
+	st, err := s.planStore()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("pathlog: recording carries no plan, only fingerprint stamp %s — configure WithPlanStore so the retained plan can be resolved",
+			rec.Fingerprint)
+	}
+	if rec.Fingerprint == "" {
+		return nil, fmt.Errorf("pathlog: recording carries neither a plan nor a fingerprint stamp — nothing to resolve from the plan store")
+	}
+	plan, err := st.GetPlan(rec.Fingerprint)
+	if err != nil {
+		return nil, fmt.Errorf("pathlog: resolve recording plan: %w", err)
+	}
+	if rec.ProgHash != "" && plan.ProgHash != rec.ProgHash {
+		return nil, fmt.Errorf("pathlog: recording was taken on program %s but the retained plan %s was built for %s (wrong store or wrong build)",
+			rec.ProgHash, rec.Fingerprint, plan.ProgHash)
+	}
+	resolved := *rec
+	resolved.Plan = plan
+	return &resolved, nil
 }
 
 // Analyze runs the pre-deployment analyses (dynamic concolic exploration and
@@ -358,10 +518,16 @@ func (s *Session) Record(ctx context.Context, user map[string][]byte) (*Recordin
 }
 
 // RecordWith is Record under an explicit plan, for callers comparing
-// instrumentation methods over one session.
+// instrumentation methods over one session. With a plan store configured,
+// the deployed plan is retained in the store before the run — deployment
+// is exactly the moment the developer site must be able to resolve the
+// plan later, whatever the recording envelope carries.
 func (s *Session) RecordWith(ctx context.Context, plan *Plan, user map[string][]byte) (*Recording, *RecordStats, error) {
 	if user == nil {
 		user = s.cfg.userBytes
+	}
+	if err := s.persistPlan(plan); err != nil {
+		return nil, nil, fmt.Errorf("pathlog: retain deployed plan: %w", err)
 	}
 	rec, stats, err := s.scenario(user).RecordContext(ctx, plan)
 	if err != nil {
@@ -387,7 +553,17 @@ func (s *Session) MeasureOverhead(ctx context.Context, plan *Plan, rounds int) (
 // branch IDs or program hash disagree with the session's program, or a
 // recording whose fingerprint stamp disagrees with its plan, returns an
 // error instead of silently searching under the wrong plan.
+//
+// A stamped-only recording (no embedded plan, just the fingerprint of the
+// plan it was taken under) is resolved against the session's plan store
+// first: the exact retained plan generation matching the stamp is fetched
+// by fingerprint, and a stamp matching no retained plan is refused with
+// the fingerprint in the error. This needs WithPlanStore.
 func (s *Session) Replay(ctx context.Context, rec *Recording) (*ReplayResult, error) {
+	rec, err := s.resolveRecording(rec)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.validateRecording(rec); err != nil {
 		return nil, err
 	}
@@ -420,15 +596,23 @@ func (s *Session) replayWith(ctx context.Context, rec *Recording, workers int) *
 // session's worker pool (WithReplayWorkers). Results align with the input
 // slice. Each recording is replayed serially so the pool parallelizes across
 // recordings; a single recording falls back to parallel in-replay search.
-// Every recording is validated against the session's program first; a
-// mismatch fails the whole batch before any search is spent.
+// Every recording is resolved against the plan store (stamped-only
+// recordings need WithPlanStore) and validated against the session's
+// program first; a mismatch fails the whole batch before any search is
+// spent.
 func (s *Session) ReproduceAll(ctx context.Context, recs []*Recording) ([]*ReplayResult, error) {
 	out := make([]*ReplayResult, len(recs))
 	if len(recs) == 0 {
 		return out, nil
 	}
+	recs = append([]*Recording(nil), recs...) // resolution must not mutate the caller's slice
 	for i, rec := range recs {
-		if err := s.validateRecording(rec); err != nil {
+		resolved, err := s.resolveRecording(rec)
+		if err != nil {
+			return nil, fmt.Errorf("recording %d: %w", i, err)
+		}
+		recs[i] = resolved
+		if err := s.validateRecording(resolved); err != nil {
 			return nil, fmt.Errorf("recording %d: %w", i, err)
 		}
 	}
