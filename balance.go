@@ -60,6 +60,9 @@ func (s *Session) RefineWith(ctx context.Context, rec *Recording, res *ReplayRes
 	if err := s.persistPlan(base); err != nil {
 		return nil, fmt.Errorf("pathlog: retain base plan: %w", err)
 	}
+	if err := s.persistProfile(res.Profile); err != nil {
+		return nil, fmt.Errorf("pathlog: retain search profile: %w", err)
+	}
 	// A fixed point (nothing promoted, identical branch set) is not a new
 	// generation: advancing the lineage would mark the still-current base
 	// plan stale and wedge every later refinement of it.
@@ -225,6 +228,19 @@ type BalanceOptions struct {
 	// soon as its replay finishes. Same contract as ProgressFunc: cheap,
 	// no calls back into the Session.
 	OnGeneration func(BalancePoint)
+
+	// The remaining fields apply only to CorpusBalance (AutoBalance
+	// ignores them).
+
+	// Shards partitions the corpus into this many concurrently-replayed
+	// shards (<= 1 keeps one).
+	Shards int
+	// Runner replays each corpus shard; nil selects the in-process runner
+	// under the session's replay options.
+	Runner CorpusRunner
+	// OnCorpusGeneration observes each corpus generation's measured point.
+	// Same contract as ProgressFunc.
+	OnCorpusGeneration func(CorpusPoint)
 }
 
 // BalancePoint is one generation of an AutoBalance trajectory: the
@@ -356,6 +372,12 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 			tr.Reason = "plan store write failed"
 			return tr, fmt.Errorf("pathlog: AutoBalance: persist measured point: %w", err)
 		}
+		// Retain the generation's search profile so cold sessions can
+		// CalibrateCosts from it before their first sweep.
+		if err := s.persistProfile(res.Profile); err != nil {
+			tr.Reason = "plan store write failed"
+			return tr, fmt.Errorf("pathlog: AutoBalance: retain search profile: %w", err)
+		}
 		if opts.OnGeneration != nil {
 			opts.OnGeneration(pt)
 		}
@@ -401,16 +423,17 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 
 // appendMeasured persists one AutoBalance generation's measured point to
 // the session's plan store (a no-op without WithPlanStore). Points are
-// keyed by (program hash, workload name); non-reproduced generations are
-// stored too — as budget-censored history — but frontier merging skips
-// them. A plan with no program hash cannot reach here: RecordWith already
-// refused to deploy it through a store-backed session.
+// keyed by (program hash, workload hash) — the WorkloadHash identity, so
+// renamed sessions keep appending to one history; non-reproduced
+// generations are stored too — as budget-censored history — but frontier
+// merging skips them. A plan with no program hash cannot reach here:
+// RecordWith already refused to deploy it through a store-backed session.
 func (s *Session) appendMeasured(pt BalancePoint) error {
 	st, err := s.planStore()
 	if err != nil || st == nil {
 		return err
 	}
-	return st.AppendMeasured(pt.Plan.ProgHash, s.cfg.name, store.MeasuredPoint{
+	return st.AppendMeasured(pt.Plan.ProgHash, s.WorkloadHash(), store.MeasuredPoint{
 		Fingerprint:  pt.Plan.Fingerprint(),
 		Strategy:     pt.Plan.Strategy,
 		Generation:   pt.Generation,

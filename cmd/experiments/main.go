@@ -59,6 +59,20 @@ func main() {
 		"write the adaptive experiment's final search profile JSON here")
 	flag.StringVar(&cfg.StoreDir, "store-dir", cfg.StoreDir,
 		"plan store directory for the store experiment (left populated; empty = temp dir)")
+	flag.IntVar(&cfg.CorpusNoisyReports, "corpus-noisy", cfg.CorpusNoisyReports,
+		"duplicate noisy reports in the corpus experiment")
+	flag.IntVar(&cfg.CorpusShards, "corpus-shards", cfg.CorpusShards,
+		"shards the corpus experiment replays over")
+	flag.StringVar(&cfg.CorpusShardCmd, "corpus-shard-cmd", cfg.CorpusShardCmd,
+		"shard worker binary (cmd/shardworker) for out-of-process corpus shards; empty = in-process")
+	flag.IntVar(&cfg.CorpusTargetRuns, "corpus-target-runs", cfg.CorpusTargetRuns,
+		"corpus-mean replay-run target (0 = adaptive-target-runs)")
+	flag.StringVar(&cfg.CorpusDir, "corpus-dir", cfg.CorpusDir,
+		"directory for the corpus experiment's reports and store (left populated; empty = temp dir)")
+	flag.StringVar(&cfg.CorpusTrajectoryOut, "corpus-trajectory-out", cfg.CorpusTrajectoryOut,
+		"write the corpus experiment's per-generation trajectory JSON here")
+	flag.StringVar(&cfg.CorpusProfileOut, "corpus-profile-out", cfg.CorpusProfileOut,
+		"write the corpus experiment's final merged search profile JSON here")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -220,6 +220,12 @@ type replayJSON struct {
 type profileSummary struct {
 	ChargedBranches int            `json:"charged_branches"`
 	TopBlowup       []blowupBranch `json:"top_blowup,omitempty"`
+	// Disagreements counts log bits across all branches that contradicted
+	// a run's own direction (case-2b/3b) — the bits that constrained this
+	// search; Demotable lists instrumented branches with consumed bits and
+	// zero disagreements, the corpus loop's shrink candidates.
+	Disagreements int64             `json:"disagreements"`
+	Demotable     []demotableBranch `json:"demotable,omitempty"`
 }
 
 type blowupBranch struct {
@@ -228,6 +234,13 @@ type blowupBranch struct {
 	AbortedRuns int64 `json:"aborted_runs"`
 	WastedRuns  int64 `json:"wasted_runs"`
 	SolverCalls int64 `json:"solver_calls"`
+}
+
+// demotableBranch is one instrumented branch whose bits the search proved
+// redundant: every consumed bit agreed with the run's own direction.
+type demotableBranch struct {
+	Branch      int   `json:"branch"`
+	LoggedExecs int64 `json:"logged_execs"`
 }
 
 func resultJSON(rec *replay.Recording, res *pathlog.ReplayResult, verified bool) replayJSON {
@@ -266,6 +279,15 @@ func resultJSON(rec *replay.Recording, res *pathlog.ReplayResult, verified bool)
 				AbortedRuns: bc.AbortedRuns,
 				WastedRuns:  bc.WastedRuns,
 				SolverCalls: bc.SolverCalls,
+			})
+		}
+		for _, bc := range p.Branches {
+			sum.Disagreements += bc.Disagreements
+		}
+		for _, id := range p.Demotable(rec.Plan.Instrumented) {
+			sum.Demotable = append(sum.Demotable, demotableBranch{
+				Branch:      int(id),
+				LoggedExecs: p.Branch(id).LoggedExecs,
 			})
 		}
 		out.Profile = sum

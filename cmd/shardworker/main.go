@@ -1,0 +1,101 @@
+// Command shardworker is the out-of-process half of the corpus's sharded
+// replay: it reads one JSON ShardRequest from stdin — a scenario name, a
+// list of recording envelope paths and the replay bounds — replays each
+// report in order, and writes one JSON ShardResponse to stdout with the
+// per-report search results and plan-fingerprint-stamped profiles.
+//
+// The worker is deliberately dumb: it holds no plan store (the parent
+// ships resolved version-2 envelopes with the plan embedded), applies no
+// weights (weighting happens at the parent's verifying merge point), and
+// makes no refinement decisions. Anything that goes wrong is reported in
+// the response's error field and as a nonzero exit.
+//
+// Usage (driven by corpus.SubprocessRunner, or by hand):
+//
+//	echo '{"version":1,"scenario":"userver-exp3","reports":["bug.report"],"max_runs":1500}' | shardworker
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/corpus"
+	"pathlog/internal/instrument"
+	"pathlog/internal/replay"
+	"pathlog/internal/world"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	resp := serve(ctx)
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(resp); err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker: encode response:", err)
+		os.Exit(1)
+	}
+	if resp.Error != "" {
+		os.Exit(1)
+	}
+}
+
+// serve executes one shard request; every failure becomes a response-level
+// error so the parent's transcript names what went wrong.
+func serve(ctx context.Context) corpus.ShardResponse {
+	fail := func(format string, args ...any) corpus.ShardResponse {
+		return corpus.ShardResponse{Version: corpus.ProtocolVersion, Error: fmt.Sprintf(format, args...)}
+	}
+	var req corpus.ShardRequest
+	if err := json.NewDecoder(os.Stdin).Decode(&req); err != nil {
+		return fail("decode request: %v", err)
+	}
+	if req.Version != corpus.ProtocolVersion {
+		return fail("request speaks protocol %d, this worker speaks %d", req.Version, corpus.ProtocolVersion)
+	}
+	if len(req.Reports) == 0 {
+		return fail("request names no reports")
+	}
+	s, err := apps.ScenarioByName(req.Scenario)
+	if err != nil {
+		return fail("%v", err)
+	}
+	opts := replay.Options{
+		MaxRuns:    req.MaxRuns,
+		TimeBudget: time.Duration(req.BudgetMS) * time.Millisecond,
+		Workers:    req.Workers,
+		PickFIFO:   req.PickFIFO,
+	}
+	resp := corpus.ShardResponse{
+		Version:  corpus.ProtocolVersion,
+		ProgHash: instrument.ProgramHash(s.Prog),
+	}
+	for _, path := range req.Reports {
+		// The envelope must embed its plan and fit this worker's program —
+		// a wrong-scenario request fails per report, by path.
+		rec, err := replay.LoadRecordingFor(path, s.Prog)
+		if err != nil {
+			return fail("report %s: %v", path, err)
+		}
+		eng := replay.New(s.Prog, s.Spec, world.NewRegistry(), rec, opts)
+		res := eng.Reproduce(ctx)
+		resp.Results = append(resp.Results, corpus.ReportRun{
+			Reproduced: res.Reproduced,
+			TimedOut:   res.TimedOut,
+			Cancelled:  res.Cancelled,
+			Runs:       res.Runs,
+			WallMS:     res.Elapsed.Milliseconds(),
+			Profile:    res.Profile,
+		})
+		if err := ctx.Err(); err != nil {
+			return fail("cancelled after %d of %d reports: %v", len(resp.Results), len(req.Reports), err)
+		}
+	}
+	return resp
+}

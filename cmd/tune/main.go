@@ -12,11 +12,21 @@
 // retained chain head instead of redeploying generation 0. cmd/analyze
 // -store then folds the measured history into its frontier sweep.
 //
+// With -corpus, tune refines against a whole directory of bug reports
+// instead of the latest crash: the reports are deduplicated and weighted
+// (frequency × recency), replayed over -shards shards (out-of-process with
+// -shard-cmd), and one weighted refinement step is derived from the merged
+// attribution — corpus-wide blowup branches promoted, branches whose bits
+// never constrained any report's search demoted. Redeploy the printed plan
+// and run tune -corpus on the fresh reports to confirm the demotion by
+// measurement.
+//
 // Usage:
 //
 //	tune -scenario userver-exp3 -strategy dynamic -target-runs 200
 //	tune -scenario userver-exp3 -trajectory-out traj.json -plan-out final.plan.json
 //	tune -scenario userver-exp3 -store ./planstore -target-runs 200
+//	tune -scenario userver-exp3 -store ./planstore -corpus ./reports -shards 4 -plan-out next.plan.json
 package main
 
 import (
@@ -25,12 +35,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pathlog"
 	"pathlog/internal/apps"
+	"pathlog/internal/corpus"
 	"pathlog/internal/instrument"
+	"pathlog/internal/replay"
 	"pathlog/internal/static"
 )
 
@@ -62,6 +75,12 @@ func main() {
 			"write the final generation's replay search profile JSON to this file")
 		storeDir = flag.String("store", "",
 			"plan store directory: retain every generation and append measured points")
+		corpusDir = flag.String("corpus", "",
+			"refine against a directory of bug reports (record ×N) instead of the latest crash: one weighted corpus refinement step")
+		corpusShards = flag.Int("shards", 1,
+			"shards the corpus replay fans out over (with -corpus)")
+		shardCmd = flag.String("shard-cmd", "",
+			"shard worker binary (cmd/shardworker) for out-of-process corpus shards; empty = in-process")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -93,6 +112,12 @@ func main() {
 		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
 	}
 	sess := pathlog.SessionOf(s, sessOpts...)
+
+	if *corpusDir != "" {
+		tuneCorpus(ctx, sess, s.Name, *corpusDir, *corpusShards, *shardCmd,
+			*topK, *maxRuns, *budget, *workers, *planOut, *profOut)
+		return
+	}
 
 	fmt.Printf("tuning %s from strategy %s (target: %s)\n",
 		*scenario, strat.Name(), describeTarget(*targetRuns, *targetTime))
@@ -159,6 +184,90 @@ func main() {
 	if !tr.Converged {
 		os.Exit(1)
 	}
+}
+
+// tuneCorpus runs one weighted corpus refinement step: ingest the report
+// directory, replay the whole population over the shard configuration,
+// and derive the next plan generation — corpus-wide blowup branches
+// promoted, proven-redundant branches demoted. Measured verification of
+// the demotion happens at the next deployment: record fresh reports under
+// the printed plan and run tune -corpus again.
+func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, shards int, shardCmd string,
+	topK, maxRuns int, budget time.Duration, workers int, planOut, profOut string) {
+	c, err := pathlog.IngestCorpus(dir, pathlog.CorpusIngestOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus %s: %d member(s) from %s\n", c.Identity(), len(c.Reports), dir)
+	fmt.Printf("  %-34s %5s %7s %10s %s\n", "signature", "count", "weight", "bits", "newest")
+	for _, rep := range c.Reports {
+		fmt.Printf("  %-34s %5d %7.3f %10d %s\n",
+			rep.Signature, rep.Count, rep.Weight, rep.Rec.Trace.Len(),
+			rep.Newest.Format(time.RFC3339))
+	}
+	var runner pathlog.CorpusRunner
+	if shardCmd != "" {
+		runner = &corpus.SubprocessRunner{
+			Command:  []string{shardCmd},
+			Scenario: scenario,
+			Opts: replay.Options{
+				MaxRuns:    maxRuns,
+				TimeBudget: budget,
+				Workers:    workers,
+			},
+		}
+	}
+	ref, err := sess.RefineCorpus(ctx, c, pathlog.CorpusOptions{
+		Shards: shards, Runner: runner, TopK: topK,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	out := ref.Outcome
+	fmt.Printf("corpus replay (%d shard(s)): %d/%d reproduced, weighted mean %.1f runs (max %d), mean %.0fms\n",
+		out.Shards, out.Reproduced, out.Members, out.MeanRuns, out.MaxRuns, out.MeanWallMS)
+	fmt.Printf("promoted %d blowup branch(es): %s\n", len(ref.Promoted), branchIDs(ref.Promoted))
+	fmt.Printf("demoted %d redundant branch(es): %s\n", len(ref.Demoted), branchIDs(ref.Demoted))
+	if ref.Plan.Fingerprint() == ref.Base.Fingerprint() {
+		fmt.Println("fixed point: the corpus profile changes nothing — the plan already fits the population")
+	} else {
+		fmt.Printf("next generation %d: %d locations, ~%.0f bits/run estimated, fingerprint %s\n",
+			ref.Plan.Generation, ref.Plan.NumInstrumented(), ref.Plan.EstimatedOverhead(), ref.Plan.Fingerprint())
+		fmt.Println("redeploy it (record -plan / -store) and tune -corpus on the fresh reports to confirm the demotion by measurement")
+	}
+	if planOut != "" {
+		if err := ref.Plan.Save(planOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", planOut)
+	}
+	if profOut != "" && out.Profile != nil {
+		if err := out.Profile.Save(profOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged corpus profile written to %s\n", profOut)
+	}
+	if out.Reproduced != out.Members {
+		// Mirror tune's convergence exit: nonzero while the population is
+		// not yet within the replay budget, so scripted loops know to
+		// redeploy and iterate.
+		fmt.Printf("corpus not yet within the replay budget (%d/%d reproduced) — redeploy and iterate\n",
+			out.Reproduced, out.Members)
+		os.Exit(1)
+	}
+	fmt.Println("corpus replays within the budget under the current plan")
+}
+
+// branchIDs renders a branch set for the transcript.
+func branchIDs(ids []pathlog.BranchID) string {
+	if len(ids) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("b%d", id)
+	}
+	return strings.Join(parts, ",")
 }
 
 // parseStrategy maps the CLI spelling to a starting strategy.

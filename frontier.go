@@ -106,6 +106,10 @@ func (s *Session) Frontier(ctx context.Context, strategies ...Strategy) ([]PlanP
 		strategies = DefaultSweep(len(s.prog.Branches))
 	}
 	pc := s.planContext(in)
+	// Cold calibration: fold the store's retained per-generation search
+	// profiles into the cost model before the first sweep, so estimates
+	// for unmeasured plans start from observed rates, not analysis priors.
+	s.calibrateForSweep(pc)
 
 	plans := make([]*Plan, len(strategies))
 	errs := make([]error, len(strategies))
@@ -172,7 +176,7 @@ func (s *Session) storedMeasuredPoints(progHash string) ([]PlanPoint, error) {
 	if err != nil || st == nil {
 		return nil, err
 	}
-	pts, err := st.Measured(progHash, s.cfg.name)
+	pts, err := st.Measured(progHash, s.WorkloadHash())
 	if errors.Is(err, store.ErrDamaged) {
 		return nil, nil
 	}

@@ -1,0 +1,402 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pathlog/internal/replay"
+)
+
+// ManifestName is the canonical manifest filename inside a corpus
+// directory; Ingest skips it (and any dotfile) when reading reports.
+const ManifestName = "corpus-manifest.json"
+
+// DefaultHalfLife is the recency half-life when Options does not choose
+// one: a report a day older than the newest weighs half as much.
+const DefaultHalfLife = 24 * time.Hour
+
+// Options shape corpus construction.
+type Options struct {
+	// HalfLife is the recency decay half-life (<= 0 selects
+	// DefaultHalfLife). Ages are measured against the newest member's
+	// mtime, never the wall clock, so weights are a pure function of the
+	// ingested file set.
+	HalfLife time.Duration
+}
+
+// Member is one raw report offered to Build: a loaded recording plus the
+// metadata ingestion would have read from its file.
+type Member struct {
+	// Rec is the loaded recording (possibly stamped-only, Plan == nil).
+	Rec *replay.Recording
+	// ModTime is the report's observation time (file mtime for ingested
+	// reports); it drives the recency decay.
+	ModTime time.Time
+	// Path names the report's source file; empty for in-memory members.
+	Path string
+	// UserBytes optionally carries the user-site input that produced the
+	// report, for redeployment loops (Session.CorpusBalance) that must
+	// re-record the corpus under a refined plan. Ingested reports never
+	// have it — envelopes carry no input bytes by construction.
+	UserBytes map[string][]byte
+}
+
+// Report is one deduplicated corpus member: a recording plus the weight
+// the refinement loop charges its search cost at.
+type Report struct {
+	// Rec is the member's recording (the representative of its duplicate
+	// group; duplicates are byte-identical evidence, so any one stands for
+	// all).
+	Rec *replay.Recording
+	// Signature is the member's content signature: a hash over the crash
+	// site, the plan stamp, the program hash, the branch bitvector and the
+	// syscall log — everything the developer site can observe. Reports
+	// indistinguishable by signature dedupe into one member.
+	Signature string
+	// Count is the number of duplicate reports deduped into this member
+	// (its frequency).
+	Count int
+	// Newest is the most recent observation time among the duplicates.
+	Newest time.Time
+	// Weight is the member's deterministic merge weight: frequency scaled
+	// by recency decay, normalized so the corpus-wide mean weight is 1.
+	Weight float64
+	// Paths lists the source files of every duplicate, sorted; empty for
+	// in-memory members.
+	Paths []string
+	// UserBytes is the redeployment input, when known (see Member).
+	UserBytes map[string][]byte
+}
+
+// Corpus is a deduplicated, weighted report population. Reports are sorted
+// by signature, so iteration order, shard assignment and the identity hash
+// are deterministic.
+type Corpus struct {
+	// Reports holds the members in signature order.
+	Reports []*Report
+	// HalfLife echoes the recency half-life the weights were computed
+	// with.
+	HalfLife time.Duration
+	// Reference is the decay reference time: the newest member's
+	// observation time.
+	Reference time.Time
+}
+
+// Signature computes a recording's content signature. Exported so tools
+// (and the shard protocol) can correlate reports with corpus members.
+func Signature(rec *replay.Recording) string {
+	h := sha256.New()
+	io.WriteString(h, "pathlog-report-v1\n")
+	progHash := rec.ProgHash
+	fp := rec.Fingerprint
+	if rec.Plan != nil {
+		if progHash == "" {
+			progHash = rec.Plan.ProgHash
+		}
+		if fp == "" {
+			fp = rec.Plan.Fingerprint()
+		}
+	}
+	fmt.Fprintf(h, "prog %s\nplan %s\n", progHash, fp)
+	fmt.Fprintf(h, "crash %d %s:%d:%d code=%d\n",
+		rec.Crash.Kind, rec.Crash.Pos.Unit, rec.Crash.Pos.Line, rec.Crash.Pos.Col, rec.Crash.Code)
+	if rec.Trace != nil {
+		fmt.Fprintf(h, "trace %d\n", rec.Trace.Len())
+		h.Write(rec.Trace.Bytes())
+	}
+	if rec.SysLog != nil {
+		reads, selects := rec.SysLog.Snapshot()
+		fmt.Fprintf(h, "\nreads %v selects %v", reads, selects)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Build assembles a corpus from raw members: duplicates (by content
+// signature) collapse into one weighted report. An empty member set is an
+// error — there is nothing to refine against.
+func Build(members []Member, opts Options) (*Corpus, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("corpus: no reports")
+	}
+	halfLife := opts.HalfLife
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	bySig := make(map[string]*Report)
+	for i, m := range members {
+		if m.Rec == nil {
+			return nil, fmt.Errorf("corpus: member %d has no recording", i)
+		}
+		sig := Signature(m.Rec)
+		rep, ok := bySig[sig]
+		if !ok {
+			rep = &Report{Rec: m.Rec, Signature: sig, Newest: m.ModTime}
+			bySig[sig] = rep
+		}
+		rep.Count++
+		if m.ModTime.After(rep.Newest) {
+			rep.Newest = m.ModTime
+		}
+		if m.Path != "" {
+			rep.Paths = append(rep.Paths, m.Path)
+		}
+		if rep.UserBytes == nil {
+			rep.UserBytes = m.UserBytes
+		}
+	}
+	c := &Corpus{HalfLife: halfLife}
+	for _, rep := range bySig {
+		sort.Strings(rep.Paths)
+		c.Reports = append(c.Reports, rep)
+		if rep.Newest.After(c.Reference) {
+			c.Reference = rep.Newest
+		}
+	}
+	sort.Slice(c.Reports, func(i, j int) bool {
+		return c.Reports[i].Signature < c.Reports[j].Signature
+	})
+	c.weigh()
+	return c, nil
+}
+
+// weigh computes the deterministic member weights: frequency times the
+// recency half-life decay (ages measured against the newest member),
+// normalized to a corpus-wide mean of 1 and rounded to 1e-6 so manifests
+// are byte-stable across platforms. The rounding is floored at 1e-6: a
+// member many half-lives older than the newest report is down-weighted to
+// the floor, never to zero — a zero weight would be refused by the
+// weighted merge and fail the whole replay, and an ancient report is
+// still a report.
+func (c *Corpus) weigh() {
+	raw := make([]float64, len(c.Reports))
+	sum := 0.0
+	for i, rep := range c.Reports {
+		age := c.Reference.Sub(rep.Newest)
+		decay := math.Exp2(-float64(age) / float64(c.HalfLife))
+		raw[i] = float64(rep.Count) * decay
+		sum += raw[i]
+	}
+	n := float64(len(c.Reports))
+	for i, rep := range c.Reports {
+		w := math.Round(raw[i]*n/sum*1e6) / 1e6
+		if w < 1e-6 {
+			w = 1e-6
+		}
+		rep.Weight = w
+	}
+}
+
+// Ingest builds a corpus from a directory of recording envelopes (any
+// version cmd/record writes, including the stamped-only v3 references of
+// store-backed deployments). Every regular file except dotfiles and the
+// corpus manifest must load as a recording — a corrupt report is a loud
+// error naming the file, not a silent skip. File mtimes drive the recency
+// weights.
+func Ingest(dir string, opts Options) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: ingest %s: %w", dir, err)
+	}
+	var members []Member
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") || e.Name() == ManifestName {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		rec, err := replay.LoadRecording(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: ingest %s: %w", path, err)
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("corpus: ingest %s: %w", path, err)
+		}
+		members = append(members, Member{Rec: rec, ModTime: info.ModTime(), Path: path})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("corpus: ingest %s: directory holds no reports", dir)
+	}
+	return Build(members, opts)
+}
+
+// Identity is the corpus's durable identity: a hash over the member
+// signatures and their frequencies. Two ingests of the same report set
+// agree on it; adding, dropping or duplicating any report changes it.
+func (c *Corpus) Identity() string {
+	h := sha256.New()
+	io.WriteString(h, "pathlog-corpus-v1\n")
+	for _, rep := range c.Reports {
+		fmt.Fprintf(h, "%s %d\n", rep.Signature, rep.Count)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// TotalWeight sums the member weights (the weighted-mean denominator).
+func (c *Corpus) TotalWeight() float64 {
+	sum := 0.0
+	for _, rep := range c.Reports {
+		sum += rep.Weight
+	}
+	return sum
+}
+
+// Latest returns the member observed most recently — the "latest crash" a
+// non-corpus refinement loop would have refined against. Ties break toward
+// the larger signature so the choice is deterministic.
+func (c *Corpus) Latest() *Report {
+	var latest *Report
+	for _, rep := range c.Reports {
+		if latest == nil || rep.Newest.After(latest.Newest) ||
+			(rep.Newest.Equal(latest.Newest) && rep.Signature > latest.Signature) {
+			latest = rep
+		}
+	}
+	return latest
+}
+
+// AttachInput records the user-site input that produced the member whose
+// duplicate group contains path, enabling redeployment loops over ingested
+// corpora. It errors when no member matches.
+func (c *Corpus) AttachInput(path string, user map[string][]byte) error {
+	for _, rep := range c.Reports {
+		for _, p := range rep.Paths {
+			if p == path {
+				rep.UserBytes = user
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("corpus: no member was ingested from %q", path)
+}
+
+// Resolve maps every member's recording through fn (typically a plan-store
+// resolution attaching the retained plan to a stamped-only recording) and
+// returns a new corpus sharing the members' metadata. Signatures and
+// weights are preserved — resolution changes what the developer site knows,
+// not what the report is.
+func (c *Corpus) Resolve(fn func(*replay.Recording) (*replay.Recording, error)) (*Corpus, error) {
+	out := c.clone()
+	for i, rep := range c.Reports {
+		resolved, err := fn(rep.Rec)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: report %s: %w", rep.Signature, err)
+		}
+		out.Reports[i].Rec = resolved
+	}
+	return out, nil
+}
+
+// Rebind returns a new corpus with the members' recordings replaced —
+// order-aligned with Reports — keeping each member's frequency, recency
+// and weight. This is the redeployment step: after a refined plan is
+// deployed and the corpus inputs re-recorded under it, the new recordings
+// inherit the old population's weights. Signatures are recomputed (the
+// evidence changed), so the rebound corpus has a new identity.
+func (c *Corpus) Rebind(recs []*replay.Recording) (*Corpus, error) {
+	if len(recs) != len(c.Reports) {
+		return nil, fmt.Errorf("corpus: rebind got %d recordings for %d members", len(recs), len(c.Reports))
+	}
+	out := c.clone()
+	for i, rec := range recs {
+		if rec == nil {
+			return nil, fmt.Errorf("corpus: rebind recording %d is nil", i)
+		}
+		out.Reports[i].Rec = rec
+		out.Reports[i].Signature = Signature(rec)
+		out.Reports[i].Paths = nil
+	}
+	sort.Slice(out.Reports, func(i, j int) bool {
+		return out.Reports[i].Signature < out.Reports[j].Signature
+	})
+	return out, nil
+}
+
+// clone copies the corpus and its report structs (recordings are shared).
+func (c *Corpus) clone() *Corpus {
+	out := &Corpus{HalfLife: c.HalfLife, Reference: c.Reference}
+	out.Reports = make([]*Report, len(c.Reports))
+	for i, rep := range c.Reports {
+		cp := *rep
+		out.Reports[i] = &cp
+	}
+	return out
+}
+
+// ManifestReport is one member's row in the corpus manifest.
+type ManifestReport struct {
+	Signature       string   `json:"signature"`
+	Count           int      `json:"count"`
+	NewestUnix      int64    `json:"newest_unix"`
+	Weight          float64  `json:"weight"`
+	ProgHash        string   `json:"prog_hash,omitempty"`
+	PlanFingerprint string   `json:"plan_fingerprint,omitempty"`
+	Generation      int      `json:"generation,omitempty"`
+	TraceBits       int64    `json:"trace_bits"`
+	Crash           string   `json:"crash"`
+	Paths           []string `json:"paths,omitempty"`
+}
+
+// Manifest is the corpus's JSON rendering: identity, weighting parameters
+// and one row per member. The layout is pinned by a golden file.
+type Manifest struct {
+	Version       int              `json:"version"`
+	Identity      string           `json:"identity"`
+	HalfLifeMS    int64            `json:"half_life_ms"`
+	ReferenceUnix int64            `json:"reference_unix"`
+	Reports       []ManifestReport `json:"reports"`
+}
+
+// Manifest renders the corpus for inspection and artifacts.
+func (c *Corpus) Manifest() *Manifest {
+	m := &Manifest{
+		Version:       1,
+		Identity:      c.Identity(),
+		HalfLifeMS:    c.HalfLife.Milliseconds(),
+		ReferenceUnix: c.Reference.Unix(),
+	}
+	for _, rep := range c.Reports {
+		row := ManifestReport{
+			Signature:  rep.Signature,
+			Count:      rep.Count,
+			NewestUnix: rep.Newest.Unix(),
+			Weight:     rep.Weight,
+			ProgHash:   rep.Rec.ProgHash,
+			Crash:      rep.Rec.Crash.Site(),
+			Paths:      rep.Paths,
+		}
+		if rep.Rec.Trace != nil {
+			row.TraceBits = rep.Rec.Trace.Len()
+		}
+		fp := rep.Rec.Fingerprint
+		if rep.Rec.Plan != nil {
+			if fp == "" {
+				fp = rep.Rec.Plan.Fingerprint()
+			}
+			if row.ProgHash == "" {
+				row.ProgHash = rep.Rec.Plan.ProgHash
+			}
+			row.Generation = rep.Rec.Plan.Generation
+		}
+		row.PlanFingerprint = fp
+		m.Reports = append(m.Reports, row)
+	}
+	return m
+}
+
+// SaveManifest writes the manifest to path as indented JSON.
+func (c *Corpus) SaveManifest(path string) error {
+	data, err := json.MarshalIndent(c.Manifest(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: encode manifest: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

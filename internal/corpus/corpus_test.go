@@ -1,0 +1,357 @@
+package corpus
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+	"pathlog/internal/trace"
+	"pathlog/internal/vm"
+)
+
+// fixedProgHash mirrors the store tests' deterministic program identity.
+const fixedProgHash = "00112233445566778899aabbccddeeff"
+
+// testPlan is a deterministic hand-built plan for corpus fixtures.
+func testPlan() *instrument.Plan {
+	return &instrument.Plan{
+		Strategy:     "dynamic",
+		Instrumented: map[lang.BranchID]bool{1: true, 4: true},
+		ProgHash:     fixedProgHash,
+	}
+}
+
+// testRec builds a deterministic recording: the trace bytes and crash line
+// are the identity knobs (different traces → different signatures).
+func testRec(bits byte, line int) *replay.Recording {
+	plan := testPlan()
+	return &replay.Recording{
+		Plan:        plan,
+		Trace:       trace.FromBytes([]byte{bits}, 6),
+		Crash:       vm.CrashInfo{Kind: vm.CrashKind(1), Pos: lang.Pos{Unit: "u.mc", Line: line, Col: 2}, Code: 7},
+		Fingerprint: plan.Fingerprint(),
+		ProgHash:    fixedProgHash,
+	}
+}
+
+// refTime is the fixture's newest observation time.
+var refTime = time.Unix(1_700_000_000, 0).UTC()
+
+// fixtureMembers: three duplicates of one report at the reference time,
+// one distinct report an hour older.
+func fixtureMembers() []Member {
+	return []Member{
+		{Rec: testRec(0b101, 10), ModTime: refTime.Add(-30 * time.Minute), Path: "a1.report"},
+		{Rec: testRec(0b101, 10), ModTime: refTime, Path: "a2.report"},
+		{Rec: testRec(0b101, 10), ModTime: refTime.Add(-10 * time.Minute), Path: "a3.report"},
+		{Rec: testRec(0b111, 20), ModTime: refTime.Add(-time.Hour), Path: "b.report"},
+	}
+}
+
+func TestCorpusDedupAndWeights(t *testing.T) {
+	c, err := Build(fixtureMembers(), Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Reports) != 2 {
+		t.Fatalf("dedup produced %d members, want 2", len(c.Reports))
+	}
+	var freq, solo *Report
+	for _, rep := range c.Reports {
+		if rep.Count == 3 {
+			freq = rep
+		} else if rep.Count == 1 {
+			solo = rep
+		}
+	}
+	if freq == nil || solo == nil {
+		t.Fatalf("counts wrong: %+v", c.Reports)
+	}
+	if !freq.Newest.Equal(refTime) {
+		t.Errorf("duplicate group's newest = %v, want %v", freq.Newest, refTime)
+	}
+	if len(freq.Paths) != 3 || freq.Paths[0] != "a1.report" {
+		t.Errorf("paths not collected/sorted: %v", freq.Paths)
+	}
+	// raw = [3·2⁰, 1·2⁻¹] = [3, 0.5]; normalized to mean 1 over 2 members.
+	if freq.Weight != 1.714286 || solo.Weight != 0.285714 {
+		t.Errorf("weights = %g / %g, want 1.714286 / 0.285714", freq.Weight, solo.Weight)
+	}
+	if got := c.Latest(); got.Signature != freq.Signature {
+		t.Errorf("Latest picked %s, want the reference-time member", got.Signature)
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	members := fixtureMembers()
+	a, err := Build(members, Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed offer order: identical corpus.
+	rev := make([]Member, 0, len(members))
+	for i := len(members) - 1; i >= 0; i-- {
+		rev = append(rev, members[i])
+	}
+	b, err := Build(rev, Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Identity() != b.Identity() {
+		t.Errorf("identity depends on member order: %s vs %s", a.Identity(), b.Identity())
+	}
+	if !reflect.DeepEqual(a.Manifest(), b.Manifest()) {
+		t.Errorf("manifest depends on member order:\n%+v\n%+v", a.Manifest(), b.Manifest())
+	}
+
+	// Ingest from disk, twice: identical corpus both times, matching the
+	// in-memory build (weights come from mtimes, not the wall clock).
+	dir := t.TempDir()
+	for _, m := range fixtureMembers() {
+		path := filepath.Join(dir, m.Path)
+		if err := m.Rec.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, m.ModTime, m.ModTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in1, err := Ingest(dir, Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := Ingest(dir, Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1.Identity() != a.Identity() || in2.Identity() != a.Identity() {
+		t.Errorf("ingest identity drifted: %s / %s vs %s", in1.Identity(), in2.Identity(), a.Identity())
+	}
+	for i, rep := range in1.Reports {
+		if rep.Weight != in2.Reports[i].Weight || rep.Weight != a.Reports[i].Weight {
+			t.Errorf("member %d weight not deterministic: %g / %g / %g",
+				i, rep.Weight, in2.Reports[i].Weight, a.Reports[i].Weight)
+		}
+	}
+}
+
+func TestCorpusManifestGolden(t *testing.T) {
+	c, err := Build(fixtureMembers(), Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := c.SaveManifest(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "manifest_golden.json")
+	if os.Getenv("CORPUS_REGEN_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (regenerate with CORPUS_REGEN_GOLDEN=1): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("manifest drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCorpusAttachInputAndRebind(t *testing.T) {
+	c, err := Build(fixtureMembers(), Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := map[string][]byte{"arg0": []byte("K")}
+	if err := c.AttachInput("a2.report", user); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInput("missing.report", user); err == nil {
+		t.Error("AttachInput accepted an unknown path")
+	}
+	var weights []float64
+	for _, rep := range c.Reports {
+		weights = append(weights, rep.Weight)
+	}
+	recs := []*replay.Recording{testRec(0b001, 30), testRec(0b011, 31)}
+	re, err := c.Rebind(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reWeights []float64
+	total := 0
+	for _, rep := range re.Reports {
+		reWeights = append(reWeights, rep.Weight)
+		total += rep.Count
+	}
+	// Weights and frequencies carry over (sorted by the new signatures, so
+	// compare as multisets via sums).
+	sum := func(ws []float64) (s float64) {
+		for _, w := range ws {
+			s += w
+		}
+		return
+	}
+	if sum(weights) != sum(reWeights) || total != 4 {
+		t.Errorf("rebind lost weight/frequency: %v -> %v (count %d)", weights, reWeights, total)
+	}
+	if re.Identity() == c.Identity() {
+		t.Error("rebound corpus kept the old identity despite new evidence")
+	}
+	if _, err := c.Rebind(recs[:1]); err == nil {
+		t.Error("Rebind accepted a misaligned recording slice")
+	}
+}
+
+func TestMergerRefusesForeignAndStale(t *testing.T) {
+	m := NewMerger(fixedProgHash, "aabb", 2)
+	mk := func(prog, fp string, gen int) ReportRun {
+		return ReportRun{Profile: &instrument.SearchProfile{
+			ProgHash: prog, PlanFingerprint: fp, Generation: gen, Runs: 1,
+		}}
+	}
+	if err := m.Add(ReportRun{}, 1); err == nil {
+		t.Error("run without a profile accepted")
+	}
+	if err := m.Add(mk("ffee", "aabb", 2), 1); err == nil {
+		t.Error("foreign program accepted")
+	}
+	if err := m.Add(mk(fixedProgHash, "ccdd", 2), 1); err == nil {
+		t.Error("foreign plan accepted")
+	}
+	if err := m.Add(mk(fixedProgHash, "aabb", 1), 1); err == nil {
+		t.Error("stale generation accepted")
+	}
+	if err := m.Add(mk(fixedProgHash, "aabb", 2), 1.5); err != nil {
+		t.Errorf("matching profile refused: %v", err)
+	}
+	if got := m.Profile(); got.Runs != 2 { // 1 scaled by 1.5, rounded
+		t.Errorf("merged runs = %d, want 2", got.Runs)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	members := []Member{}
+	for i := 0; i < 5; i++ {
+		members = append(members, Member{Rec: testRec(byte(i), 40+i), ModTime: refTime})
+	}
+	c, err := Build(members, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := c.Partition(2)
+	if len(parts) != 2 || len(parts[0]) != 3 || len(parts[1]) != 2 {
+		t.Fatalf("partition shape: %d/%d", len(parts[0]), len(parts[1]))
+	}
+	again := c.Partition(2)
+	for i := range parts {
+		for j := range parts[i] {
+			if parts[i][j].Signature != again[i][j].Signature {
+				t.Fatal("partition is not deterministic")
+			}
+		}
+	}
+	if wide := c.Partition(10); len(wide) != 5 {
+		t.Errorf("partition wider than the corpus kept %d shards, want 5", len(wide))
+	}
+	if one := c.Partition(0); len(one) != 1 || len(one[0]) != 5 {
+		t.Errorf("partition(0) = %d shards", len(one))
+	}
+}
+
+func TestWeightFloorNeverZero(t *testing.T) {
+	// A member many half-lives older than the newest report down-weights
+	// to the 1e-6 floor, never to zero — a zero weight would be refused
+	// by the weighted merge and fail the whole replay.
+	members := []Member{
+		{Rec: testRec(0b101, 10), ModTime: refTime},
+		{Rec: testRec(0b111, 20), ModTime: refTime.Add(-30 * 24 * time.Hour)},
+	}
+	c, err := Build(members, Options{}) // default 24h half-life: decay 2^-720
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range c.Reports {
+		if rep.Weight <= 0 {
+			t.Fatalf("member %s weighted %g", rep.Signature, rep.Weight)
+		}
+	}
+	// The floor weight is mergeable.
+	m := NewMerger(fixedProgHash, testPlan().Fingerprint(), 0)
+	run := ReportRun{Profile: &instrument.SearchProfile{
+		ProgHash: fixedProgHash, PlanFingerprint: testPlan().Fingerprint(), Runs: 3,
+	}}
+	for _, rep := range c.Reports {
+		if err := m.Add(run, rep.Weight); err != nil {
+			t.Fatalf("weight %g refused by the merge: %v", rep.Weight, err)
+		}
+	}
+}
+
+// indexRunner returns a distinguishable run per report, keyed by member
+// identity, to pin the re-alignment of shard results.
+type indexRunner struct {
+	runs map[*Report]int
+}
+
+func (r *indexRunner) ReplayShard(ctx context.Context, reports []*Report) ([]ReportRun, error) {
+	out := make([]ReportRun, len(reports))
+	for i, rep := range reports {
+		out[i] = ReportRun{
+			Reproduced: true,
+			Runs:       r.runs[rep],
+			Profile: &instrument.SearchProfile{
+				ProgHash:        fixedProgHash,
+				PlanFingerprint: rep.Rec.Plan.Fingerprint(),
+				Runs:            r.runs[rep],
+			},
+		}
+	}
+	return out, nil
+}
+
+func TestReplayAlignsDuplicateSignatures(t *testing.T) {
+	// A rebound corpus can hold two members whose re-recorded evidence
+	// became byte-identical (same signature); each member's run must
+	// still land on its own row, at its own weight.
+	c, err := Build([]Member{
+		{Rec: testRec(0b101, 10), ModTime: refTime},
+		{Rec: testRec(0b111, 20), ModTime: refTime.Add(-time.Hour)},
+	}, Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := c.Rebind([]*replay.Recording{testRec(0b001, 30), testRec(0b001, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Reports[0].Signature != re.Reports[1].Signature {
+		t.Fatal("fixture drifted: rebind should produce duplicate signatures")
+	}
+	runner := &indexRunner{runs: map[*Report]int{re.Reports[0]: 11, re.Reports[1]: 22}}
+	out, err := Replay(context.Background(), re, 2, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{out.Runs[0].Runs, out.Runs[1].Runs}
+	if got[0] == got[1] {
+		t.Errorf("duplicate-signature members collapsed to one run: %v", got)
+	}
+	if got[0]+got[1] != 33 {
+		t.Errorf("shard runs misaligned: %v, want {11,22}", got)
+	}
+}

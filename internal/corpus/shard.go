@@ -1,0 +1,382 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+	"pathlog/internal/world"
+)
+
+// Partition splits the corpus into at most n shards, round-robin over the
+// signature-sorted members, so the assignment is deterministic and the
+// shard loads stay within one report of each other. Empty shards are
+// dropped (n larger than the member count yields one shard per member).
+func (c *Corpus) Partition(n int) [][]*Report {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.Reports) {
+		n = len(c.Reports)
+	}
+	shards := make([][]*Report, n)
+	for i, rep := range c.Reports {
+		shards[i%n] = append(shards[i%n], rep)
+	}
+	return shards
+}
+
+// ReportRun is one report's replay outcome as a shard returns it: the
+// search result numbers plus the plan-fingerprint-stamped profile the
+// central merger verifies.
+type ReportRun struct {
+	Reproduced bool  `json:"reproduced"`
+	TimedOut   bool  `json:"timed_out,omitempty"`
+	Cancelled  bool  `json:"cancelled,omitempty"`
+	Runs       int   `json:"runs"`
+	WallMS     int64 `json:"wall_ms"`
+	// Profile is the search's per-branch attribution, stamped with the
+	// program hash, plan fingerprint and generation it was measured under.
+	Profile *instrument.SearchProfile `json:"profile"`
+}
+
+// Runner replays one shard of the corpus. ReplayShard returns exactly one
+// run per report, aligned with the input order.
+type Runner interface {
+	ReplayShard(ctx context.Context, reports []*Report) ([]ReportRun, error)
+}
+
+// InProcessRunner replays a shard through the replay engine in this
+// process, one report at a time (shards themselves run concurrently; each
+// replay's own parallelism comes from Opts.Workers).
+type InProcessRunner struct {
+	Prog *lang.Program
+	Spec *world.Spec
+	Opts replay.Options
+}
+
+// ReplayShard implements Runner.
+func (r *InProcessRunner) ReplayShard(ctx context.Context, reports []*Report) ([]ReportRun, error) {
+	out := make([]ReportRun, len(reports))
+	for i, rep := range reports {
+		if rep.Rec == nil || rep.Rec.Plan == nil {
+			return nil, fmt.Errorf("corpus: report %s carries no plan — resolve the corpus against a plan store before replaying", rep.Signature)
+		}
+		eng := replay.New(r.Prog, r.Spec, world.NewRegistry(), rep.Rec, r.Opts)
+		res := eng.Reproduce(ctx)
+		out[i] = ReportRun{
+			Reproduced: res.Reproduced,
+			TimedOut:   res.TimedOut,
+			Cancelled:  res.Cancelled,
+			Runs:       res.Runs,
+			WallMS:     res.Elapsed.Milliseconds(),
+			Profile:    res.Profile,
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ProtocolVersion is the shard worker protocol version. A worker refuses a
+// request from a different version instead of guessing.
+const ProtocolVersion = 1
+
+// ShardRequest is the JSON object a shard worker reads from stdin: the
+// named scenario (program + input space), the report envelope paths to
+// replay in order, and the replay bounds. Envelopes must embed their plan
+// (version 1 or 2); the parent resolves stamped-only references against
+// its plan store and ships resolved copies, so workers never need store
+// access.
+type ShardRequest struct {
+	Version  int      `json:"version"`
+	Scenario string   `json:"scenario"`
+	Reports  []string `json:"reports"`
+	MaxRuns  int      `json:"max_runs,omitempty"`
+	BudgetMS int64    `json:"budget_ms,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	PickFIFO bool     `json:"pick_fifo,omitempty"`
+}
+
+// ShardResponse is the JSON object a shard worker writes to stdout: one
+// run per requested report, in request order, plus the program hash the
+// worker replayed on (the merger re-verifies every profile anyway; the
+// hash makes a wrong-scenario mistake diagnosable from the transcript).
+type ShardResponse struct {
+	Version  int         `json:"version"`
+	ProgHash string      `json:"prog_hash,omitempty"`
+	Results  []ReportRun `json:"results,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// SubprocessRunner replays a shard in a worker subprocess (cmd/shardworker
+// or anything speaking the same protocol). Each report is written to a
+// temporary version-2 envelope — plan embedded — so the worker needs no
+// plan store; the worker only needs the scenario name to rebuild the
+// program and input space.
+type SubprocessRunner struct {
+	// Command is the worker argv, e.g. {"./shardworker"} or
+	// {"go", "run", "./cmd/shardworker"}.
+	Command []string
+	// Scenario names the program and input space (apps.ScenarioByName).
+	Scenario string
+	// Opts bound each report's replay inside the worker (MaxRuns,
+	// TimeBudget, Workers, PickFIFO travel; the rest stay defaults).
+	Opts replay.Options
+}
+
+// ReplayShard implements Runner.
+func (r *SubprocessRunner) ReplayShard(ctx context.Context, reports []*Report) ([]ReportRun, error) {
+	if len(r.Command) == 0 {
+		return nil, fmt.Errorf("corpus: subprocess runner has no worker command")
+	}
+	tmp, err := os.MkdirTemp("", "pathlog-shard-*")
+	if err != nil {
+		return nil, fmt.Errorf("corpus: shard scratch dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	req := ShardRequest{
+		Version:  ProtocolVersion,
+		Scenario: r.Scenario,
+		MaxRuns:  r.Opts.MaxRuns,
+		BudgetMS: r.Opts.TimeBudget.Milliseconds(),
+		Workers:  r.Opts.Workers,
+		PickFIFO: r.Opts.PickFIFO,
+	}
+	for i, rep := range reports {
+		if rep.Rec == nil || rep.Rec.Plan == nil {
+			return nil, fmt.Errorf("corpus: report %s carries no plan — resolve the corpus against a plan store before replaying", rep.Signature)
+		}
+		path := filepath.Join(tmp, fmt.Sprintf("%03d.report", i))
+		if err := rep.Rec.Save(path); err != nil {
+			return nil, fmt.Errorf("corpus: stage report %s for shard worker: %w", rep.Signature, err)
+		}
+		req.Reports = append(req.Reports, path)
+	}
+	reqData, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: encode shard request: %w", err)
+	}
+	cmd := exec.CommandContext(ctx, r.Command[0], r.Command[1:]...)
+	cmd.Stdin = bytes.NewReader(reqData)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	var resp ShardResponse
+	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+		if runErr != nil {
+			return nil, fmt.Errorf("corpus: shard worker failed: %w (stderr: %s)", runErr, tailString(stderr.Bytes()))
+		}
+		return nil, fmt.Errorf("corpus: decode shard response: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("corpus: shard worker: %s", resp.Error)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("corpus: shard worker failed: %w (stderr: %s)", runErr, tailString(stderr.Bytes()))
+	}
+	if resp.Version != ProtocolVersion {
+		return nil, fmt.Errorf("corpus: shard worker speaks protocol %d, want %d", resp.Version, ProtocolVersion)
+	}
+	if len(resp.Results) != len(reports) {
+		return nil, fmt.Errorf("corpus: shard worker returned %d results for %d reports", len(resp.Results), len(reports))
+	}
+	return resp.Results, nil
+}
+
+// tailString trims a stderr tail for error messages.
+func tailString(b []byte) string {
+	const max = 512
+	s := string(bytes.TrimSpace(b))
+	if len(s) > max {
+		s = "..." + s[len(s)-max:]
+	}
+	return s
+}
+
+// Merger is the central merge point of the sharded replay — the one new
+// trust boundary corpus refinement introduces. Every incoming profile must
+// carry the exact program hash, plan fingerprint and generation the merge
+// expects; a foreign or stale profile (wrong program, wrong plan, wrong
+// generation) is refused with both identities named, never silently
+// blended into the attribution that will steer the next deployment.
+type Merger struct {
+	// ProgHash, PlanFingerprint and Generation pin what the merge accepts.
+	ProgHash        string
+	PlanFingerprint string
+	Generation      int
+
+	mu      sync.Mutex
+	profile *instrument.SearchProfile
+	added   int
+}
+
+// NewMerger pins a merge point to one (program, plan, generation)
+// identity.
+func NewMerger(progHash, planFingerprint string, generation int) *Merger {
+	return &Merger{
+		ProgHash:        progHash,
+		PlanFingerprint: planFingerprint,
+		Generation:      generation,
+		profile: &instrument.SearchProfile{
+			ProgHash:        progHash,
+			PlanFingerprint: planFingerprint,
+			Generation:      generation,
+		},
+	}
+}
+
+// Add verifies one report's run against the merge identity and folds its
+// profile in at the report's weight.
+func (m *Merger) Add(run ReportRun, weight float64) error {
+	p := run.Profile
+	if p == nil {
+		return fmt.Errorf("corpus: shard run carries no search profile")
+	}
+	if p.ProgHash != m.ProgHash {
+		return fmt.Errorf("corpus: refusing foreign profile: measured on program %s, this merge accepts only %s",
+			p.ProgHash, m.ProgHash)
+	}
+	if p.PlanFingerprint != m.PlanFingerprint {
+		return fmt.Errorf("corpus: refusing foreign profile: measured under plan %s, this merge accepts only plan %s",
+			p.PlanFingerprint, m.PlanFingerprint)
+	}
+	if p.Generation != m.Generation {
+		return fmt.Errorf("corpus: refusing stale profile: measured at generation %d of plan %s, this merge accepts only generation %d",
+			p.Generation, m.PlanFingerprint, m.Generation)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.profile.MergeWeighted(p, weight); err != nil {
+		return err
+	}
+	m.added++
+	return nil
+}
+
+// Profile returns the weighted merged profile (the merge identity with
+// zero charges when nothing was added).
+func (m *Merger) Profile() *instrument.SearchProfile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.profile
+}
+
+// Outcome is a corpus replay's aggregate: the weighted merged profile and
+// the per-member results, plus the weighted population statistics the
+// balance loop converges on.
+type Outcome struct {
+	// Profile is the weighted merged attribution across the whole corpus.
+	Profile *instrument.SearchProfile
+	// Runs holds each member's replay outcome, aligned with
+	// Corpus.Reports.
+	Runs []ReportRun
+	// MeanRuns and MeanWallMS are weighted means over members — the
+	// corpus-mean debugging time the balance targets.
+	MeanRuns   float64
+	MeanWallMS float64
+	// MaxRuns is the slowest member's run count.
+	MaxRuns int
+	// Reproduced counts members whose replay found the bug; Members is the
+	// corpus size.
+	Reproduced int
+	Members    int
+	// Shards echoes how many shards performed the replay.
+	Shards int
+}
+
+// AllReproduced reports whether every member's replay found its bug.
+func (o *Outcome) AllReproduced() bool { return o.Reproduced == o.Members }
+
+// Replay fans the corpus out over shards and merges the results through a
+// verifying Merger. Every member must carry a resolved plan, and all
+// members must share one plan identity (fingerprint and generation) — a
+// mixed-generation corpus is refused by name, because profiles from
+// different plans must never blend. Shards run concurrently; the merge is
+// performed in corpus order (the weighted merge is order-independent, the
+// order just keeps transcripts deterministic).
+func Replay(ctx context.Context, c *Corpus, shards int, runner Runner) (*Outcome, error) {
+	if len(c.Reports) == 0 {
+		return nil, fmt.Errorf("corpus: replay of an empty corpus")
+	}
+	var progHash, fp string
+	generation := 0
+	for _, rep := range c.Reports {
+		if rep.Rec == nil || rep.Rec.Plan == nil {
+			return nil, fmt.Errorf("corpus: report %s carries no plan — resolve the corpus against a plan store before replaying", rep.Signature)
+		}
+		rfp := rep.Rec.Plan.Fingerprint()
+		if fp == "" {
+			fp = rfp
+			progHash = rep.Rec.Plan.ProgHash
+			generation = rep.Rec.Plan.Generation
+			continue
+		}
+		if rfp != fp {
+			return nil, fmt.Errorf("corpus: mixed plans in one corpus: report %s was taken under plan %s (generation %d), corpus replays under plan %s (generation %d) — re-record stale reports under the deployed plan",
+				rep.Signature, rfp, rep.Rec.Plan.Generation, fp, generation)
+		}
+	}
+	parts := c.Partition(shards)
+	results := make([][]ReportRun, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runner.ReplayShard(ctx, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("corpus: shard %d: %w", i, err)
+		}
+	}
+	// Re-align shard results with the corpus's report order. Keyed by
+	// member identity (the *Report), not by signature: a rebound corpus
+	// can legitimately hold two members whose re-recorded evidence became
+	// byte-identical, and signature keying would silently drop one run.
+	byRep := make(map[*Report]ReportRun, len(c.Reports))
+	for i, part := range parts {
+		for j, rep := range part {
+			byRep[rep] = results[i][j]
+		}
+	}
+	merger := NewMerger(progHash, fp, generation)
+	out := &Outcome{Members: len(c.Reports), Shards: len(parts)}
+	totalW := 0.0
+	for _, rep := range c.Reports {
+		run := byRep[rep]
+		if err := merger.Add(run, rep.Weight); err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, run)
+		totalW += rep.Weight
+		out.MeanRuns += rep.Weight * float64(run.Runs)
+		out.MeanWallMS += rep.Weight * float64(run.WallMS)
+		if run.Runs > out.MaxRuns {
+			out.MaxRuns = run.Runs
+		}
+		if run.Reproduced {
+			out.Reproduced++
+		}
+	}
+	if totalW > 0 {
+		out.MeanRuns /= totalW
+		out.MeanWallMS /= totalW
+	}
+	out.Profile = merger.Profile()
+	return out, nil
+}

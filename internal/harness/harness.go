@@ -70,6 +70,27 @@ type Config struct {
 	// runs against (and leaves populated — an inspectable artifact); empty
 	// uses a temporary directory discarded afterwards.
 	StoreDir string
+	// CorpusNoisyReports is the duplicate count of the corpus experiment's
+	// noisy crash report (the burst that would steer a latest-crash loop).
+	CorpusNoisyReports int
+	// CorpusShards is the shard count of the corpus experiment's replays.
+	CorpusShards int
+	// CorpusShardCmd, when set, is a shard worker binary (cmd/shardworker)
+	// the corpus experiment replays its shards through, exercising the
+	// out-of-process JSON protocol; empty replays in-process.
+	CorpusShardCmd string
+	// CorpusTargetRuns is the corpus-mean replay-run target (0 falls back
+	// to AdaptiveTargetRuns).
+	CorpusTargetRuns int
+	// CorpusDir, when set, is where the corpus experiment leaves its
+	// report envelopes and plan store (an inspectable artifact); empty
+	// uses a temporary directory discarded afterwards.
+	CorpusDir string
+	// CorpusTrajectoryOut / CorpusProfileOut, when set, write the corpus
+	// experiment's per-generation trajectory and final merged profile as
+	// JSON artifacts (CI uploads them).
+	CorpusTrajectoryOut string
+	CorpusProfileOut    string
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.
@@ -89,6 +110,8 @@ func DefaultConfig() Config {
 		ReplayWorkers:          1,
 		AdaptiveTargetRuns:     200,
 		AdaptiveMaxGenerations: 4,
+		CorpusNoisyReports:     5,
+		CorpusShards:           2,
 	}
 }
 

@@ -1,0 +1,217 @@
+package instrument
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pathlog/internal/lang"
+)
+
+// demoProfile builds a profile with demotion evidence on top of the
+// refinement fixture: b0 (instrumented by the dynamic plan) consumed bits
+// that never disagreed — the demotable shape — while b1/b4/b3 carry the
+// blowup charges of fakeProfile.
+func demoProfile(plan *Plan) *SearchProfile {
+	p := fakeProfile(plan)
+	p.Branches[0] = &BranchCost{LoggedExecs: 40}
+	return p
+}
+
+func TestDemotable(t *testing.T) {
+	instrumented := map[lang.BranchID]bool{0: true, 2: true, 5: true, 7: true}
+	p := &SearchProfile{Branches: map[lang.BranchID]*BranchCost{
+		0: {LoggedExecs: 10},                  // instrumented, agreed always: demotable
+		2: {LoggedExecs: 8, Disagreements: 1}, // its bits constrained the search: kept
+		5: {},                                 // never exercised: silence is not evidence
+		7: {LoggedExecs: 3},                   // demotable; sorts after b0
+		9: {LoggedExecs: 4, Disagreements: 0}, // not instrumented: nothing to demote
+		1: {Forks: 12, AbortedRuns: 3},        // uninstrumented blowup: promotion's business
+	}}
+	got := p.Demotable(instrumented)
+	want := []lang.BranchID{0, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Demotable = %v, want %v", got, want)
+	}
+}
+
+func TestMergeWeightedScalesRunCostNotEvidence(t *testing.T) {
+	src := &SearchProfile{
+		PlanFingerprint: "aa11",
+		ProgHash:        "bb22",
+		Runs:            10,
+		Aborts:          8,
+		Workers:         1,
+		Branches: map[lang.BranchID]*BranchCost{
+			1: {Forks: 10, AbortedRuns: 4, WastedRuns: 2, SolverCalls: 6,
+				SolverTime: 1000 * time.Nanosecond, LoggedExecs: 5, Disagreements: 2},
+		},
+	}
+	var acc SearchProfile
+	if err := acc.MergeWeighted(src, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	bc := acc.Branches[1]
+	if bc.Forks != 5 || bc.AbortedRuns != 2 || bc.WastedRuns != 1 || bc.SolverCalls != 3 || bc.SolverTime != 500 {
+		t.Errorf("run-cost counters not scaled by 0.5: %+v", bc)
+	}
+	if bc.LoggedExecs != 5 || bc.Disagreements != 2 {
+		t.Errorf("evidence counters must merge unscaled: %+v", bc)
+	}
+	if acc.Runs != 5 || acc.Aborts != 4 {
+		t.Errorf("runs/aborts not scaled: %d/%d", acc.Runs, acc.Aborts)
+	}
+	// ForkRate stays the weighted rate: 5 forks over 5 runs = the source's
+	// 10/10.
+	if got := acc.ForkRate(1); got != 1 {
+		t.Errorf("weighted fork rate %g, want 1", got)
+	}
+	// A tiny weight shrinks a charge but never erases it (floor of 1).
+	var tiny SearchProfile
+	if err := tiny.MergeWeighted(src, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Branches[1].Forks != 1 {
+		t.Errorf("nonzero charge scaled to %d, want floor 1", tiny.Branches[1].Forks)
+	}
+}
+
+func TestMergeWeightedGroupingInvariance(t *testing.T) {
+	mk := func(seed int64) *SearchProfile {
+		return &SearchProfile{
+			PlanFingerprint: "aa11",
+			Runs:            int(10 + seed),
+			Branches: map[lang.BranchID]*BranchCost{
+				lang.BranchID(seed % 3): {Forks: 7 * seed, AbortedRuns: seed, LoggedExecs: seed},
+				lang.BranchID(seed % 5): {SolverCalls: seed, Disagreements: 1},
+			},
+		}
+	}
+	weights := []float64{1.7, 0.3, 2.2, 0.9}
+	var fwd, rev SearchProfile
+	for i := 0; i < 4; i++ {
+		if err := fwd.MergeWeighted(mk(int64(i+1)), weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 3; i >= 0; i-- {
+		if err := rev.MergeWeighted(mk(int64(i+1)), weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fwd.Runs != rev.Runs || !reflect.DeepEqual(fwd.Branches, rev.Branches) {
+		t.Errorf("weighted merge depends on order:\nfwd %+v\nrev %+v", fwd, rev)
+	}
+}
+
+func TestMergeWeightedRefusals(t *testing.T) {
+	src := &SearchProfile{PlanFingerprint: "aa11", Runs: 1}
+	var acc SearchProfile
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := acc.MergeWeighted(src, w); err == nil {
+			t.Errorf("weight %g accepted", w)
+		}
+	}
+	acc.PlanFingerprint = "ff00"
+	if err := acc.MergeWeighted(src, 1); err == nil {
+		t.Error("foreign plan fingerprint accepted")
+	}
+}
+
+func TestRefineAndDemote(t *testing.T) {
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), true)
+	base, err := Dynamic().Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := demoProfile(base)
+
+	strat, err := RefineAndDemote(base, profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := strat.Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrumented[1] {
+		t.Error("top blowup branch b1 not promoted")
+	}
+	if p.Instrumented[0] {
+		t.Error("proven-redundant branch b0 not demoted")
+	}
+	if p.Generation != 1 || p.Parent != base.Fingerprint() {
+		t.Errorf("lineage: generation %d parent %s", p.Generation, p.Parent)
+	}
+	if !strings.Contains(p.Strategy, "+b1") || !strings.Contains(p.Strategy, "-b0") {
+		t.Errorf("strategy name %q does not describe both directions", p.Strategy)
+	}
+
+	// Demote-only: same demotion, no promotion, and the name says so.
+	dStrat, err := Demote(base, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dStrat.Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instrumented[0] || d.Instrumented[1] {
+		t.Errorf("demote-only plan instruments %v", d.IDs())
+	}
+	if !strings.Contains(d.Strategy, "+none") || !strings.Contains(d.Strategy, "-b0") {
+		t.Errorf("demote-only name %q", d.Strategy)
+	}
+
+	// Promotion-only names are byte-compatible with the pre-demotion
+	// format: no "-" tag appears when nothing is demoted.
+	rStrat, err := Refine(base, profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rStrat.Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Strategy, ",-") {
+		t.Errorf("promotion-only name %q grew a demotion tag", r.Strategy)
+	}
+	if !r.Instrumented[0] {
+		t.Error("Refine demoted b0 — promotion-only must keep the base set")
+	}
+
+	// A profile with no demotion evidence is a fixed point for Demote.
+	noEvidence, err := Demote(base, fakeProfile(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := noEvidence.Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Fingerprint() != base.Fingerprint() {
+		t.Errorf("no-evidence demotion moved the plan: %s vs %s", np.Fingerprint(), base.Fingerprint())
+	}
+}
+
+func TestRefineTopKContract(t *testing.T) {
+	// The documented contract everywhere TopK appears: k <= 0 selects
+	// DefaultRefineTopK — including negative values.
+	pc := NewPlanContext(fakeProgram(t), fakeInputs(), true)
+	base, err := Dynamic().Plan(context.Background(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := fakeProfile(base)
+	def := refinedPlan(t, pc, base, profile, DefaultRefineTopK)
+	neg := refinedPlan(t, pc, base, profile, -1)
+	if neg.Fingerprint() != def.Fingerprint() {
+		t.Errorf("Refine(k=-1) != Refine(k=Default): %s vs %s", neg.Fingerprint(), def.Fingerprint())
+	}
+	if neg.Fingerprint() == base.Fingerprint() {
+		t.Error("Refine(k=-1) promoted nothing")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -71,15 +72,48 @@ type BranchCost struct {
 	// never became runs).
 	SolverCalls int64         `json:"solver_calls"`
 	SolverTime  time.Duration `json:"solver_time_ns"`
+	// LoggedExecs counts replay executions of this instrumented branch that
+	// consumed a log bit (§3.1 cases 2 and 3). Zero means the search never
+	// even reached the branch under logging — absence of evidence, so the
+	// demotion rule requires it to be positive.
+	LoggedExecs int64 `json:"logged_execs,omitempty"`
+	// Disagreements counts log bits at this branch that contradicted the
+	// run's own direction: case-2b forced-direction sets and case-3b
+	// mismatch aborts. A disagreement is exactly the moment the branch's
+	// bit constrained the search; a branch whose bits were consumed but
+	// never once disagreed (corpus-wide) is redundant at replay time and
+	// becomes a demotion candidate (Demotable).
+	Disagreements int64 `json:"disagreements,omitempty"`
 }
 
-// add merges o into c.
-func (c *BranchCost) add(o *BranchCost) {
-	c.Forks += o.Forks
-	c.AbortedRuns += o.AbortedRuns
-	c.WastedRuns += o.WastedRuns
-	c.SolverCalls += o.SolverCalls
-	c.SolverTime += o.SolverTime
+// add merges o into c at weight w. Run-cost counters (forks, runs, solver
+// effort) scale by the weight with round-half-up, but a nonzero charge
+// never scales to silence — a branch the search paid for stays attributed
+// however small its report's weight. Evidence counters (LoggedExecs,
+// Disagreements) merge unscaled: they gate demotion by presence or
+// absence, and presence evidence does not shrink with recency.
+func (c *BranchCost) add(o *BranchCost, w float64) {
+	c.Forks += scaleCount(o.Forks, w)
+	c.AbortedRuns += scaleCount(o.AbortedRuns, w)
+	c.WastedRuns += scaleCount(o.WastedRuns, w)
+	c.SolverCalls += scaleCount(o.SolverCalls, w)
+	c.SolverTime += time.Duration(scaleCount(int64(o.SolverTime), w))
+	c.LoggedExecs += o.LoggedExecs
+	c.Disagreements += o.Disagreements
+}
+
+// scaleCount scales one run-cost counter by a merge weight, rounding half
+// up, with a floor of 1 for any nonzero input so down-weighting can shrink
+// a charge but never erase it.
+func scaleCount(v int64, w float64) int64 {
+	if v == 0 || w == 1 {
+		return v
+	}
+	s := int64(math.Round(float64(v) * w))
+	if s < 1 {
+		return 1
+	}
+	return s
 }
 
 // blowup is the branch's responsibility for search length, in runs. Runs
@@ -105,8 +139,23 @@ func (p *SearchProfile) Branch(id lang.BranchID) BranchCost {
 // yet (a zero value) adopts the source's, so the refusal also protects
 // chains of merges.
 func (p *SearchProfile) Merge(o *SearchProfile) error {
+	return p.MergeWeighted(o, 1)
+}
+
+// MergeWeighted folds another profile into p at a report weight: a corpus
+// merge charges each recording's search cost in proportion to how much that
+// report should steer refinement (frequency × recency; see
+// internal/corpus). Weight 1 is exactly Merge. Run-cost counters scale with
+// round-half-up and a floor of 1 for nonzero charges; evidence counters
+// (LoggedExecs, Disagreements) merge unscaled — see BranchCost.add.
+// Scaling each source independently keeps the result identical however the
+// sources are grouped into shards. Weights must be positive and finite.
+func (p *SearchProfile) MergeWeighted(o *SearchProfile, weight float64) error {
 	if o == nil {
 		return nil
+	}
+	if weight <= 0 || math.IsInf(weight, 0) || math.IsNaN(weight) {
+		return fmt.Errorf("instrument: merge weight %g is not a positive finite number", weight)
 	}
 	if p.PlanFingerprint != "" && o.PlanFingerprint != "" && p.PlanFingerprint != o.PlanFingerprint {
 		return fmt.Errorf("instrument: cannot merge search profiles from different plans (%s vs %s)",
@@ -122,8 +171,10 @@ func (p *SearchProfile) Merge(o *SearchProfile) error {
 	if o.Workers > p.Workers {
 		p.Workers = o.Workers
 	}
-	p.Runs += o.Runs
-	p.Aborts += o.Aborts
+	// Runs scale with the same rule as the per-branch counters, so per-run
+	// rates (ForkRate) stay weighted averages of the sources' rates.
+	p.Runs += int(scaleCount(int64(o.Runs), weight))
+	p.Aborts += int(scaleCount(int64(o.Aborts), weight))
 	p.Reproduced = p.Reproduced || o.Reproduced
 	p.Solver.Add(o.Solver)
 	if p.Branches == nil {
@@ -131,9 +182,10 @@ func (p *SearchProfile) Merge(o *SearchProfile) error {
 	}
 	for id, bc := range o.Branches {
 		if have, ok := p.Branches[id]; ok {
-			have.add(bc)
+			have.add(bc, weight)
 		} else {
-			cp := *bc
+			cp := BranchCost{}
+			cp.add(bc, weight)
 			p.Branches[id] = &cp
 		}
 	}
@@ -184,6 +236,26 @@ func (p *SearchProfile) TopBlowup(k int, instrumented map[lang.BranchID]bool) []
 	for i, c := range cands {
 		out[i] = c.id
 	}
+	return out
+}
+
+// Demotable returns the instrumented branches whose logged bits the
+// profile proves redundant: branches the search exercised under logging
+// (LoggedExecs > 0) whose bits never once disagreed with the run's own
+// direction (Disagreements == 0). Every consumed bit at such a branch was
+// implied by the rest of the path — dropping it wins back record overhead
+// without removing a constraint the search ever used. Branches the profile
+// never charged are NOT demotable: silence is absence of evidence, not
+// evidence of redundancy. The result is sorted by branch ID, so the
+// demotion decision (and the refined plan's fingerprint) is deterministic.
+func (p *SearchProfile) Demotable(instrumented map[lang.BranchID]bool) []lang.BranchID {
+	var out []lang.BranchID
+	for id, bc := range p.Branches {
+		if instrumented[id] && bc.LoggedExecs > 0 && bc.Disagreements == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -24,6 +24,7 @@ import (
 type refineStrategy struct {
 	base     *Plan
 	promoted []lang.BranchID
+	demoted  []lang.BranchID
 	name     string
 }
 
@@ -36,6 +37,35 @@ type refineStrategy struct {
 // Refine refuses a profile measured under a different plan than base: the
 // attribution is only meaningful for the plan whose gaps produced it.
 func Refine(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
+	return refineWith(base, profile, k, true, false)
+}
+
+// Demote returns the strategy deriving the next plan generation by
+// shrinking the base plan: every instrumented branch the profile proves
+// redundant (SearchProfile.Demotable — bits consumed, zero disagreements)
+// is dropped, winning back its record overhead. Nothing is promoted. A
+// profile with no demotable branch yields a plan identical to the base.
+// The demotion is evidence-based, not verified: callers that can re-measure
+// (Session.CorpusBalance) must refuse a demoted plan whose measured replay
+// regresses.
+func Demote(base *Plan, profile *SearchProfile) (Strategy, error) {
+	return refineWith(base, profile, 0, false, true)
+}
+
+// RefineAndDemote combines both directions of the balance in one
+// generation: the top-k blowup branches are promoted into the plan and the
+// proven-redundant branches are dropped from it, so a corpus refinement
+// step both speeds up replay and shrinks user-site overhead. The two sets
+// are disjoint by construction (TopBlowup only proposes uninstrumented
+// branches; Demotable only instrumented ones).
+func RefineAndDemote(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
+	return refineWith(base, profile, k, true, true)
+}
+
+// refineWith builds the refinement strategy. With promote set, k <= 0
+// selects DefaultRefineTopK (the documented contract of every TopK
+// option); without it nothing is promoted (the demote-only form).
+func refineWith(base *Plan, profile *SearchProfile, k int, promote, demote bool) (Strategy, error) {
 	if base == nil {
 		return nil, fmt.Errorf("instrument: refine needs a base plan")
 	}
@@ -48,14 +78,22 @@ func Refine(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
 				profile.PlanFingerprint, got, base.Generation)
 		}
 	}
-	if k <= 0 {
-		k = DefaultRefineTopK
+	var promoted []lang.BranchID
+	if promote {
+		if k <= 0 {
+			k = DefaultRefineTopK
+		}
+		promoted = profile.TopBlowup(k, base.Instrumented)
 	}
-	promoted := profile.TopBlowup(k, base.Instrumented)
+	var demoted []lang.BranchID
+	if demote {
+		demoted = profile.Demotable(base.Instrumented)
+	}
 	return &refineStrategy{
 		base:     base,
 		promoted: promoted,
-		name:     refineName(base, promoted),
+		demoted:  demoted,
+		name:     refineName(base, promoted, demoted),
 	}, nil
 }
 
@@ -69,10 +107,12 @@ const DefaultRefineTopK = 4
 // are not identities, and the session caches plans by name, so two bases
 // both called "dynamic" with different branch sets must refine under
 // different names. Small promotions list the branch IDs outright; larger
-// ones carry a count plus a deterministic hash. Refining a refined plan
-// drops the base's strategy text, keeping deep chains flat:
-// refine(dynamic@a2d02b70,gen1,+b15) then refine(@831530c5,gen2,+b33).
-func refineName(base *Plan, promoted []lang.BranchID) string {
+// ones carry a count plus a deterministic hash. Demotions render the same
+// way with a "-" sign, and only when present — promotion-only names are
+// byte-identical to what they were before demotion existed. Refining a
+// refined plan drops the base's strategy text, keeping deep chains flat:
+// refine(dynamic@a2d02b70,gen1,+b15) then refine(@831530c5,gen2,+b33,-b7).
+func refineName(base *Plan, promoted, demoted []lang.BranchID) string {
 	fp := base.Fingerprint()
 	if len(fp) > 8 {
 		fp = fp[:8]
@@ -86,17 +126,31 @@ func refineName(base *Plan, promoted []lang.BranchID) string {
 	} else {
 		baseName += "@" + fp
 	}
-	tag := "+none"
-	if len(promoted) > 0 && len(promoted) <= 6 {
-		parts := make([]string, len(promoted))
-		for i, id := range promoted {
-			parts[i] = fmt.Sprintf("b%d", id)
-		}
-		tag = "+" + strings.Join(parts, "+")
-	} else if len(promoted) > 6 {
-		tag = fmt.Sprintf("+%d@%s", len(promoted), hashIDs(promoted))
+	tag := idsTag("+", promoted)
+	if tag == "" {
+		tag = "+none"
+	}
+	if d := idsTag("-", demoted); d != "" {
+		tag += "," + d
 	}
 	return fmt.Sprintf("refine(%s,gen%d,%s)", baseName, base.Generation+1, tag)
+}
+
+// idsTag renders a signed branch-ID set: up to 6 IDs outright, larger sets
+// as a count plus a deterministic hash, an empty set as "".
+func idsTag(sign string, ids []lang.BranchID) string {
+	switch {
+	case len(ids) == 0:
+		return ""
+	case len(ids) <= 6:
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprintf("b%d", id)
+		}
+		return sign + strings.Join(parts, sign)
+	default:
+		return fmt.Sprintf("%s%d@%s", sign, len(ids), hashIDs(ids))
+	}
 }
 
 // Name implements Strategy.
@@ -108,8 +162,14 @@ func (s *refineStrategy) Promoted() []lang.BranchID {
 	return append([]lang.BranchID(nil), s.promoted...)
 }
 
-// Plan implements Strategy: the base set plus the promoted branches, with
-// the generation lineage stamped on.
+// Demoted returns the branch IDs this refinement drops from the base plan,
+// in branch-ID order.
+func (s *refineStrategy) Demoted() []lang.BranchID {
+	return append([]lang.BranchID(nil), s.demoted...)
+}
+
+// Plan implements Strategy: the base set plus the promoted branches minus
+// the demoted ones, with the generation lineage stamped on.
 func (s *refineStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -125,6 +185,9 @@ func (s *refineStrategy) Plan(ctx context.Context, pc *PlanContext) (*Plan, erro
 	}
 	for _, id := range s.promoted {
 		set[id] = true
+	}
+	for _, id := range s.demoted {
+		delete(set, id)
 	}
 	p := pc.NewPlan(s.name, set)
 	// The refined build logs syscalls iff the base build did: refinement

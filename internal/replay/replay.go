@@ -208,6 +208,14 @@ type runSink struct {
 	// forks counts case-1 pending alternatives actually queued per branch
 	// site this run — the per-run slice of the search profile.
 	forks map[lang.BranchID]int64
+	// loggedExecs counts log bits consumed per instrumented branch this run
+	// (cases 2 and 3); disagrees counts the bits that contradicted the
+	// run's own direction (case-2b forced sets, case-3b mismatch aborts).
+	// Together they are the demotion evidence: an instrumented branch with
+	// consumed bits and zero disagreements corpus-wide never constrained
+	// any search.
+	loggedExecs map[lang.BranchID]int64
+	disagrees   map[lang.BranchID]int64
 }
 
 // OnBranch implements vm.BranchSink.
@@ -238,13 +246,16 @@ func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) err
 			s.mismatch = true
 			return vm.ErrAbortRun
 		}
+		s.loggedExecs[site.ID]++
 		if logged == taken {
 			if len(s.conds) < maxRunConds {
 				s.conds = append(s.conds, sym.Constraint{E: cond.Sym, Truth: taken})
 			}
 			return nil
 		}
-		// 2b: force the recorded direction in a pending set and abort.
+		// 2b: force the recorded direction in a pending set and abort. The
+		// bit just constrained the search — charge the disagreement.
+		s.disagrees[site.ID]++
 		s.pushPending(site.ID, sym.Constraint{E: cond.Sym, Truth: logged})
 		s.mismatch = true
 		return vm.ErrAbortRun
@@ -254,9 +265,17 @@ func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) err
 		logged, ok := s.reader.Next()
 		if !ok || logged != taken {
 			// 3b: a wrong earlier turn at an uninstrumented symbolic branch.
+			// A consumed-but-contradicted bit pruned this diverged run, so
+			// it counts as a disagreement (an exhausted log consumed no bit
+			// and charges nothing).
+			if ok {
+				s.loggedExecs[site.ID]++
+				s.disagrees[site.ID]++
+			}
 			s.mismatch = true
 			return vm.ErrAbortRun
 		}
+		s.loggedExecs[site.ID]++
 		return nil
 
 	default:
@@ -486,6 +505,12 @@ func (st *searchState) finish(w, seq int, origin lang.BranchID, asn sym.MapAssig
 	for id, n := range sink.forks {
 		st.chargeLocked(id).Forks += n
 	}
+	for id, n := range sink.loggedExecs {
+		st.chargeLocked(id).LoggedExecs += n
+	}
+	for id, n := range sink.disagrees {
+		st.chargeLocked(id).Disagreements += n
+	}
 	if e.isReproduction(sink, vmRes) {
 		if st.winner == nil || seq < st.winner.seq {
 			st.winner = &runOutcome{seq: seq, asn: asn, sink: sink, w: world}
@@ -672,6 +697,8 @@ func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.Wor
 		symExecLogged:    make(map[lang.BranchID]int64),
 		symExecNotLogged: make(map[lang.BranchID]int64),
 		forks:            make(map[lang.BranchID]int64),
+		loggedExecs:      make(map[lang.BranchID]int64),
+		disagrees:        make(map[lang.BranchID]int64),
 	}
 	machine := vm.New(e.prog, vm.Options{
 		Kernel:   kern,

@@ -9,6 +9,8 @@
 //	<dir>/lineage/<proghash>.json       generation/parent chains per program
 //	<dir>/measured/<proghash>/<workload>.json
 //	                                    measured frontier points per workload
+//	<dir>/profiles/<fingerprint>.json   latest search profile per plan generation
+//	<dir>/.lock                         cross-process advisory lock (lock.go)
 //
 // Plans are keyed by instrument.Plan.Fingerprint — the same stamp every
 // recording carries — so a developer site holding the store can resolve
@@ -31,11 +33,21 @@
 // estimates are corrected by history — and how estimated-vs-measured
 // drift becomes renderable.
 //
+// Retained profiles close the cold-calibration gap: measured points only
+// correct estimates at measured fingerprints, but the per-branch
+// SearchProfile behind each generation lets a cold session CalibrateCosts
+// before its first sweep, shrinking drift on the whole frontier. The
+// newest profile per generation wins (atomic replace, not
+// content-addressed), and a profile whose stamp disagrees with the
+// fingerprint it is filed under is refused as damaged.
+//
 // Trust boundary: the store trusts its own directory no further than the
 // fingerprints go. Every plan read back is re-hashed and verified
 // (instrument.LoadPlan), a damaged file surfaces as an error wrapping
 // instrument.ErrPlanCorrupt, and Scan skips damaged entries while
-// reporting them by path. The store performs no cross-process locking:
-// it assumes one writer at a time (the operator's record/replay/tune
-// invocations), which matches the developer-site deployment it models.
+// reporting them by path. Index rewrites (lineage, measured) are
+// serialized across processes through an flock-style lock file with
+// stale-lock detection by pid and age, so concurrent record/tune runs
+// cannot interleave writes; everything else is immutable or atomically
+// replaced whole, so readers never need the lock.
 package store

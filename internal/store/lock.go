@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Cross-process advisory locking. The store's in-process mutex already
+// serializes one process's writers, but concurrent record and tune runs
+// over one store directory would interleave the read-modify-write of the
+// lineage and measured index files. An flock-style lock file makes index
+// rewrites exclusive across processes:
+//
+//   - acquire creates <dir>/.lock exclusively (O_CREATE|O_EXCL) with the
+//     holder's pid inside; contenders poll until the file disappears;
+//   - a stale lock — its holder's pid no longer alive, or the file older
+//     than lockStaleAge (a crashed holder on another host, where pid
+//     liveness means nothing) — is broken and retaken;
+//   - acquisition gives up after lockWait and reports the holder's pid, so
+//     a wedged deployment names its blocker instead of hanging forever.
+//
+// The lock covers only index rewrites (lineage, measured). Plan and
+// profile files are content-addressed or atomically replaced whole, so
+// concurrent writers can only race to write equivalent bytes there.
+
+const (
+	// lockFileName is the advisory lock file inside the store root.
+	lockFileName = ".lock"
+	// defaultLockWait bounds how long an acquisition polls before giving
+	// up and naming the holder.
+	defaultLockWait = 5 * time.Second
+	// defaultLockStaleAge is the age past which a lock file is presumed
+	// abandoned even when its pid cannot be probed.
+	defaultLockStaleAge = time.Minute
+	// lockPollInterval is the contention polling cadence.
+	lockPollInterval = 5 * time.Millisecond
+)
+
+// lockPath returns the store's advisory lock file.
+func (s *Store) lockPath() string { return filepath.Join(s.dir, lockFileName) }
+
+// withIndexLock runs fn while holding both the in-process mutex and the
+// cross-process lock file.
+func (s *Store) withIndexLock(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	release, err := s.acquireLock()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return fn()
+}
+
+// acquireLock takes the cross-process lock, breaking stale locks by
+// pid-liveness and age.
+func (s *Store) acquireLock() (func(), error) {
+	wait := s.lockWait
+	if wait <= 0 {
+		wait = defaultLockWait
+	}
+	staleAge := s.lockStaleAge
+	if staleAge <= 0 {
+		staleAge = defaultLockStaleAge
+	}
+	path := s.lockPath()
+	deadline := time.Now().Add(wait)
+	for {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("store: acquire lock %s: %w", path, err)
+		}
+		holder, stale := s.lockHolder(path, staleAge)
+		if stale {
+			s.breakStale(path, staleAge)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("store: lock %s is held by pid %d (another record/tune run?) — waited %s",
+				path, holder, wait)
+		}
+		time.Sleep(lockPollInterval)
+	}
+}
+
+// breakStale claims a suspected-stale lock by atomically renaming it
+// aside: exactly one contender wins the rename, so breaking the lock can
+// never delete a *different* file than the one probed — in particular, a
+// fresh lock created by a faster contender survives (a plain remove here
+// would race: A removes the stale file and creates its own lock, then B's
+// remove deletes A's lock and two writers hold the index at once). The
+// captured file is re-verified before discarding; a lock that turned out
+// live (its holder re-acquired in the probe window) is restored via
+// link(2), which refuses to clobber any newer lock.
+func (s *Store) breakStale(path string, staleAge time.Duration) {
+	aside := fmt.Sprintf("%s.break.%d", path, os.Getpid())
+	if err := os.Rename(path, aside); err != nil {
+		return // another contender claimed it first; re-contend
+	}
+	if _, stillStale := s.lockHolder(aside, staleAge); !stillStale {
+		// We captured a live holder's lock: give it back without
+		// clobbering. If a newer lock already exists the restore fails and
+		// the live holder re-contends on its next operation — never two
+		// index files written under one claimed break.
+		os.Link(aside, path)
+	}
+	os.Remove(aside)
+}
+
+// lockHolder reads the lock file's pid and decides staleness: a holder
+// whose pid is no longer alive, or a lock older than staleAge, is stale. A
+// lock file that vanished mid-probe is treated as stale (the next create
+// attempt decides).
+func (s *Store) lockHolder(path string, staleAge time.Duration) (pid int, stale bool) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, true
+	}
+	if time.Since(info.ModTime()) > staleAge {
+		return 0, true
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, true
+	}
+	pid, err = strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || pid <= 0 {
+		// An unreadable pid in a fresh lock file: leave it to age out
+		// rather than stealing a lock we cannot attribute.
+		return 0, false
+	}
+	if !pidAlive(pid) {
+		return pid, true
+	}
+	return pid, false
+}
+
+// pidAlive probes a pid with signal 0 (no signal is delivered). EPERM
+// means the process exists but belongs to someone else — alive either way.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pathlog/internal/instrument"
 )
@@ -19,6 +20,11 @@ import (
 // store directory is the wrong one.
 var ErrPlanNotFound = errors.New("plan not found in store")
 
+// ErrProfileNotFound reports a plan fingerprint with no retained search
+// profile — the generation was deployed before profile retention existed,
+// or its replay never completed.
+var ErrProfileNotFound = errors.New("search profile not found in store")
+
 // ErrDamaged marks an unreadable store index file (lineage or measured
 // points). Frontier sweeps skip damaged measured history (the estimates
 // stand and Scan reports the file); lineage damage stays fatal for
@@ -28,15 +34,23 @@ var ErrDamaged = errors.New("store entry damaged")
 
 // Store is an on-disk plan and measurement store rooted at one directory.
 // See the package comment for the layout. A Store is safe for concurrent
-// use within one process; it performs no cross-process locking.
+// use within one process, and index rewrites (lineage, measured) are
+// additionally serialized across processes through an flock-style lock
+// file with stale-lock detection by pid and age (see lock.go), so
+// concurrent record and tune runs over one store cannot interleave index
+// writes.
 type Store struct {
 	dir string
 	mu  sync.Mutex // serializes read-modify-write of the index files
+	// lockWait / lockStaleAge override the cross-process lock bounds; zero
+	// selects the defaults (tests shorten them).
+	lockWait     time.Duration
+	lockStaleAge time.Duration
 }
 
 // Open opens (creating if needed) the store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"plans", "lineage", "measured"} {
+	for _, sub := range []string{"plans", "lineage", "measured", "profiles"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
@@ -123,19 +137,19 @@ func (s *Store) PutPlan(p *instrument.Plan) error {
 	if err := checkKey("program hash", p.ProgHash); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	path := s.planPath(fp)
-	if _, err := os.Stat(path); err != nil {
-		tmp := path + ".tmp"
-		if err := p.Save(tmp); err != nil {
-			return fmt.Errorf("store: retain plan %s: %w", fp, err)
+	return s.withIndexLock(func() error {
+		path := s.planPath(fp)
+		if _, err := os.Stat(path); err != nil {
+			tmp := path + ".tmp"
+			if err := p.Save(tmp); err != nil {
+				return fmt.Errorf("store: retain plan %s: %w", fp, err)
+			}
+			if err := os.Rename(tmp, path); err != nil {
+				return fmt.Errorf("store: retain plan %s: %w", fp, err)
+			}
 		}
-		if err := os.Rename(tmp, path); err != nil {
-			return fmt.Errorf("store: retain plan %s: %w", fp, err)
-		}
-	}
-	return s.indexLineageLocked(p, fp)
+		return s.indexLineageLocked(p, fp)
+	})
 }
 
 // GetPlan resolves a retained plan by fingerprint, re-verifying the
@@ -249,6 +263,71 @@ func (s *Store) indexLineageLocked(p *instrument.Plan, fp string) error {
 	return writeFileAtomic(s.lineagePath(p.ProgHash), data)
 }
 
+func (s *Store) profilePath(fingerprint string) string {
+	return filepath.Join(s.dir, "profiles", fingerprint+".json")
+}
+
+// PutProfile retains the search profile measured under a plan generation,
+// filed under the plan's fingerprint (profiles/<fingerprint>.json). Unlike
+// plans, profiles are not content-addressed: a later measurement of the
+// same generation atomically replaces the earlier one — the newest
+// observation is the one a cold session should calibrate from. A profile
+// with no plan fingerprint or program hash has no generation to be filed
+// under and is refused.
+func (s *Store) PutProfile(p *instrument.SearchProfile) error {
+	if p == nil {
+		return fmt.Errorf("store: nil search profile")
+	}
+	if p.PlanFingerprint == "" || p.ProgHash == "" {
+		return fmt.Errorf("store: search profile carries no plan fingerprint or program hash — only profiles measured under an identified plan can be retained")
+	}
+	if err := checkKey("plan fingerprint", p.PlanFingerprint); err != nil {
+		return err
+	}
+	if err := checkKey("program hash", p.ProgHash); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode search profile: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFileAtomic(s.profilePath(p.PlanFingerprint), data)
+}
+
+// GetProfile resolves the retained search profile for a plan fingerprint.
+// An unknown fingerprint returns an error wrapping ErrProfileNotFound; a
+// damaged file, or one whose stamp disagrees with the fingerprint it is
+// filed under, returns an ErrDamaged-wrapped error.
+func (s *Store) GetProfile(fingerprint string) (*instrument.SearchProfile, error) {
+	if err := checkKey("plan fingerprint", fingerprint); err != nil {
+		return nil, err
+	}
+	p, err := instrument.LoadSearchProfile(s.profilePath(fingerprint))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w: fingerprint %s", ErrProfileNotFound, fingerprint)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: profile for %s: %w: %w", fingerprint, ErrDamaged, err)
+	}
+	if p.PlanFingerprint != fingerprint {
+		return nil, fmt.Errorf("store: profile filed under %s was measured under plan %s (%w)",
+			fingerprint, p.PlanFingerprint, ErrDamaged)
+	}
+	return p, nil
+}
+
+// HasProfile reports whether a profile is retained for the fingerprint
+// (without verifying its content; GetProfile does).
+func (s *Store) HasProfile(fingerprint string) bool {
+	if checkKey("plan fingerprint", fingerprint) != nil {
+		return false
+	}
+	_, err := os.Stat(s.profilePath(fingerprint))
+	return err == nil
+}
+
 // MeasuredPoint is one observed (overhead, debug-time) coordinate for a
 // deployed plan on one workload: what the user-site run actually logged
 // and how long the developer-site search actually took — ground truth next
@@ -295,24 +374,24 @@ func (s *Store) AppendMeasured(progHash, workload string, pts ...MeasuredPoint) 
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	path := s.measuredPath(progHash, workload)
-	m, err := readMeasured(path)
-	if errors.Is(err, os.ErrNotExist) {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			return fmt.Errorf("store: append measured: %w", err)
+	return s.withIndexLock(func() error {
+		path := s.measuredPath(progHash, workload)
+		m, err := readMeasured(path)
+		if errors.Is(err, os.ErrNotExist) {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return fmt.Errorf("store: append measured: %w", err)
+			}
+			m = &measuredJSON{Version: indexVersion, ProgHash: progHash, Workload: workload}
+		} else if err != nil {
+			return err
 		}
-		m = &measuredJSON{Version: indexVersion, ProgHash: progHash, Workload: workload}
-	} else if err != nil {
-		return err
-	}
-	m.Points = append(m.Points, pts...)
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encode measured points: %w", err)
-	}
-	return writeFileAtomic(path, data)
+		m.Points = append(m.Points, pts...)
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return fmt.Errorf("store: encode measured points: %w", err)
+		}
+		return writeFileAtomic(path, data)
+	})
 }
 
 // Measured returns the observed points for a (program, workload) pair in
@@ -357,6 +436,9 @@ type Damage struct {
 type ScanReport struct {
 	// Plans counts retained plans that load and verify.
 	Plans int
+	// Profiles counts retained search profiles that load and match the
+	// fingerprint they are filed under.
+	Profiles int
 	// MeasuredPoints counts points across all readable measured files.
 	MeasuredPoints int
 	// Damaged lists entries that failed to load (corrupt plan files,
@@ -388,6 +470,19 @@ func (s *Store) Scan() (*ScanReport, error) {
 			continue
 		}
 		rep.Plans++
+	}
+	profiles, err := filepath.Glob(filepath.Join(s.dir, "profiles", "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	sort.Strings(profiles)
+	for _, path := range profiles {
+		fp := strings.TrimSuffix(filepath.Base(path), ".json")
+		if _, err := s.GetProfile(fp); err != nil {
+			rep.Damaged = append(rep.Damaged, Damage{Path: path, Err: err})
+			continue
+		}
+		rep.Profiles++
 	}
 	lineage, err := filepath.Glob(filepath.Join(s.dir, "lineage", "*.json"))
 	if err != nil {

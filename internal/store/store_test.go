@@ -127,11 +127,16 @@ func TestStoreGoldenLayout(t *testing.T) {
 	}
 	populate(t, s)
 
+	if err := s.PutProfile(goldenProfile()); err != nil {
+		t.Fatal(err)
+	}
+
 	fpBase, fpChild := goldenPlan().Fingerprint(), goldenChild().Fingerprint()
 	checkGolden(t, filepath.Join(dir, "plans", fpBase+".json"), "plan_base_golden.json")
 	checkGolden(t, filepath.Join(dir, "plans", fpChild+".json"), "plan_child_golden.json")
 	checkGolden(t, filepath.Join(dir, "lineage", fixedProgHash+".json"), "lineage_golden.json")
 	checkGolden(t, filepath.Join(dir, "measured", fixedProgHash, "userver-exp3.json"), "measured_golden.json")
+	checkGolden(t, filepath.Join(dir, "profiles", fpChild+".json"), "profile_golden.json")
 }
 
 func TestStoreRoundTrip(t *testing.T) {

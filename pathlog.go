@@ -59,6 +59,17 @@
 // fold that measured history back in as ground truth next to the cost
 // model's estimates (PlanPoint.Measured, OverheadDrift, ReplayRunsDrift).
 //
+// A deployed system receives a stream of bug reports, not one: IngestCorpus
+// turns a directory of reports into a deduplicated, weighted Corpus
+// (frequency × recency), Session.ReplayCorpus replays it over N shards
+// (in-process or via cmd/shardworker subprocesses) with every shard profile
+// verified at the merge point, and Session.CorpusBalance iterates the
+// corpus-driven loop — promoting the population-wide blowup branches until
+// the weighted corpus-mean replay meets the target, then demoting branches
+// whose bits never once constrained any member's search, with each demotion
+// accepted only when re-measurement confirms it (strictly fewer logged bits,
+// every report still reproducing).
+//
 // Cancellation and deadlines flow through the context: a cancelled analyze
 // or replay returns promptly with partial results, and the classic
 // MaxRuns/TimeBudget bounds remain available as options. The pre-Session

@@ -10,6 +10,7 @@ import (
 	"pathlog/internal/instrument"
 	"pathlog/internal/store"
 	"pathlog/internal/vm"
+	"pathlog/internal/world"
 )
 
 // CrashInfo identifies a crash site (kind and source position); it is what a
@@ -20,11 +21,11 @@ type CrashInfo = vm.CrashInfo
 type ProgressEvent struct {
 	// Scenario is the session name (WithName / SessionOf).
 	Scenario string
-	// Phase is "analyze", "record", "replay" or "balance".
+	// Phase is "analyze", "record", "replay", "balance" or "corpus".
 	Phase string
 	// Runs is the number of completed runs within the phase (analysis and
 	// replay are iterated searches; record is a single run, reported as 1;
-	// balance reports completed generations).
+	// balance and corpus report completed generations).
 	Runs int
 }
 
@@ -201,9 +202,10 @@ func WithProgress(fn ProgressFunc) Option {
 //     not silently rewound.
 //
 // The store keys measured points by (program hash, workload): the workload
-// is the session's WithName, or "default" when unnamed. The directory is
-// opened lazily; an unopenable or damaged store surfaces as an error from
-// the first operation that needs it.
+// is the session's WorkloadHash — a hash over the input spec and the
+// configured user bytes, so renamed sessions share one measured history.
+// The directory is opened lazily; an unopenable or damaged store surfaces
+// as an error from the first operation that needs it.
 func WithPlanStore(dir string) Option {
 	return func(c *sessionConfig) { c.storeDir = dir }
 }
@@ -238,6 +240,12 @@ type Session struct {
 	storeOnce sync.Once
 	st        *store.Store
 	stErr     error
+	// calOnce guards the one-time cold calibration: the first plan built
+	// through this session folds every retained search profile for this
+	// program (store profiles/<fingerprint>.json, in lineage order) into
+	// the shared cost model, so a cold session prices unmeasured plans
+	// from observed rates instead of analysis-time priors.
+	calOnce sync.Once
 }
 
 // planKey caches plans by strategy identity; strategy names are required
@@ -503,6 +511,69 @@ func (s *Session) planContext(in Inputs) *instrument.PlanContext {
 		s.pc = instrument.NewPlanContext(s.prog, in, s.cfg.logSyscalls)
 	}
 	return s.pc
+}
+
+// calibrateForSweep performs the one-time cold calibration before a
+// frontier sweep: every retained search profile for this program (store
+// profiles/<fingerprint>.json) folds into the shared cost model, in
+// lineage (generation) order so later generations' observations win.
+// calOnce blocks concurrent sweeps until it is done, so no sweep prices
+// half-calibrated.
+//
+// Calibration is deliberately scoped to sweeps: it changes what selection
+// strategies (Budgeted) pick, so applying it to every Plan call would move
+// deployed fingerprints between sessions and break refinement-chain
+// resumption. A sweep is where estimates are the product; deployment paths
+// keep pricing plans exactly as the warm session that built the chain did.
+func (s *Session) calibrateForSweep(pc *instrument.PlanContext) {
+	s.calOnce.Do(func() { s.calibrateFromStore(pc) })
+}
+
+// calibrateFromStore folds every retained search profile for this program
+// into the shared cost model. Calibration is best-effort: a session
+// without a store, a program with no retained history, and generations
+// whose profiles were never retained or are damaged all simply contribute
+// nothing — the estimates stand on their analysis-time priors, exactly as
+// before profile retention existed.
+func (s *Session) calibrateFromStore(pc *instrument.PlanContext) {
+	st, err := s.planStore()
+	if err != nil || st == nil {
+		return
+	}
+	entries, err := st.Lineage(pc.ProgHash())
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if p, err := st.GetProfile(e.Fingerprint); err == nil {
+			pc.Calibrate(p)
+		}
+	}
+}
+
+// persistProfile retains the search profile measured under a deployed plan
+// generation in the plan store (profiles/<fingerprint>.json; a no-op
+// without WithPlanStore). Profiles with no plan identity are skipped —
+// there is no generation to file them under.
+func (s *Session) persistProfile(p *instrument.SearchProfile) error {
+	if p == nil || p.PlanFingerprint == "" || p.ProgHash == "" {
+		return nil
+	}
+	st, err := s.planStore()
+	if err != nil || st == nil {
+		return err
+	}
+	return st.PutProfile(p)
+}
+
+// WorkloadHash returns the session's workload identity: a hash over the
+// input spec's stream declarations, kernel parameters and the configured
+// user bytes (world.WorkloadHash). Measured store points key on it instead
+// of the session's name, so renamed sessions stop fragmenting measured
+// history; corpus balance runs reuse the same mechanism with the corpus
+// identity as the key.
+func (s *Session) WorkloadHash() string {
+	return world.WorkloadHash(s.spec, s.cfg.userBytes)
 }
 
 // Record performs the user-site half of the workflow: the instrumented

@@ -124,8 +124,9 @@ func TestDamagedStoreEntries(t *testing.T) {
 	progHash := mustProgHash(t, warm)
 
 	// Corrupt the measured history: the cold sweep still succeeds, with
-	// no measured points (the estimates stand).
-	measured := filepath.Join(dir, "measured", progHash, "chain.json")
+	// no measured points (the estimates stand). Measured files key on the
+	// workload hash, not the session name.
+	measured := filepath.Join(dir, "measured", progHash, warm.WorkloadHash()+".json")
 	if err := os.WriteFile(measured, []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,12 @@ func TestAutoBalancePersistsGenerations(t *testing.T) {
 			t.Errorf("retained generation %d, want %d", got.Generation, pt.Generation)
 		}
 	}
-	pts, err := st.Measured(tr.Points[0].Plan.ProgHash, "chain")
+	// Measured points key on the workload hash (satellite: renamed
+	// sessions share one measured history), not the session's name.
+	if _, err := st.Measured(tr.Points[0].Plan.ProgHash, "chain"); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := st.Measured(tr.Points[0].Plan.ProgHash, warm.WorkloadHash())
 	if err != nil {
 		t.Fatal(err)
 	}
