@@ -241,6 +241,13 @@ type BalanceOptions struct {
 	// OnCorpusGeneration observes each corpus generation's measured point.
 	// Same contract as ProgressFunc.
 	OnCorpusGeneration func(CorpusPoint)
+	// DemotionRate is the weighted demotion threshold: an instrumented
+	// branch becomes a demotion candidate when its disagreement rate
+	// (Disagreements over LoggedExecs) is at most this value
+	// (instrument.DemotableAt). Zero — the default — keeps the strict
+	// zero-disagreement rule. The measured-acceptance gate still applies
+	// either way: a demoted plan whose replay regresses is refused by name.
+	DemotionRate float64
 }
 
 // BalancePoint is one generation of an AutoBalance trajectory: the

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark numbers become a machine-readable artifact a
+// perf trajectory can be tracked over (CI commits BENCH_replay.json per
+// run; diffs show regressions).
+//
+// It reads bench output from stdin or from the files named as arguments and
+// writes one JSON object: the environment lines go test prints (goos,
+// goarch, pkg, cpu) plus one entry per benchmark line with its iteration
+// count and every reported metric keyed by unit.
+//
+// Usage:
+//
+//	go test -bench ReplayWorkers -benchtime 1x . | benchjson -o BENCH_replay.json
+//	benchjson bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix preserved
+	// (e.g. "BenchmarkReplayWorkers/workers=2-8").
+	Name string `json:"name"`
+	// Iterations is b.N — how many times the body ran.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value ("ns/op",
+	// "replay-runs", "B/op", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted document.
+type Doc struct {
+	// Env holds the context lines go test prints before the benchmarks
+	// (goos, goarch, pkg, cpu).
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks lists every parsed benchmark line in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Env: map[string]string{}}
+	readAll := func(r io.Reader) error { return parse(r, &doc) }
+	if flag.NArg() == 0 {
+		if err := readAll(os.Stdin); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = readAll(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse scans go test bench output: "key: value" context lines and
+// "BenchmarkName<TAB>N<TAB>value unit[<TAB>value unit...]" result lines.
+// Everything else (PASS, ok, test logs) is ignored.
+func parse(r io.Reader, doc *Doc) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+": "); ok {
+					doc.Env[key] = strings.TrimSpace(v)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -73,6 +73,16 @@ func main() {
 		"write the corpus experiment's per-generation trajectory JSON here")
 	flag.StringVar(&cfg.CorpusProfileOut, "corpus-profile-out", cfg.CorpusProfileOut,
 		"write the corpus experiment's final merged search profile JSON here")
+	flag.IntVar(&cfg.FleetSites, "fleet-sites", cfg.FleetSites,
+		"concurrent simulated user sites in the fleet experiment")
+	flag.IntVar(&cfg.FleetReportsPerSite, "fleet-reports", cfg.FleetReportsPerSite,
+		"reports each fleet site ships (duplicate-heavy mix)")
+	flag.StringVar(&cfg.FleetDir, "fleet-dir", cfg.FleetDir,
+		"directory for the fleet experiment's store and intake journal (left populated; empty = temp dir)")
+	flag.StringVar(&cfg.FleetMetricsOut, "fleet-metrics-out", cfg.FleetMetricsOut,
+		"write the fleet daemon's final /metrics snapshot JSON here")
+	flag.Float64Var(&cfg.FleetDemotionRate, "fleet-demotion-rate", cfg.FleetDemotionRate,
+		"disagreement-rate demotion threshold for the fleet balance (0 = strict)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

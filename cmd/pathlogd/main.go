@@ -1,0 +1,107 @@
+// Command pathlogd is the developer site's fleet intake daemon: an HTTP
+// service user sites POST stamped-only reference envelopes to (the version-3
+// format cmd/record -ref writes), closing the paper's deployment loop
+// without raw inputs ever leaving a site.
+//
+// Every envelope is validated against the plan store's trust boundary — an
+// unknown fingerprint stamp or a wrong program hash is refused by name —
+// then deduplicated by corpus content signature: duplicates cost one stored
+// report plus a counter bump. Every accepted/duplicate/refused event lands
+// in an append-only journal that a restart replays, so counters survive a
+// crash bit-for-bit. The daemon also serves GET /plan/<proghash> (the
+// program's current chain-head plan) so sites self-update to newly
+// published generations, plus /metrics and /healthz.
+//
+// SIGTERM (or SIGINT) drains gracefully: in-flight reports finish and are
+// journaled before the process exits.
+//
+// Usage:
+//
+//	pathlogd -store ./planstore -dir ./intake -listen 127.0.0.1:8747
+//	tune -scenario userver-exp3 -store ./planstore -corpus ./intake -intake
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathlog"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "intake directory (journal + stored report buckets)")
+		storeDir = flag.String("store", "", "plan store directory stamps are validated against")
+		listen   = flag.String("listen", "127.0.0.1:8747", "listen address")
+		queue    = flag.Int("queue", 0, "ingest queue bound (0 = default); a full queue answers 429")
+		workers  = flag.Int("workers", 0, "ingest workers draining the queue (0 = default)")
+		maxBody  = flag.Int64("max-body", 0, "report body cap in bytes (0 = default 1 MiB)")
+		burst    = flag.Int("rate-burst", 0, "per-signature token-bucket burst (0 = rate limiting off)")
+		rate     = flag.Float64("rate-per-second", 0, "per-signature token refill rate")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
+	)
+	flag.Parse()
+	if *dir == "" || *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "pathlogd: both -dir and -store are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := pathlog.OpenPlanStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := pathlog.NewIntake(pathlog.IntakeConfig{
+		Dir:           *dir,
+		Store:         st,
+		QueueSize:     *queue,
+		Workers:       *workers,
+		MaxBody:       *maxBody,
+		RateBurst:     *burst,
+		RatePerSecond: *rate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("pathlogd: listening on %s (store %s, intake %s)\n", ln.Addr(), *storeDir, *dir)
+	fmt.Printf("pathlogd: journal replayed: %d accepted (%d stored, %d deduped), %d refused\n",
+		m.Accepted, m.Stored, m.Deduped, m.Refused)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("pathlogd: draining…")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fatal(err)
+		}
+		<-done
+	}
+	m = srv.Metrics()
+	fmt.Printf("pathlogd: stopped: %d accepted (%d stored, %d deduped), %d refused, %d throttled, journal %d record(s)\n",
+		m.Accepted, m.Stored, m.Deduped, m.Refused, m.Throttled, m.JournalRecords)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pathlogd:", err)
+	os.Exit(1)
+}

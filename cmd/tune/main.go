@@ -21,12 +21,19 @@
 // and run tune -corpus on the fresh reports to confirm the demotion by
 // measurement.
 //
+// With -corpus -intake, the directory is a pathlogd intake directory
+// instead of loose report files: members come from the program's
+// newest-generation report bucket, with each stored report's dedupe
+// counter as its frequency — a crash POSTed a thousand times weighs like a
+// thousand files without a thousand files existing.
+//
 // Usage:
 //
 //	tune -scenario userver-exp3 -strategy dynamic -target-runs 200
 //	tune -scenario userver-exp3 -trajectory-out traj.json -plan-out final.plan.json
 //	tune -scenario userver-exp3 -store ./planstore -target-runs 200
 //	tune -scenario userver-exp3 -store ./planstore -corpus ./reports -shards 4 -plan-out next.plan.json
+//	tune -scenario userver-exp3 -store ./planstore -corpus ./intake -intake -shards 4
 package main
 
 import (
@@ -81,6 +88,8 @@ func main() {
 			"shards the corpus replay fans out over (with -corpus)")
 		shardCmd = flag.String("shard-cmd", "",
 			"shard worker binary (cmd/shardworker) for out-of-process corpus shards; empty = in-process")
+		intakeMode = flag.Bool("intake", false,
+			"treat -corpus as a pathlogd intake directory: members come from the newest-generation report bucket, dedupe counters feed member frequency")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -114,9 +123,12 @@ func main() {
 	sess := pathlog.SessionOf(s, sessOpts...)
 
 	if *corpusDir != "" {
-		tuneCorpus(ctx, sess, s.Name, *corpusDir, *corpusShards, *shardCmd,
+		tuneCorpus(ctx, sess, s.Name, *corpusDir, *intakeMode, *corpusShards, *shardCmd,
 			*topK, *maxRuns, *budget, *workers, *planOut, *profOut)
 		return
+	}
+	if *intakeMode {
+		fatal(fmt.Errorf("-intake needs -corpus (the intake directory)"))
 	}
 
 	fmt.Printf("tuning %s from strategy %s (target: %s)\n",
@@ -192,11 +204,23 @@ func main() {
 // promoted, proven-redundant branches demoted. Measured verification of
 // the demotion happens at the next deployment: record fresh reports under
 // the printed plan and run tune -corpus again.
-func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, shards int, shardCmd string,
+func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, intakeMode bool, shards int, shardCmd string,
 	topK, maxRuns int, budget time.Duration, workers int, planOut, profOut string) {
-	c, err := pathlog.IngestCorpus(dir, pathlog.CorpusIngestOptions{})
-	if err != nil {
-		fatal(err)
+	var c *pathlog.Corpus
+	var err error
+	if intakeMode {
+		var info *pathlog.IntakeBucketInfo
+		c, info, err = pathlog.IngestIntake(dir, pathlog.ProgramHash(sess.Program()), pathlog.CorpusIngestOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("intake bucket: plan %s generation %d — %d stored report(s) standing for %d accepted\n",
+			info.Fingerprint, info.Generation, info.Stored, info.Accepted)
+	} else {
+		c, err = pathlog.IngestCorpus(dir, pathlog.CorpusIngestOptions{})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("corpus %s: %d member(s) from %s\n", c.Identity(), len(c.Reports), dir)
 	fmt.Printf("  %-34s %5s %7s %10s %s\n", "signature", "count", "weight", "bits", "newest")

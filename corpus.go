@@ -402,11 +402,11 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if err := ctx.Err(); err != nil {
 			return tr, err
 		}
-		cands := out.Profile.Demotable(plan.Instrumented)
+		cands := out.Profile.DemotableAt(plan.Instrumented, opts.DemotionRate)
 		if len(cands) == 0 {
 			return tr, nil
 		}
-		strat, err := instrument.Demote(plan, out.Profile)
+		strat, err := instrument.DemoteAt(plan, out.Profile, opts.DemotionRate)
 		if err != nil {
 			return tr, err
 		}

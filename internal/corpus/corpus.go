@@ -43,6 +43,12 @@ type Member struct {
 	ModTime time.Time
 	// Path names the report's source file; empty for in-memory members.
 	Path string
+	// Count is an externally supplied frequency for this member: how many
+	// duplicate reports it stands for. An intake service dedupes at ingest
+	// and hands the corpus one stored report plus its dedupe counter; zero
+	// (or negative) means "one report", which keeps directory ingest — where
+	// frequency is the file count — working unchanged as the fallback.
+	Count int
 	// UserBytes optionally carries the user-site input that produced the
 	// report, for redeployment loops (Session.CorpusBalance) that must
 	// re-record the corpus under a refined plan. Ingested reports never
@@ -142,7 +148,11 @@ func Build(members []Member, opts Options) (*Corpus, error) {
 			rep = &Report{Rec: m.Rec, Signature: sig, Newest: m.ModTime}
 			bySig[sig] = rep
 		}
-		rep.Count++
+		n := m.Count
+		if n < 1 {
+			n = 1
+		}
+		rep.Count += n
 		if m.ModTime.After(rep.Newest) {
 			rep.Newest = m.ModTime
 		}

@@ -91,6 +91,26 @@ type Config struct {
 	// JSON artifacts (CI uploads them).
 	CorpusTrajectoryOut string
 	CorpusProfileOut    string
+	// FleetSites is the number of concurrent simulated user sites the fleet
+	// experiment runs against the intake service's HTTP listener.
+	FleetSites int
+	// FleetReportsPerSite is how many reports each site ships — a
+	// duplicate-heavy mix (one blowup report plus identical noisy ones) the
+	// ingest dedupe collapses.
+	FleetReportsPerSite int
+	// FleetDir, when set, is where the fleet experiment leaves its plan
+	// store, intake directory (journal + stored reports) and no-restart
+	// control directory as inspectable artifacts; empty uses a temporary
+	// directory discarded afterwards.
+	FleetDir string
+	// FleetMetricsOut, when set, writes the daemon's final /metrics
+	// snapshot as a JSON artifact (CI uploads it next to the journal).
+	FleetMetricsOut string
+	// FleetDemotionRate is the disagreement-rate threshold the fleet
+	// experiment's corpus balance demotes at (0 = the strict
+	// zero-disagreement rule; the measured-acceptance gate applies either
+	// way).
+	FleetDemotionRate float64
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.
@@ -112,6 +132,8 @@ func DefaultConfig() Config {
 		AdaptiveMaxGenerations: 4,
 		CorpusNoisyReports:     5,
 		CorpusShards:           2,
+		FleetSites:             8,
+		FleetReportsPerSite:    8,
 	}
 }
 

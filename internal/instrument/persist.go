@@ -46,6 +46,18 @@ const planVersion = 1
 
 // Save writes the plan to path.
 func (p *Plan) Save(path string) error {
+	data, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Encode renders the plan as envelope bytes — exactly what Save writes to
+// disk. An intake service serves these bytes over HTTP so user sites can
+// self-update to the current chain head; LoadPlan-equivalent verification
+// happens on the receiving side, because the fingerprint travels inside.
+func (p *Plan) Encode() ([]byte, error) {
 	enc := planJSON{
 		Version:     planVersion,
 		Strategy:    p.Strategy,
@@ -64,9 +76,9 @@ func (p *Plan) Save(path string) error {
 	}
 	data, err := json.MarshalIndent(enc, "", "  ")
 	if err != nil {
-		return fmt.Errorf("instrument: encode plan: %w", err)
+		return nil, fmt.Errorf("instrument: encode plan: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
 // DecodeBranchSet validates and converts a serialized branch-ID list, as
@@ -99,6 +111,18 @@ func LoadPlan(path string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodePlan(data, path)
+}
+
+// DecodePlan decodes plan envelope bytes (what Encode renders), verifying
+// the embedded fingerprint the same way LoadPlan does. It is the wire-side
+// entry point for sites fetching the chain head over HTTP.
+func DecodePlan(data []byte) (*Plan, error) {
+	return decodePlan(data, "envelope")
+}
+
+func decodePlan(data []byte, label string) (*Plan, error) {
+	path := label
 	var enc planJSON
 	if err := json.Unmarshal(data, &enc); err != nil {
 		return nil, fmt.Errorf("instrument: decode plan %s: %w: %w", path, ErrPlanCorrupt, err)

@@ -37,7 +37,7 @@ type refineStrategy struct {
 // Refine refuses a profile measured under a different plan than base: the
 // attribution is only meaningful for the plan whose gaps produced it.
 func Refine(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
-	return refineWith(base, profile, k, true, false)
+	return refineWith(base, profile, k, true, false, 0)
 }
 
 // Demote returns the strategy deriving the next plan generation by
@@ -49,7 +49,15 @@ func Refine(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
 // (Session.CorpusBalance) must refuse a demoted plan whose measured replay
 // regresses.
 func Demote(base *Plan, profile *SearchProfile) (Strategy, error) {
-	return refineWith(base, profile, 0, false, true)
+	return refineWith(base, profile, 0, false, true, 0)
+}
+
+// DemoteAt is Demote with a rate-thresholded candidate rule
+// (SearchProfile.DemotableAt): branches whose disagreement rate is at most
+// rate are dropped, not only the strictly silent ones. Rate 0 is exactly
+// Demote.
+func DemoteAt(base *Plan, profile *SearchProfile, rate float64) (Strategy, error) {
+	return refineWith(base, profile, 0, false, true, rate)
 }
 
 // RefineAndDemote combines both directions of the balance in one
@@ -59,13 +67,21 @@ func Demote(base *Plan, profile *SearchProfile) (Strategy, error) {
 // are disjoint by construction (TopBlowup only proposes uninstrumented
 // branches; Demotable only instrumented ones).
 func RefineAndDemote(base *Plan, profile *SearchProfile, k int) (Strategy, error) {
-	return refineWith(base, profile, k, true, true)
+	return refineWith(base, profile, k, true, true, 0)
+}
+
+// RefineAndDemoteAt is RefineAndDemote with a rate-thresholded demotion
+// rule (see DemoteAt). Rate 0 is exactly RefineAndDemote.
+func RefineAndDemoteAt(base *Plan, profile *SearchProfile, k int, rate float64) (Strategy, error) {
+	return refineWith(base, profile, k, true, true, rate)
 }
 
 // refineWith builds the refinement strategy. With promote set, k <= 0
 // selects DefaultRefineTopK (the documented contract of every TopK
-// option); without it nothing is promoted (the demote-only form).
-func refineWith(base *Plan, profile *SearchProfile, k int, promote, demote bool) (Strategy, error) {
+// option); without it nothing is promoted (the demote-only form). The
+// demotion candidate rule is rate-thresholded (DemotableAt); rate 0 keeps
+// the strict zero-disagreement rule.
+func refineWith(base *Plan, profile *SearchProfile, k int, promote, demote bool, rate float64) (Strategy, error) {
 	if base == nil {
 		return nil, fmt.Errorf("instrument: refine needs a base plan")
 	}
@@ -87,7 +103,7 @@ func refineWith(base *Plan, profile *SearchProfile, k int, promote, demote bool)
 	}
 	var demoted []lang.BranchID
 	if demote {
-		demoted = profile.Demotable(base.Instrumented)
+		demoted = profile.DemotableAt(base.Instrumented, rate)
 	}
 	return &refineStrategy{
 		base:     base,

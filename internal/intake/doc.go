@@ -1,0 +1,29 @@
+// Package intake is the developer site's always-on report ingest: an HTTP
+// service user sites POST stamped reference envelopes to, closing the
+// paper's deployment loop without raw inputs ever leaving a site.
+//
+// The server reuses the plan store's trust boundary at the network edge: an
+// envelope whose fingerprint stamp matches no retained plan, or whose
+// program hash disagrees with the plan it names, is refused by name — the
+// same refusals replay applies to files, applied before a report is ever
+// stored. Accepted reports dedupe at ingest by corpus content signature: a
+// million duplicate crashes cost one stored report (the verbatim POSTed
+// bytes) plus a counter bump, and the counter feeds straight into corpus
+// member frequency via Ingest.
+//
+// Every accepted, duplicate and refused event appends to a journal
+// (journal.jsonl, one JSON record per line). The journal is the service's
+// durable state: restart replays it to rebuild the dedupe table and every
+// counter, and crash-recovery parity — counters after a restart equal
+// counters without one — is the subsystem's core invariant. A torn final
+// line (the crash remnant of an interrupted append) is healed on open;
+// damage anywhere else is a loud error, never a silent rewind.
+//
+// The server also serves: GET /plan/{proghash} returns the program's
+// current chain-head plan, so sites poll it to self-update to newly
+// published generations and re-record under them. Robustness is part of
+// the subsystem: a bounded ingest queue answers 429 + Retry-After when
+// full, per-signature token buckets throttle duplicate floods, request
+// bodies are capped, and /metrics + /healthz expose the counters, queue
+// depth and journal size.
+package intake

@@ -1,0 +1,110 @@
+package intake
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"pathlog/internal/corpus"
+	"pathlog/internal/replay"
+)
+
+// BucketInfo describes the report bucket Ingest built a corpus from.
+type BucketInfo struct {
+	// ProgHash and Fingerprint/Generation identify the bucket: every member
+	// was recorded under this retained plan generation.
+	ProgHash    string
+	Fingerprint string
+	Generation  int
+	// Stored is the number of unique signatures (corpus members); Accepted
+	// includes the duplicates the intake service deduped away.
+	Stored   int
+	Accepted int
+}
+
+// Ingest builds a corpus from an intake directory for one program: it
+// replays the journal read-only, picks the program's newest-generation
+// report bucket (ties broken toward the larger fingerprint, matching the
+// store's chain-head rule), and loads each stored report with its dedupe
+// counter as the member frequency — so a report POSTed a thousand times
+// weighs like a thousand files without a thousand files existing. Recency
+// comes from the journal's observation times, not file mtimes.
+func Ingest(dir, progHash string, opts corpus.Options) (*corpus.Corpus, *BucketInfo, error) {
+	records, _, err := readJournal(filepath.Join(dir, JournalName))
+	if err != nil {
+		return nil, nil, err
+	}
+	type sigInfo struct {
+		count  int
+		newest int64
+		bucket bucketKey
+	}
+	sigs := make(map[string]*sigInfo)
+	for _, rec := range records {
+		if rec.Prog != progHash {
+			continue
+		}
+		switch rec.Event {
+		case EventAccepted:
+			sigs[rec.Sig] = &sigInfo{
+				count:  1,
+				newest: rec.TimeUnix,
+				bucket: bucketKey{prog: rec.Prog, fp: rec.Plan, gen: rec.Gen},
+			}
+		case EventDuplicate:
+			if si := sigs[rec.Sig]; si != nil {
+				si.count++
+				if rec.TimeUnix > si.newest {
+					si.newest = rec.TimeUnix
+				}
+			}
+		}
+	}
+	if len(sigs) == 0 {
+		return nil, nil, fmt.Errorf("intake: ingest %s: no accepted reports for program %s", dir, progHash)
+	}
+	// Pick the newest-generation bucket for the program.
+	var head bucketKey
+	haveHead := false
+	for _, si := range sigs {
+		if !haveHead || si.bucket.gen > head.gen ||
+			(si.bucket.gen == head.gen && si.bucket.fp > head.fp) {
+			head = si.bucket
+			haveHead = true
+		}
+	}
+	info := &BucketInfo{ProgHash: head.prog, Fingerprint: head.fp, Generation: head.gen}
+	var names []string
+	for sig, si := range sigs {
+		if si.bucket == head {
+			names = append(names, sig)
+		}
+	}
+	sort.Strings(names)
+	var members []corpus.Member
+	for _, sig := range names {
+		si := sigs[sig]
+		path := filepath.Join(dir, "reports", head.prog, head.fp, sig+".report")
+		rec, err := replay.LoadRecording(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("intake: ingest stored report %s: %w", path, err)
+		}
+		if got := corpus.Signature(rec); got != sig {
+			return nil, nil, fmt.Errorf("intake: stored report %s has signature %s (stored bytes no longer match the journal)", path, got)
+		}
+		members = append(members, corpus.Member{
+			Rec:     rec,
+			ModTime: time.Unix(si.newest, 0),
+			Path:    path,
+			Count:   si.count,
+		})
+		info.Stored++
+		info.Accepted += si.count
+	}
+	c, err := corpus.Build(members, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, info, nil
+}

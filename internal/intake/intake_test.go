@@ -1,0 +1,466 @@
+package intake
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathlog/internal/corpus"
+	"pathlog/internal/instrument"
+	"pathlog/internal/lang"
+	"pathlog/internal/replay"
+	"pathlog/internal/store"
+	"pathlog/internal/trace"
+	"pathlog/internal/vm"
+)
+
+const (
+	fixedProgHash = "00112233445566778899aabbccddeeff"
+	otherProgHash = "ffeeddccbbaa99887766554433221100"
+)
+
+func testPlan() *instrument.Plan {
+	return &instrument.Plan{
+		Strategy:     "dynamic",
+		Instrumented: map[lang.BranchID]bool{1: true, 4: true},
+		ProgHash:     fixedProgHash,
+	}
+}
+
+func testChild() *instrument.Plan {
+	p := testPlan()
+	return &instrument.Plan{
+		Strategy:     "refine(dynamic,gen1,+b7)",
+		Instrumented: map[lang.BranchID]bool{1: true, 4: true, 7: true},
+		ProgHash:     fixedProgHash,
+		Generation:   1,
+		Parent:       p.Fingerprint(),
+	}
+}
+
+// testRec builds a recording under the retained plan; bits and line are
+// the identity knobs (different values → different signatures).
+func testRec(plan *instrument.Plan, bits byte, line int) *replay.Recording {
+	return &replay.Recording{
+		Plan:        plan,
+		Trace:       trace.FromBytes([]byte{bits}, 6),
+		Crash:       vm.CrashInfo{Kind: vm.CrashKind(1), Pos: lang.Pos{Unit: "u.mc", Line: line, Col: 2}, Code: 7},
+		Fingerprint: plan.Fingerprint(),
+		ProgHash:    plan.ProgHash,
+	}
+}
+
+func encodeRef(t *testing.T, rec *replay.Recording) []byte {
+	t.Helper()
+	data, err := rec.EncodeRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// fakeClock is a deterministic, manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0).UTC()}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// newTestServer opens a store with the golden plan retained and an intake
+// server over it.
+func newTestServer(t *testing.T, dir string, clock *fakeClock) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutPlan(testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Dir: filepath.Join(dir, "intake"), Store: st, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestIntakeAcceptDedupeRefuse(t *testing.T) {
+	clock := newFakeClock()
+	s, _ := newTestServer(t, t.TempDir(), clock)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	plan := testPlan()
+	a := encodeRef(t, testRec(plan, 0b101, 10))
+	b := encodeRef(t, testRec(plan, 0b111, 20))
+
+	if resp := post(t, ts.URL, a); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first report: status %d, want 201", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		if resp := post(t, ts.URL, a); resp.StatusCode != http.StatusOK {
+			t.Fatalf("duplicate %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+	if resp := post(t, ts.URL, b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second report: status %d, want 201", resp.StatusCode)
+	}
+
+	// Unknown stamp: a plan the store never retained.
+	unknown := testChild()
+	if resp := post(t, ts.URL, encodeRef(t, testRec(unknown, 0b001, 30))); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown stamp: status %d, want 403", resp.StatusCode)
+	}
+	// Wrong program: the stamp resolves but the envelope names another
+	// program.
+	wrong := testRec(plan, 0b101, 10)
+	wrong.ProgHash = otherProgHash
+	if resp := post(t, ts.URL, encodeRef(t, wrong)); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong program: status %d, want 403", resp.StatusCode)
+	}
+	// Embedded-plan envelope (version 2): stamped-only is the contract.
+	v2 := filepath.Join(t.TempDir(), "v2.report")
+	if err := testRec(plan, 0b101, 10).Save(v2); err != nil {
+		t.Fatal(err)
+	}
+	v2data, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(t, ts.URL, v2data); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("embedded plan: status %d, want 403", resp.StatusCode)
+	}
+
+	m := s.Metrics()
+	if m.Accepted != 5 || m.Stored != 2 || m.Deduped != 3 || m.Refused != 3 {
+		t.Fatalf("metrics: accepted %d stored %d deduped %d refused %d, want 5/2/3/3",
+			m.Accepted, m.Stored, m.Deduped, m.Refused)
+	}
+	if len(m.Buckets) != 1 || m.Buckets[0].Fingerprint != plan.Fingerprint() || m.Buckets[0].Stored != 2 || m.Buckets[0].Accepted != 5 {
+		t.Fatalf("bucket metrics: %+v", m.Buckets)
+	}
+
+	// The journal names every refusal.
+	records, _, err := readJournal(filepath.Join(s.cfg.Dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []string
+	for _, rec := range records {
+		if rec.Event == EventRefused {
+			reasons = append(reasons, rec.Reason)
+		}
+	}
+	joined := strings.Join(reasons, "\n")
+	if !strings.Contains(joined, unknown.Fingerprint()) {
+		t.Errorf("refusals do not name the unknown fingerprint: %s", joined)
+	}
+	if !strings.Contains(joined, otherProgHash) {
+		t.Errorf("refusals do not name the wrong program: %s", joined)
+	}
+	if !strings.Contains(joined, "embedded-plan") {
+		t.Errorf("refusals do not name the embedded plan: %s", joined)
+	}
+}
+
+// TestWireRoundTrip pins the wire identity satellite: bytes stored by the
+// server are byte-identical to what the site POSTed, and the decoded
+// envelope reproduces the content signature and plan stamp exactly.
+func TestWireRoundTrip(t *testing.T) {
+	clock := newFakeClock()
+	s, _ := newTestServer(t, t.TempDir(), clock)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	plan := testPlan()
+	orig := testRec(plan, 0b101, 10)
+	data := encodeRef(t, orig)
+	if resp := post(t, ts.URL, data); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post: status %d", resp.StatusCode)
+	}
+
+	sig := corpus.Signature(orig)
+	stored := filepath.Join(s.cfg.Dir, "reports", fixedProgHash, plan.Fingerprint(), sig+".report")
+	got, err := os.ReadFile(stored)
+	if err != nil {
+		t.Fatalf("stored report missing: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("stored bytes differ from POSTed bytes")
+	}
+	dec, err := replay.DecodeRecording(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Plan != nil {
+		t.Errorf("decoded reference envelope has an embedded plan")
+	}
+	if corpus.Signature(dec) != sig {
+		t.Errorf("signature changed across the wire: %s vs %s", corpus.Signature(dec), sig)
+	}
+	if dec.Fingerprint != plan.Fingerprint() || dec.ProgHash != fixedProgHash {
+		t.Errorf("stamp changed across the wire: %s/%s", dec.Fingerprint, dec.ProgHash)
+	}
+}
+
+// TestJournalCrashReplay pins the crash-recovery parity satellite: a
+// restart over a journal with a torn final record rebuilds identical
+// counters and an identical ingested corpus.
+func TestJournalCrashReplay(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	s, st := newTestServer(t, dir, clock)
+	ts := httptest.NewServer(s.Handler())
+
+	plan := testPlan()
+	a := encodeRef(t, testRec(plan, 0b101, 10))
+	b := encodeRef(t, testRec(plan, 0b111, 20))
+	post(t, ts.URL, a)
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		post(t, ts.URL, a)
+	}
+	post(t, ts.URL, b)
+
+	want := s.Metrics()
+	wantCorpus, wantInfo, err := Ingest(s.cfg.Dir, fixedProgHash, corpus.Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn, unterminated final record.
+	jpath := filepath.Join(s.cfg.Dir, JournalName)
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"time_un`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := New(Config{Dir: s.cfg.Dir, Store: st, Now: clock.Now})
+	if err != nil {
+		t.Fatalf("restart over torn journal: %v", err)
+	}
+	defer s2.Shutdown(context.Background())
+	got := s2.Metrics()
+	if got.Accepted != want.Accepted || got.Stored != want.Stored ||
+		got.Deduped != want.Deduped || got.Refused != want.Refused {
+		t.Fatalf("restart counters diverged: got %+v, want %+v", got, want)
+	}
+	gotCorpus, gotInfo, err := Ingest(s2.cfg.Dir, fixedProgHash, corpus.Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCorpus.Identity() != wantCorpus.Identity() {
+		t.Fatalf("restart corpus identity diverged: %s vs %s", gotCorpus.Identity(), wantCorpus.Identity())
+	}
+	if *gotInfo != *wantInfo {
+		t.Fatalf("restart bucket info diverged: %+v vs %+v", gotInfo, wantInfo)
+	}
+
+	// Damage anywhere but the tail stays loud.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitN(data, []byte("\n"), 2)
+	damaged := append([]byte("not json\n"), lines[1]...)
+	if err := os.WriteFile(jpath, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Dir: s.cfg.Dir, Store: st, Now: clock.Now}); !errors.Is(err, ErrJournalDamaged) {
+		t.Fatalf("mid-journal damage: want ErrJournalDamaged, got %v", err)
+	}
+}
+
+// TestIngestCounts verifies intake dedupe counters feed corpus member
+// frequency: the ingested corpus matches a directly built one holding the
+// same duplicate multiset.
+func TestIngestCounts(t *testing.T) {
+	clock := newFakeClock()
+	s, _ := newTestServer(t, t.TempDir(), clock)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	plan := testPlan()
+	recA := testRec(plan, 0b101, 10)
+	recB := testRec(plan, 0b111, 20)
+	post(t, ts.URL, encodeRef(t, recA))
+	post(t, ts.URL, encodeRef(t, recB))
+	for i := 0; i < 4; i++ {
+		clock.Advance(time.Minute)
+		post(t, ts.URL, encodeRef(t, recA))
+	}
+
+	c, info, err := Ingest(s.cfg.Dir, fixedProgHash, corpus.Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stored != 2 || info.Accepted != 6 || info.Fingerprint != plan.Fingerprint() || info.Generation != 0 {
+		t.Fatalf("bucket info: %+v", info)
+	}
+	counts := map[string]int{}
+	for _, rep := range c.Reports {
+		counts[rep.Signature] = rep.Count
+	}
+	if counts[corpus.Signature(recA)] != 5 || counts[corpus.Signature(recB)] != 1 {
+		t.Fatalf("member counts: %v", counts)
+	}
+
+	// The same duplicate multiset built directly (one member per accepted
+	// report) has the same identity.
+	direct, err := corpus.Build([]corpus.Member{
+		{Rec: recA, ModTime: clock.Now(), Count: 5},
+		{Rec: recB, ModTime: clock.Now().Add(-4 * time.Minute)},
+	}, corpus.Options{HalfLife: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Identity() != direct.Identity() {
+		t.Fatalf("ingested corpus identity %s != direct build %s", c.Identity(), direct.Identity())
+	}
+}
+
+func TestRateLimitThrottles(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutPlan(testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dir: filepath.Join(dir, "intake"), Store: st, Now: clock.Now,
+		RateBurst: 2, RatePerSecond: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a := encodeRef(t, testRec(testPlan(), 0b101, 10))
+	if resp := post(t, ts.URL, a); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first: %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL, a); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second: %d", resp.StatusCode)
+	}
+	resp := post(t, ts.URL, a)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Throttled reports are flow control, not evidence: no journal growth.
+	m := s.Metrics()
+	if m.Throttled != 1 || m.Accepted != 2 {
+		t.Fatalf("throttled %d accepted %d, want 1/2", m.Throttled, m.Accepted)
+	}
+	// The bucket refills with time.
+	clock.Advance(3 * time.Second)
+	if resp := post(t, ts.URL, a); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after refill: %d", resp.StatusCode)
+	}
+}
+
+func TestPlanEndpointServesChainHead(t *testing.T) {
+	clock := newFakeClock()
+	s, st := newTestServer(t, t.TempDir(), clock)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	resp, body := get("/plan/" + fixedProgHash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d", resp.StatusCode)
+	}
+	served, err := instrument.DecodePlan(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Fingerprint() != testPlan().Fingerprint() {
+		t.Fatalf("served %s, want gen-0 head", served.Fingerprint())
+	}
+
+	// Publishing a refined generation moves the head sites see.
+	if err := st.PutPlan(testChild()); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get("/plan/" + fixedProgHash)
+	served, err = instrument.DecodePlan(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Fingerprint() != testChild().Fingerprint() || served.Generation != 1 {
+		t.Fatalf("served %s gen %d, want refined head", served.Fingerprint(), served.Generation)
+	}
+
+	if resp, _ := get("/plan/" + otherProgHash); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown program: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}

@@ -119,6 +119,19 @@ func (r *Recording) Save(path string) error {
 // stamp. The recording must carry a plan or an explicit fingerprint to
 // stamp with.
 func (r *Recording) SaveRef(path string) error {
+	data, err := r.EncodeRef()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// EncodeRef renders the recording as version-3 reference envelope bytes —
+// exactly what SaveRef writes to disk and what a user site POSTs to an
+// intake service. The bytes are the report's wire identity: the intake
+// journal and bucket files store them verbatim, so a stored report is
+// byte-identical to what the site shipped.
+func (r *Recording) EncodeRef() ([]byte, error) {
 	fp := r.Fingerprint
 	progHash := r.ProgHash
 	generation := 0
@@ -136,7 +149,7 @@ func (r *Recording) SaveRef(path string) error {
 		logSyscalls = r.Plan.LogSyscalls
 	}
 	if fp == "" {
-		return fmt.Errorf("replay: cannot save reference recording: no plan and no fingerprint stamp")
+		return nil, fmt.Errorf("replay: cannot save reference recording: no plan and no fingerprint stamp")
 	}
 	enc := recordingJSON{
 		Version:         refVersion,
@@ -160,9 +173,9 @@ func (r *Recording) SaveRef(path string) error {
 	}
 	data, err := json.MarshalIndent(enc, "", "  ")
 	if err != nil {
-		return fmt.Errorf("replay: encode recording: %w", err)
+		return nil, fmt.Errorf("replay: encode recording: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
 // LoadRecording reads a recording saved by Save or SaveRef (envelope
@@ -178,6 +191,14 @@ func LoadRecording(path string) (*Recording, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DecodeRecording(data)
+}
+
+// DecodeRecording decodes recording envelope bytes (any version
+// LoadRecording reads). It is the wire-side entry point: an intake service
+// receives envelopes as HTTP bodies, not files, and must validate them with
+// exactly the rules the file loader applies.
+func DecodeRecording(data []byte) (*Recording, error) {
 	var enc recordingJSON
 	if err := json.Unmarshal(data, &enc); err != nil {
 		return nil, fmt.Errorf("replay: decode recording: %w", err)

@@ -219,6 +219,25 @@ func (s *Store) Lineage(progHash string) ([]LineageEntry, error) {
 	return idx.Plans, nil
 }
 
+// ChainHead resolves the program's current chain-head plan: the retained
+// plan with the highest generation (ties broken by fingerprint order, so
+// the head is deterministic for a given lineage index). This is what an
+// intake service serves to user sites asking "what should I record under
+// now?". A program with no retained plans returns an error wrapping
+// ErrPlanNotFound.
+func (s *Store) ChainHead(progHash string) (*instrument.Plan, error) {
+	entries, err := s.Lineage(progHash)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("store: %w: no plans retained for program %s", ErrPlanNotFound, progHash)
+	}
+	// Lineage is sorted by (generation, fingerprint); the last entry is the
+	// head.
+	return s.GetPlan(entries[len(entries)-1].Fingerprint)
+}
+
 func (s *Store) readLineageLocked(progHash string) (*lineageJSON, error) {
 	data, err := os.ReadFile(s.lineagePath(progHash))
 	if errors.Is(err, os.ErrNotExist) {

@@ -313,3 +313,36 @@ func TestStoreKeyValidation(t *testing.T) {
 		t.Errorf("workload name not sanitized into the store: %v", err)
 	}
 }
+
+func TestChainHead(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ChainHead(fixedProgHash); !errors.Is(err, ErrPlanNotFound) {
+		t.Fatalf("ChainHead on empty store: want ErrPlanNotFound, got %v", err)
+	}
+	if err := s.PutPlan(goldenPlan()); err != nil {
+		t.Fatal(err)
+	}
+	head, err := s.ChainHead(fixedProgHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := head.Fingerprint(), goldenPlan().Fingerprint(); got != want {
+		t.Fatalf("ChainHead after gen-0 put: got %s, want %s", got, want)
+	}
+	if err := s.PutPlan(goldenChild()); err != nil {
+		t.Fatal(err)
+	}
+	head, err = s.ChainHead(fixedProgHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := head.Fingerprint(), goldenChild().Fingerprint(); got != want {
+		t.Fatalf("ChainHead after refinement: got %s, want %s", got, want)
+	}
+	if head.Generation != 1 {
+		t.Fatalf("ChainHead generation: got %d, want 1", head.Generation)
+	}
+}

@@ -328,6 +328,23 @@ func (s *Session) planStore() (*store.Store, error) {
 	return s.st, s.stErr
 }
 
+// PublishedPlan resolves the program's current chain-head plan from the
+// session's plan store: the generation an intake service is serving to
+// user sites right now (GET /plan/<proghash>), and therefore the plan
+// fresh reports should arrive stamped with. A session without WithPlanStore,
+// or a store with no retained plan for this program, is an error — there
+// is no published generation to speak of.
+func (s *Session) PublishedPlan() (*Plan, error) {
+	st, err := s.planStore()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("pathlog: PublishedPlan needs a plan store (WithPlanStore)")
+	}
+	return st.ChainHead(instrument.ProgramHash(s.prog))
+}
+
 // seedLineage folds the store's lineage index for this program into the
 // session's chain bookkeeping, so stale-generation refusal and AutoBalance
 // resumption work across sessions, not just within one.
