@@ -291,7 +291,7 @@ func BenchmarkReplayWorkers(b *testing.B) {
 			sess := SessionOf(s,
 				WithReplayBudget(4000, 30*time.Second),
 				WithReplayWorkers(workers))
-			var runs int
+			var runs, totalRuns int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := sess.Replay(context.Background(), rec)
@@ -302,8 +302,15 @@ func BenchmarkReplayWorkers(b *testing.B) {
 					b.Fatalf("workers=%d: not reproduced after %d runs", workers, res.Runs)
 				}
 				runs = res.Runs
+				totalRuns += res.Runs
 			}
 			b.ReportMetric(float64(runs), "replay-runs")
+			// ns/replay-run is the per-run cost the engine work actually
+			// moves; ns/op also counts the fixed per-search setup and varies
+			// with how many runs the search happens to need.
+			if totalRuns > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRuns), "ns/replay-run")
+			}
 		})
 	}
 }

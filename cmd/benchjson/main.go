@@ -8,10 +8,17 @@
 // goarch, pkg, cpu) plus one entry per benchmark line with its iteration
 // count and every reported metric keyed by unit.
 //
+// With -baseline it additionally gates on a committed document: for every
+// benchmark present in both files it compares the -gate metric (default
+// ns/replay-run) and exits nonzero when the fresh value regresses by more
+// than -max-regress percent, which is how CI's bench-smoke job fails a PR
+// that slows the replay engine down.
+//
 // Usage:
 //
 //	go test -bench ReplayWorkers -benchtime 1x . | benchjson -o BENCH_replay.json
 //	benchjson bench.txt
+//	benchjson -baseline BENCH_replay.json -max-regress 20 bench.txt
 package main
 
 import (
@@ -48,6 +55,9 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
+	gate := flag.String("gate", "ns/replay-run", "metric the -baseline gate compares")
+	maxRegress := flag.Float64("max-regress", 20, "max allowed -gate regression in percent")
 	flag.Parse()
 
 	doc := Doc{Env: map[string]string{}}
@@ -78,11 +88,64 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	if *baseline != "" {
+		if err := compare(&doc, *baseline, *gate, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compare gates doc against the committed baseline document: every benchmark
+// present in both must not regress the gate metric by more than maxRegress
+// percent. Lower is better for the gated metric (it is a time-per-work
+// unit). A baseline entry missing the metric, or a benchmark only on one
+// side, is skipped — the gate tightens as baselines are regenerated, it
+// never blocks adding benchmarks.
+func compare(doc *Doc, path, metric string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	compared, failed := 0, 0
+	for _, fresh := range doc.Benchmarks {
+		b, ok := baseBy[fresh.Name]
+		if !ok {
+			continue
+		}
+		was, ok1 := b.Metrics[metric]
+		now, ok2 := fresh.Metrics[metric]
+		if !ok1 || !ok2 || was <= 0 {
+			continue
+		}
+		compared++
+		pct := (now - was) / was * 100
+		status := "ok"
+		if pct > maxRegress {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %s %.0f -> %.0f (%+.1f%%) %s\n",
+			fresh.Name, metric, was, now, pct, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no %q metrics with the fresh run", path, metric)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed %s by more than %.0f%% over %s",
+			failed, metric, maxRegress, path)
+	}
+	return nil
 }
 
 // parse scans go test bench output: "key: value" context lines and

@@ -2,10 +2,12 @@
 //
 // Usage:
 //
-//	minic [-lib file.mc]... [-file path=hostfile]... prog.mc [args...]
+//	minic [-lib file.mc]... [-file path=hostfile]... [-disasm] prog.mc [args...]
 //
 // Program arguments after the source file become argv; -file mounts host
-// files into the simulated filesystem.
+// files into the simulated filesystem. -disasm prints the compiled flat IR
+// listing (blocks, instructions, branch-site annotations, constant pools)
+// instead of running the program.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"strings"
 
 	"pathlog/internal/apps"
+	"pathlog/internal/ir"
 	"pathlog/internal/lang"
 	"pathlog/internal/oskernel"
 	"pathlog/internal/vm"
@@ -31,11 +34,12 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	var libs, files multiFlag
 	var maxSteps int64
-	var withULib bool
+	var withULib, disasm bool
 	flag.Var(&libs, "lib", "additional library unit (may repeat)")
 	flag.Var(&files, "file", "mount host file: simpath=hostpath (may repeat)")
 	flag.Int64Var(&maxSteps, "max-steps", 0, "execution step budget (0 = default)")
 	flag.BoolVar(&withULib, "ulib", true, "link the bundled ulib library")
+	flag.BoolVar(&disasm, "disasm", false, "print the compiled flat IR listing and exit")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: minic [flags] prog.mc [args...]")
@@ -69,6 +73,15 @@ func main() {
 	prog, err := lang.Link(units)
 	if err != nil {
 		fatal(err)
+	}
+
+	if disasm {
+		compiled, err := ir.Compile(prog)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.WriteString(compiled.Disasm())
+		return
 	}
 
 	cfg := oskernel.Config{Files: map[string][]byte{}}

@@ -60,6 +60,9 @@ type Options struct {
 	// OnRun, when set, is called after each exploration run with the number
 	// of runs completed so far.
 	OnRun func(completed int)
+	// Engine builds the execution machine for each run; nil uses the
+	// tree-walking interpreter (vm.TreeFactory).
+	Engine vm.Factory
 	// Solver options.
 	Solver solver.Options
 }
@@ -122,6 +125,7 @@ type Explorer struct {
 	report Report
 	queue  []sym.MapAssignment
 	seen   map[string]bool // dedup of queued assignments
+	varBuf []int           // scratch for per-child constraint variable IDs
 }
 
 // New creates an explorer. The registry may be shared with a later replay
@@ -135,6 +139,9 @@ func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, opts Options
 	}
 	if opts.MaxChildrenPerRun <= 0 {
 		opts.MaxChildrenPerRun = DefaultMaxChildrenPerRun
+	}
+	if opts.Engine == nil {
+		opts.Engine = vm.TreeFactory
 	}
 	return &Explorer{
 		prog: prog,
@@ -236,7 +243,7 @@ func (e *Explorer) runOnce(asn sym.MapAssignment) []pathCond {
 	cfg.Mode = oskernel.ModeRecord
 	kern := oskernel.New(cfg)
 	tr := &tracer{ex: e, maxConds: 4096}
-	machine := vm.New(e.prog, vm.Options{
+	machine := e.opts.Engine(e.prog, vm.Options{
 		Kernel:   kern,
 		Sink:     tr,
 		World:    w,
@@ -277,7 +284,8 @@ func (e *Explorer) generateChildren(parent sym.MapAssignment, conds []pathCond) 
 			return
 		}
 		sliced := sliceRelevant(conds[:i], conds[i].c.Negated())
-		vars := sym.ConstraintVars(sliced)
+		vars := sym.ConstraintVarIDs(sliced, e.varBuf)
+		e.varBuf = vars
 		problem := solver.Problem{
 			Constraints: sliced,
 			Domains:     e.reg.Domains(vars),
@@ -330,9 +338,9 @@ func sliceRelevant(prefix []pathCond, negated sym.Constraint) []sym.Constraint {
 
 // overlaySeed extracts the parent's values for the constraint variables as
 // the solver seed.
-func overlaySeed(parent sym.MapAssignment, vars map[int]struct{}) sym.MapAssignment {
+func overlaySeed(parent sym.MapAssignment, vars []int) sym.MapAssignment {
 	out := make(sym.MapAssignment, len(vars))
-	for id := range vars {
+	for _, id := range vars {
 		if v, ok := parent[id]; ok {
 			out[id] = v
 		}

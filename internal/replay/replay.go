@@ -38,7 +38,11 @@ type Options struct {
 	// total number of completed runs, in completion order (the engine holds
 	// its coordination lock across the call, so counts never go backwards).
 	// It must be cheap and must not call back into the engine.
-	OnRun  func(completed int)
+	OnRun func(completed int)
+	// Engine builds the execution machine for each run; nil uses the
+	// tree-walking interpreter (vm.TreeFactory). Factories must be safe for
+	// concurrent calls when Workers > 1.
+	Engine vm.Factory
 	Solver solver.Options
 }
 
@@ -137,6 +141,9 @@ type Engine struct {
 	reg  *world.Registry
 	rec  *Recording
 	opts Options
+	// instrTab is the plan's Instrumented set as a dense table indexed by
+	// BranchID, so the per-branch-execution sink avoids a map lookup.
+	instrTab []bool
 }
 
 // New creates a replay engine. The registry may be fresh: variable identity
@@ -151,12 +158,22 @@ func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, rec *Recordi
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
+	if opts.Engine == nil {
+		opts.Engine = vm.TreeFactory
+	}
+	instrTab := make([]bool, len(prog.Branches))
+	for id := range rec.Plan.Instrumented {
+		if int(id) < len(instrTab) {
+			instrTab[id] = rec.Plan.Instrumented[id]
+		}
+	}
 	return &Engine{
-		prog: prog,
-		spec: spec,
-		reg:  reg,
-		rec:  rec,
-		opts: opts,
+		prog:     prog,
+		spec:     spec,
+		reg:      reg,
+		rec:      rec,
+		opts:     opts,
+		instrTab: instrTab,
 	}
 }
 
@@ -180,14 +197,6 @@ type pendingSet struct {
 	origin lang.BranchID
 }
 
-// materialize builds the full constraint conjunction (copying, because the
-// backing array is shared between pending sets of the same run).
-func (p *pendingSet) materialize() []sym.Constraint {
-	out := make([]sym.Constraint, 0, p.prefixLen+1)
-	out = append(out, p.runConds[:p.prefixLen]...)
-	return append(out, p.appended)
-}
-
 // maxRunConds caps the collected path condition per replay run; beyond the
 // cap, case-1 alternatives are no longer queued (extremely long paths only).
 const maxRunConds = 8192
@@ -202,26 +211,29 @@ type runSink struct {
 
 	mismatch bool // a case-2b/3b abort happened
 
-	// Per-location stats over this run (symbolic executions only).
-	symExecLogged    map[lang.BranchID]int64
-	symExecNotLogged map[lang.BranchID]int64
+	// Per-location stats over this run (symbolic executions only), indexed
+	// by BranchID (IDs are dense resolution indices). Dense tables instead
+	// of maps: OnBranch runs once per branch execution and the counters are
+	// merged once per run.
+	symExecLogged    []int64
+	symExecNotLogged []int64
 	// forks counts case-1 pending alternatives actually queued per branch
 	// site this run — the per-run slice of the search profile.
-	forks map[lang.BranchID]int64
+	forks []int64
 	// loggedExecs counts log bits consumed per instrumented branch this run
 	// (cases 2 and 3); disagrees counts the bits that contradicted the
 	// run's own direction (case-2b forced sets, case-3b mismatch aborts).
 	// Together they are the demotion evidence: an instrumented branch with
 	// consumed bits and zero disagreements corpus-wide never constrained
 	// any search.
-	loggedExecs map[lang.BranchID]int64
-	disagrees   map[lang.BranchID]int64
+	loggedExecs []int64
+	disagrees   []int64
 }
 
 // OnBranch implements vm.BranchSink.
 func (s *runSink) OnBranch(site *lang.BranchSite, cond vm.Value, taken bool) error {
 	symbolic := cond.IsSymbolic()
-	instrumented := s.eng.rec.Plan.Instrumented[site.ID]
+	instrumented := s.eng.instrTab[site.ID]
 
 	switch {
 	case symbolic && !instrumented:
@@ -409,13 +421,41 @@ func (st *searchState) popLocked(w int) (pendingSet, bool) {
 // all-seed run); its outcome is charged to no branch.
 const noOrigin = lang.BranchID(-1)
 
+// runScratch is one worker's reusable run-to-run buffers. Everything here is
+// either copied out of (queued, mbuf) or fully overwritten (counts) before
+// the next run touches it, so reuse is invisible to the search; a worker
+// whose run wins exits immediately, which keeps the winner's counter views
+// intact for the final report.
+type runScratch struct {
+	vbuf     []int            // variable-ID collection buffer
+	mbuf     []sym.Constraint // materialized conjunction handed to Solve
+	counts   []int64          // per-branch counter block, zeroed per run
+	queued   []pendingSet     // pending-set buffer, drained by finish
+	condsCap int              // last run's path length, to size conds exactly
+}
+
+// dequePool recycles deque backing arrays across searches: the pending list
+// routinely peaks at tens of thousands of sets, and regrowing it from nil
+// every Reproduce call was one of the top allocation sources.
+var dequePool = sync.Pool{New: func() any { return []pendingSet(nil) }}
+
+func dequeGet() []pendingSet { return dequePool.Get().([]pendingSet) }
+
+// dequePut clears the slice's full capacity (dropping constraint and
+// assignment references) and returns it to the pool.
+func dequePut(d []pendingSet) {
+	d = d[:cap(d)]
+	clear(d)
+	dequePool.Put(d[:0]) //nolint:staticcheck // slice value, header alloc is fine
+}
+
 // take claims the next run for worker w: the initial seed run, or a pending
 // constraint set popped and solved with the worker's own solver. It returns
 // ok=false when the search is over (success, budget, cancellation, or
 // exhaustion). origin is the branch site the claimed run's pending set
 // originated at (noOrigin for the seed run), so finish can charge the run's
 // outcome to it.
-func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn sym.MapAssignment, seq int, origin lang.BranchID, ok bool) {
+func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver, sc *runScratch) (asn sym.MapAssignment, seq int, origin lang.BranchID, ok bool) {
 	e := st.eng
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -444,13 +484,18 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver) (asn
 			// each worker owns its own instance.
 			st.active++
 			st.mu.Unlock()
-			conds := top.materialize()
-			vars := sym.ConstraintVars(conds)
+			// Materialize into the worker's buffer: the solver copies what it
+			// keeps, so the conjunction need not survive the call.
+			conds := append(sc.mbuf[:0], top.runConds[:top.prefixLen]...)
+			conds = append(conds, top.appended)
+			sc.mbuf = conds
+			vars := sym.ConstraintVarIDs(conds, sc.vbuf)
+			sc.vbuf = vars
 			solveStart := time.Now()
 			solved, sat := slv.Solve(solver.Problem{
 				Constraints: conds,
 				Domains:     e.reg.Domains(vars),
-				Seed:        seedFor(top.parent, vars),
+				Seed:        seedForIDs(top.parent, vars),
 			})
 			solveTime := time.Since(solveStart)
 			st.mu.Lock()
@@ -503,13 +548,19 @@ func (st *searchState) finish(w, seq int, origin lang.BranchID, asn sym.MapAssig
 	completed := st.completed
 	wasDecided := st.done && st.winner != nil
 	for id, n := range sink.forks {
-		st.chargeLocked(id).Forks += n
+		if n != 0 {
+			st.chargeLocked(lang.BranchID(id)).Forks += n
+		}
 	}
 	for id, n := range sink.loggedExecs {
-		st.chargeLocked(id).LoggedExecs += n
+		if n != 0 {
+			st.chargeLocked(lang.BranchID(id)).LoggedExecs += n
+		}
 	}
 	for id, n := range sink.disagrees {
-		st.chargeLocked(id).Disagreements += n
+		if n != 0 {
+			st.chargeLocked(lang.BranchID(id)).Disagreements += n
+		}
 	}
 	if e.isReproduction(sink, vmRes) {
 		if st.winner == nil || seq < st.winner.seq {
@@ -562,13 +613,18 @@ func (st *searchState) finish(w, seq int, origin lang.BranchID, asn sym.MapAssig
 
 // worker claims and executes runs until the search terminates.
 func (e *Engine) worker(ctx context.Context, st *searchState, w int, slv *solver.Solver) {
+	var sc runScratch
 	for {
-		asn, seq, origin, ok := st.take(ctx, w, slv)
+		asn, seq, origin, ok := st.take(ctx, w, slv, &sc)
 		if !ok {
 			return
 		}
-		sink, vmRes, wld := e.runOnce(asn)
+		sink, vmRes, wld := e.runOnce(asn, &sc)
 		st.finish(w, seq, origin, asn, sink, vmRes, wld)
+		// finish copied the queued sets into the deque; reclaim the buffer
+		// and remember the path length for the next run's conds sizing.
+		sc.queued = sink.queued[:0]
+		sc.condsCap = len(sink.conds)
 	}
 }
 
@@ -592,6 +648,14 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 		deques:  make([][]pendingSet, e.opts.Workers),
 		profile: make(map[lang.BranchID]*instrument.BranchCost),
 	}
+	for i := range st.deques {
+		st.deques[i] = dequeGet()
+	}
+	defer func() {
+		for _, d := range st.deques {
+			dequePut(d)
+		}
+	}()
 	st.cond = sync.NewCond(&st.mu)
 
 	// The watcher wakes workers blocked on the pending list when the context
@@ -676,7 +740,7 @@ func materializeAll(w *world.World) map[string][]byte {
 }
 
 // runOnce executes the program once under the recorded guidance.
-func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.World) {
+func (e *Engine) runOnce(asn sym.MapAssignment, sc *runScratch) (*runSink, vm.Result, *world.World) {
 	w := world.NewWorld(e.spec, e.reg, asn)
 	cfg := w.KernelConfig()
 	if e.rec.SysLog != nil {
@@ -690,17 +754,26 @@ func (e *Engine) runOnce(asn sym.MapAssignment) (*runSink, vm.Result, *world.Wor
 		w.ModelSyscalls = true
 	}
 	kern := oskernel.New(cfg)
+	n := len(e.prog.Branches)
+	if len(sc.counts) == 5*n {
+		clear(sc.counts)
+	} else {
+		sc.counts = make([]int64, 5*n)
+	}
+	counts := sc.counts
 	sink := &runSink{
 		eng:              e,
 		reader:           trace.NewReader(e.rec.Trace),
 		asn:              asn,
-		symExecLogged:    make(map[lang.BranchID]int64),
-		symExecNotLogged: make(map[lang.BranchID]int64),
-		forks:            make(map[lang.BranchID]int64),
-		loggedExecs:      make(map[lang.BranchID]int64),
-		disagrees:        make(map[lang.BranchID]int64),
+		conds:            make([]sym.Constraint, 0, sc.condsCap+16),
+		queued:           sc.queued[:0],
+		symExecLogged:    counts[0*n : 1*n],
+		symExecNotLogged: counts[1*n : 2*n],
+		forks:            counts[2*n : 3*n],
+		loggedExecs:      counts[3*n : 4*n],
+		disagrees:        counts[4*n : 5*n],
 	}
-	machine := vm.New(e.prog, vm.Options{
+	machine := e.opts.Engine(e.prog, vm.Options{
 		Kernel:   kern,
 		Sink:     sink,
 		World:    w,
@@ -727,18 +800,22 @@ func (e *Engine) isReproduction(sink *runSink, vmRes vm.Result) bool {
 
 func fillPathStats(res *Result, sink *runSink) {
 	for _, n := range sink.symExecLogged {
-		res.SymLoggedExecs += n
+		if n != 0 {
+			res.SymLoggedExecs += n
+			res.SymLoggedLocs++
+		}
 	}
-	res.SymLoggedLocs = len(sink.symExecLogged)
 	for _, n := range sink.symExecNotLogged {
-		res.SymNotLoggedExecs += n
+		if n != 0 {
+			res.SymNotLoggedExecs += n
+			res.SymNotLoggedLocs++
+		}
 	}
-	res.SymNotLoggedLocs = len(sink.symExecNotLogged)
 }
 
-func seedFor(parent sym.MapAssignment, vars map[int]struct{}) sym.MapAssignment {
+func seedForIDs(parent sym.MapAssignment, vars []int) sym.MapAssignment {
 	out := make(sym.MapAssignment, len(vars))
-	for id := range vars {
+	for _, id := range vars {
 		if v, ok := parent[id]; ok {
 			out[id] = v
 		}

@@ -23,29 +23,177 @@ func (iv *interval) empty() bool { return iv.hi < iv.lo }
 
 func (iv *interval) contains(v int64) bool { return v >= iv.lo && v <= iv.hi }
 
-// searchState carries the solver's mutable state for one Solve call.
+// dterm is one linear term over a dense variable slot.
+type dterm struct {
+	slot  int32
+	coeff int64
+}
+
+// atom is one constraint instantiated for the current Solve call: the cached
+// normal form with its variable IDs translated to dense slots, plus the
+// search bookkeeping counter of not-yet-assigned variables.
+type atom struct {
+	ne         *normEntry
+	orig       sym.Constraint
+	terms      []dterm // combined lhs-rhs form, for bounds propagation
+	lform      []dterm
+	rform      []dterm
+	vars       []int32
+	unassigned int32
+}
+
+// searchState carries the solver's mutable state for one Solve call. It is
+// embedded in the Solver and reused across calls, so the slices below keep
+// their capacity and the per-call and per-node allocation count stays flat.
+// All variable-indexed state is dense: variable IDs are interned into slots
+// (slotOf/idOf) and every hot structure is a slice indexed by slot.
 type searchState struct {
-	solver   *Solver
-	domains  map[int]*interval
-	atoms    []atom
-	seed     sym.MapAssignment
-	assigned sym.MapAssignment
-	nodes    int
-	work     int64
+	solver *Solver
+
+	slotOf map[int]int32 // variable ID -> slot
+	idOf   []int         // slot -> variable ID
+
+	doms      []interval // current domain per slot
+	seedVal   []int64    // clamped seed value per slot (0 when no seed)
+	seedHas   []bool     // whether the slot's variable appeared in p.Domains
+	asnVal    []int64    // search assignment per slot
+	asnHas    []bool     // whether the slot is currently assigned
+	varAtoms  [][]int32  // atom indices mentioning each slot
+	termAtoms [][]int32  // atom indices with a propagation term on each slot
+	atomDirty []bool     // per-atom: some term domain changed since its last run
+	decidedOK []bool     // per-atom: fully assigned and already verified true
+
+	atoms []atom
+
+	order     []int32    // searched slots, most-constrained first
+	snapStack []interval // LIFO domain snapshots, one doms-sized block per node
+	candBufs  [][]int64  // per-depth candidate buffers
+
+	nodes int
+	work  int64
+}
+
+// reset prepares the state for a new Solve call, retaining slice capacity.
+func (st *searchState) reset() {
+	clear(st.slotOf)
+	st.idOf = st.idOf[:0]
+	st.doms = st.doms[:0]
+	st.seedVal = st.seedVal[:0]
+	st.seedHas = st.seedHas[:0]
+	st.asnVal = st.asnVal[:0]
+	st.asnHas = st.asnHas[:0]
+	st.atoms = st.atoms[:0]
+	st.atomDirty = st.atomDirty[:0]
+	st.decidedOK = st.decidedOK[:0]
+	st.snapStack = st.snapStack[:0]
+	st.nodes = 0
+	st.work = 0
+}
+
+// addSlot interns a variable ID with its domain and seed value.
+func (st *searchState) addSlot(id int, iv interval, seed int64, hasSeed bool) int32 {
+	s := int32(len(st.doms))
+	st.slotOf[id] = s
+	st.idOf = append(st.idOf, id)
+	st.doms = append(st.doms, iv)
+	st.seedVal = append(st.seedVal, seed)
+	st.seedHas = append(st.seedHas, hasSeed)
+	st.asnVal = append(st.asnVal, 0)
+	st.asnHas = append(st.asnHas, false)
+	if int(s) < len(st.varAtoms) {
+		st.varAtoms[s] = st.varAtoms[s][:0]
+	} else {
+		st.varAtoms = append(st.varAtoms, nil)
+	}
+	if int(s) < len(st.termAtoms) {
+		st.termAtoms[s] = st.termAtoms[s][:0]
+	} else {
+		st.termAtoms = append(st.termAtoms, nil)
+	}
+	return s
+}
+
+// slot returns the slot of a variable ID, interning it with the extended
+// safety domain when the problem declared none.
+func (st *searchState) slot(id int) int32 {
+	if s, ok := st.slotOf[id]; ok {
+		return s
+	}
+	// Constraint mentions a variable with no declared domain; assume full
+	// byte range extended for safety.
+	return st.addSlot(id, interval{lo: -(1 << 31), hi: 1 << 31}, 0, false)
+}
+
+// addAtom instantiates a cached normal form against the current slots,
+// reusing the atom structs (and their term slices) of previous calls.
+func (st *searchState) addAtom(c sym.Constraint, ne *normEntry) {
+	n := len(st.atoms)
+	if n < cap(st.atoms) {
+		st.atoms = st.atoms[:n+1]
+	} else {
+		st.atoms = append(st.atoms, atom{})
+	}
+	a := &st.atoms[n]
+	a.ne = ne
+	a.orig = c
+	a.vars = a.vars[:0]
+	a.terms = a.terms[:0]
+	a.lform = a.lform[:0]
+	a.rform = a.rform[:0]
+	for _, v := range ne.vars {
+		s := st.slot(v)
+		a.vars = append(a.vars, s)
+		st.varAtoms[s] = append(st.varAtoms[s], int32(n))
+	}
+	for _, t := range ne.terms {
+		ts := st.slotOf[t.v]
+		a.terms = append(a.terms, dterm{slot: ts, coeff: t.coeff})
+		st.termAtoms[ts] = append(st.termAtoms[ts], int32(n))
+	}
+	if ne.hasEval {
+		for _, t := range ne.lform {
+			a.lform = append(a.lform, dterm{slot: st.slotOf[t.v], coeff: t.coeff})
+		}
+		for _, t := range ne.rform {
+			a.rform = append(a.rform, dterm{slot: st.slotOf[t.v], coeff: t.coeff})
+		}
+	}
+	a.unassigned = int32(len(a.vars))
+	st.atomDirty = append(st.atomDirty, true) // the first sweep runs every atom
+	st.decidedOK = append(st.decidedOK, false)
+}
+
+// touch records a mutation of the slot's domain, re-dirtying every atom with
+// a propagation term on it. A clean atom re-run would recompute the same
+// bounds from the same domains and change nothing, so skipping clean atoms
+// preserves the sweep's changed flag, the sweep count and the final domains
+// exactly.
+func (st *searchState) touch(s int32) {
+	for _, ai := range st.termAtoms[s] {
+		st.atomDirty[ai] = true
+	}
 }
 
 // overWork reports whether the per-call evaluation budget is spent.
 func (st *searchState) overWork() bool { return st.work > st.solver.opts.MaxWork }
 
-func (st *searchState) mentioned(id int) bool {
-	for _, a := range st.atoms {
-		for _, v := range a.vars {
-			if v == id {
-				return true
-			}
-		}
+// value reads a slot under the current partial assignment, falling back to
+// the seed.
+func (st *searchState) value(s int32) int64 {
+	if st.asnHas[s] {
+		return st.asnVal[s]
 	}
-	return false
+	return st.seedVal[s]
+}
+
+// Value implements sym.Assignment for evaluating fallback atoms: assigned
+// slots first, then the seed; unknown IDs read as zero.
+func (st *searchState) Value(id int) int64 {
+	s, ok := st.slotOf[id]
+	if !ok {
+		return 0
+	}
+	return st.value(s)
 }
 
 // propagateAll runs bounds propagation over all linear atoms to a fixed
@@ -56,9 +204,12 @@ func (st *searchState) propagateAll() bool {
 		st.work += int64(len(st.atoms))
 		for i := range st.atoms {
 			a := &st.atoms[i]
-			if !a.linear {
+			if !a.ne.linear || !st.atomDirty[i] {
 				continue
 			}
+			// Clear before running so the atom's own narrowing re-dirties it:
+			// bounds reasoning can tighten further on a repeat pass.
+			st.atomDirty[i] = false
 			ch, ok := st.propagateAtom(a)
 			if !ok {
 				return false
@@ -72,23 +223,20 @@ func (st *searchState) propagateAll() bool {
 // propagateAtom tightens the domains of the variables of one linear atom
 // using bounds reasoning on sum(coeff_i*x_i) + c REL 0.
 func (st *searchState) propagateAtom(a *atom) (changed, ok bool) {
-	// Compute bounds of the full sum.
-	// sumLo/sumHi: bounds of sum(coeff*var) + c.
 	for _, t := range a.terms {
-		iv, present := st.domains[t.v]
-		if !present || iv.empty() {
+		if st.doms[t.slot].empty() {
 			return false, false
 		}
 	}
 	// For each variable x, the rest of the atom bounds constrain x.
 	for _, t := range a.terms {
-		iv := st.domains[t.v]
-		restLo, restHi := a.c, a.c
+		iv := &st.doms[t.slot]
+		restLo, restHi := a.ne.c, a.ne.c
 		for _, u := range a.terms {
-			if u.v == t.v {
+			if u.slot == t.slot {
 				continue
 			}
-			uv := st.domains[u.v]
+			uv := &st.doms[u.slot]
 			lo, hi := mulRange(u.coeff, uv.lo, uv.hi)
 			restLo += lo
 			restHi += hi
@@ -96,7 +244,7 @@ func (st *searchState) propagateAtom(a *atom) (changed, ok bool) {
 		// coeff*x + rest REL 0.
 		var lo, hi int64 // bounds for coeff*x
 		hasLo, hasHi := false, false
-		switch a.r {
+		switch a.ne.r {
 		case relEQ:
 			// coeff*x = -rest  =>  coeff*x in [-restHi, -restLo]
 			lo, hi, hasLo, hasHi = -restHi, -restLo, true, true
@@ -123,6 +271,9 @@ func (st *searchState) propagateAtom(a *atom) (changed, ok bool) {
 						iv.hi--
 						ch = true
 					}
+					if ch {
+						st.touch(t.slot)
+					}
 					if iv.empty() {
 						return false, false
 					}
@@ -132,12 +283,14 @@ func (st *searchState) propagateAtom(a *atom) (changed, ok bool) {
 			continue
 		}
 		nlo, nhi := divRangeForVar(t.coeff, lo, hi, hasLo, hasHi, iv)
-		if nlo > iv.lo {
-			iv.lo = nlo
-			changed = true
-		}
-		if nhi < iv.hi {
-			iv.hi = nhi
+		if nlo > iv.lo || nhi < iv.hi {
+			if nlo > iv.lo {
+				iv.lo = nlo
+			}
+			if nhi < iv.hi {
+				iv.hi = nhi
+			}
+			st.touch(t.slot)
 			changed = true
 		}
 		if iv.empty() {
@@ -216,7 +369,7 @@ func ceilDiv(a, b int64) int64 {
 }
 
 // search assigns vars[idx:] by depth-first backtracking.
-func (st *searchState) search(vars []int, idx int) bool {
+func (st *searchState) search(vars []int32, idx int) bool {
 	st.nodes++
 	st.solver.stats.Nodes++
 	if st.nodes > st.solver.opts.MaxNodes || st.overWork() {
@@ -225,103 +378,140 @@ func (st *searchState) search(vars []int, idx int) bool {
 	if idx == len(vars) {
 		return st.checkAll()
 	}
-	v := vars[idx]
-	iv := st.domains[v]
+	s := vars[idx]
+	iv := &st.doms[s]
 	saved := *iv
 
-	for _, cand := range st.candidates(v, iv) {
-		st.assigned[v] = cand
+	st.asnHas[s] = true
+	for _, ai := range st.varAtoms[s] {
+		st.atoms[ai].unassigned--
+	}
+	for _, cand := range st.candidates(idx, s, iv) {
+		st.asnVal[s] = cand
+		// The new value invalidates the decided-atom memo of every atom
+		// this slot participates in.
+		for _, ai := range st.varAtoms[s] {
+			st.decidedOK[ai] = false
+		}
 		// Narrow the domain to the candidate and propagate.
 		iv.lo, iv.hi = cand, cand
-		snapshot := st.snapshotDomains()
+		st.touch(s)
+		base := st.snapshotDomains()
 		if st.propagateAll() && st.checkDecided() && st.search(vars, idx+1) {
 			return true
 		}
-		st.restoreDomains(snapshot)
-		delete(st.assigned, v)
+		st.restoreDomains(base)
 		*iv = saved
+		st.touch(s)
 		if st.nodes > st.solver.opts.MaxNodes || st.overWork() {
+			// Budget exhausted: the whole search is being abandoned, so the
+			// assignment bookkeeping need not be unwound.
 			return false
 		}
+	}
+	st.asnHas[s] = false
+	for _, ai := range st.varAtoms[s] {
+		st.atoms[ai].unassigned++
 	}
 	return false
 }
 
-// candidates enumerates values for v in deterministic order: the seed value
-// first, then an outward sweep around it, clipped to the domain and the
-// per-variable budget.
-func (st *searchState) candidates(v int, iv *interval) []int64 {
+// candidates enumerates values for the slot in deterministic order: the seed
+// value first, then the domain edges, then an outward sweep around the seed,
+// clipped to the domain and the per-variable budget. The buffer is reused
+// per search depth, so enumeration allocates nothing in steady state.
+func (st *searchState) candidates(depth int, s int32, iv *interval) []int64 {
 	budget := st.solver.opts.MaxValuesPerVar
-	out := make([]int64, 0, 16)
-	seen := make(map[int64]struct{}, 16)
-	add := func(x int64) {
-		if len(out) >= budget {
-			return
-		}
-		if !iv.contains(x) {
-			return
-		}
-		if _, dup := seen[x]; dup {
-			return
-		}
-		seen[x] = struct{}{}
-		out = append(out, x)
+	for len(st.candBufs) <= depth {
+		st.candBufs = append(st.candBufs, nil)
 	}
-	seedVal, hasSeed := st.seed[v]
-	if hasSeed {
-		add(seedVal)
+	out := st.candBufs[depth][:0]
+	defer func() { st.candBufs[depth] = out }()
+	if iv.empty() {
+		return out
+	}
+	seedV, hasSeed := st.seedVal[s], st.seedHas[s]
+	lo, hi := iv.lo, iv.hi
+	// The prefix values below are the only possible duplicates: sweep values
+	// differ from the seed (distance >= 1) and from each other, so tracking
+	// which prefix values were emitted replaces a seen-set.
+	var seedAdded, loAdded, hiAdded bool
+	if hasSeed && len(out) < budget && iv.contains(seedV) {
+		out = append(out, seedV)
+		seedAdded = true
 	}
 	// Domain edges early: equality against constants typically lands there
 	// after propagation.
-	add(iv.lo)
-	add(iv.hi)
+	if len(out) < budget && !(seedAdded && lo == seedV) {
+		out = append(out, lo)
+		loAdded = true
+	}
+	if len(out) < budget && !(seedAdded && hi == seedV) && !(loAdded && hi == lo) {
+		out = append(out, hi)
+		hiAdded = true
+	}
 	if hasSeed {
-		for d := int64(1); len(out) < budget && d <= iv.hi-iv.lo; d++ {
-			add(seedVal + d)
-			add(seedVal - d)
+		for d := int64(1); len(out) < budget && d <= hi-lo; d++ {
+			if x := seedV + d; x >= lo && x <= hi && !(loAdded && x == lo) && !(hiAdded && x == hi) {
+				out = append(out, x)
+			}
+			if x := seedV - d; len(out) < budget && x >= lo && x <= hi && !(loAdded && x == lo) && !(hiAdded && x == hi) {
+				out = append(out, x)
+			}
 		}
 	} else {
-		for x := iv.lo; len(out) < budget && x <= iv.hi; x++ {
-			add(x)
+		for x := lo; len(out) < budget && x <= hi; x++ {
+			if (loAdded && x == lo) || (hiAdded && x == hi) {
+				continue
+			}
+			out = append(out, x)
 		}
 	}
 	return out
 }
 
-func (st *searchState) snapshotDomains() map[int]interval {
-	st.work += int64(len(st.domains)) * 2 // copy now, restore later
-	snap := make(map[int]interval, len(st.domains))
-	for id, iv := range st.domains {
-		snap[id] = *iv
-	}
-	return snap
+// snapshotDomains pushes a copy of every domain onto the snapshot stack and
+// returns the restore point. Snapshots nest strictly LIFO with the search.
+func (st *searchState) snapshotDomains() int {
+	st.work += int64(len(st.doms)) * 2 // copy now, restore later
+	base := len(st.snapStack)
+	st.snapStack = append(st.snapStack, st.doms...)
+	return base
 }
 
-func (st *searchState) restoreDomains(snap map[int]interval) {
-	for id, v := range snap {
-		*st.domains[id] = v
+func (st *searchState) restoreDomains(base int) {
+	snap := st.snapStack[base:]
+	for i := range st.doms {
+		if st.doms[i] != snap[i] {
+			st.doms[i] = snap[i]
+			st.touch(int32(i))
+		}
 	}
+	st.snapStack = st.snapStack[:base]
 }
 
 // checkDecided evaluates every atom whose variables are all assigned;
-// returns false on any violation.
+// returns false on any violation. An atom that already evaluated true keeps
+// holding as long as none of its variables is re-assigned (deeper search
+// nodes only assign other slots and evaluation reads assignments, not
+// domains), so its re-evaluation is skipped — while still charging the
+// work the evaluation would have cost, keeping the budget's observable
+// trajectory identical.
 func (st *searchState) checkDecided() bool {
 	for i := range st.atoms {
 		a := &st.atoms[i]
 		st.work += int64(len(a.vars))
-		ready := true
-		for _, v := range a.vars {
-			if _, ok := st.assigned[v]; !ok {
-				ready = false
-				break
-			}
+		if a.unassigned != 0 {
+			continue
 		}
-		if !ready {
+		if st.decidedOK[i] {
+			st.work += int64(a.ne.size)
 			continue
 		}
 		if !st.evalAtom(a) {
 			return false
 		}
+		st.decidedOK[i] = true
 	}
 	return true
 }
@@ -337,22 +527,42 @@ func (st *searchState) checkAll() bool {
 	return true
 }
 
+// evalAtom decides one atom under the current assignment. Linearized atoms
+// are evaluated directly from their side forms — exactly equivalent to
+// evaluating the original expression, since linearization preserves values
+// under two's-complement wraparound — and only true fallback atoms walk the
+// original expression tree.
 func (st *searchState) evalAtom(a *atom) bool {
-	st.work += int64(sym.Size(a.orig.E))
-	asn := overlayAssignment{primary: st.assigned, fallback: st.seed}
-	return a.orig.Holds(asn)
-}
-
-// overlayAssignment reads primary first, then fallback.
-type overlayAssignment struct {
-	primary  sym.MapAssignment
-	fallback sym.MapAssignment
-}
-
-// Value implements sym.Assignment.
-func (o overlayAssignment) Value(id int) int64 {
-	if v, ok := o.primary[id]; ok {
-		return v
+	st.work += int64(a.ne.size)
+	if a.ne.hasEval {
+		l := a.ne.lc
+		for _, t := range a.lform {
+			l += t.coeff * st.value(t.slot)
+		}
+		r := a.ne.rc
+		for _, t := range a.rform {
+			r += t.coeff * st.value(t.slot)
+		}
+		return holdsRel(a.ne.r, l, r)
 	}
-	return o.fallback[id]
+	return a.orig.Holds(st)
+}
+
+// holdsRel evaluates l REL r over signed 64-bit values.
+func holdsRel(r rel, l, rv int64) bool {
+	switch r {
+	case relEQ:
+		return l == rv
+	case relNE:
+		return l != rv
+	case relLT:
+		return l < rv
+	case relLE:
+		return l <= rv
+	case relGT:
+		return l > rv
+	case relGE:
+		return l >= rv
+	}
+	panic("solver: bad rel in holdsRel")
 }

@@ -9,7 +9,8 @@
 //
 // The solve pipeline is:
 //
-//  1. normalize every constraint into a linear atom when possible;
+//  1. normalize every constraint into a linear atom when possible (normalized
+//     forms are cached per expression, since replay re-solves path prefixes);
 //  2. tighten per-variable interval domains by bounds propagation to a fixed
 //     point;
 //  3. run a deterministic backtracking search over the remaining variables,
@@ -17,10 +18,16 @@
 //     stay close to observed executions (this mirrors how concolic engines
 //     reuse the current input);
 //  4. verify the candidate assignment by evaluating the original constraints.
+//
+// Internally the search works on dense slot-indexed state (variable IDs are
+// mapped to slots once per Solve call) so the per-node hot paths — bounds
+// propagation, decided-atom checks and candidate enumeration — run on slices
+// with no map traffic and no per-node allocation.
 package solver
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 
 	"pathlog/internal/sym"
@@ -48,6 +55,15 @@ const (
 	DefaultMaxWork         = 3_000_000
 )
 
+// normTabBits sizes the per-Solver normalization cache: a direct-mapped
+// table of 2^normTabBits slots. Pending sets spawned by one replay run share
+// their prefix expressions, so consecutive Solve calls hit the same slots;
+// across runs expressions are rebuilt and the old entries simply get
+// evicted. A fixed table keeps the cache allocation-free in steady state —
+// a map here churns through fill-and-reset cycles that dominate the
+// solver's allocation profile.
+const normTabBits = 13
+
 // Stats accumulates counters across Solve calls; the experiment harness
 // reports them alongside replay times.
 type Stats struct {
@@ -73,8 +89,20 @@ func (s *Stats) Add(o Stats) {
 // Solver solves conjunctions of sym.Constraint over bounded integer domains.
 // A Solver is not safe for concurrent use.
 type Solver struct {
-	opts  Options
-	stats Stats
+	opts   Options
+	stats  Stats
+	norm   []normSlot   // direct-mapped normalization cache
+	varBuf []int        // scratch for collecting variable IDs in normalize
+	neBuf  []*normEntry // scratch for the per-call normal forms
+	st     searchState  // reused across Solve calls to keep allocation flat
+
+	// Slab storage for normal forms. The replay search normalizes one fresh
+	// expression per executed symbolic branch (each run rebuilds its path
+	// condition), so entries and their vars slices are bump-allocated in
+	// chunks. A chunk is dropped on growth and becomes collectible once the
+	// cache has evicted the last entry pointing into it.
+	entrySlab []normEntry
+	intSlab   []int
 }
 
 // New returns a Solver with the given options.
@@ -88,7 +116,10 @@ func New(opts Options) *Solver {
 	if opts.MaxWork <= 0 {
 		opts.MaxWork = DefaultMaxWork
 	}
-	return &Solver{opts: opts}
+	s := &Solver{opts: opts, norm: make([]normSlot, 1<<normTabBits)}
+	s.st.solver = s
+	s.st.slotOf = make(map[int]int32)
+	return s
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -102,12 +133,20 @@ type Domain struct {
 	Lo, Hi int64
 }
 
+// VarDomain binds one variable ID to its domain.
+type VarDomain struct {
+	ID     int
+	Lo, Hi int64
+}
+
 // Problem is one satisfiability query: a conjunction of constraints, the
 // domains of the variables they mention, and a seed assignment (typically the
-// concrete input of the run that produced the constraints).
+// concrete input of the run that produced the constraints). Domains must not
+// repeat an ID; callers conventionally keep it ID-sorted (a slice rather
+// than a map because solving is the replay search's inner loop).
 type Problem struct {
 	Constraints []sym.Constraint
-	Domains     map[int]Domain
+	Domains     []VarDomain
 	Seed        sym.MapAssignment
 }
 
@@ -119,47 +158,54 @@ func (s *Solver) Solve(p Problem) (asn sym.MapAssignment, ok bool) {
 	s.stats.Calls++
 
 	// Fast path: the seed may already satisfy the conjunction (frequent when
-	// only one negated constraint was appended and it is loose).
+	// only one negated constraint was appended and it is loose). Constraints
+	// are checked through their cached normal forms — equivalent to
+	// evaluating the original expressions, several times cheaper.
 	seedAsn := make(sym.MapAssignment, len(p.Domains))
-	for id, d := range p.Domains {
-		v := p.Seed[id]
+	for _, d := range p.Domains {
+		v := p.Seed[d.ID]
 		if v < d.Lo {
 			v = d.Lo
 		}
 		if v > d.Hi {
 			v = d.Hi
 		}
-		seedAsn[id] = v
+		seedAsn[d.ID] = v
 	}
-	if sym.AllHold(p.Constraints, seedAsn) {
+	// Each constraint's normal form is looked up once per call and reused by
+	// the seed check, the atom build and the final verification.
+	nes := s.neBuf[:0]
+	for _, c := range p.Constraints {
+		nes = append(nes, s.normalized(c))
+	}
+	s.neBuf = nes
+
+	seedHolds := true
+	for i, c := range p.Constraints {
+		if !evalNorm(nes[i], c, seedAsn) {
+			seedHolds = false
+			break
+		}
+	}
+	if seedHolds {
 		s.stats.Sat++
 		return seedAsn, true
 	}
 
-	st := &searchState{
-		solver:  s,
-		domains: make(map[int]*interval, len(p.Domains)),
-		seed:    seedAsn,
-	}
-	for id, d := range p.Domains {
-		st.domains[id] = &interval{lo: d.Lo, hi: d.Hi}
+	st := &s.st
+	st.reset()
+	for _, d := range p.Domains {
+		st.addSlot(d.ID, interval{lo: d.Lo, hi: d.Hi}, seedAsn[d.ID], true)
 	}
 
-	// Normalize constraints into atoms.
-	for _, c := range p.Constraints {
-		a, lin := normalize(c)
+	// Build the atoms.
+	for i, c := range p.Constraints {
+		ne := nes[i]
 		s.stats.Atoms++
-		if !lin {
+		if !ne.linear {
 			s.stats.Fallbacks++
 		}
-		st.atoms = append(st.atoms, a)
-		for _, v := range a.vars {
-			if _, present := st.domains[v]; !present {
-				// Constraint mentions a variable with no declared domain;
-				// assume full byte range extended for safety.
-				st.domains[v] = &interval{lo: -(1 << 31), hi: 1 << 31}
-			}
-		}
+		st.addAtom(c, ne)
 	}
 
 	if !st.propagateAll() {
@@ -169,22 +215,22 @@ func (s *Solver) Solve(p Problem) (asn sym.MapAssignment, ok bool) {
 
 	// Order variables: most-constrained (smallest domain) first, ties by ID
 	// for determinism.
-	vars := make([]int, 0, len(st.domains))
-	for id := range st.domains {
-		if st.mentioned(id) {
-			vars = append(vars, id)
+	vars := st.order[:0]
+	for slot := range st.doms {
+		if len(st.varAtoms[slot]) > 0 {
+			vars = append(vars, int32(slot))
 		}
 	}
+	st.order = vars
 	sort.Slice(vars, func(i, j int) bool {
-		wi := st.domains[vars[i]].width()
-		wj := st.domains[vars[j]].width()
+		wi := st.doms[vars[i]].width()
+		wj := st.doms[vars[j]].width()
 		if wi != wj {
 			return wi < wj
 		}
-		return vars[i] < vars[j]
+		return st.idOf[vars[i]] < st.idOf[vars[j]]
 	})
 
-	st.assigned = make(sym.MapAssignment, len(vars))
 	if !st.search(vars, 0) {
 		s.stats.Unsat++
 		return nil, false
@@ -196,17 +242,38 @@ func (s *Solver) Solve(p Problem) (asn sym.MapAssignment, ok bool) {
 	for id, v := range seedAsn {
 		out[id] = v
 	}
-	for id, v := range st.assigned {
-		out[id] = v
+	for _, slot := range vars {
+		out[st.idOf[slot]] = st.asnVal[slot]
 	}
-	if !sym.AllHold(p.Constraints, out) {
-		// Paranoia: search produced a candidate the evaluator rejects. Treat
-		// as unsat rather than returning a wrong input.
-		s.stats.Unsat++
-		return nil, false
+	for i, c := range p.Constraints {
+		if !evalNorm(nes[i], c, out) {
+			// Paranoia: search produced a candidate the evaluator rejects.
+			// Treat as unsat rather than returning a wrong input.
+			s.stats.Unsat++
+			return nil, false
+		}
 	}
 	s.stats.Sat++
 	return out, true
+}
+
+// evalNorm decides one constraint under an assignment via its normal form.
+// Linearized constraints evaluate their two sides directly (exact under
+// wraparound: linearization only rewrites ring operations); fallbacks walk
+// the original expression.
+func evalNorm(ne *normEntry, c sym.Constraint, asn sym.Assignment) bool {
+	if ne.hasEval {
+		l := ne.lc
+		for _, t := range ne.lform {
+			l += t.coeff * asn.Value(t.v)
+		}
+		r := ne.rc
+		for _, t := range ne.rform {
+			r += t.coeff * asn.Value(t.v)
+		}
+		return holdsRel(ne.r, l, r)
+	}
+	return c.Holds(asn)
 }
 
 // --- atoms -----------------------------------------------------------------
@@ -233,69 +300,130 @@ type term struct {
 	coeff int64
 }
 
-// atom is one normalized constraint. When linear is true it denotes
-// sum(coeff_i * var_i) + c REL 0; otherwise orig is checked by evaluation
-// once all its variables are assigned.
-type atom struct {
-	linear bool
-	terms  []term
-	c      int64
-	r      rel
-	orig   sym.Constraint
-	vars   []int
+// normSlot is one direct-mapped cache line: expression nodes are immutable
+// and shared, so node identity plus the asserted truth identifies a normal
+// form exactly.
+type normSlot struct {
+	e     sym.Expr
+	truth bool
+	ne    *normEntry
 }
 
-// normalize converts a constraint to an atom, linearizing when possible.
-func normalize(c sym.Constraint) (atom, bool) {
-	varSet := sym.Vars(c.E)
-	vars := make([]int, 0, len(varSet))
-	for v := range varSet {
-		vars = append(vars, v)
+// normEntry is the variable-ID-indexed normal form of one constraint, cached
+// across Solve calls. When linear is true, terms (the combined lhs-rhs form)
+// feeds bounds propagation. When hasEval is true the constraint can be
+// decided by evaluating the two linear sides directly — exact even under
+// wraparound, because linearization only rewrites ring operations (+, -,
+// neg, mul-by-const), never the comparison itself.
+type normEntry struct {
+	linear  bool
+	hasEval bool
+	terms   []term // combined lhs-rhs, zero coefficients dropped, sorted by v
+	c       int64
+	r       rel    // relation with the constraint's truth folded in
+	lform   []term // lhs linear form
+	lc      int64
+	rform   []term // rhs linear form
+	rc      int64
+	vars    []int // all variable IDs of the expression, sorted
+	size    int32 // sym.Size of the original expression (work accounting)
+}
+
+// normalized returns the cached normal form of c, computing it on a miss.
+// The slot index hashes the expression's node identity (Fibonacci mixing of
+// the pointer), with the truth folded into the low bit so both polarities of
+// one expression coexist; a colliding entry is simply evicted.
+func (s *Solver) normalized(c sym.Constraint) *normEntry {
+	h := uint64(reflect.ValueOf(c.E).Pointer()) * 0x9E3779B97F4A7C15
+	idx := (h >> (64 - normTabBits)) &^ 1
+	if c.Truth {
+		idx |= 1
 	}
-	sort.Ints(vars)
+	slot := &s.norm[idx]
+	if slot.e == c.E && slot.truth == c.Truth {
+		return slot.ne
+	}
+	ne := s.normalize(c)
+	slot.e, slot.truth, slot.ne = c.E, c.Truth, ne
+	return ne
+}
+
+// newEntry bump-allocates one normEntry from the slab.
+func (s *Solver) newEntry() *normEntry {
+	if len(s.entrySlab) == cap(s.entrySlab) {
+		s.entrySlab = make([]normEntry, 0, 512)
+	}
+	s.entrySlab = s.entrySlab[:len(s.entrySlab)+1]
+	return &s.entrySlab[len(s.entrySlab)-1]
+}
+
+// ints bump-allocates an n-int slice from the slab.
+func (s *Solver) ints(n int) []int {
+	if cap(s.intSlab)-len(s.intSlab) < n {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		s.intSlab = make([]int, 0, size)
+	}
+	l := len(s.intSlab)
+	s.intSlab = s.intSlab[:l+n]
+	return s.intSlab[l : l+n : l+n]
+}
+
+// normalize converts a constraint to its normal form, linearizing when
+// possible.
+func (s *Solver) normalize(c sym.Constraint) *normEntry {
+	buf := sym.AppendVarIDs(c.E, s.varBuf[:0])
+	sort.Ints(buf)
+	u := 0
+	for i, v := range buf {
+		if i == 0 || v != buf[i-1] {
+			buf[u] = v
+			u++
+		}
+	}
+	s.varBuf = buf
+	vars := s.ints(u)
+	copy(vars, buf[:u])
+	ne := s.newEntry()
+	ne.vars, ne.size = vars, int32(sym.Size(c.E))
 
 	lhs, rhs, r, cmp := splitComparison(c.E)
 	if cmp {
 		lt, lok := linearize(lhs)
 		rt, rok := linearize(rhs)
 		if lok && rok {
-			diff := lt.sub(rt)
 			if !c.Truth {
 				r = negateRel(r)
 			}
-			a := atom{linear: true, c: diff.c, r: r, orig: c, vars: vars}
-			for v, co := range diff.coeffs {
-				if co != 0 {
-					a.terms = append(a.terms, term{v: v, coeff: co})
-				}
-			}
-			sort.Slice(a.terms, func(i, j int) bool { return a.terms[i].v < a.terms[j].v })
-			if len(a.terms) == 0 {
-				// Fully constant after linearization; keep as fallback so
-				// evaluation decides it (cheap, and exercised by tests).
-				return atom{linear: false, orig: c, vars: vars}, false
-			}
-			return a, true
+			diff := lt.combine(rt, true)
+			ne.hasEval = true
+			ne.r = r
+			ne.lform, ne.lc = lt.terms, lt.c
+			ne.rform, ne.rc = rt.terms, rt.c
+			ne.terms, ne.c = diff.terms, diff.c
+			// A combined form with no terms is constant after linearization;
+			// it cannot drive propagation, so it stays a fallback (though
+			// still decided by direct evaluation).
+			ne.linear = len(ne.terms) > 0
+			return ne
 		}
 	}
 	// Truthness of a non-comparison expression: e != 0 (Truth) or e == 0.
-	if lt, ok := linearize(c.E); ok {
+	if lt, lok := linearize(c.E); lok {
 		r := relNE
 		if !c.Truth {
 			r = relEQ
 		}
-		a := atom{linear: true, c: lt.c, r: r, orig: c, vars: vars}
-		for v, co := range lt.coeffs {
-			if co != 0 {
-				a.terms = append(a.terms, term{v: v, coeff: co})
-			}
-		}
-		sort.Slice(a.terms, func(i, j int) bool { return a.terms[i].v < a.terms[j].v })
-		if len(a.terms) > 0 {
-			return a, true
-		}
+		ne.hasEval = true
+		ne.r = r
+		ne.lform, ne.lc = lt.terms, lt.c
+		ne.terms, ne.c = lt.terms, lt.c
+		ne.linear = len(ne.terms) > 0
+		return ne
 	}
-	return atom{linear: false, orig: c, vars: vars}, false
+	return ne
 }
 
 // splitComparison decomposes a top-level comparison into lhs REL rhs.
@@ -346,19 +474,55 @@ func negateRel(r rel) rel {
 	panic(fmt.Sprintf("solver: bad rel %d", r))
 }
 
-// linTerm is a linear combination of variables plus a constant.
+// linTerm is a linear combination of variables plus a constant. Terms are
+// sorted by variable ID and carry no zero coefficients; each linTerm owns
+// its slice, so in-place negation and scaling are safe.
 type linTerm struct {
-	coeffs map[int]int64
-	c      int64
+	terms []term
+	c     int64
 }
 
-func (t linTerm) sub(o linTerm) linTerm {
-	out := linTerm{coeffs: make(map[int]int64, len(t.coeffs)+len(o.coeffs)), c: t.c - o.c}
-	for v, co := range t.coeffs {
-		out.coeffs[v] = co
+// combine returns t + o (or t - o when sub), merging the sorted term lists
+// and dropping coefficients that cancel.
+func (t linTerm) combine(o linTerm, sub bool) linTerm {
+	out := linTerm{terms: make([]term, 0, len(t.terms)+len(o.terms))}
+	if sub {
+		out.c = t.c - o.c
+	} else {
+		out.c = t.c + o.c
 	}
-	for v, co := range o.coeffs {
-		out.coeffs[v] -= co
+	i, j := 0, 0
+	for i < len(t.terms) && j < len(o.terms) {
+		a, b := t.terms[i], o.terms[j]
+		switch {
+		case a.v < b.v:
+			out.terms = append(out.terms, a)
+			i++
+		case a.v > b.v:
+			if sub {
+				b.coeff = -b.coeff
+			}
+			out.terms = append(out.terms, b)
+			j++
+		default:
+			co := a.coeff + b.coeff
+			if sub {
+				co = a.coeff - b.coeff
+			}
+			if co != 0 {
+				out.terms = append(out.terms, term{v: a.v, coeff: co})
+			}
+			i++
+			j++
+		}
+	}
+	out.terms = append(out.terms, t.terms[i:]...)
+	for ; j < len(o.terms); j++ {
+		b := o.terms[j]
+		if sub {
+			b.coeff = -b.coeff
+		}
+		out.terms = append(out.terms, b)
 	}
 	return out
 }
@@ -367,14 +531,14 @@ func (t linTerm) sub(o linTerm) linTerm {
 func linearize(e sym.Expr) (linTerm, bool) {
 	switch x := e.(type) {
 	case *sym.Const:
-		return linTerm{coeffs: map[int]int64{}, c: x.V}, true
+		return linTerm{c: x.V}, true
 	case *sym.Input:
-		return linTerm{coeffs: map[int]int64{x.ID: 1}}, true
+		return linTerm{terms: []term{{v: x.ID, coeff: 1}}}, true
 	case *sym.Un:
 		if x.Op == sym.OpNeg {
 			if t, ok := linearize(x.X); ok {
-				for v := range t.coeffs {
-					t.coeffs[v] = -t.coeffs[v]
+				for i := range t.terms {
+					t.terms[i].coeff = -t.terms[i].coeff
 				}
 				t.c = -t.c
 				return t, true
@@ -389,14 +553,7 @@ func linearize(e sym.Expr) (linTerm, bool) {
 			if !lok || !rok {
 				return linTerm{}, false
 			}
-			if x.Op == sym.OpAdd {
-				for v, co := range rt.coeffs {
-					lt.coeffs[v] += co
-				}
-				lt.c += rt.c
-				return lt, true
-			}
-			return lt.sub(rt), true
+			return lt.combine(rt, x.Op == sym.OpSub), true
 		case sym.OpMul:
 			// Linear only when one side is constant.
 			if cv, ok := sym.IsConst(x.L); ok {
@@ -414,10 +571,15 @@ func linearize(e sym.Expr) (linTerm, bool) {
 	return linTerm{}, false
 }
 
+// scale multiplies the form by k in place (the receiver owns its terms).
+// Scaling by zero cancels every term; constant folding upstream makes that
+// unreachable in practice, but the filter keeps the no-zero invariant.
 func (t linTerm) scale(k int64) linTerm {
-	out := linTerm{coeffs: make(map[int]int64, len(t.coeffs)), c: t.c * k}
-	for v, co := range t.coeffs {
-		out.coeffs[v] = co * k
+	out := linTerm{terms: t.terms[:0], c: t.c * k}
+	for _, u := range t.terms {
+		if co := u.coeff * k; co != 0 {
+			out.terms = append(out.terms, term{v: u.v, coeff: co})
+		}
 	}
 	return out
 }

@@ -7,10 +7,10 @@ import (
 	"pathlog/internal/sym"
 )
 
-func byteDomains(n int) map[int]Domain {
-	d := make(map[int]Domain, n)
+func byteDomains(n int) []VarDomain {
+	d := make([]VarDomain, 0, n)
 	for i := 0; i < n; i++ {
-		d[i] = Domain{Lo: 0, Hi: 255}
+		d = append(d, VarDomain{ID: i, Lo: 0, Hi: 255})
 	}
 	return d
 }
@@ -223,7 +223,7 @@ func TestSolveIntDomainNegative(t *testing.T) {
 	}
 	asn, ok := s.Solve(Problem{
 		Constraints: cs,
-		Domains:     map[int]Domain{0: {Lo: -1, Hi: 64}},
+		Domains:     []VarDomain{{ID: 0, Lo: -1, Hi: 64}},
 		Seed:        sym.MapAssignment{0: 64},
 	})
 	if !ok || asn[0] != -1 {

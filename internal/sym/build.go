@@ -1,5 +1,7 @@
 package sym
 
+import "sort"
+
 // Constructors with eager constant folding and a small set of algebraic
 // peephole simplifications. The simplifications are deliberately conservative
 // (they never change the value of an expression under any assignment) and are
@@ -246,4 +248,22 @@ func ConstraintVars(cs []Constraint) map[int]struct{} {
 		c.E.appendVars(set)
 	}
 	return set
+}
+
+// ConstraintVarIDs returns the sorted, duplicate-free input-variable IDs
+// mentioned by cs, reusing buf's storage. It is the allocation-light
+// counterpart of ConstraintVars for hot paths.
+func ConstraintVarIDs(cs []Constraint, buf []int) []int {
+	buf = buf[:0]
+	for _, c := range cs {
+		buf = c.E.appendVarIDs(buf)
+	}
+	sort.Ints(buf)
+	out := buf[:0]
+	for i, v := range buf {
+		if i == 0 || v != buf[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -87,6 +87,8 @@ type Expr interface {
 	Eval(asn Assignment) int64
 	// appendVars accumulates the IDs of input variables into set.
 	appendVars(set map[int]struct{})
+	// appendVarIDs appends every input-variable occurrence to buf.
+	appendVarIDs(buf []int) []int
 	// write renders the expression into sb.
 	write(sb *strings.Builder)
 	// size returns the number of nodes of the expression tree.
@@ -137,6 +139,8 @@ func (c *Const) Eval(Assignment) int64 { return c.V }
 
 func (c *Const) appendVars(map[int]struct{}) {}
 
+func (c *Const) appendVarIDs(buf []int) []int { return buf }
+
 func (c *Const) write(sb *strings.Builder) { fmt.Fprintf(sb, "%d", c.V) }
 
 func (c *Const) size() int { return 1 }
@@ -172,6 +176,8 @@ func (in *Input) Eval(asn Assignment) int64 {
 
 func (in *Input) appendVars(set map[int]struct{}) { set[in.ID] = struct{}{} }
 
+func (in *Input) appendVarIDs(buf []int) []int { return append(buf, in.ID) }
+
 func (in *Input) write(sb *strings.Builder) {
 	if in.Name != "" {
 		sb.WriteString(in.Name)
@@ -196,6 +202,8 @@ type Un struct {
 func (u *Un) Eval(asn Assignment) int64 { return evalUn(u.Op, u.X.Eval(asn)) }
 
 func (u *Un) appendVars(set map[int]struct{}) { u.X.appendVars(set) }
+
+func (u *Un) appendVarIDs(buf []int) []int { return u.X.appendVarIDs(buf) }
 
 func (u *Un) write(sb *strings.Builder) {
 	sb.WriteString(u.Op.String())
@@ -224,6 +232,10 @@ func (b *Bin) Eval(asn Assignment) int64 {
 func (b *Bin) appendVars(set map[int]struct{}) {
 	b.L.appendVars(set)
 	b.R.appendVars(set)
+}
+
+func (b *Bin) appendVarIDs(buf []int) []int {
+	return b.R.appendVarIDs(b.L.appendVarIDs(buf))
 }
 
 func (b *Bin) write(sb *strings.Builder) {
@@ -329,6 +341,12 @@ func Vars(e Expr) map[int]struct{} {
 	e.appendVars(set)
 	return set
 }
+
+// AppendVarIDs appends the ID of every input-variable occurrence in e to buf
+// and returns the extended slice. Duplicates are preserved; callers needing a
+// set should sort and compact. This is the allocation-free counterpart of
+// Vars for hot paths.
+func AppendVarIDs(e Expr, buf []int) []int { return e.appendVarIDs(buf) }
 
 // IsConst reports whether e is a constant, returning its value when so.
 func IsConst(e Expr) (int64, bool) {

@@ -23,30 +23,49 @@ func (m *VM) evalCall(frame *Object, x *lang.Call) (Value, error) {
 		copy(callee.Cells, args)
 		return m.callFunc(x.Func, callee)
 	}
-	return m.builtin(x, args)
+	return m.host.Call(x.Name, x.Pos, args)
+}
+
+// Host is the builtin and syscall surface of a MiniC execution: the kernel,
+// the optional symbolic world, and the per-run syscall sequence counters that
+// tie read()/select_ready() results to their symbolic variables. Both the
+// tree walker and the bytecode VM own one Host per run, so builtin semantics
+// — including symbolic input marking and crash positions — have exactly one
+// definition.
+type Host struct {
+	// Kernel supplies syscalls. Required.
+	Kernel *oskernel.Kernel
+	// World marks input symbolic; may be nil for concrete runs.
+	World World
+
+	readSeq   int
+	selectSeq int
 }
 
 // argErr reports a builtin misuse; these are programming errors in the MiniC
 // sources, not program crashes.
-func argErr(x *lang.Call, why string) error {
-	return fmt.Errorf("vm: %s: builtin %s: %s", x.Pos, x.Name, why)
+func argErr(pos lang.Pos, name, why string) error {
+	return fmt.Errorf("vm: %s: builtin %s: %s", pos, name, why)
 }
 
-func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
-	k := m.opts.Kernel
-	switch x.Name {
+// Call executes the named builtin at a call site. Abnormal terminations
+// (crashes, exit) come back as the same termination errors every engine
+// threads through Finish.
+func (h *Host) Call(name string, pos lang.Pos, args []Value) (Value, error) {
+	k := h.Kernel
+	switch name {
 	case "argcount":
 		return IntValue(int64(len(k.Args()))), nil
 
 	case "getarg":
 		if len(args) != 3 {
-			return Value{}, argErr(x, "want (i, buf, cap)")
+			return Value{}, argErr(pos, name, "want (i, buf, cap)")
 		}
 		idx := args[0].I
 		buf := args[1]
 		capacity := args[2].I
 		if buf.K != KPtr || buf.Obj == nil {
-			return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+			return Value{}, CrashError(CrashNullDeref, pos, 0)
 		}
 		if idx < 0 || idx >= int64(len(k.Args())) {
 			return IntValue(-1), nil
@@ -59,18 +78,18 @@ func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
 		stream := oskernel.ArgStream(int(idx))
 		for i := int64(0); i < n; i++ {
 			if !buf.Obj.In(buf.Off + i) {
-				return Value{}, m.crash(CrashOOB, x.Pos, 0)
+				return Value{}, CrashError(CrashOOB, pos, 0)
 			}
-			buf.Obj.Cells[buf.Off+i] = m.inputByte(stream, i, arg[i])
+			buf.Obj.Cells[buf.Off+i] = h.InputByte(stream, i, arg[i])
 		}
 		if !buf.Obj.In(buf.Off + n) {
-			return Value{}, m.crash(CrashOOB, x.Pos, 0)
+			return Value{}, CrashError(CrashOOB, pos, 0)
 		}
 		// The terminator at the end of the argv region is part of the
 		// symbolic input space (domain {0}); a mid-region terminator from
 		// capacity truncation is program-computed and stays concrete.
 		if n == int64(len(arg)) {
-			buf.Obj.Cells[buf.Off+n] = m.inputByte(stream, n, 0)
+			buf.Obj.Cells[buf.Off+n] = h.InputByte(stream, n, 0)
 		} else {
 			buf.Obj.Cells[buf.Off+n] = IntValue(0)
 		}
@@ -78,36 +97,36 @@ func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
 
 	case "open":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (path)")
+			return Value{}, argErr(pos, name, "want (path)")
 		}
 		if args[0].K != KPtr || args[0].Obj == nil {
-			return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+			return Value{}, CrashError(CrashNullDeref, pos, 0)
 		}
 		path := string(args[0].Obj.CString(args[0].Off))
 		return IntValue(int64(k.Open(path))), nil
 
 	case "close":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (fd)")
+			return Value{}, argErr(pos, name, "want (fd)")
 		}
 		return IntValue(int64(k.Close(int(args[0].I)))), nil
 
 	case "read":
-		return m.builtinRead(x, args)
+		return h.builtinRead(pos, name, args)
 
 	case "write":
 		if len(args) != 3 {
-			return Value{}, argErr(x, "want (fd, buf, n)")
+			return Value{}, argErr(pos, name, "want (fd, buf, n)")
 		}
 		buf := args[1]
 		n := args[2].I
 		if buf.K != KPtr || buf.Obj == nil {
-			return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+			return Value{}, CrashError(CrashNullDeref, pos, 0)
 		}
 		data := make([]byte, 0, n)
 		for i := int64(0); i < n; i++ {
 			if !buf.Obj.In(buf.Off + i) {
-				return Value{}, m.crash(CrashOOB, x.Pos, 0)
+				return Value{}, CrashError(CrashOOB, pos, 0)
 			}
 			data = append(data, byte(buf.Obj.Cells[buf.Off+i].I))
 		}
@@ -115,18 +134,18 @@ func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
 
 	case "listen_socket":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (port)")
+			return Value{}, argErr(pos, name, "want (port)")
 		}
 		return IntValue(int64(k.Listen(int(args[0].I)))), nil
 
 	case "accept":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (lfd)")
+			return Value{}, argErr(pos, name, "want (lfd)")
 		}
 		return IntValue(int64(k.Accept(int(args[0].I)))), nil
 
 	case "select_ready":
-		return m.builtinSelect(x, args)
+		return h.builtinSelect(pos, name, args)
 
 	case "signal_pending":
 		v := int64(0)
@@ -137,24 +156,24 @@ func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
 
 	case "print_int":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (v)")
+			return Value{}, argErr(pos, name, "want (v)")
 		}
 		k.Write(oskernel.FDStdout, []byte(fmt.Sprintf("%d", args[0].I)))
 		return IntValue(0), nil
 
 	case "print_char":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (c)")
+			return Value{}, argErr(pos, name, "want (c)")
 		}
 		k.Write(oskernel.FDStdout, []byte{byte(args[0].I)})
 		return IntValue(0), nil
 
 	case "print_str":
 		if len(args) != 1 {
-			return Value{}, argErr(x, "want (s)")
+			return Value{}, argErr(pos, name, "want (s)")
 		}
 		if args[0].K != KPtr || args[0].Obj == nil {
-			return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+			return Value{}, CrashError(CrashNullDeref, pos, 0)
 		}
 		k.Write(oskernel.FDStdout, args[0].Obj.CString(args[0].Off))
 		return IntValue(0), nil
@@ -164,50 +183,50 @@ func (m *VM) builtin(x *lang.Call, args []Value) (Value, error) {
 		if len(args) > 0 {
 			code = args[0].I
 		}
-		return Value{}, &runError{exit: &code}
+		return Value{}, ExitError(code)
 
 	case "crash":
 		code := int64(0)
 		if len(args) > 0 {
 			code = args[0].I
 		}
-		return Value{}, m.crash(CrashExplicit, x.Pos, code)
+		return Value{}, CrashError(CrashExplicit, pos, code)
 	}
-	return Value{}, argErr(x, "not implemented")
+	return Value{}, argErr(pos, name, "not implemented")
 }
 
-// inputByte wraps an input byte with its symbolic expression when the world
+// InputByte wraps an input byte with its symbolic expression when the world
 // declares the stream symbolic.
-func (m *VM) inputByte(stream string, off int64, b byte) Value {
-	if m.opts.World == nil {
+func (h *Host) InputByte(stream string, off int64, b byte) Value {
+	if h.World == nil {
 		return IntValue(int64(b))
 	}
-	return SymValue(int64(b), m.opts.World.MarkByte(stream, off))
+	return SymValue(int64(b), h.World.MarkByte(stream, off))
 }
 
 // builtinRead implements read(fd, buf, n). The returned count may carry a
 // symbolic expression (the paper's read() model, §3.3) when the world is in
 // model mode; the data bytes carry input-stream expressions.
-func (m *VM) builtinRead(x *lang.Call, args []Value) (Value, error) {
+func (h *Host) builtinRead(pos lang.Pos, name string, args []Value) (Value, error) {
 	if len(args) != 3 {
-		return Value{}, argErr(x, "want (fd, buf, n)")
+		return Value{}, argErr(pos, name, "want (fd, buf, n)")
 	}
 	buf := args[1]
 	n := args[2].I
 	if buf.K != KPtr || buf.Obj == nil {
-		return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+		return Value{}, CrashError(CrashNullDeref, pos, 0)
 	}
-	seq := m.readSeq
-	m.readSeq++
-	res := m.opts.Kernel.Read(int(args[0].I), n)
+	seq := h.readSeq
+	h.readSeq++
+	res := h.Kernel.Read(int(args[0].I), n)
 	if res.N > 0 {
 		for i := int64(0); i < res.N; i++ {
 			if !buf.Obj.In(buf.Off + i) {
-				return Value{}, m.crash(CrashOOB, x.Pos, 0)
+				return Value{}, CrashError(CrashOOB, pos, 0)
 			}
 			var cell Value
 			if res.Stream != "" {
-				cell = m.inputByte(res.Stream, res.Off+int64(i), res.Data[i])
+				cell = h.InputByte(res.Stream, res.Off+int64(i), res.Data[i])
 			} else {
 				cell = IntValue(int64(res.Data[i]))
 			}
@@ -215,8 +234,8 @@ func (m *VM) builtinRead(x *lang.Call, args []Value) (Value, error) {
 		}
 	}
 	var countExpr sym.Expr
-	if m.opts.World != nil {
-		countExpr = m.opts.World.SyscallExpr("read", seq)
+	if h.World != nil {
+		countExpr = h.World.SyscallExpr("read", seq)
 	}
 	return SymValue(res.N, countExpr), nil
 }
@@ -224,27 +243,27 @@ func (m *VM) builtinRead(x *lang.Call, args []Value) (Value, error) {
 // builtinSelect implements select_ready(buf, cap): fills buf with ready fds
 // and returns the count. The count may be symbolic in model mode; fd values
 // themselves stay concrete (address concretization).
-func (m *VM) builtinSelect(x *lang.Call, args []Value) (Value, error) {
+func (h *Host) builtinSelect(pos lang.Pos, name string, args []Value) (Value, error) {
 	if len(args) != 2 {
-		return Value{}, argErr(x, "want (buf, cap)")
+		return Value{}, argErr(pos, name, "want (buf, cap)")
 	}
 	buf := args[0]
 	capacity := args[1].I
 	if buf.K != KPtr || buf.Obj == nil {
-		return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+		return Value{}, CrashError(CrashNullDeref, pos, 0)
 	}
-	seq := m.selectSeq
-	m.selectSeq++
-	ready := m.opts.Kernel.SelectReady(int(capacity))
+	seq := h.selectSeq
+	h.selectSeq++
+	ready := h.Kernel.SelectReady(int(capacity))
 	for i, fd := range ready {
 		if !buf.Obj.In(buf.Off + int64(i)) {
-			return Value{}, m.crash(CrashOOB, x.Pos, 0)
+			return Value{}, CrashError(CrashOOB, pos, 0)
 		}
 		buf.Obj.Cells[buf.Off+int64(i)] = IntValue(int64(fd))
 	}
 	var countExpr sym.Expr
-	if m.opts.World != nil {
-		countExpr = m.opts.World.SyscallExpr("select", seq)
+	if h.World != nil {
+		countExpr = h.World.SyscallExpr("select", seq)
 	}
 	return SymValue(int64(len(ready)), countExpr), nil
 }

@@ -1,0 +1,269 @@
+package vm
+
+import (
+	"fmt"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/sym"
+)
+
+// This file holds the operator semantics shared by every execution engine:
+// the tree walker calls these directly, and the bytecode VM (internal/ir)
+// executes the same functions from its dispatch loop, so there is exactly one
+// definition of MiniC arithmetic, pointer rules and crash conditions.
+
+// BoolValue coerces v to 0/1, keeping symbolic information.
+func BoolValue(v Value) Value {
+	truth := int64(0)
+	if v.Truthy() {
+		truth = 1
+	}
+	if v.Sym != nil {
+		return SymValue(truth, sym.Bool(v.Sym))
+	}
+	return IntValue(truth)
+}
+
+// BoolExpr returns the symbolic 0/1 expression of v, or nil when v is
+// concrete. It is the symbolic half of a short-circuit result whose concrete
+// truth is already decided.
+func BoolExpr(v Value) sym.Expr {
+	if v.Sym == nil {
+		return nil
+	}
+	return sym.Bool(v.Sym)
+}
+
+// UnaryOp applies !x, -x or ~x with the crash rules of the tree walker:
+// unary minus and bitwise-not on a pointer are null-deref crashes, while !p
+// tests pointer nullness.
+func UnaryOp(op lang.Kind, v Value, pos lang.Pos) (Value, error) {
+	if v.K == KPtr {
+		if op == lang.BANG {
+			truth := int64(0)
+			if v.Obj == nil {
+				truth = 1
+			}
+			return IntValue(truth), nil
+		}
+		return Value{}, CrashError(CrashNullDeref, pos, 0)
+	}
+	switch op {
+	case lang.MINUS:
+		return SymValue(-v.I, unarySym(sym.OpNeg, v)), nil
+	case lang.TILDE:
+		return SymValue(^v.I, unarySym(sym.OpBNot, v)), nil
+	case lang.BANG:
+		truth := int64(0)
+		if v.I == 0 {
+			truth = 1
+		}
+		return SymValue(truth, unarySym(sym.OpNot, v)), nil
+	}
+	return Value{}, fmt.Errorf("vm: bad unary %v", op)
+}
+
+func unarySym(op sym.Op, v Value) sym.Expr {
+	if v.Sym == nil {
+		return nil
+	}
+	return sym.NewUn(op, v.Sym)
+}
+
+// binSymOp translates a binary token kind to its symbolic operator. A switch
+// rather than a map: this sits on the per-instruction path of both execution
+// engines, and the dense jump table beats hashing the kind every time.
+func binSymOp(op lang.Kind) (sym.Op, bool) {
+	switch op {
+	case lang.PLUS:
+		return sym.OpAdd, true
+	case lang.MINUS:
+		return sym.OpSub, true
+	case lang.STAR:
+		return sym.OpMul, true
+	case lang.SLASH:
+		return sym.OpDiv, true
+	case lang.PERCENT:
+		return sym.OpMod, true
+	case lang.AMP:
+		return sym.OpAnd, true
+	case lang.PIPE:
+		return sym.OpOr, true
+	case lang.CARET:
+		return sym.OpXor, true
+	case lang.SHL:
+		return sym.OpShl, true
+	case lang.SHR:
+		return sym.OpShr, true
+	case lang.EQ:
+		return sym.OpEq, true
+	case lang.NE:
+		return sym.OpNe, true
+	case lang.LT:
+		return sym.OpLt, true
+	case lang.LE:
+		return sym.OpLe, true
+	case lang.GT:
+		return sym.OpGt, true
+	case lang.GE:
+		return sym.OpGe, true
+	}
+	return 0, false
+}
+
+// ConcreteBin computes a binary operator over two concrete integers,
+// reporting ok=false for kinds it does not translate and for division by
+// zero — those must take BinOp's crash/error path. It lets the bytecode VM
+// skip the full operator machinery for the common all-concrete case.
+func ConcreteBin(op lang.Kind, l, r int64) (int64, bool) {
+	sop, ok := binSymOp(op)
+	if !ok || ((sop == sym.OpDiv || sop == sym.OpMod) && r == 0) {
+		return 0, false
+	}
+	return evalConcrete(sop, l, r), true
+}
+
+// BinOp applies a non-short-circuit binary operator, handling pointer
+// arithmetic, the div-by-zero crash, and symbolic propagation with the
+// too-large concretization cutoff.
+func BinOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
+	// Pointer arithmetic and comparisons.
+	if l.K == KPtr || r.K == KPtr {
+		return ptrOp(op, l, r, pos)
+	}
+	sop, ok := binSymOp(op)
+	if !ok {
+		return Value{}, fmt.Errorf("vm: bad binary op %v", op)
+	}
+	if (sop == sym.OpDiv || sop == sym.OpMod) && r.I == 0 {
+		return Value{}, CrashError(CrashDivZero, pos, 0)
+	}
+	cv := evalConcrete(sop, l.I, r.I)
+	if l.Sym == nil && r.Sym == nil {
+		return IntValue(cv), nil
+	}
+	se := sym.NewBin(sop, l.Expr(), r.Expr())
+	if sym.TooLarge(se) {
+		// Concretize: drop the symbolic half to keep solver inputs tractable.
+		se = nil
+	}
+	return SymValue(cv, se), nil
+}
+
+func evalConcrete(op sym.Op, l, r int64) int64 {
+	switch op {
+	case sym.OpAdd:
+		return l + r
+	case sym.OpSub:
+		return l - r
+	case sym.OpMul:
+		return l * r
+	case sym.OpDiv:
+		return l / r
+	case sym.OpMod:
+		return l % r
+	case sym.OpAnd:
+		return l & r
+	case sym.OpOr:
+		return l | r
+	case sym.OpXor:
+		return l ^ r
+	case sym.OpShl:
+		return l << uint64(r&63)
+	case sym.OpShr:
+		return l >> uint64(r&63)
+	case sym.OpEq:
+		return b2i(l == r)
+	case sym.OpNe:
+		return b2i(l != r)
+	case sym.OpLt:
+		return b2i(l < r)
+	case sym.OpLe:
+		return b2i(l <= r)
+	case sym.OpGt:
+		return b2i(l > r)
+	case sym.OpGe:
+		return b2i(l >= r)
+	}
+	panic("vm: bad op")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ptrOp implements pointer arithmetic: ptr±int, ptr-ptr, and comparisons.
+func ptrOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
+	switch op {
+	case lang.PLUS:
+		if l.K == KPtr && r.K == KInt {
+			return PtrValue(l.Obj, l.Off+r.I), nil
+		}
+		if l.K == KInt && r.K == KPtr {
+			return PtrValue(r.Obj, r.Off+l.I), nil
+		}
+	case lang.MINUS:
+		if l.K == KPtr && r.K == KInt {
+			return PtrValue(l.Obj, l.Off-r.I), nil
+		}
+		if l.K == KPtr && r.K == KPtr && l.Obj == r.Obj {
+			return IntValue(l.Off - r.Off), nil
+		}
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		li, ri, ok := ptrCompareOperands(l, r)
+		if ok {
+			sop, _ := binSymOp(op)
+			return IntValue(evalConcrete(sop, li, ri)), nil
+		}
+	}
+	return Value{}, CrashError(CrashNullDeref, pos, 0)
+}
+
+// ptrCompareOperands maps pointer comparison operands onto integers: same
+// object compares offsets; a pointer against integer 0 compares nullness;
+// distinct objects compare by identity ordering (stable within a run).
+func ptrCompareOperands(l, r Value) (int64, int64, bool) {
+	if l.K == KPtr && r.K == KPtr {
+		if l.Obj == r.Obj {
+			return l.Off, r.Off, true
+		}
+		return objAddr(l.Obj), objAddr(r.Obj), true
+	}
+	if l.K == KPtr && r.K == KInt && r.I == 0 {
+		if l.Obj == nil {
+			return 0, 0, true
+		}
+		return 1, 0, true
+	}
+	if l.K == KInt && l.I == 0 && r.K == KPtr {
+		if r.Obj == nil {
+			return 0, 0, true
+		}
+		return 0, 1, true
+	}
+	return 0, 0, false
+}
+
+func objAddr(o *Object) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.ID
+}
+
+// IndexCell computes base[idx] with bounds checking, the address-resolution
+// rule shared by loads, stores and &a[i]. Symbolic indexes are concretized to
+// their run value.
+func IndexCell(base, idx Value, pos lang.Pos) (*Object, int64, error) {
+	if base.K != KPtr || base.Obj == nil {
+		return nil, 0, CrashError(CrashNullDeref, pos, 0)
+	}
+	off := base.Off + idx.I
+	if !base.Obj.In(off) {
+		return nil, 0, CrashError(CrashOOB, pos, 0)
+	}
+	return base.Obj, off, nil
+}

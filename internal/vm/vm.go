@@ -96,10 +96,14 @@ const (
 	DefaultMaxCallDepth = 4096
 )
 
-// VM executes one program against one kernel. Create a fresh VM per run.
+// VM executes one program against one kernel with a recursive tree walk over
+// the AST. Create a fresh VM per run. It is the reference engine: the
+// bytecode VM in internal/ir must match it bit for bit on trace output,
+// syscall logs, crash sites and step counts.
 type VM struct {
 	prog *lang.Program
 	opts Options
+	host Host
 
 	globals []*Object
 	strings map[*lang.StrLit]*Object
@@ -109,9 +113,6 @@ type VM struct {
 	branchExecs int64
 	depth       int
 	maxDepth    int
-
-	readSeq   int
-	selectSeq int
 }
 
 // control is the statement-level control-flow signal.
@@ -159,6 +160,7 @@ func New(prog *lang.Program, opts Options) *VM {
 	return &VM{
 		prog:     prog,
 		opts:     opts,
+		host:     Host{Kernel: opts.Kernel, World: opts.World},
 		strings:  make(map[*lang.StrLit]*Object),
 		maxSteps: opts.MaxSteps,
 		maxDepth: opts.MaxCallDepth,
@@ -173,36 +175,13 @@ func (m *VM) Run() (Result, error) {
 	frame := NewObject("main.frame", int64(m.prog.Main.NumSlots))
 	_, err := m.callFunc(m.prog.Main, frame)
 	if err == nil {
-		zero := int64(0)
-		err = &runError{exit: &zero}
+		err = ExitError(0)
 	}
 	return m.finish(err)
 }
 
 func (m *VM) finish(err error) (Result, error) {
-	res := Result{
-		Steps:       m.steps,
-		BranchExecs: m.branchExecs,
-		Stdout:      m.opts.Kernel.Stdout(),
-	}
-	var re *runError
-	if !errors.As(err, &re) {
-		return res, err
-	}
-	switch {
-	case re.crash != nil:
-		res.Crashed = true
-		res.Crash = *re.crash
-	case re.exit != nil:
-		res.Exit = *re.exit
-	case re.abort:
-		res.Aborted = true
-	case re.budget:
-		res.BudgetExceeded = true
-	default:
-		return res, re.err
-	}
-	return res, nil
+	return Finish(m.steps, m.branchExecs, m.opts.Kernel.Stdout(), err)
 }
 
 func (m *VM) initGlobals() error {
@@ -238,7 +217,7 @@ func (m *VM) step(pos lang.Pos) error {
 }
 
 func (m *VM) crash(kind CrashKind, pos lang.Pos, code int64) error {
-	return &runError{crash: &CrashInfo{Kind: kind, Pos: pos, Code: code}}
+	return CrashError(kind, pos, code)
 }
 
 // callFunc executes fn with an initialized frame and returns its value.
@@ -403,10 +382,7 @@ func (m *VM) branch(site *lang.BranchSite, cond Value, taken bool) error {
 		return nil
 	}
 	if err := m.opts.Sink.OnBranch(site, cond, taken); err != nil {
-		if errors.Is(err, ErrAbortRun) {
-			return &runError{abort: true}
-		}
-		return &runError{err: err}
+		return SinkError(err)
 	}
 	return nil
 }
@@ -431,7 +407,7 @@ func (m *VM) eval(frame *Object, e lang.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		return m.applyUnary(x, v)
+		return UnaryOp(x.Op, v, x.Pos)
 
 	case *lang.Binary:
 		l, err := m.eval(frame, x.L)
@@ -442,7 +418,7 @@ func (m *VM) eval(frame *Object, e lang.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		return m.applyBinary(x, l, r)
+		return BinOp(x.Op, l, r, x.Pos)
 
 	case *lang.Logic:
 		return m.evalLogic(frame, x)
@@ -487,7 +463,7 @@ func (m *VM) eval(frame *Object, e lang.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		obj, off, err := m.indexCell(base, idx, x.Pos)
+		obj, off, err := IndexCell(base, idx, x.Pos)
 		if err != nil {
 			return Value{}, err
 		}
@@ -569,7 +545,7 @@ func (m *VM) lvalue(frame *Object, e lang.Expr) (*Object, int64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		return m.indexCell(base, idx, x.Pos)
+		return IndexCell(base, idx, x.Pos)
 	case *lang.Deref:
 		v, err := m.eval(frame, x.X)
 		if err != nil {
@@ -586,19 +562,6 @@ func (m *VM) lvalue(frame *Object, e lang.Expr) (*Object, int64, error) {
 	return nil, 0, fmt.Errorf("vm: not an lvalue: %T", e)
 }
 
-// indexCell computes base[idx] with bounds checking. Symbolic indexes are
-// concretized to their run value.
-func (m *VM) indexCell(base, idx Value, pos lang.Pos) (*Object, int64, error) {
-	if base.K != KPtr || base.Obj == nil {
-		return nil, 0, m.crash(CrashNullDeref, pos, 0)
-	}
-	off := base.Off + idx.I
-	if !base.Obj.In(off) {
-		return nil, 0, m.crash(CrashOOB, pos, 0)
-	}
-	return base.Obj, off, nil
-}
-
 func (m *VM) evalLogic(frame *Object, x *lang.Logic) (Value, error) {
 	l, err := m.eval(frame, x.L)
 	if err != nil {
@@ -611,44 +574,23 @@ func (m *VM) evalLogic(frame *Object, x *lang.Logic) (Value, error) {
 	}
 	if x.Op == lang.ANDAND {
 		if !lTrue {
-			return SymValue(0, boolExprOf(l, false)), nil
+			return SymValue(0, BoolExpr(l)), nil
 		}
 		r, err := m.eval(frame, x.R)
 		if err != nil {
 			return Value{}, err
 		}
-		return boolValue(r), nil
+		return BoolValue(r), nil
 	}
 	// OROR.
 	if lTrue {
-		return SymValue(1, boolExprOf(l, true)), nil
+		return SymValue(1, BoolExpr(l)), nil
 	}
 	r, err := m.eval(frame, x.R)
 	if err != nil {
 		return Value{}, err
 	}
-	return boolValue(r), nil
-}
-
-// boolValue coerces v to 0/1, keeping symbolic information.
-func boolValue(v Value) Value {
-	truth := int64(0)
-	if v.Truthy() {
-		truth = 1
-	}
-	if v.Sym != nil {
-		return SymValue(truth, sym.Bool(v.Sym))
-	}
-	return IntValue(truth)
-}
-
-// boolExprOf returns the symbolic 0/1 expression of v when symbolic; the
-// concrete result is fixed by `truth`.
-func boolExprOf(v Value, truth bool) sym.Expr {
-	if v.Sym == nil {
-		return nil
-	}
-	return sym.Bool(v.Sym)
+	return BoolValue(r), nil
 }
 
 func (m *VM) evalAssign(frame *Object, x *lang.Assign) (Value, error) {
@@ -665,22 +607,11 @@ func (m *VM) evalAssign(frame *Object, x *lang.Assign) (Value, error) {
 		return rhs, nil
 	}
 	old := obj.Cells[off]
-	var op lang.Kind
-	switch x.Op {
-	case lang.PLUSEQ:
-		op = lang.PLUS
-	case lang.MINUSEQ:
-		op = lang.MINUS
-	case lang.STAREQ:
-		op = lang.STAR
-	case lang.SLASHEQ:
-		op = lang.SLASH
-	case lang.PCTEQ:
-		op = lang.PERCENT
-	default:
-		return Value{}, fmt.Errorf("vm: bad compound assign %v", x.Op)
+	op, err := CompoundOp(x.Op)
+	if err != nil {
+		return Value{}, err
 	}
-	nv, err := m.binOp(op, old, rhs, x.Pos)
+	nv, err := BinOp(op, old, rhs, x.Pos)
 	if err != nil {
 		return Value{}, err
 	}
@@ -688,175 +619,19 @@ func (m *VM) evalAssign(frame *Object, x *lang.Assign) (Value, error) {
 	return nv, nil
 }
 
-func (m *VM) applyUnary(x *lang.Unary, v Value) (Value, error) {
-	if v.K == KPtr {
-		if x.Op == lang.BANG {
-			truth := int64(0)
-			if v.Obj == nil {
-				truth = 1
-			}
-			return IntValue(truth), nil
-		}
-		return Value{}, m.crash(CrashNullDeref, x.Pos, 0)
+// CompoundOp maps a compound-assignment token to its binary operator.
+func CompoundOp(tok lang.Kind) (lang.Kind, error) {
+	switch tok {
+	case lang.PLUSEQ:
+		return lang.PLUS, nil
+	case lang.MINUSEQ:
+		return lang.MINUS, nil
+	case lang.STAREQ:
+		return lang.STAR, nil
+	case lang.SLASHEQ:
+		return lang.SLASH, nil
+	case lang.PCTEQ:
+		return lang.PERCENT, nil
 	}
-	switch x.Op {
-	case lang.MINUS:
-		return SymValue(-v.I, unarySym(sym.OpNeg, v)), nil
-	case lang.TILDE:
-		return SymValue(^v.I, unarySym(sym.OpBNot, v)), nil
-	case lang.BANG:
-		truth := int64(0)
-		if v.I == 0 {
-			truth = 1
-		}
-		return SymValue(truth, unarySym(sym.OpNot, v)), nil
-	}
-	return Value{}, fmt.Errorf("vm: bad unary %v", x.Op)
-}
-
-func unarySym(op sym.Op, v Value) sym.Expr {
-	if v.Sym == nil {
-		return nil
-	}
-	return sym.NewUn(op, v.Sym)
-}
-
-func (m *VM) applyBinary(x *lang.Binary, l, r Value) (Value, error) {
-	return m.binOp(x.Op, l, r, x.Pos)
-}
-
-var binOpMap = map[lang.Kind]sym.Op{
-	lang.PLUS: sym.OpAdd, lang.MINUS: sym.OpSub, lang.STAR: sym.OpMul,
-	lang.SLASH: sym.OpDiv, lang.PERCENT: sym.OpMod, lang.AMP: sym.OpAnd,
-	lang.PIPE: sym.OpOr, lang.CARET: sym.OpXor, lang.SHL: sym.OpShl,
-	lang.SHR: sym.OpShr, lang.EQ: sym.OpEq, lang.NE: sym.OpNe,
-	lang.LT: sym.OpLt, lang.LE: sym.OpLe, lang.GT: sym.OpGt, lang.GE: sym.OpGe,
-}
-
-func (m *VM) binOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
-	// Pointer arithmetic and comparisons.
-	if l.K == KPtr || r.K == KPtr {
-		return m.ptrOp(op, l, r, pos)
-	}
-	sop, ok := binOpMap[op]
-	if !ok {
-		return Value{}, fmt.Errorf("vm: bad binary op %v", op)
-	}
-	if (sop == sym.OpDiv || sop == sym.OpMod) && r.I == 0 {
-		return Value{}, m.crash(CrashDivZero, pos, 0)
-	}
-	cv := evalConcrete(sop, l.I, r.I)
-	if l.Sym == nil && r.Sym == nil {
-		return IntValue(cv), nil
-	}
-	se := sym.NewBin(sop, l.Expr(), r.Expr())
-	if sym.TooLarge(se) {
-		// Concretize: drop the symbolic half to keep solver inputs tractable.
-		se = nil
-	}
-	return SymValue(cv, se), nil
-}
-
-func evalConcrete(op sym.Op, l, r int64) int64 {
-	switch op {
-	case sym.OpAdd:
-		return l + r
-	case sym.OpSub:
-		return l - r
-	case sym.OpMul:
-		return l * r
-	case sym.OpDiv:
-		return l / r
-	case sym.OpMod:
-		return l % r
-	case sym.OpAnd:
-		return l & r
-	case sym.OpOr:
-		return l | r
-	case sym.OpXor:
-		return l ^ r
-	case sym.OpShl:
-		return l << uint64(r&63)
-	case sym.OpShr:
-		return l >> uint64(r&63)
-	case sym.OpEq:
-		return b2i(l == r)
-	case sym.OpNe:
-		return b2i(l != r)
-	case sym.OpLt:
-		return b2i(l < r)
-	case sym.OpLe:
-		return b2i(l <= r)
-	case sym.OpGt:
-		return b2i(l > r)
-	case sym.OpGe:
-		return b2i(l >= r)
-	}
-	panic("vm: bad op")
-}
-
-func b2i(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// ptrOp implements pointer arithmetic: ptr±int, ptr-ptr, and comparisons.
-func (m *VM) ptrOp(op lang.Kind, l, r Value, pos lang.Pos) (Value, error) {
-	switch op {
-	case lang.PLUS:
-		if l.K == KPtr && r.K == KInt {
-			return PtrValue(l.Obj, l.Off+r.I), nil
-		}
-		if l.K == KInt && r.K == KPtr {
-			return PtrValue(r.Obj, r.Off+l.I), nil
-		}
-	case lang.MINUS:
-		if l.K == KPtr && r.K == KInt {
-			return PtrValue(l.Obj, l.Off-r.I), nil
-		}
-		if l.K == KPtr && r.K == KPtr && l.Obj == r.Obj {
-			return IntValue(l.Off - r.Off), nil
-		}
-	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
-		li, ri, ok := ptrCompareOperands(l, r)
-		if ok {
-			sop := binOpMap[op]
-			return IntValue(evalConcrete(sop, li, ri)), nil
-		}
-	}
-	return Value{}, m.crash(CrashNullDeref, pos, 0)
-}
-
-// ptrCompareOperands maps pointer comparison operands onto integers: same
-// object compares offsets; a pointer against integer 0 compares nullness;
-// distinct objects compare by identity ordering (stable within a run).
-func ptrCompareOperands(l, r Value) (int64, int64, bool) {
-	if l.K == KPtr && r.K == KPtr {
-		if l.Obj == r.Obj {
-			return l.Off, r.Off, true
-		}
-		return objAddr(l.Obj), objAddr(r.Obj), true
-	}
-	if l.K == KPtr && r.K == KInt && r.I == 0 {
-		if l.Obj == nil {
-			return 0, 0, true
-		}
-		return 1, 0, true
-	}
-	if l.K == KInt && l.I == 0 && r.K == KPtr {
-		if r.Obj == nil {
-			return 0, 0, true
-		}
-		return 0, 1, true
-	}
-	return 0, 0, false
-}
-
-func objAddr(o *Object) int64 {
-	if o == nil {
-		return 0
-	}
-	return o.ID
+	return 0, fmt.Errorf("vm: bad compound assign %v", tok)
 }

@@ -14,6 +14,7 @@ package world
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"pathlog/internal/oskernel"
@@ -97,11 +98,19 @@ type Registry struct {
 	mu     sync.Mutex
 	byKey  map[string]*sym.Input
 	inputs []*sym.Input
+	// byStream indexes byte variables by (stream, offset) so the per-byte
+	// hot paths (symbolic marking, materialization) skip the key formatting
+	// and map hashing of byKey. It shadows byKey: every byte variable is in
+	// both.
+	byStream map[string][]*sym.Input
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: make(map[string]*sym.Input)}
+	return &Registry{
+		byKey:    make(map[string]*sym.Input),
+		byStream: make(map[string][]*sym.Input),
+	}
 }
 
 // ByteVar returns the input variable for byte (stream, off).
@@ -112,7 +121,31 @@ func (r *Registry) ByteVar(stream string, off int64) *sym.Input {
 // BoundedByteVar returns the input variable for byte (stream, off) with a
 // custom domain; the domain is fixed on first use.
 func (r *Registry) BoundedByteVar(stream string, off, lo, hi int64) *sym.Input {
-	key := fmt.Sprintf("%s:%d", stream, off)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tbl := r.byStream[stream]; off >= 0 && off < int64(len(tbl)) {
+		if in := tbl[off]; in != nil {
+			return in
+		}
+	}
+	key := stream + ":" + strconv.FormatInt(off, 10)
+	in := sym.NewInput(len(r.inputs), key, lo, hi)
+	r.byKey[key] = in
+	r.inputs = append(r.inputs, in)
+	tbl := r.byStream[stream]
+	for int64(len(tbl)) <= off {
+		tbl = append(tbl, nil)
+	}
+	tbl[off] = in
+	r.byStream[stream] = tbl
+	return in
+}
+
+// SyscallVar returns the input variable modeling a nondeterministic syscall
+// result, e.g. ("read", 3) for the count of the fourth read. The domain is
+// fixed on first use.
+func (r *Registry) SyscallVar(kind string, seq int, lo, hi int64) *sym.Input {
+	key := "sys:" + kind + ":" + strconv.Itoa(seq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if in, ok := r.byKey[key]; ok {
@@ -124,20 +157,16 @@ func (r *Registry) BoundedByteVar(stream string, off, lo, hi int64) *sym.Input {
 	return in
 }
 
-// SyscallVar returns the input variable modeling a nondeterministic syscall
-// result, e.g. ("read", 3) for the count of the fourth read. The domain is
-// fixed on first use.
-func (r *Registry) SyscallVar(kind string, seq int, lo, hi int64) *sym.Input {
-	key := fmt.Sprintf("sys:%s:%d", kind, seq)
+// LookupByte returns the variable of byte (stream, off), if registered.
+func (r *Registry) LookupByte(stream string, off int64) (*sym.Input, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if in, ok := r.byKey[key]; ok {
-		return in
+	if tbl := r.byStream[stream]; off >= 0 && off < int64(len(tbl)) {
+		if in := tbl[off]; in != nil {
+			return in, true
+		}
 	}
-	in := sym.NewInput(len(r.inputs), key, lo, hi)
-	r.byKey[key] = in
-	r.inputs = append(r.inputs, in)
-	return in
+	return nil, false
 }
 
 // Lookup returns the variable registered under a key, if any.
@@ -177,14 +206,22 @@ func (r *Registry) SortedKeys() []string {
 	return keys
 }
 
-// Domains returns the solver domains of the given variable IDs.
-func (r *Registry) Domains(ids map[int]struct{}) map[int]solver.Domain {
-	out := make(map[int]solver.Domain, len(ids))
-	for id := range ids {
-		if in := r.Get(id); in != nil {
-			out[id] = solver.Domain{Lo: in.Lo, Hi: in.Hi}
+// Domains returns the solver domains of the given variable IDs, in input
+// order, locking the registry once. Both search engines build one solver
+// problem per explored alternative, so this runs on their hot paths; callers
+// pass sorted, duplicate-free IDs (sym.ConstraintVarIDs) so the result meets
+// solver.Problem's Domains contract directly.
+func (r *Registry) Domains(ids []int) []solver.VarDomain {
+	out := make([]solver.VarDomain, 0, len(ids))
+	r.mu.Lock()
+	for _, id := range ids {
+		if id >= 0 && id < len(r.inputs) {
+			if in := r.inputs[id]; in != nil {
+				out = append(out, solver.VarDomain{ID: id, Lo: in.Lo, Hi: in.Hi})
+			}
 		}
 	}
+	r.mu.Unlock()
 	return out
 }
 
@@ -222,8 +259,7 @@ func NewWorld(spec *Spec, reg *Registry, asn sym.MapAssignment) *World {
 // assignment: the assignment's value when the variable exists and is bound,
 // else the seed byte, else NUL.
 func (w *World) byteValue(s Stream, off int64) byte {
-	key := fmt.Sprintf("%s:%d", s.Name, off)
-	if in, ok := w.Reg.Lookup(key); ok {
+	if in, ok := w.Reg.LookupByte(s.Name, off); ok {
 		if v, bound := w.Asn[in.ID]; bound {
 			return byte(v)
 		}
@@ -331,7 +367,7 @@ func (w *World) SyscallExpr(kind string, seq int) sym.Expr {
 	}
 	switch kind {
 	case "read":
-		in, ok := w.Reg.Lookup(fmt.Sprintf("sys:read:%d", seq))
+		in, ok := w.Reg.Lookup("sys:read:" + strconv.Itoa(seq))
 		if !ok {
 			// The kernel consults the model before the VM asks for the
 			// expression, so a miss means the call had no modeled result.
@@ -373,7 +409,7 @@ func (w *World) SelectReady(seq int, candidates []int) []int {
 	var ready []int
 	var countExpr sym.Expr = sym.Zero
 	for j, fd := range candidates {
-		bit := w.Reg.SyscallVar(fmt.Sprintf("select:%d:cand", seq), j, 0, 1)
+		bit := w.Reg.SyscallVar("select:"+strconv.Itoa(seq)+":cand", j, 0, 1)
 		countExpr = sym.Add(countExpr, bit)
 		v, bound := w.Asn[bit.ID]
 		if !bound {

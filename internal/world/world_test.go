@@ -48,12 +48,12 @@ func TestRegistryDomains(t *testing.T) {
 	r := NewRegistry()
 	a := r.ByteVar("arg0", 0)
 	s := r.SyscallVar("read", 0, -1, 10)
-	d := r.Domains(map[int]struct{}{a.ID: {}, s.ID: {}})
-	if d[a.ID].Lo != 0 || d[a.ID].Hi != 255 {
-		t.Fatalf("byte domain: %+v", d[a.ID])
+	d := r.Domains([]int{a.ID, s.ID})
+	if len(d) != 2 || d[0].ID != a.ID || d[0].Lo != 0 || d[0].Hi != 255 {
+		t.Fatalf("byte domain: %+v", d)
 	}
-	if d[s.ID].Lo != -1 || d[s.ID].Hi != 10 {
-		t.Fatalf("syscall domain: %+v", d[s.ID])
+	if d[1].ID != s.ID || d[1].Lo != -1 || d[1].Hi != 10 {
+		t.Fatalf("syscall domain: %+v", d)
 	}
 }
 

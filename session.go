@@ -48,6 +48,7 @@ type sessionConfig struct {
 	workers      int
 	progress     ProgressFunc
 	storeDir     string
+	engine       vm.Factory
 }
 
 // Option configures a Session; see the With* constructors.
@@ -183,6 +184,28 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(c *sessionConfig) { c.progress = fn }
 }
 
+// WithEngine selects the execution engine every session phase runs the
+// program with:
+//
+//   - "bytecode" (the default) compiles the program once to the flat IR of
+//     internal/ir and executes it in a dispatch loop — the fast engine for
+//     run-heavy phases (concolic analysis, replay search);
+//   - "tree" selects the original tree-walking interpreter, kept as the
+//     differential-testing oracle.
+//
+// Both engines are bit-for-bit equivalent on everything observable: trace
+// bits, syscall logs, crash sites and step counts. Unknown names follow the
+// option-apply guard rule and select the default ("bytecode").
+func WithEngine(name string) Option {
+	return func(c *sessionConfig) {
+		if name == "tree" {
+			c.engine = vm.TreeFactory
+		} else {
+			c.engine = nil // core.Scenario defaults to the bytecode engine
+		}
+	}
+}
+
 // WithPlanStore backs the session with the on-disk plan store rooted at
 // dir (created on first use), closing the deployment loop around the
 // session's artifacts:
@@ -290,7 +313,8 @@ func (s *Session) Spec() *Spec { return s.spec }
 // scenario builds the core pipeline view of this session; user may be nil
 // for the neutral spec (analysis) or the configured default user bytes.
 func (s *Session) scenario(user map[string][]byte) *core.Scenario {
-	return &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: s.spec, UserBytes: user}
+	return &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: s.spec, UserBytes: user,
+		Engine: s.cfg.engine}
 }
 
 func (s *Session) emit(phase string, runs int) {
@@ -462,7 +486,7 @@ func (s *Session) Analyze(ctx context.Context) (Inputs, error) {
 	if s.cfg.analysisSpec != nil {
 		spec = s.cfg.analysisSpec
 	}
-	an := &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: spec}
+	an := &core.Scenario{Name: s.cfg.name, Prog: s.prog, Spec: spec, Engine: s.cfg.engine}
 	dynOpts := s.cfg.dyn
 	if s.cfg.progress != nil {
 		dynOpts.OnRun = func(completed int) { s.emit("analyze", completed) }
