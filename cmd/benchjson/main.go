@@ -5,8 +5,17 @@
 //
 // It reads bench output from stdin or from the files named as arguments and
 // writes one JSON object: the environment lines go test prints (goos,
-// goarch, pkg, cpu) plus one entry per benchmark line with its iteration
-// count and every reported metric keyed by unit.
+// goarch, pkg, cpu) plus one entry per benchmark with its iteration count
+// and every reported metric keyed by unit.
+//
+// Repeated runs of the same benchmark (`go test -count N`) are collapsed to
+// the best run — the one with the lowest -gate metric — because on a noisy
+// shared machine the minimum over repetitions estimates the true cost far
+// more stably than any single run. -min-runs makes the de-noising mandatory:
+// a benchmark that appears fewer times than required fails the conversion
+// loudly rather than producing a one-sample artifact that the regression
+// gate then trusts. -min-iterations likewise rejects runs whose b.N fell
+// below the expected floor (a sign the harness was cut short).
 //
 // With -baseline it additionally gates on a committed document: for every
 // benchmark present in both files it compares the -gate metric (default
@@ -16,7 +25,7 @@
 //
 // Usage:
 //
-//	go test -bench ReplayWorkers -benchtime 1x . | benchjson -o BENCH_replay.json
+//	go test -bench ReplayWorkers -benchtime 1x -count 3 . | benchjson -min-runs 3 -o BENCH_replay.json
 //	benchjson bench.txt
 //	benchjson -baseline BENCH_replay.json -max-regress 20 bench.txt
 package main
@@ -39,6 +48,9 @@ type Result struct {
 	Name string `json:"name"`
 	// Iterations is b.N — how many times the body ran.
 	Iterations int64 `json:"iterations"`
+	// Runs is how many repetitions of this benchmark the input held; the
+	// entry keeps the best of them (lowest gate metric).
+	Runs int `json:"runs,omitempty"`
 	// Metrics maps each reported unit to its value ("ns/op",
 	// "replay-runs", "B/op", ...).
 	Metrics map[string]float64 `json:"metrics"`
@@ -58,6 +70,8 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
 	gate := flag.String("gate", "ns/replay-run", "metric the -baseline gate compares")
 	maxRegress := flag.Float64("max-regress", 20, "max allowed -gate regression in percent")
+	minRuns := flag.Int("min-runs", 1, "required repetitions per benchmark (use with go test -count)")
+	minIters := flag.Int64("min-iterations", 1, "required b.N floor per benchmark run")
 	flag.Parse()
 
 	doc := Doc{Env: map[string]string{}}
@@ -81,6 +95,9 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found"))
 	}
+	if err := collapse(&doc, *gate, *minRuns, *minIters); err != nil {
+		fatal(err)
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -96,6 +113,57 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// collapse de-noises repeated benchmark runs: entries with the same name are
+// reduced to the one with the lowest gate metric (falling back to ns/op when
+// the gate metric is absent), tagged with the repetition count. It errors if
+// any benchmark ran fewer than minRuns times or with fewer than minIters
+// iterations — silent under-measurement is exactly what the flags exist to
+// catch.
+func collapse(doc *Doc, gate string, minRuns int, minIters int64) error {
+	pick := func(r Result) (float64, bool) {
+		if v, ok := r.Metrics[gate]; ok {
+			return v, true
+		}
+		v, ok := r.Metrics["ns/op"]
+		return v, ok
+	}
+	byName := make(map[string]int)
+	var outList []Result
+	for _, fresh := range doc.Benchmarks {
+		if fresh.Iterations < minIters {
+			return fmt.Errorf("%s ran %d iteration(s), need at least %d",
+				fresh.Name, fresh.Iterations, minIters)
+		}
+		i, seen := byName[fresh.Name]
+		if !seen {
+			fresh.Runs = 1
+			byName[fresh.Name] = len(outList)
+			outList = append(outList, fresh)
+			continue
+		}
+		best := &outList[i]
+		best.Runs++
+		bv, bok := pick(*best)
+		fv, fok := pick(fresh)
+		if !bok || !fok {
+			return fmt.Errorf("%s: repeated runs but no %q or ns/op metric to rank them", fresh.Name, gate)
+		}
+		if fv < bv {
+			runs := best.Runs
+			*best = fresh
+			best.Runs = runs
+		}
+	}
+	for _, r := range outList {
+		if r.Runs < minRuns {
+			return fmt.Errorf("%s has %d run(s), need at least %d (go test -count)",
+				r.Name, r.Runs, minRuns)
+		}
+	}
+	doc.Benchmarks = outList
+	return nil
 }
 
 // compare gates doc against the committed baseline document: every benchmark

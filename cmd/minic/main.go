@@ -2,18 +2,20 @@
 //
 // Usage:
 //
-//	minic [-lib file.mc]... [-file path=hostfile]... [-disasm] prog.mc [args...]
+//	minic [-lib file.mc]... [-file path=hostfile]... [-disasm] [-fusestats] prog.mc [args...]
 //
 // Program arguments after the source file become argv; -file mounts host
-// files into the simulated filesystem. -disasm prints the compiled flat IR
-// listing (blocks, instructions, branch-site annotations, constant pools)
-// instead of running the program.
+// files into the simulated filesystem. -disasm prints the compiled register-IR
+// listing (blocks, instructions, branch-site annotations, fused-constituent
+// comments, constant pools) instead of running the program; -fusestats prints
+// a per-opcode tally of the superinstructions fusion emitted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"pathlog/internal/apps"
@@ -34,12 +36,13 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	var libs, files multiFlag
 	var maxSteps int64
-	var withULib, disasm bool
+	var withULib, disasm, fusestats bool
 	flag.Var(&libs, "lib", "additional library unit (may repeat)")
 	flag.Var(&files, "file", "mount host file: simpath=hostpath (may repeat)")
 	flag.Int64Var(&maxSteps, "max-steps", 0, "execution step budget (0 = default)")
 	flag.BoolVar(&withULib, "ulib", true, "link the bundled ulib library")
-	flag.BoolVar(&disasm, "disasm", false, "print the compiled flat IR listing and exit")
+	flag.BoolVar(&disasm, "disasm", false, "print the compiled register-IR listing and exit")
+	flag.BoolVar(&fusestats, "fusestats", false, "print per-opcode superinstruction fusion counts and exit")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: minic [flags] prog.mc [args...]")
@@ -75,12 +78,28 @@ func main() {
 		fatal(err)
 	}
 
-	if disasm {
+	if disasm || fusestats {
 		compiled, err := ir.Compile(prog)
 		if err != nil {
 			fatal(err)
 		}
-		os.Stdout.WriteString(compiled.Disasm())
+		if disasm {
+			os.Stdout.WriteString(compiled.Disasm())
+		}
+		if fusestats {
+			st := compiled.FuseStats()
+			ops := make([]string, 0, len(st))
+			total := 0
+			for op, n := range st {
+				ops = append(ops, op)
+				total += n
+			}
+			sort.Strings(ops)
+			fmt.Printf("fused superinstructions: %d\n", total)
+			for _, op := range ops {
+				fmt.Printf("  %-10s %d\n", op, st[op])
+			}
+		}
 		return
 	}
 

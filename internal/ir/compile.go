@@ -44,6 +44,10 @@ func compile(prog *lang.Program) (*Program, error) {
 	if c.out.Main == nil {
 		return nil, fmt.Errorf("ir: program has no main")
 	}
+	c.out.RInit, c.out.InitRegs = lower(c.out.Init)
+	for _, fc := range c.out.Funcs {
+		fc.RCode, fc.NumRegs = lower(fc.Code)
+	}
 	return c.out, nil
 }
 

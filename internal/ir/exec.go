@@ -8,10 +8,10 @@ import (
 	"pathlog/internal/vm"
 )
 
-// machine executes one compiled program in a dispatch loop. Create one per
-// run (Engine does). All value, operator, builtin and termination semantics
-// are shared with the tree walker through internal/vm, which is what keeps
-// the two engines bit-for-bit interchangeable.
+// machine executes one compiled program's register code in a dispatch loop.
+// Create one per run (Engine does). All value, operator, builtin and
+// termination semantics are shared with the tree walker through internal/vm,
+// which is what keeps the two engines bit-for-bit interchangeable.
 type machine struct {
 	prog *Program
 	opts vm.Options
@@ -20,6 +20,11 @@ type machine struct {
 	globals []*vm.Object
 	strings []*vm.Object // lazily interned, indexed by string-pool slot
 	arena   *vm.ObjectArena
+	rf      []vm.Value // register file; each live call owns a window
+
+	// rec is non-nil only while the search's seed run records the linear
+	// trace (see trace.go).
+	rec *traceRecorder
 
 	steps       int64
 	maxSteps    int64
@@ -56,10 +61,14 @@ func (m *machine) Run() (vm.Result, error) {
 	err := m.run()
 	res, ferr := vm.Finish(m.steps, m.branchExecs, m.opts.Kernel.Stdout(), err)
 	a := m.arena
-	m.arena, m.globals, m.strings = nil, nil, nil
+	m.arena, m.globals, m.strings, m.rf = nil, nil, nil, nil
 	a.Release()
 	return res, ferr
 }
+
+// rfSeed is the initial register-file capacity; it covers the whole call
+// tree of typical programs, so growRF is the rare path.
+const rfSeed = 256
 
 func (m *machine) run() error {
 	src := m.prog.Src
@@ -72,8 +81,9 @@ func (m *machine) run() error {
 		m.globals[i] = m.arena.NewObject(g.Name, size)
 	}
 	m.strings = make([]*vm.Object, len(m.prog.Strings))
-	if len(m.prog.Init) > 0 {
-		if err := m.exec(m.prog.Init, nil); err != nil {
+	m.rf = m.arena.Scratch(rfSeed)[0:rfSeed:rfSeed]
+	if len(m.prog.RInit) > 0 {
+		if err := m.exec(m.prog.RInit, nil, m.prog.InitRegs); err != nil {
 			return err
 		}
 	}
@@ -83,28 +93,96 @@ func (m *machine) run() error {
 	if m.depth > m.maxDepth {
 		return vm.CrashError(vm.CrashStackOverflow, main.Decl.Pos, 0)
 	}
-	return m.exec(main.Code, frame)
+	if c := m.opts.Cache; c != nil {
+		// Linear-trace replay fast path: the search's seed run records its
+		// instruction sequence, every later run replays the straight line
+		// with branch guards until first divergence (trace.go).
+		if t, _ := c.Load().(*linearTrace); t != nil {
+			return m.runTraced(t, frame, main.NumRegs)
+		}
+		m.rec = newTraceRecorder()
+		err := m.exec(main.RCode, frame, main.NumRegs)
+		c.Store(m.rec.finish())
+		m.rec = nil
+		return err
+	}
+	return m.exec(main.RCode, frame, main.NumRegs)
+}
+
+// growRF reallocates the register file to hold at least n values, preserving
+// every live call window.
+func (m *machine) growRF(n int) {
+	nn := len(m.rf) * 2
+	if nn < n {
+		nn = n
+	}
+	nrf := make([]vm.Value, nn)
+	copy(nrf, m.rf)
+	m.rf = nrf
 }
 
 // callFrame is a suspended caller.
 type callFrame struct {
-	code  []Instr
-	pc    int
+	code  []RInstr
 	frame *vm.Object
-	base  int
+	pc    int32
+	base  int32 // caller's register window start in m.rf
+	nregs int32 // caller's register window size
+	dst   int32 // register receiving the return value; -1 discards it
 }
 
-// exec runs code to termination. Function code always terminates through
-// OpRet/OpRetZero (returning from the entry function ends the run as
+// fetch resolves one moded operand. Every mode is pure: no crash, no
+// observation, no step charge (fusion legality depends on this).
+func (m *machine) fetch(mode SrcMode, x int32, regs []vm.Value, frame *vm.Object) vm.Value {
+	switch mode {
+	case SrcReg:
+		return regs[x]
+	case SrcLocal:
+		return frame.Cells[x]
+	case SrcGlobal:
+		return m.globals[x].Cells[0]
+	case SrcConst:
+		return vm.IntValue(int64(x))
+	case SrcGPtr:
+		return vm.PtrValue(m.globals[x], 0)
+	default: // SrcLAddr
+		return vm.PtrValue(frame, int64(x))
+	}
+}
+
+// execState is a resumable position in the general dispatch loop. exec
+// starts one at a function entry; the linear-trace fast path builds one
+// mid-run when the trace diverges or ends (trace.go).
+type execState struct {
+	code  []RInstr
+	pc    int
+	frame *vm.Object
+	base  int32
+	nregs int32
+	calls []callFrame
+}
+
+// exec runs register code to termination. Function code always terminates
+// through RRet/RRetZero (returning from the entry function ends the run as
 // exit(0), like the tree walker's Run); the global init code instead falls
 // off the end of its instruction array and returns nil.
-func (m *machine) exec(code []Instr, frame *vm.Object) error {
+func (m *machine) exec(code []RInstr, frame *vm.Object, nregs int) error {
+	return m.loop(&execState{code: code, frame: frame, nregs: int32(nregs)})
+}
+
+// loop is the general dispatch loop, resumable from any execState.
+func (m *machine) loop(st *execState) error {
 	var (
-		stack = m.arena.Scratch(256)
-		calls []callFrame
-		pc    int
-		base  int
+		code  = st.code
+		pc    = st.pc
+		frame = st.frame
+		base  = st.base
+		calls = st.calls
 	)
+	if int(base)+int(st.nregs) > len(m.rf) {
+		m.growRF(int(base) + int(st.nregs))
+	}
+	regs := m.rf[base : base+st.nregs]
 	for {
 		if pc >= len(code) {
 			if len(calls) != 0 {
@@ -113,12 +191,16 @@ func (m *machine) exec(code []Instr, frame *vm.Object) error {
 			return nil // init code completes by falling off the end
 		}
 		in := &code[pc]
+		if m.rec != nil {
+			m.rec.note(pc, in)
+		}
 		pc++
 		if in.Steps != 0 {
-			// The same pre-order charges the tree walker applies, batched.
-			// The walker trips the budget at the single step that crosses it,
-			// so a batch that crosses clamps to maxSteps+1 with none of this
-			// instruction's effects applied.
+			// The same pre-order charges the tree walker applies, batched
+			// (over both an instruction's subtree prefix and its fused
+			// constituents). The walker trips the budget at the single step
+			// that crosses it, so a batch that crosses clamps to maxSteps+1
+			// with none of this instruction's effects applied.
 			s := m.steps + int64(in.Steps)
 			if s > m.maxSteps {
 				m.steps = m.maxSteps + 1
@@ -127,12 +209,12 @@ func (m *machine) exec(code []Instr, frame *vm.Object) error {
 			m.steps = s
 		}
 		switch in.Op {
-		case OpNop:
+		case RNop:
 
-		case OpConst:
-			stack = append(stack, vm.IntValue(in.Val))
+		case RConst:
+			regs[in.Dst] = vm.IntValue(in.Val)
 
-		case OpStr:
+		case RStr:
 			o := m.strings[in.A]
 			if o == nil {
 				s := m.prog.Strings[in.A]
@@ -140,154 +222,150 @@ func (m *machine) exec(code []Instr, frame *vm.Object) error {
 				o.StoreBytes(0, []byte(s))
 				m.strings[in.A] = o
 			}
-			stack = append(stack, vm.PtrValue(o, 0))
+			regs[in.Dst] = vm.PtrValue(o, 0)
 
-		case OpLoadLocal:
-			stack = append(stack, frame.Cells[in.A])
+		case RLoadLocal:
+			regs[in.Dst] = frame.Cells[in.A]
 
-		case OpLoadGlobal:
-			stack = append(stack, m.globals[in.A].Cells[0])
+		case RLoadGlobal:
+			regs[in.Dst] = m.globals[in.A].Cells[0]
 
-		case OpGlobalPtr:
-			stack = append(stack, vm.PtrValue(m.globals[in.A], 0))
+		case RGlobalPtr:
+			regs[in.Dst] = vm.PtrValue(m.globals[in.A], 0)
 
-		case OpAddrLocal:
-			stack = append(stack, vm.PtrValue(frame, int64(in.A)))
+		case RAddrLocal:
+			regs[in.Dst] = vm.PtrValue(frame, int64(in.A))
 
-		case OpAddrLocalArr:
+		case RAddrLocalArr:
 			av := frame.Cells[in.A]
 			if av.K != vm.KPtr || av.Obj == nil {
 				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
 			}
-			stack = append(stack, vm.PtrValue(av.Obj, av.Off))
+			regs[in.Dst] = vm.PtrValue(av.Obj, av.Off)
 
-		case OpAddrIndex:
-			n := len(stack)
-			obj, off, err := vm.IndexCell(stack[n-2], stack[n-1], in.Pos)
+		case RAddrIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
-			stack = stack[:n-1]
-			stack[n-2] = vm.PtrValue(obj, off)
+			regs[in.Dst] = vm.PtrValue(obj, off)
 
-		case OpAddrDeref:
-			n := len(stack) - 1
-			v := stack[n]
+		case RAddrDeref:
+			v := regs[in.A]
 			if v.K != vm.KPtr || v.Obj == nil {
 				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
 			}
 			if !v.Obj.In(v.Off) {
 				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
 			}
-			stack[n] = vm.PtrValue(v.Obj, v.Off)
+			regs[in.Dst] = vm.PtrValue(v.Obj, v.Off)
 
-		case OpLoadIndex:
-			n := len(stack)
-			obj, off, err := vm.IndexCell(stack[n-2], stack[n-1], in.Pos)
+		case RLoadIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
-			stack = stack[:n-1]
-			stack[n-2] = obj.Cells[off]
+			regs[in.Dst] = obj.Cells[off]
 
-		case OpLoadDeref:
-			n := len(stack) - 1
-			v := stack[n]
+		case RLoadDeref:
+			v := regs[in.A]
 			if v.K != vm.KPtr || v.Obj == nil {
 				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
 			}
 			if !v.Obj.In(v.Off) {
 				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
 			}
-			stack[n] = v.Obj.Cells[v.Off]
+			regs[in.Dst] = v.Obj.Cells[v.Off]
 
-		case OpStoreLocal:
-			frame.Cells[in.A] = stack[len(stack)-1]
+		case RStoreLocal:
+			frame.Cells[in.A] = m.fetch(in.BM, in.B, regs, frame)
 
-		case OpStoreGlobal:
-			m.globals[in.A].Cells[0] = stack[len(stack)-1]
+		case RStoreGlobal:
+			m.globals[in.A].Cells[0] = m.fetch(in.BM, in.B, regs, frame)
 
-		case OpStoreCell:
-			n := len(stack)
-			addr := stack[n-1]
-			stack = stack[:n-1]
-			addr.Obj.Cells[addr.Off] = stack[n-2]
+		case RStoreCell:
+			addr := regs[in.A]
+			addr.Obj.Cells[addr.Off] = m.fetch(in.BM, in.B, regs, frame)
 
-		case OpStoreLocalOp:
-			n := len(stack) - 1
-			nv, err := vm.BinOp(in.Kind, frame.Cells[in.A], stack[n], in.Pos)
+		case RStoreLocalOp:
+			nv, err := vm.BinOp(in.Kind, frame.Cells[in.A], m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
 			frame.Cells[in.A] = nv
-			stack[n] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
 
-		case OpStoreGlobalOp:
-			n := len(stack) - 1
+		case RStoreGlobalOp:
 			g := m.globals[in.A]
-			nv, err := vm.BinOp(in.Kind, g.Cells[0], stack[n], in.Pos)
+			nv, err := vm.BinOp(in.Kind, g.Cells[0], m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
 			g.Cells[0] = nv
-			stack[n] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
 
-		case OpStoreCellOp:
-			n := len(stack)
-			addr := stack[n-1]
-			stack = stack[:n-1]
-			nv, err := vm.BinOp(in.Kind, addr.Obj.Cells[addr.Off], stack[n-2], in.Pos)
+		case RStoreCellOp:
+			addr := regs[in.A]
+			nv, err := vm.BinOp(in.Kind, addr.Obj.Cells[addr.Off], m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
 			addr.Obj.Cells[addr.Off] = nv
-			stack[n-2] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
 
-		case OpSetLocal:
-			n := len(stack) - 1
-			frame.Cells[in.A] = stack[n]
-			stack = stack[:n]
-
-		case OpSetGlobal:
-			n := len(stack) - 1
-			m.globals[in.A].Cells[0] = stack[n]
-			stack = stack[:n]
-
-		case OpZeroLocal:
+		case RZeroLocal:
 			frame.Cells[in.A] = vm.IntValue(0)
 
-		case OpAllocArr:
+		case RAllocArr:
 			frame.Cells[in.A] = vm.PtrValue(m.arena.NewObject(in.Name, in.Val), 0)
 
-		case OpIncLocal:
+		case RIncLocal:
 			old := frame.Cells[in.A]
 			frame.Cells[in.A] = incValue(old, in.Val)
-			stack = append(stack, old)
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
 
-		case OpIncCell:
-			n := len(stack) - 1
-			addr := stack[n]
+		case RIncCell:
+			addr := regs[in.A]
 			old := addr.Obj.Cells[addr.Off]
 			addr.Obj.Cells[addr.Off] = incValue(old, in.Val)
-			stack[n] = old
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
 
-		case OpUnary:
-			n := len(stack) - 1
-			v, err := vm.UnaryOp(in.Kind, stack[n], in.Pos)
+		case RIncIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
 			if err != nil {
 				return err
 			}
-			stack[n] = v
+			old := obj.Cells[off]
+			obj.Cells[off] = incValue(old, in.Val)
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
 
-		case OpBinary:
-			n := len(stack)
-			l, r := stack[n-2], stack[n-1]
+		case RUnary:
+			v, err := vm.UnaryOp(in.Kind, m.fetch(in.AM, in.A, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = v
+
+		case RBinary:
+			l := m.fetch(in.AM, in.A, regs, frame)
+			r := m.fetch(in.BM, in.B, regs, frame)
 			if l.K == vm.KInt && l.Sym == nil && r.K == vm.KInt && r.Sym == nil {
 				// All-concrete fast path; div-by-zero and unknown kinds
 				// decline and take the full BinOp crash/error path below.
 				if cv, ok := vm.ConcreteBin(in.Kind, l.I, r.I); ok {
-					stack = stack[:n-1]
-					stack[n-2] = vm.IntValue(cv)
+					regs[in.Dst] = vm.IntValue(cv)
 					break
 				}
 			}
@@ -295,76 +373,110 @@ func (m *machine) exec(code []Instr, frame *vm.Object) error {
 			if err != nil {
 				return err
 			}
-			stack = stack[:n-1]
-			stack[n-2] = v
+			regs[in.Dst] = v
 
-		case OpBool:
-			n := len(stack) - 1
-			stack[n] = vm.BoolValue(stack[n])
+		case RBinStoreLocal:
+			v, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			frame.Cells[in.C] = v
+			regs[in.Dst] = v
 
-		case OpShortCircuit:
-			n := len(stack) - 1
-			l := stack[n]
-			stack = stack[:n]
+		case RBinStoreGlobal:
+			v, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			m.globals[in.C].Cells[0] = v
+			regs[in.Dst] = v
+
+		case RStoreIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			obj.Cells[off] = m.fetch(in.CM, in.C, regs, frame)
+
+		case RBool:
+			regs[in.Dst] = vm.BoolValue(m.fetch(in.AM, in.A, regs, frame))
+
+		case RShortCircuit:
+			l := m.fetch(in.AM, in.A, regs, frame)
 			lTrue := l.Truthy()
 			if err := m.branch(in.Site, l, lTrue); err != nil {
 				return err
 			}
 			if in.Kind == lang.ANDAND {
 				if !lTrue {
-					stack = append(stack, vm.SymValue(0, vm.BoolExpr(l)))
-					pc = int(in.A)
+					regs[in.Dst] = vm.SymValue(0, vm.BoolExpr(l))
+					pc = int(in.C)
 				}
 			} else if lTrue {
-				stack = append(stack, vm.SymValue(1, vm.BoolExpr(l)))
-				pc = int(in.A)
+				regs[in.Dst] = vm.SymValue(1, vm.BoolExpr(l))
+				pc = int(in.C)
 			}
 
-		case OpBranch:
-			n := len(stack) - 1
-			cond := stack[n]
-			stack = stack[:n]
+		case RBranch:
+			cond := m.fetch(in.AM, in.A, regs, frame)
 			taken := cond.Truthy()
 			if err := m.branch(in.Site, cond, taken); err != nil {
 				return err
 			}
 			if taken {
-				pc = int(in.A)
-			} else {
 				pc = int(in.B)
+			} else {
+				pc = int(in.C)
 			}
 
-		case OpJump:
+		case RCmpBranch:
+			cond, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			taken := cond.Truthy()
+			if err := m.branch(in.Site, cond, taken); err != nil {
+				return err
+			}
+			if taken {
+				pc = int(in.C)
+			} else {
+				pc = int(in.Val)
+			}
+
+		case RJump:
 			pc = int(in.A)
 
-		case OpPop:
-			stack = stack[:len(stack)-1]
-
-		case OpCall:
+		case RCall:
 			fn := in.Fn
-			nargs := int(in.B)
 			callee := m.arena.NewObject(fn.FrameName, int64(fn.Decl.NumSlots))
-			copy(callee.Cells, stack[len(stack)-nargs:])
-			stack = stack[:len(stack)-nargs]
+			copy(callee.Cells, regs[in.A:in.A+in.B])
 			m.depth++
 			if m.depth > m.maxDepth {
 				return vm.CrashError(vm.CrashStackOverflow, fn.Decl.Pos, 0)
 			}
-			calls = append(calls, callFrame{code: code, pc: pc, frame: frame, base: base})
-			code, pc, frame, base = fn.Code, 0, callee, len(stack)
+			calls = append(calls, callFrame{
+				code: code, frame: frame, pc: int32(pc),
+				base: base, nregs: int32(len(regs)), dst: in.Dst,
+			})
+			base += int32(len(regs))
+			if int(base)+fn.NumRegs > len(m.rf) {
+				m.growRF(int(base) + fn.NumRegs)
+			}
+			code, pc, frame = fn.RCode, 0, callee
+			regs = m.rf[base : int(base)+fn.NumRegs]
 
-		case OpCallB:
-			nargs := int(in.B)
-			v, err := m.host.Call(in.Name, in.Pos, stack[len(stack)-nargs:])
+		case RCallB:
+			v, err := m.host.Call(in.Name, in.Pos, regs[in.A:in.A+in.B])
 			if err != nil {
 				return err
 			}
-			stack = append(stack[:len(stack)-nargs], v)
+			regs[in.Dst] = v
 
-		case OpRet, OpRetZero:
+		case RRet, RRetZero:
 			v := vm.IntValue(0)
-			if in.Op == OpRet {
-				v = stack[len(stack)-1]
+			if in.Op == RRet {
+				v = m.fetch(in.AM, in.A, regs, frame)
 			}
 			m.depth--
 			if len(calls) == 0 {
@@ -374,14 +486,29 @@ func (m *machine) exec(code []Instr, frame *vm.Object) error {
 			}
 			cf := calls[len(calls)-1]
 			calls = calls[:len(calls)-1]
-			stack = stack[:base]
-			code, pc, frame, base = cf.code, cf.pc, cf.frame, cf.base
-			stack = append(stack, v)
+			code, pc, frame, base = cf.code, int(cf.pc), cf.frame, cf.base
+			regs = m.rf[base : base+cf.nregs]
+			if cf.dst >= 0 {
+				regs[cf.dst] = v
+			}
 
 		default:
 			return fmt.Errorf("ir: unknown opcode %v", in.Op)
 		}
 	}
+}
+
+// binValue evaluates the binary-operator half of RBinary-derived fused
+// instructions, with the same all-concrete fast path as RBinary.
+func (m *machine) binValue(in *RInstr, regs []vm.Value, frame *vm.Object) (vm.Value, error) {
+	l := m.fetch(in.AM, in.A, regs, frame)
+	r := m.fetch(in.BM, in.B, regs, frame)
+	if l.K == vm.KInt && l.Sym == nil && r.K == vm.KInt && r.Sym == nil {
+		if cv, ok := vm.ConcreteBin(in.Kind, l.I, r.I); ok {
+			return vm.IntValue(cv), nil
+		}
+	}
+	return vm.BinOp(in.Kind, l, r, in.Pos)
 }
 
 // incValue applies x++/x-- to a cell value with the tree walker's rules:
@@ -405,6 +532,9 @@ func incValue(old vm.Value, delta int64) vm.Value {
 // branch reports one branch execution to the sink, as VM.branch does.
 func (m *machine) branch(site *lang.BranchSite, cond vm.Value, taken bool) error {
 	m.branchExecs++
+	if m.rec != nil {
+		m.rec.taken = taken
+	}
 	if m.opts.Sink == nil {
 		return nil
 	}

@@ -1,0 +1,360 @@
+package ir
+
+import (
+	"pathlog/internal/lang"
+	"pathlog/internal/vm"
+)
+
+// Superinstruction fusion. fuse runs a cascading peephole over register code:
+// each incoming instruction is appended and then the tail is repeatedly
+// shrunk — operand loads fold into their consumers as source modes, compares
+// fold into the branch that consumes them, address computations fold into the
+// store/increment behind them, and constant subexpressions evaluate at
+// compile time. A fused instruction charges the summed Steps of its
+// constituents before any of its effects.
+//
+// Fusion legality is about that charge batching. The tree walker interleaves
+// charges and effects (charge, effect, charge, effect, ...), and both the
+// step budget and the final step count are observable: a run that crashes or
+// trips the budget reports exactly the charges applied so far. Batching a
+// group's charges up front is therefore exact if and only if every
+// constituent that precedes a later-charged or final constituent is *pure* —
+// it cannot crash, cannot report a branch event, cannot touch the kernel,
+// and carries no observable effect whose ordering against a budget trip
+// matters. The fold rules below only ever prepend pure producers (const,
+// local/global loads, pointer materializations) to a group, so the batched
+// schedule is indistinguishable from the walker's: any budget trip inside
+// the batch happens before effects either way, and a crash in the group's
+// tail sees exactly the same accumulated step count.
+//
+// Fusion never crosses a jump target: an instruction whose pc is a branch
+// destination must remain separately addressable, so it can only start a
+// group, never be absorbed into one.
+
+// fuse collapses hot pairs/triples in rcode into superinstructions and
+// rewrites jump targets to the shrunk code.
+func fuse(rcode []RInstr) []RInstr {
+	n := len(rcode)
+	leaders := make([]bool, n+1)
+	for i := range rcode {
+		switch rcode[i].Op {
+		case RJump:
+			leaders[rcode[i].A] = true
+		case RBranch:
+			leaders[rcode[i].B] = true
+			leaders[rcode[i].C] = true
+		case RShortCircuit:
+			leaders[rcode[i].C] = true
+		}
+	}
+
+	out := make([]RInstr, 0, n)
+	head := make([]int, 0, n) // original pc of each out entry's first constituent
+	newPC := make([]int32, n+1)
+	for i := range rcode {
+		newPC[i] = int32(len(out))
+		out = append(out, rcode[i])
+		head = append(head, i)
+		for {
+			if shrinkTail(&out, head, leaders) {
+				head = head[:len(out)]
+				continue
+			}
+			break
+		}
+	}
+	newPC[n] = int32(len(out))
+
+	// Rewrite jump targets to post-fusion pcs. Every target is a leader, and
+	// leaders always head their group, so newPC is exact for them.
+	for i := range out {
+		r := &out[i]
+		switch r.Op {
+		case RJump:
+			r.A = newPC[r.A]
+		case RBranch:
+			r.B, r.C = newPC[r.B], newPC[r.C]
+		case RShortCircuit:
+			r.C = newPC[r.C]
+		case RCmpBranch:
+			r.C = newPC[r.C]
+			r.Val = int64(newPC[r.Val])
+		}
+	}
+	return out
+}
+
+// shrinkTail tries one peephole rewrite on the tail of out, reporting
+// whether it changed anything. Pair rules merge out[n-2] and out[n-1] into
+// one instruction at n-2; self rules rewrite out[n-1] in place (and report
+// false to let the caller's loop re-enter cleanly via the pair rules).
+func shrinkTail(outp *[]RInstr, head []int, leaders []bool) bool {
+	out := *outp
+	n := len(out)
+	if n == 0 {
+		return false
+	}
+	if constFold(&out[n-1]) {
+		return true
+	}
+	if n < 2 || leaders[head[n-1]] {
+		return false
+	}
+	a, b := &out[n-2], &out[n-1]
+	merged, ok := fusePair(a, b)
+	if !ok {
+		return false
+	}
+	out[n-2] = merged
+	*outp = out[:n-1]
+	return true
+}
+
+// fusePair merges two adjacent instructions when a fusion rule applies.
+func fusePair(a, b *RInstr) (RInstr, bool) {
+	// A trailing charge-only nop (the flush before a label) folds backward
+	// into any pure fall-through instruction: the charge moves earlier
+	// across effects that cannot crash or observe, which the budget clamp
+	// makes exact.
+	if b.Op == RNop && isPure(a.Op) {
+		m := *a
+		m.Steps += b.Steps
+		return m, true
+	}
+
+	// A pure producer folds into a moded operand slot of its consumer.
+	if mode, idx, ok := producerMode(a); ok {
+		if m, ok := foldOperand(a, b, mode, idx); ok {
+			return m, true
+		}
+	}
+
+	switch {
+	// compare + branch.
+	case a.Op == RBinary && b.Op == RBranch && isCmpKind(a.Kind) &&
+		b.AM == SrcReg && b.A == a.Dst:
+		m := *a
+		m.Op = RCmpBranch
+		m.Dst = -1
+		m.C = b.B
+		m.Val = int64(b.C)
+		m.Site = b.Site
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+
+	// binop + store (load+binop+store once the operand folds land). The
+	// result register write is kept: assignment is an expression and a
+	// surrounding consumer may read it.
+	case a.Op == RBinary && (b.Op == RStoreLocal || b.Op == RStoreGlobal) &&
+		b.BM == SrcReg && b.B == a.Dst:
+		m := *a
+		if b.Op == RStoreLocal {
+			m.Op = RBinStoreLocal
+		} else {
+			m.Op = RBinStoreGlobal
+		}
+		m.C = b.A
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+
+	// index address + store through it.
+	case a.Op == RAddrIndex && b.Op == RStoreCell && b.A == a.Dst:
+		m := *a
+		m.Op = RStoreIndex
+		m.Dst = -1
+		m.CM = b.BM
+		m.C = b.B
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+
+	// index address + increment through it (h[i]++).
+	case a.Op == RAddrIndex && b.Op == RIncCell && b.A == a.Dst:
+		m := *a
+		m.Op = RIncIndex
+		m.Dst = b.Dst
+		m.Val = b.Val
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+	}
+	return RInstr{}, false
+}
+
+// isCmpKind reports whether a binary operator is a comparison — the shapes
+// RCmpBranch handles. Fusing is legal even for pointer compares that can
+// crash: both constituents carry zero Steps (consumers never hold charges),
+// and the compare still evaluates before the branch event fires.
+func isCmpKind(k lang.Kind) bool {
+	switch k {
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		return true
+	}
+	return false
+}
+
+// producerMode reports the source mode a pure producer folds to.
+func producerMode(a *RInstr) (SrcMode, int32, bool) {
+	if a.Dst < 0 {
+		return 0, 0, false
+	}
+	switch a.Op {
+	case RConst:
+		if int64(int32(a.Val)) == a.Val {
+			return SrcConst, int32(a.Val), true
+		}
+	case RLoadLocal:
+		return SrcLocal, a.A, true
+	case RLoadGlobal:
+		return SrcGlobal, a.A, true
+	case RGlobalPtr:
+		return SrcGPtr, a.A, true
+	case RAddrLocal:
+		return SrcLAddr, a.A, true
+	}
+	return 0, 0, false
+}
+
+// foldOperand rewrites the operand slot of b that reads a's destination
+// register, absorbing a (and its charge) into b. The B slot is checked
+// before A: operand B sits above A on the conceptual stack, so an adjacent
+// producer feeds B first; cascading folds then expose A.
+func foldOperand(a, b *RInstr, mode SrcMode, idx int32) (RInstr, bool) {
+	r := a.Dst
+	var slot *int32
+	var slotMode *SrcMode
+	switch b.Op {
+	case RBinary, RCmpBranch, RAddrIndex, RLoadIndex,
+		RBinStoreLocal, RBinStoreGlobal, RStoreIndex:
+		m := *b
+		switch {
+		case m.CM == SrcReg && m.Op == RStoreIndex && m.C == r:
+			slot, slotMode = &m.C, &m.CM
+		case m.BM == SrcReg && m.B == r:
+			slot, slotMode = &m.B, &m.BM
+		case m.AM == SrcReg && m.A == r:
+			slot, slotMode = &m.A, &m.AM
+		default:
+			return RInstr{}, false
+		}
+		*slot, *slotMode = idx, mode
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+	case RUnary, RBool, RBranch, RShortCircuit, RRet:
+		if b.AM != SrcReg || b.A != r {
+			return RInstr{}, false
+		}
+		m := *b
+		m.AM, m.A = mode, idx
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+	case RStoreLocal, RStoreGlobal, RStoreCell,
+		RStoreLocalOp, RStoreGlobalOp, RStoreCellOp:
+		if b.BM != SrcReg || b.B != r {
+			return RInstr{}, false
+		}
+		m := *b
+		m.BM, m.B = mode, idx
+		m.Steps = a.Steps + b.Steps
+		m.Sub = joinSub(a, b)
+		return m, true
+	}
+	return RInstr{}, false
+}
+
+// constFold evaluates an all-constant instruction at compile time, rewriting
+// it to RConst in place. Folds that could crash at run time (division by
+// zero) decline and stay runtime instructions.
+func constFold(r *RInstr) bool {
+	switch r.Op {
+	case RBinary:
+		if r.AM != SrcConst || r.BM != SrcConst {
+			return false
+		}
+		cv, ok := vm.ConcreteBin(r.Kind, int64(r.A), int64(r.B))
+		if !ok {
+			return false
+		}
+		*r = RInstr{Op: RConst, Steps: r.Steps, Dst: r.Dst, Val: cv, Sub: joinSub(r, nil)}
+		return true
+	case RUnary:
+		if r.AM != SrcConst {
+			return false
+		}
+		v, err := vm.UnaryOp(r.Kind, vm.IntValue(int64(r.A)), r.Pos)
+		if err != nil || v.K != vm.KInt || v.Sym != nil {
+			return false
+		}
+		*r = RInstr{Op: RConst, Steps: r.Steps, Dst: r.Dst, Val: v.I, Sub: joinSub(r, nil)}
+		return true
+	case RBool:
+		if r.AM != SrcConst {
+			return false
+		}
+		truth := int64(0)
+		if r.A != 0 {
+			truth = 1
+		}
+		*r = RInstr{Op: RConst, Steps: r.Steps, Dst: r.Dst, Val: truth, Sub: joinSub(r, nil)}
+		return true
+	}
+	return false
+}
+
+// isPure reports whether an opcode can neither crash, observe (branch
+// events, kernel calls, output), nor transfer control — the condition for
+// both absorbing a trailing charge and leading a charge-batched group.
+func isPure(op ROp) bool {
+	switch op {
+	case RNop, RConst, RStr, RLoadLocal, RLoadGlobal, RGlobalPtr, RAddrLocal,
+		RStoreLocal, RStoreGlobal, RZeroLocal, RAllocArr, RIncLocal, RBool:
+		return true
+	}
+	return false
+}
+
+// joinSub concatenates the constituent lists of two instructions (b may be
+// nil for an in-place rewrite).
+func joinSub(a, b *RInstr) []ROp {
+	sub := make([]ROp, 0, 4)
+	if a.Sub != nil {
+		sub = append(sub, a.Sub...)
+	} else {
+		sub = append(sub, a.Op)
+	}
+	if b != nil {
+		if b.Sub != nil {
+			sub = append(sub, b.Sub...)
+		} else {
+			sub = append(sub, b.Op)
+		}
+	}
+	return sub
+}
+
+// FusedStats counts, per resulting opcode, the superinstructions fusion
+// emitted across the program (instructions that replaced two or more
+// constituents), plus constant-folded instructions under "const".
+type FusedStats map[string]int
+
+// FuseStats tallies the fusion results of every function (and the init
+// sequence) of the program.
+func (p *Program) FuseStats() FusedStats {
+	st := FusedStats{}
+	count := func(code []RInstr) {
+		for i := range code {
+			if len(code[i].Sub) > 1 {
+				st[code[i].Op.String()]++
+			}
+		}
+	}
+	count(p.RInit)
+	for _, fc := range p.Funcs {
+		count(fc.RCode)
+	}
+	return st
+}

@@ -154,9 +154,16 @@ type FuncCode struct {
 	// FrameName is Decl.Name + ".frame", precomputed so frame allocation
 	// matches the tree walker's object naming without per-call formatting.
 	FrameName string
-	// Code is the flat instruction array; entry is index 0 and every path
-	// ends in OpRet/OpRetZero.
+	// Code is the flat stack-form instruction array the compiler emits; it
+	// carries the tree walker's step-charge schedule and is the input to
+	// register lowering. Entry is index 0 and every path ends in
+	// OpRet/OpRetZero.
 	Code []Instr
+	// RCode is the fused register-form code the VM executes, lowered from
+	// Code (lower.go, fuse.go).
+	RCode []RInstr
+	// NumRegs is the number of virtual registers RCode needs.
+	NumRegs int
 }
 
 // Program is one compiled program: the bytecode of every function plus the
@@ -173,6 +180,10 @@ type Program struct {
 	// Init is the global-initializer code, run once before main with no
 	// frame; it ends by falling off the end of the array.
 	Init []Instr
+	// RInit is the register form of Init, with InitRegs virtual registers.
+	RInit []RInstr
+	// InitRegs is the register count of RInit.
+	InitRegs int
 	// Strings is the string constant pool; OpStr.A indexes it. One entry per
 	// string-literal site, in source order, matching the tree walker's
 	// per-site interning.

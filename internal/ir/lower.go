@@ -1,0 +1,256 @@
+package ir
+
+// Lowering from stack bytecode to register form. The stack code of this
+// front end is structured: the operand-stack depth at every pc is a
+// compile-time constant and agrees across all control-flow edges into a pc
+// (statements execute at depth 0; the only mid-expression join, the
+// short-circuit merge, pushes the result on both edges). That makes register
+// allocation positional — the value at stack depth d lives in virtual
+// register d — so lowering is a single linear scan that rewrites each stack
+// instruction into its register form at the depth it executes, with no
+// dataflow analysis.
+//
+// The scan also performs the two cleanups that need stack-shape knowledge:
+// OpPop disappears entirely (discarding a register value is free), and a
+// value that dies at a Pop has its producer's destination write elided
+// (compound stores and increments keep their memory effect, drop the dead
+// old-value register write; a pure load of a dead value is deleted with its
+// charge preserved). Everything else — operand folding, superinstruction
+// fusion, constant folding — happens in fuse.go on the register code.
+
+// lower converts one function's (or the init sequence's) stack code to fused
+// register code, returning the code and the number of virtual registers it
+// needs.
+func lower(code []Instr) ([]RInstr, int) {
+	rcode, nregs := lowerCode(code)
+	return fuse(rcode), nregs
+}
+
+// lowerCode is the fusion-free lowering pass.
+func lowerCode(code []Instr) ([]RInstr, int) {
+	n := len(code)
+	// depth[i] is the operand-stack depth on entry to stack pc i, when that
+	// pc is a jump target (recorded when the jump is lowered; every jump in
+	// this IR is forward except loop back-edges to already-visited pcs).
+	depth := make([]int, n+1)
+	for i := range depth {
+		depth[i] = -1
+	}
+	setDepth := func(t int32, d int) {
+		if depth[t] < 0 {
+			depth[t] = d
+		}
+	}
+
+	out := make([]RInstr, 0, n)
+	// pcMap[i] is the register-code pc of stack pc i (for stack pcs that
+	// emit nothing, the position of the next emitted instruction — jump
+	// targets always emit or are followed by emission).
+	pcMap := make([]int32, n+1)
+	nregs := 0
+	d := 0 // running fall-through depth; -1 after an unconditional transfer
+
+	for i := 0; i < n; i++ {
+		pcMap[i] = int32(len(out))
+		if depth[i] >= 0 {
+			d = depth[i]
+		} else if d < 0 {
+			// Unreachable code (statements after a return) still lowers;
+			// statement-level code runs at depth 0.
+			d = 0
+		}
+		in := &code[i]
+		steps := in.Steps
+		rd := func(v int) int32 { return int32(v) } // readability only
+		emit := func(r RInstr) {
+			r.Steps = steps
+			out = append(out, r)
+		}
+		switch in.Op {
+		case OpNop:
+			if steps > 0 {
+				emit(RInstr{Op: RNop, Dst: -1})
+			}
+
+		case OpConst:
+			emit(RInstr{Op: RConst, Dst: rd(d), Val: in.Val})
+			d++
+
+		case OpStr:
+			emit(RInstr{Op: RStr, Dst: rd(d), A: in.A})
+			d++
+
+		case OpLoadLocal:
+			emit(RInstr{Op: RLoadLocal, Dst: rd(d), A: in.A})
+			d++
+
+		case OpLoadGlobal:
+			emit(RInstr{Op: RLoadGlobal, Dst: rd(d), A: in.A})
+			d++
+
+		case OpGlobalPtr:
+			emit(RInstr{Op: RGlobalPtr, Dst: rd(d), A: in.A})
+			d++
+
+		case OpAddrLocal:
+			emit(RInstr{Op: RAddrLocal, Dst: rd(d), A: in.A})
+			d++
+
+		case OpAddrLocalArr:
+			emit(RInstr{Op: RAddrLocalArr, Dst: rd(d), A: in.A, Pos: in.Pos})
+			d++
+
+		case OpAddrIndex:
+			emit(RInstr{Op: RAddrIndex, Dst: rd(d - 2), A: rd(d - 2), B: rd(d - 1), Pos: in.Pos})
+			d--
+
+		case OpAddrDeref:
+			emit(RInstr{Op: RAddrDeref, Dst: rd(d - 1), A: rd(d - 1), Pos: in.Pos})
+
+		case OpLoadIndex:
+			emit(RInstr{Op: RLoadIndex, Dst: rd(d - 2), A: rd(d - 2), B: rd(d - 1), Pos: in.Pos})
+			d--
+
+		case OpLoadDeref:
+			emit(RInstr{Op: RLoadDeref, Dst: rd(d - 1), A: rd(d - 1), Pos: in.Pos})
+
+		case OpStoreLocal: // peek: the value stays at d-1
+			emit(RInstr{Op: RStoreLocal, Dst: -1, A: in.A, B: rd(d - 1)})
+
+		case OpStoreGlobal:
+			emit(RInstr{Op: RStoreGlobal, Dst: -1, A: in.A, B: rd(d - 1)})
+
+		case OpStoreCell: // pops the address, peeks the value
+			emit(RInstr{Op: RStoreCell, Dst: -1, A: rd(d - 1), B: rd(d - 2)})
+			d--
+
+		case OpStoreLocalOp:
+			emit(RInstr{Op: RStoreLocalOp, Dst: rd(d - 1), A: in.A, B: rd(d - 1), Kind: in.Kind, Pos: in.Pos})
+
+		case OpStoreGlobalOp:
+			emit(RInstr{Op: RStoreGlobalOp, Dst: rd(d - 1), A: in.A, B: rd(d - 1), Kind: in.Kind, Pos: in.Pos})
+
+		case OpStoreCellOp:
+			emit(RInstr{Op: RStoreCellOp, Dst: rd(d - 2), A: rd(d - 1), B: rd(d - 2), Kind: in.Kind, Pos: in.Pos})
+			d--
+
+		case OpSetLocal: // pop into slot: same store, value just dies
+			emit(RInstr{Op: RStoreLocal, Dst: -1, A: in.A, B: rd(d - 1)})
+			d--
+
+		case OpSetGlobal:
+			emit(RInstr{Op: RStoreGlobal, Dst: -1, A: in.A, B: rd(d - 1)})
+			d--
+
+		case OpZeroLocal:
+			emit(RInstr{Op: RZeroLocal, Dst: -1, A: in.A})
+
+		case OpAllocArr:
+			emit(RInstr{Op: RAllocArr, Dst: -1, A: in.A, Val: in.Val, Name: in.Name})
+
+		case OpIncLocal:
+			emit(RInstr{Op: RIncLocal, Dst: rd(d), A: in.A, Val: in.Val})
+			d++
+
+		case OpIncCell:
+			emit(RInstr{Op: RIncCell, Dst: rd(d - 1), A: rd(d - 1), Val: in.Val})
+
+		case OpUnary:
+			emit(RInstr{Op: RUnary, Dst: rd(d - 1), A: rd(d - 1), Kind: in.Kind, Pos: in.Pos})
+
+		case OpBinary:
+			emit(RInstr{Op: RBinary, Dst: rd(d - 2), A: rd(d - 2), B: rd(d - 1), Kind: in.Kind, Pos: in.Pos})
+			d--
+
+		case OpBool:
+			emit(RInstr{Op: RBool, Dst: rd(d - 1), A: rd(d - 1)})
+
+		case OpShortCircuit:
+			// Pops the left operand; the jump target receives the pushed
+			// short-circuit result at the operand's depth.
+			emit(RInstr{Op: RShortCircuit, Dst: rd(d - 1), A: rd(d - 1), C: in.A, Kind: in.Kind, Site: in.Site})
+			setDepth(in.A, d)
+			d--
+
+		case OpBranch:
+			emit(RInstr{Op: RBranch, Dst: -1, A: rd(d - 1), B: in.A, C: in.B, Site: in.Site})
+			setDepth(in.A, d-1)
+			setDepth(in.B, d-1)
+			d = -1
+
+		case OpJump:
+			emit(RInstr{Op: RJump, Dst: -1, A: in.A})
+			setDepth(in.A, d)
+			d = -1
+
+		case OpPop:
+			// Discarding a register value is free. If the dying value's
+			// producer is the previous instruction, elide its dead
+			// destination write; a pure load of a dead value disappears
+			// entirely (its charge is preserved as a bare RNop, and when the
+			// charge is zero the load was mid-expression, so its pc cannot
+			// be a jump target and deleting it is safe).
+			d--
+			if steps > 0 {
+				// Defensive: the compiler never charges a Pop (it always
+				// follows the expression's own instructions), but a charge
+				// here must not be lost.
+				emit(RInstr{Op: RNop, Dst: -1})
+				break
+			}
+			if len(out) == 0 {
+				break
+			}
+			last := &out[len(out)-1]
+			if last.Dst != int32(d) {
+				break
+			}
+			switch last.Op {
+			case RIncLocal, RIncCell, RStoreLocalOp, RStoreGlobalOp, RStoreCellOp:
+				last.Dst = -1
+			case RConst, RStr, RLoadLocal, RLoadGlobal, RGlobalPtr, RAddrLocal:
+				if last.Steps > 0 {
+					*last = RInstr{Op: RNop, Steps: last.Steps, Dst: -1}
+				} else {
+					out = out[:len(out)-1]
+				}
+			}
+
+		case OpCall:
+			nargs := int(in.B)
+			emit(RInstr{Op: RCall, Dst: rd(d - nargs), A: rd(d - nargs), B: in.B, Fn: in.Fn})
+			d -= nargs - 1
+
+		case OpCallB:
+			nargs := int(in.B)
+			emit(RInstr{Op: RCallB, Dst: rd(d - nargs), A: rd(d - nargs), B: in.B, Name: in.Name, Pos: in.Pos})
+			d -= nargs - 1
+
+		case OpRet:
+			emit(RInstr{Op: RRet, Dst: -1, A: rd(d - 1)})
+			d = -1
+
+		case OpRetZero:
+			emit(RInstr{Op: RRetZero, Dst: -1})
+			d = -1
+		}
+		if d > nregs {
+			nregs = d
+		}
+	}
+	pcMap[n] = int32(len(out))
+
+	// Rewrite jump targets from stack pcs to register pcs.
+	for i := range out {
+		r := &out[i]
+		switch r.Op {
+		case RJump:
+			r.A = pcMap[r.A]
+		case RBranch:
+			r.B, r.C = pcMap[r.B], pcMap[r.C]
+		case RShortCircuit:
+			r.C = pcMap[r.C]
+		}
+	}
+	return out, nregs
+}

@@ -1,0 +1,523 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"pathlog/internal/lang"
+	"pathlog/internal/vm"
+)
+
+// Linear-trace replay fast path. A search (replay reproduction, concolic
+// exploration) runs the same program hundreds of times with inputs that
+// mostly follow the same path. The search's seed run — which both engines
+// complete before any sibling run starts — records the instruction sequence
+// it executes into a straight-line array; every later run of the search
+// executes that array front to back, with no jump dispatch and no
+// branch-target computation, until its own input first disagrees with a
+// recorded branch direction. At that point (and at the end of the trace) it
+// hands the live machine state to the general dispatch loop and continues
+// there.
+//
+// Exactness. The fast path executes the same instruction effects, in the
+// same order, with the same step-charge schedule as the general loop:
+//
+//   - RJump and RNop disappear from the trace; their charges fold forward
+//     into the next recorded instruction. Neither opcode has an effect or an
+//     observation, and a charge batch that trips the budget clamps to
+//     maxSteps+1 with nothing applied — so moving a pure instruction's
+//     charge onto its dynamic successor is indistinguishable from the
+//     general loop (the same argument that makes superinstruction fusion
+//     exact; see fuse.go).
+//   - Branch instructions stay in the trace and fire their sink event
+//     before the direction guard, exactly as the general loop fires it
+//     before moving pc.
+//   - An instruction is recorded only after it completes. The instruction a
+//     seed run dies in (crash, budget, sink abort, or the final return) is
+//     excluded, and the trace's resume point names it, so later runs execute
+//     it in the general loop with full effect.
+//
+// Divergence is detected at branch guards only; between branches MiniC
+// control flow is input-independent (calls and returns are unconditional),
+// so a run that agrees with every guard so far is exactly on the recorded
+// path.
+
+// traceCap bounds recorded entries (and so per-search memory). Runs longer
+// than the cap execute the capped prefix on the fast path and the rest in
+// the general loop, via the same resume mechanism as every other trace end.
+// traceMaxPC and traceMaxCum guard the compact entry encoding: recording
+// stops (same resume mechanism) rather than overflow a field.
+const (
+	traceCap    = 1 << 15
+	traceMaxPC  = 1<<16 - 1
+	traceMaxCum = 1 << 30
+)
+
+// tEntry is one recorded instruction. It points at the real instruction
+// rather than copying it: the referenced code arrays are the same hot lines
+// the general loop keeps in cache, and a 16-byte entry keeps the trace
+// stream itself an order of magnitude smaller than an RInstr copy would —
+// replaying is a sequential walk, so entry size is bandwidth.
+type tEntry struct {
+	in *RInstr
+	// cum is the cumulative step charge through this entry (the entry's own
+	// Steps, carries folded forward from elided jumps/nops, and everything
+	// before it). Every on-trace run charges the same schedule, so absolute
+	// prefix sums replace per-entry budget arithmetic: the replay loop's
+	// steps counter is start+cum, and the budget trip point is a single
+	// binary search before the loop.
+	cum int32
+	// realPC is the instruction's pc in its function's RCode, the anchor for
+	// call returns and divergence fallback.
+	realPC uint16
+	// expected is the recorded branch direction (branch opcodes only).
+	expected bool
+}
+
+// linearTrace is the recorded seed run: the committed entries, plus where in
+// the real code the run after the last entry continues.
+type linearTrace struct {
+	entries []tEntry
+	// resumePC continues the general loop after the last entry, in the
+	// function active at that point (tracked through the trace's own
+	// call/return entries).
+	resumePC int32
+	// endSteps is the charge carried by jumps/nops executed after the last
+	// committed entry, applied before resuming.
+	endSteps int32
+}
+
+// traceRecorder accumulates the trace during the seed run's general loop.
+// An instruction is staged when the loop reaches it and committed when the
+// loop reaches its dynamic successor — so the instruction the run dies in
+// is staged but never committed, which is exactly the truncation the resume
+// rule wants.
+type traceRecorder struct {
+	entries     []tEntry
+	staged      tEntry
+	stagedSteps int32 // the staged instruction's own charge
+	stagedValid bool
+	// carry folds the charges of jumps/nops (which are elided from the
+	// trace) into the next committed entry.
+	carry int32
+	// cum is the total charge committed so far (the last entry's cum).
+	cum int64
+	// resumePC tracks where execution continues after everything committed
+	// so far: the staged instruction, or a jump target.
+	resumePC int32
+	// taken is the last branch direction, written by machine.branch while
+	// the staged instruction executes.
+	taken bool
+	// done is set when a cap is reached; recording stops, execution
+	// continues.
+	done bool
+}
+
+func newTraceRecorder() *traceRecorder {
+	return &traceRecorder{entries: make([]tEntry, 0, 1024)}
+}
+
+// note observes the general loop reaching pc. It commits the previously
+// staged instruction (it completed — the loop moved past it) and stages
+// this one; jumps and nops are elided into the charge carry instead.
+func (r *traceRecorder) note(pc int, in *RInstr) {
+	if r.done {
+		return
+	}
+	r.commit()
+	if r.done {
+		return // commit hit the charge cap and set the resume point itself
+	}
+	if len(r.entries) >= traceCap || pc > traceMaxPC {
+		// Entry-count or pc-encoding cap. The current instruction is not
+		// recorded; resuming at it re-executes it with full charge and
+		// effect.
+		r.done = true
+		r.resumePC = int32(pc)
+		return
+	}
+	if in.Op == RJump || in.Op == RNop {
+		r.carry += in.Steps
+		if in.Op == RJump {
+			r.resumePC = in.A
+		} else {
+			r.resumePC = int32(pc + 1)
+		}
+		return
+	}
+	r.staged = tEntry{in: in, realPC: uint16(pc)}
+	r.stagedSteps = in.Steps
+	r.stagedValid = true
+	r.resumePC = int32(pc)
+}
+
+// commit finalizes the staged entry: the carry and the instruction's own
+// charge extend the cumulative sum, and the branch direction observed during
+// its execution becomes the guard. On cumulative overflow the staged entry
+// is dropped instead (it executed, but later runs will re-execute it in the
+// general loop — the same truncation rule as a seed run dying in it).
+func (r *traceRecorder) commit() {
+	if !r.stagedValid {
+		return
+	}
+	r.stagedValid = false
+	total := r.cum + int64(r.stagedSteps) + int64(r.carry)
+	if total > traceMaxCum {
+		r.done = true
+		r.resumePC = int32(r.staged.realPC)
+		return
+	}
+	r.carry = 0
+	r.cum = total
+	r.staged.cum = int32(total)
+	r.staged.expected = r.taken
+	r.entries = append(r.entries, r.staged)
+}
+
+// finish builds the trace once the seed run ended. The staged instruction
+// (the one the run died in) is dropped; resumePC already names it.
+func (r *traceRecorder) finish() *linearTrace {
+	return &linearTrace{entries: r.entries, resumePC: r.resumePC, endSteps: r.carry}
+}
+
+// runTraced executes main on the linear trace, falling back to the general
+// loop at first divergence or at trace end. The handlers mirror loop's
+// exactly; only control transfers differ (linear continuation plus guards).
+func (m *machine) runTraced(t *linearTrace, frame *vm.Object, nregs int) error {
+	if nregs > len(m.rf) {
+		m.growRF(nregs)
+	}
+	var (
+		calls []callFrame
+		base  int32
+		code  = m.prog.Main.RCode // real code of the current function
+		nr    = int32(nregs)
+	)
+	regs := m.rf[:nregs]
+	// resume hands the live state to the general loop at a real pc.
+	resume := func(pc int32) error {
+		return m.loop(&execState{
+			code: code, pc: int(pc), frame: frame,
+			base: base, nregs: nr, calls: calls,
+		})
+	}
+	// Every on-trace run charges the same schedule, so the budget trip point
+	// — the first entry whose cumulative charge crosses the remaining budget
+	// — is known before the loop starts. Entries before it execute with no
+	// budget arithmetic beyond one store; the trip itself clamps exactly as
+	// the general loop would, with none of the tripping entry's effects
+	// applied.
+	start := m.steps
+	limit := len(t.entries)
+	tripped := false
+	if limit > 0 && start+int64(t.entries[limit-1].cum) > m.maxSteps {
+		rem := m.maxSteps - start
+		limit = sort.Search(limit, func(i int) bool { return int64(t.entries[i].cum) > rem })
+		tripped = true
+	}
+	for ti := 0; ti < limit; ti++ {
+		e := &t.entries[ti]
+		in := e.in
+		// Charge before effects, as the general loop does: any observation
+		// or crash inside this entry sees the entry's charge applied.
+		m.steps = start + int64(e.cum)
+		switch in.Op {
+		case RConst:
+			regs[in.Dst] = vm.IntValue(in.Val)
+
+		case RStr:
+			o := m.strings[in.A]
+			if o == nil {
+				s := m.prog.Strings[in.A]
+				o = m.arena.NewObject("str", int64(len(s))+1)
+				o.StoreBytes(0, []byte(s))
+				m.strings[in.A] = o
+			}
+			regs[in.Dst] = vm.PtrValue(o, 0)
+
+		case RLoadLocal:
+			regs[in.Dst] = frame.Cells[in.A]
+
+		case RLoadGlobal:
+			regs[in.Dst] = m.globals[in.A].Cells[0]
+
+		case RGlobalPtr:
+			regs[in.Dst] = vm.PtrValue(m.globals[in.A], 0)
+
+		case RAddrLocal:
+			regs[in.Dst] = vm.PtrValue(frame, int64(in.A))
+
+		case RAddrLocalArr:
+			av := frame.Cells[in.A]
+			if av.K != vm.KPtr || av.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			regs[in.Dst] = vm.PtrValue(av.Obj, av.Off)
+
+		case RAddrIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = vm.PtrValue(obj, off)
+
+		case RAddrDeref:
+			v := regs[in.A]
+			if v.K != vm.KPtr || v.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			if !v.Obj.In(v.Off) {
+				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
+			}
+			regs[in.Dst] = vm.PtrValue(v.Obj, v.Off)
+
+		case RLoadIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = obj.Cells[off]
+
+		case RLoadDeref:
+			v := regs[in.A]
+			if v.K != vm.KPtr || v.Obj == nil {
+				return vm.CrashError(vm.CrashNullDeref, in.Pos, 0)
+			}
+			if !v.Obj.In(v.Off) {
+				return vm.CrashError(vm.CrashOOB, in.Pos, 0)
+			}
+			regs[in.Dst] = v.Obj.Cells[v.Off]
+
+		case RStoreLocal:
+			frame.Cells[in.A] = m.fetch(in.BM, in.B, regs, frame)
+
+		case RStoreGlobal:
+			m.globals[in.A].Cells[0] = m.fetch(in.BM, in.B, regs, frame)
+
+		case RStoreCell:
+			addr := regs[in.A]
+			addr.Obj.Cells[addr.Off] = m.fetch(in.BM, in.B, regs, frame)
+
+		case RStoreLocalOp:
+			nv, err := vm.BinOp(in.Kind, frame.Cells[in.A], m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			frame.Cells[in.A] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
+
+		case RStoreGlobalOp:
+			g := m.globals[in.A]
+			nv, err := vm.BinOp(in.Kind, g.Cells[0], m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			g.Cells[0] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
+
+		case RStoreCellOp:
+			addr := regs[in.A]
+			nv, err := vm.BinOp(in.Kind, addr.Obj.Cells[addr.Off], m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			addr.Obj.Cells[addr.Off] = nv
+			if in.Dst >= 0 {
+				regs[in.Dst] = nv
+			}
+
+		case RZeroLocal:
+			frame.Cells[in.A] = vm.IntValue(0)
+
+		case RAllocArr:
+			frame.Cells[in.A] = vm.PtrValue(m.arena.NewObject(in.Name, in.Val), 0)
+
+		case RIncLocal:
+			old := frame.Cells[in.A]
+			frame.Cells[in.A] = incValue(old, in.Val)
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
+
+		case RIncCell:
+			addr := regs[in.A]
+			old := addr.Obj.Cells[addr.Off]
+			addr.Obj.Cells[addr.Off] = incValue(old, in.Val)
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
+
+		case RIncIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			old := obj.Cells[off]
+			obj.Cells[off] = incValue(old, in.Val)
+			if in.Dst >= 0 {
+				regs[in.Dst] = old
+			}
+
+		case RUnary:
+			v, err := vm.UnaryOp(in.Kind, m.fetch(in.AM, in.A, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = v
+
+		case RBinary:
+			v, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = v
+
+		case RBinStoreLocal:
+			v, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			frame.Cells[in.C] = v
+			regs[in.Dst] = v
+
+		case RBinStoreGlobal:
+			v, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			m.globals[in.C].Cells[0] = v
+			regs[in.Dst] = v
+
+		case RStoreIndex:
+			obj, off, err := vm.IndexCell(m.fetch(in.AM, in.A, regs, frame), m.fetch(in.BM, in.B, regs, frame), in.Pos)
+			if err != nil {
+				return err
+			}
+			obj.Cells[off] = m.fetch(in.CM, in.C, regs, frame)
+
+		case RBool:
+			regs[in.Dst] = vm.BoolValue(m.fetch(in.AM, in.A, regs, frame))
+
+		case RShortCircuit:
+			l := m.fetch(in.AM, in.A, regs, frame)
+			lTrue := l.Truthy()
+			if err := m.branch(in.Site, l, lTrue); err != nil {
+				return err
+			}
+			short := lTrue == (in.Kind != lang.ANDAND) // direction that short-circuits
+			if short {
+				v := int64(1)
+				if in.Kind == lang.ANDAND {
+					v = 0
+				}
+				regs[in.Dst] = vm.SymValue(v, vm.BoolExpr(l))
+			}
+			if lTrue != e.expected {
+				if short {
+					return resume(in.C)
+				}
+				return resume(int32(e.realPC) + 1)
+			}
+
+		case RBranch:
+			cond := m.fetch(in.AM, in.A, regs, frame)
+			taken := cond.Truthy()
+			if err := m.branch(in.Site, cond, taken); err != nil {
+				return err
+			}
+			if taken != e.expected {
+				if taken {
+					return resume(in.B)
+				}
+				return resume(in.C)
+			}
+
+		case RCmpBranch:
+			cond, err := m.binValue(in, regs, frame)
+			if err != nil {
+				return err
+			}
+			taken := cond.Truthy()
+			if err := m.branch(in.Site, cond, taken); err != nil {
+				return err
+			}
+			if taken != e.expected {
+				if taken {
+					return resume(in.C)
+				}
+				return resume(int32(in.Val))
+			}
+
+		case RCall:
+			fn := in.Fn
+			callee := m.arena.NewObject(fn.FrameName, int64(fn.Decl.NumSlots))
+			copy(callee.Cells, regs[in.A:in.A+in.B])
+			m.depth++
+			if m.depth > m.maxDepth {
+				return vm.CrashError(vm.CrashStackOverflow, fn.Decl.Pos, 0)
+			}
+			calls = append(calls, callFrame{
+				code: code, frame: frame, pc: int32(e.realPC) + 1,
+				base: base, nregs: nr, dst: in.Dst,
+			})
+			base += nr
+			if int(base)+fn.NumRegs > len(m.rf) {
+				m.growRF(int(base) + fn.NumRegs)
+			}
+			code, nr, frame = fn.RCode, int32(fn.NumRegs), callee
+			regs = m.rf[base : base+nr]
+
+		case RCallB:
+			v, err := m.host.Call(in.Name, in.Pos, regs[in.A:in.A+in.B])
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = v
+
+		case RRet, RRetZero:
+			v := vm.IntValue(0)
+			if in.Op == RRet {
+				v = m.fetch(in.AM, in.A, regs, frame)
+			}
+			m.depth--
+			if len(calls) == 0 {
+				return vm.ExitError(0)
+			}
+			cf := calls[len(calls)-1]
+			calls = calls[:len(calls)-1]
+			// cf.pc stays with the frame for a later divergence; the trace
+			// itself continues linearly.
+			code, frame, base, nr = cf.code, cf.frame, cf.base, cf.nregs
+			regs = m.rf[base : base+nr]
+			if cf.dst >= 0 {
+				regs[cf.dst] = v
+			}
+
+		default:
+			// RJump/RNop are elided at record time; anything else here is a
+			// recorder bug.
+			return fmt.Errorf("ir: opcode %v in linear trace", in.Op)
+		}
+	}
+	if tripped {
+		// The precomputed trip entry: clamp with none of its effects applied,
+		// exactly as the general loop's per-instruction check would.
+		m.steps = m.maxSteps + 1
+		return vm.BudgetError()
+	}
+	// Trace exhausted on the recorded path: apply the charge carried past
+	// the last entry and continue in the general loop.
+	if t.endSteps != 0 {
+		s := m.steps + int64(t.endSteps)
+		if s > m.maxSteps {
+			m.steps = m.maxSteps + 1
+			return vm.BudgetError()
+		}
+		m.steps = s
+	}
+	return resume(t.resumePC)
+}

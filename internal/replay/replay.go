@@ -329,6 +329,12 @@ type searchState struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// cache carries engine-private run-acceleration state across the runs of
+	// this search (the bytecode VM's linear trace). The seed run writes it:
+	// take hands out no other work while the seed is active, so the write
+	// completes before any sibling run starts.
+	cache *vm.SearchCache
+
 	deques    [][]pendingSet
 	pending   int  // total sets across all deques
 	seedTaken bool // the initial all-seed run has been claimed
@@ -619,7 +625,7 @@ func (e *Engine) worker(ctx context.Context, st *searchState, w int, slv *solver
 		if !ok {
 			return
 		}
-		sink, vmRes, wld := e.runOnce(asn, &sc)
+		sink, vmRes, wld := e.runOnce(asn, &sc, st.cache)
 		st.finish(w, seq, origin, asn, sink, vmRes, wld)
 		// finish copied the queued sets into the deque; reclaim the buffer
 		// and remember the path length for the next run's conds sizing.
@@ -645,6 +651,7 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 
 	st := &searchState{
 		eng:     e,
+		cache:   vm.NewSearchCache(),
 		deques:  make([][]pendingSet, e.opts.Workers),
 		profile: make(map[lang.BranchID]*instrument.BranchCost),
 	}
@@ -675,7 +682,7 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 	solvers := make([]*solver.Solver, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		slv := solver.New(e.opts.Solver)
+		slv := solver.Get(e.opts.Solver)
 		solvers[i] = slv
 		wg.Add(1)
 		go func(w int) {
@@ -697,6 +704,7 @@ func (e *Engine) Reproduce(ctx context.Context) *Result {
 	}
 	for _, slv := range solvers {
 		res.SolverStats.Add(slv.Stats())
+		solver.Put(slv)
 	}
 	fp := e.rec.Fingerprint
 	if fp == "" {
@@ -740,7 +748,7 @@ func materializeAll(w *world.World) map[string][]byte {
 }
 
 // runOnce executes the program once under the recorded guidance.
-func (e *Engine) runOnce(asn sym.MapAssignment, sc *runScratch) (*runSink, vm.Result, *world.World) {
+func (e *Engine) runOnce(asn sym.MapAssignment, sc *runScratch, cache *vm.SearchCache) (*runSink, vm.Result, *world.World) {
 	w := world.NewWorld(e.spec, e.reg, asn)
 	cfg := w.KernelConfig()
 	if e.rec.SysLog != nil {
@@ -778,6 +786,7 @@ func (e *Engine) runOnce(asn sym.MapAssignment, sc *runScratch) (*runSink, vm.Re
 		Sink:     sink,
 		World:    w,
 		MaxSteps: e.opts.MaxStepsPerRun,
+		Cache:    cache,
 	})
 	vmRes, err := machine.Run()
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 
 	"pathlog/internal/sym"
 )
@@ -64,6 +65,17 @@ const (
 // solver's allocation profile.
 const normTabBits = 13
 
+// structTabBits sizes the second-level, structurally-keyed normalization
+// cache, and hashTabBits the per-node hash memo that feeds it. Across runs of
+// one search every expression is rebuilt node-for-node, so the pointer-keyed
+// first level misses on all of them; the structural level recognizes the
+// rebuilt expressions and reuses their normal forms, which is what keeps
+// normalization (and its slab churn) a first-run-only cost.
+const (
+	structTabBits = 13
+	hashTabBits   = 14
+)
+
 // Stats accumulates counters across Solve calls; the experiment harness
 // reports them alongside replay times.
 type Stats struct {
@@ -89,12 +101,14 @@ func (s *Stats) Add(o Stats) {
 // Solver solves conjunctions of sym.Constraint over bounded integer domains.
 // A Solver is not safe for concurrent use.
 type Solver struct {
-	opts   Options
-	stats  Stats
-	norm   []normSlot   // direct-mapped normalization cache
-	varBuf []int        // scratch for collecting variable IDs in normalize
-	neBuf  []*normEntry // scratch for the per-call normal forms
-	st     searchState  // reused across Solve calls to keep allocation flat
+	opts    Options
+	stats   Stats
+	norm    []normSlot   // direct-mapped normalization cache, pointer-keyed
+	snorm   []normSlot   // second level, structure-keyed
+	hashTab []hashSlot   // per-node structural-hash memo
+	varBuf  []int        // scratch for collecting variable IDs in normalize
+	neBuf   []*normEntry // scratch for the per-call normal forms
+	st      searchState  // reused across Solve calls to keep allocation flat
 
 	// Slab storage for normal forms. The replay search normalizes one fresh
 	// expression per executed symbolic branch (each run rebuilds its path
@@ -116,11 +130,49 @@ func New(opts Options) *Solver {
 	if opts.MaxWork <= 0 {
 		opts.MaxWork = DefaultMaxWork
 	}
-	s := &Solver{opts: opts, norm: make([]normSlot, 1<<normTabBits)}
+	s := &Solver{
+		opts:    opts,
+		norm:    make([]normSlot, 1<<normTabBits),
+		snorm:   make([]normSlot, 1<<structTabBits),
+		hashTab: make([]hashSlot, 1<<hashTabBits),
+	}
 	s.st.solver = s
 	s.st.slotOf = make(map[int]int32)
 	return s
 }
+
+// pool recycles Solvers between searches. A Solver's cache tables are its
+// dominant allocation, and the structurally-keyed level stays valid across
+// searches (normal forms depend only on expression structure), so a recycled
+// Solver starts its next search warm. Stale entries are at worst evicted.
+var pool sync.Pool
+
+// Get returns a Solver for the given options, recycling a pooled one when
+// its options match (after default resolution). Recycled Solvers have their
+// stats cleared; cache contents carry over by design.
+func Get(opts Options) *Solver {
+	eff := opts
+	if eff.MaxNodes <= 0 {
+		eff.MaxNodes = DefaultMaxNodes
+	}
+	if eff.MaxValuesPerVar <= 0 {
+		eff.MaxValuesPerVar = DefaultMaxValuesPerVar
+	}
+	if eff.MaxWork <= 0 {
+		eff.MaxWork = DefaultMaxWork
+	}
+	if v := pool.Get(); v != nil {
+		s := v.(*Solver)
+		if s.opts == eff {
+			s.ResetStats()
+			return s
+		}
+	}
+	return New(opts)
+}
+
+// Put returns a Solver to the pool. The caller must not use it afterwards.
+func Put(s *Solver) { pool.Put(s) }
 
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -330,11 +382,17 @@ type normEntry struct {
 }
 
 // normalized returns the cached normal form of c, computing it on a miss.
-// The slot index hashes the expression's node identity (Fibonacci mixing of
-// the pointer), with the truth folded into the low bit so both polarities of
-// one expression coexist; a colliding entry is simply evicted.
+// The first level hashes the expression's node identity (Fibonacci mixing of
+// the pointer) — a hit is free and covers the re-solved path prefixes within
+// one run. The second level hashes the expression's structure, so the
+// node-for-node rebuilt expressions of later runs of the same search reuse
+// the first run's normal forms instead of re-linearizing (a normEntry is a
+// pure function of structure and truth, so sharing one across
+// pointer-distinct but structurally equal expressions is exact). In both
+// tables the truth folds into the low bit so the two polarities of one
+// expression coexist; a colliding entry is simply evicted.
 func (s *Solver) normalized(c sym.Constraint) *normEntry {
-	h := uint64(reflect.ValueOf(c.E).Pointer()) * 0x9E3779B97F4A7C15
+	h := uint64(reflect.ValueOf(c.E).Pointer()) * fibMix
 	idx := (h >> (64 - normTabBits)) &^ 1
 	if c.Truth {
 		idx |= 1
@@ -343,9 +401,88 @@ func (s *Solver) normalized(c sym.Constraint) *normEntry {
 	if slot.e == c.E && slot.truth == c.Truth {
 		return slot.ne
 	}
+	sidx := (s.structHash(c.E) >> (64 - structTabBits)) &^ 1
+	if c.Truth {
+		sidx |= 1
+	}
+	sslot := &s.snorm[sidx]
+	if sslot.ne != nil && sslot.truth == c.Truth && structEq(sslot.e, c.E) {
+		// Re-key the slot to the newest expression: its subtrees are shared
+		// with the rest of this run's constraints, so later structEq walks
+		// can short-circuit on pointer equality.
+		sslot.e = c.E
+		slot.e, slot.truth, slot.ne = c.E, c.Truth, sslot.ne
+		return sslot.ne
+	}
 	ne := s.normalize(c)
 	slot.e, slot.truth, slot.ne = c.E, c.Truth, ne
+	sslot.e, sslot.truth, sslot.ne = c.E, c.Truth, ne
 	return ne
+}
+
+const fibMix = 0x9E3779B97F4A7C15
+
+// hashSlot is one line of the structural-hash memo: expression nodes are
+// immutable, so a node's structural hash never changes once computed.
+type hashSlot struct {
+	e sym.Expr
+	h uint64
+}
+
+// structHash returns a hash of the expression's structure (operators, shape,
+// constants, input IDs) — equal for the node-for-node rebuilt expressions of
+// different runs. Interior nodes memoize through a pointer-keyed table:
+// constraints within one run share their subtrees, so each node is walked
+// once per run, not once per constraint mentioning it.
+func (s *Solver) structHash(e sym.Expr) uint64 {
+	switch x := e.(type) {
+	case *sym.Const:
+		return (uint64(x.V) ^ 0xC0) * fibMix
+	case *sym.Input:
+		return (uint64(x.ID) ^ 0x1A) * fibMix
+	case *sym.Un:
+		p := uint64(reflect.ValueOf(e).Pointer()) * fibMix
+		hs := &s.hashTab[p>>(64-hashTabBits)]
+		if hs.e == e {
+			return hs.h
+		}
+		h := (s.structHash(x.X) + uint64(x.Op) + 1) * fibMix
+		hs.e, hs.h = e, h
+		return h
+	case *sym.Bin:
+		p := uint64(reflect.ValueOf(e).Pointer()) * fibMix
+		hs := &s.hashTab[p>>(64-hashTabBits)]
+		if hs.e == e {
+			return hs.h
+		}
+		h := (s.structHash(x.L)*3 + s.structHash(x.R) + uint64(x.Op)) * fibMix
+		hs.e, hs.h = e, h
+		return h
+	}
+	return fibMix
+}
+
+// structEq reports whether two expressions are structurally identical.
+// Shared subtrees short-circuit on pointer equality.
+func structEq(a, b sym.Expr) bool {
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case *sym.Const:
+		y, ok := b.(*sym.Const)
+		return ok && x.V == y.V
+	case *sym.Input:
+		y, ok := b.(*sym.Input)
+		return ok && x.ID == y.ID
+	case *sym.Un:
+		y, ok := b.(*sym.Un)
+		return ok && x.Op == y.Op && structEq(x.X, y.X)
+	case *sym.Bin:
+		y, ok := b.(*sym.Bin)
+		return ok && x.Op == y.Op && structEq(x.L, y.L) && structEq(x.R, y.R)
+	}
+	return false
 }
 
 // newEntry bump-allocates one normEntry from the slab.

@@ -1,0 +1,38 @@
+package vm
+
+import "sync/atomic"
+
+// SearchCache carries engine-private acceleration state across the runs of
+// one search (a replay reproduction or a concolic exploration). The search
+// layer allocates one per search and passes it to every run through Options;
+// what an engine stores in it is opaque to everything else — the tree walker
+// ignores it entirely, and the bytecode VM uses it for its linear-trace
+// replay fast path.
+//
+// The single-writer discipline is the search's: both the replay engine and
+// the concolic explorer complete their seed run before any other run starts,
+// so one run records and all later runs read. Load and Store are nonetheless
+// safe under concurrent use (atomic), so a violation of that discipline can
+// at worst waste a recording, never corrupt one.
+type SearchCache struct {
+	v atomic.Value
+}
+
+// NewSearchCache returns an empty cache.
+func NewSearchCache() *SearchCache { return &SearchCache{} }
+
+// Load returns the stored state, or nil when nothing was stored yet.
+func (c *SearchCache) Load() any {
+	if c == nil {
+		return nil
+	}
+	return c.v.Load()
+}
+
+// Store publishes the engine state for later runs.
+func (c *SearchCache) Store(state any) {
+	if c == nil || state == nil {
+		return
+	}
+	c.v.Store(state)
+}
