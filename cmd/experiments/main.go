@@ -83,6 +83,14 @@ func main() {
 		"write the fleet daemon's final /metrics snapshot JSON here")
 	flag.Float64Var(&cfg.FleetDemotionRate, "fleet-demotion-rate", cfg.FleetDemotionRate,
 		"disagreement-rate demotion threshold for the fleet balance (0 = strict)")
+	flag.IntVar(&cfg.FleetReplayWorkers, "fleet-replay-workers", cfg.FleetReplayWorkers,
+		"shard worker daemons the fleetreplay experiment balances over (floor 3)")
+	flag.StringVar(&cfg.FleetReplayWorkerCmd, "fleet-replay-worker-cmd", cfg.FleetReplayWorkerCmd,
+		"prebuilt cmd/shardworkerd binary for the fleetreplay experiment; empty builds one")
+	flag.StringVar(&cfg.FleetReplayJournalOut, "fleet-replay-journal-out", cfg.FleetReplayJournalOut,
+		"write the fleetreplay runner's event stream JSONL here")
+	flag.StringVar(&cfg.FleetReplayMetricsOut, "fleet-replay-metrics-out", cfg.FleetReplayMetricsOut,
+		"write the fleetreplay runner's final counters JSON here")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

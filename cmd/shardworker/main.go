@@ -22,13 +22,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
-	"pathlog/internal/apps"
 	"pathlog/internal/corpus"
-	"pathlog/internal/instrument"
-	"pathlog/internal/replay"
-	"pathlog/internal/world"
+	"pathlog/internal/fleet"
 )
 
 func main() {
@@ -46,56 +42,18 @@ func main() {
 	}
 }
 
-// serve executes one shard request; every failure becomes a response-level
-// error so the parent's transcript names what went wrong.
+// serve executes one shard request through the shared worker core
+// (fleet.WorkerCore — the same engine cmd/shardworkerd serves over HTTP);
+// every failure becomes a response-level error so the parent's transcript
+// names what went wrong.
 func serve(ctx context.Context) corpus.ShardResponse {
-	fail := func(format string, args ...any) corpus.ShardResponse {
-		return corpus.ShardResponse{Version: corpus.ProtocolVersion, Error: fmt.Sprintf(format, args...)}
-	}
 	var req corpus.ShardRequest
 	if err := json.NewDecoder(os.Stdin).Decode(&req); err != nil {
-		return fail("decode request: %v", err)
-	}
-	if req.Version != corpus.ProtocolVersion {
-		return fail("request speaks protocol %d, this worker speaks %d", req.Version, corpus.ProtocolVersion)
-	}
-	if len(req.Reports) == 0 {
-		return fail("request names no reports")
-	}
-	s, err := apps.ScenarioByName(req.Scenario)
-	if err != nil {
-		return fail("%v", err)
-	}
-	opts := replay.Options{
-		MaxRuns:    req.MaxRuns,
-		TimeBudget: time.Duration(req.BudgetMS) * time.Millisecond,
-		Workers:    req.Workers,
-		PickFIFO:   req.PickFIFO,
-	}
-	resp := corpus.ShardResponse{
-		Version:  corpus.ProtocolVersion,
-		ProgHash: instrument.ProgramHash(s.Prog),
-	}
-	for _, path := range req.Reports {
-		// The envelope must embed its plan and fit this worker's program —
-		// a wrong-scenario request fails per report, by path.
-		rec, err := replay.LoadRecordingFor(path, s.Prog)
-		if err != nil {
-			return fail("report %s: %v", path, err)
-		}
-		eng := replay.New(s.Prog, s.Spec, world.NewRegistry(), rec, opts)
-		res := eng.Reproduce(ctx)
-		resp.Results = append(resp.Results, corpus.ReportRun{
-			Reproduced: res.Reproduced,
-			TimedOut:   res.TimedOut,
-			Cancelled:  res.Cancelled,
-			Runs:       res.Runs,
-			WallMS:     res.Elapsed.Milliseconds(),
-			Profile:    res.Profile,
-		})
-		if err := ctx.Err(); err != nil {
-			return fail("cancelled after %d of %d reports: %v", len(resp.Results), len(req.Reports), err)
+		return corpus.ShardResponse{
+			Version: corpus.ProtocolVersion,
+			Error:   fmt.Sprintf("decode request: %v", err),
 		}
 	}
-	return resp
+	var core fleet.WorkerCore
+	return core.Execute(ctx, req)
 }

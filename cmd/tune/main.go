@@ -15,7 +15,8 @@
 // With -corpus, tune refines against a whole directory of bug reports
 // instead of the latest crash: the reports are deduplicated and weighted
 // (frequency × recency), replayed over -shards shards (out-of-process with
-// -shard-cmd), and one weighted refinement step is derived from the merged
+// -shard-cmd, or over a remote worker fleet with -workers host:port,...),
+// and one weighted refinement step is derived from the merged
 // attribution — corpus-wide blowup branches promoted, branches whose bits
 // never constrained any report's search demoted. Redeploy the printed plan
 // and run tune -corpus on the fresh reports to confirm the demotion by
@@ -34,6 +35,7 @@
 //	tune -scenario userver-exp3 -store ./planstore -target-runs 200
 //	tune -scenario userver-exp3 -store ./planstore -corpus ./reports -shards 4 -plan-out next.plan.json
 //	tune -scenario userver-exp3 -store ./planstore -corpus ./intake -intake -shards 4
+//	tune -scenario userver-exp3 -store ./planstore -corpus ./reports -workers 10.0.0.1:7070,10.0.0.2:7070
 package main
 
 import (
@@ -73,8 +75,10 @@ func main() {
 		maxRuns = flag.Int("replay-runs", 2000, "per-generation replay run budget")
 		budget  = flag.Duration("replay-budget", 30*time.Second,
 			"per-generation replay wall-clock budget")
-		workers = flag.Int("workers", 1,
+		replayWorkers = flag.Int("replay-workers", 1,
 			"concurrent replay workers per search (1 = the paper's serial depth-first)")
+		fleetWorkers = flag.String("workers", "",
+			"comma-separated shard worker daemons (host:port, cmd/shardworkerd) to fan corpus shards out over; conflicts with -shard-cmd")
 		trajOut = flag.String("trajectory-out", "",
 			"write the per-generation trajectory JSON to this file")
 		planOut = flag.String("plan-out", "", "save the final generation's plan to this file")
@@ -115,20 +119,38 @@ func main() {
 		pathlog.WithSyscallLog(),
 		pathlog.WithStrategy(strat),
 		pathlog.WithReplayBudget(*maxRuns, *budget),
-		pathlog.WithReplayWorkers(*workers),
+		pathlog.WithReplayWorkers(*replayWorkers),
 	}
 	if *storeDir != "" {
 		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
 	}
 	sess := pathlog.SessionOf(s, sessOpts...)
 
+	var hosts []string
+	if *fleetWorkers != "" {
+		if *shardCmd != "" {
+			fatal(fmt.Errorf("-workers and -shard-cmd are two transports for the same shards — pick one"))
+		}
+		for _, h := range strings.Split(*fleetWorkers, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			fatal(fmt.Errorf("-workers names no hosts"))
+		}
+	}
+
 	if *corpusDir != "" {
-		tuneCorpus(ctx, sess, s.Name, *corpusDir, *intakeMode, *corpusShards, *shardCmd,
-			*topK, *maxRuns, *budget, *workers, *planOut, *profOut)
+		tuneCorpus(ctx, sess, s.Name, *corpusDir, *intakeMode, *corpusShards, *shardCmd, hosts,
+			*topK, *maxRuns, *budget, *replayWorkers, *planOut, *profOut)
 		return
 	}
 	if *intakeMode {
 		fatal(fmt.Errorf("-intake needs -corpus (the intake directory)"))
+	}
+	if len(hosts) > 0 {
+		fatal(fmt.Errorf("-workers fans out corpus shards — it needs -corpus"))
 	}
 
 	fmt.Printf("tuning %s from strategy %s (target: %s)\n",
@@ -204,7 +226,7 @@ func main() {
 // promoted, proven-redundant branches demoted. Measured verification of
 // the demotion happens at the next deployment: record fresh reports under
 // the printed plan and run tune -corpus again.
-func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, intakeMode bool, shards int, shardCmd string,
+func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, intakeMode bool, shards int, shardCmd string, hosts []string,
 	topK, maxRuns int, budget time.Duration, workers int, planOut, profOut string) {
 	var c *pathlog.Corpus
 	var err error
@@ -241,8 +263,18 @@ func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string
 			},
 		}
 	}
+	if len(hosts) > 0 {
+		// The session defaults to one shard per worker when -shards is
+		// not raised above 1; announce the effective fan-out.
+		eff := shards
+		if eff <= 1 {
+			eff = len(hosts)
+		}
+		fmt.Printf("fanning %d shard(s) out over %d remote worker(s): %s\n",
+			eff, len(hosts), strings.Join(hosts, ", "))
+	}
 	ref, err := sess.RefineCorpus(ctx, c, pathlog.CorpusOptions{
-		Shards: shards, Runner: runner, TopK: topK,
+		Shards: shards, Runner: runner, Workers: hosts, TopK: topK,
 	})
 	if err != nil {
 		fatal(err)

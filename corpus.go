@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"pathlog/internal/corpus"
+	"pathlog/internal/fleet"
 	"pathlog/internal/instrument"
 	"pathlog/internal/lang"
 	"pathlog/internal/replay"
@@ -66,6 +67,12 @@ type CorpusOptions struct {
 	// the session's replay options (WithReplayBudget, WithReplayWorkers);
 	// a corpus.SubprocessRunner fans shards out over worker processes.
 	Runner CorpusRunner
+	// Workers fans shards out over remote shard worker daemons
+	// (cmd/shardworkerd), addressed as host:port or http URLs. Ignored
+	// when Runner is set; empty falls back to WithFleet's pool, then to
+	// the in-process runner. With workers set and Shards unset, the corpus
+	// is partitioned one shard per worker.
+	Workers []string
 	// TopK is the promotion width of a RefineCorpus step (<= 0 selects
 	// DefaultRefineTopK).
 	TopK int
@@ -136,7 +143,7 @@ func (s *Session) replayCorpus(ctx context.Context, c *Corpus, opts CorpusOption
 	if err := s.checkGenerationFresh(base, base.Fingerprint()); err != nil {
 		return nil, nil, nil, err
 	}
-	out, err := corpus.Replay(ctx, resolved, opts.Shards, s.corpusRunner(opts))
+	out, err := corpus.Replay(ctx, resolved, s.corpusShards(opts), s.corpusRunner(opts))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -309,7 +316,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 	if maxGen <= 0 {
 		maxGen = DefaultMaxGenerations
 	}
-	copts := CorpusOptions{Shards: opts.Shards, Runner: opts.Runner, TopK: opts.TopK}
+	copts := CorpusOptions{Shards: opts.Shards, Runner: opts.Runner, Workers: opts.Workers, TopK: opts.TopK}
 	tr := &CorpusTrajectory{CorpusIdentity: c.Identity()}
 
 	out, cur, plan, err := s.replayCorpus(ctx, c, copts)
@@ -373,7 +380,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if err != nil {
 			return tr, err
 		}
-		nextOut, err := corpus.Replay(ctx, next, copts.Shards, s.corpusRunner(copts))
+		nextOut, err := corpus.Replay(ctx, next, s.corpusShards(copts), s.corpusRunner(copts))
 		if err != nil {
 			return tr, err
 		}
@@ -421,7 +428,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if err != nil {
 			return tr, err
 		}
-		trialOut, err := corpus.Replay(ctx, trial, copts.Shards, s.corpusRunner(copts))
+		trialOut, err := corpus.Replay(ctx, trial, s.corpusShards(copts), s.corpusRunner(copts))
 		if err != nil {
 			return tr, err
 		}
@@ -453,12 +460,44 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 	return tr, nil
 }
 
-// corpusRunner resolves the runner a balance step replays with.
+// corpusRunner resolves the runner a balance step replays with: an
+// explicit Runner wins, then a remote fleet (per-call Workers, falling
+// back to the session's WithFleet pool), then the in-process runner. The
+// fleet runner dispatches under the session's name — the scenario a
+// stateless worker rebuilds the program from — with the same replay
+// bounds the in-process runner would use.
 func (s *Session) corpusRunner(opts CorpusOptions) CorpusRunner {
 	if opts.Runner != nil {
 		return opts.Runner
 	}
+	if workers := s.corpusWorkers(opts); len(workers) > 0 {
+		return fleet.NewRemoteRunner(workers, s.cfg.name, s.corpusReplayOptions())
+	}
 	return &corpus.InProcessRunner{Prog: s.prog, Spec: s.spec, Opts: s.corpusReplayOptions()}
+}
+
+// corpusWorkers resolves the remote worker pool for one corpus step.
+func (s *Session) corpusWorkers(opts CorpusOptions) []string {
+	if opts.Runner != nil {
+		return nil
+	}
+	if len(opts.Workers) > 0 {
+		return opts.Workers
+	}
+	return s.cfg.fleetWorkers
+}
+
+// corpusShards resolves a step's shard count: an explicit Shards wins;
+// with a remote pool and no explicit count, one shard per worker (the
+// partition that keeps every worker busy).
+func (s *Session) corpusShards(opts CorpusOptions) int {
+	if opts.Shards > 1 {
+		return opts.Shards
+	}
+	if workers := s.corpusWorkers(opts); len(workers) > 0 {
+		return len(workers)
+	}
+	return opts.Shards
 }
 
 // reRecordCorpus redeploys a plan over the corpus population: every

@@ -3,8 +3,11 @@ package corpus
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -91,28 +94,53 @@ func (r *InProcessRunner) ReplayShard(ctx context.Context, reports []*Report) ([
 // request from a different version instead of guessing.
 const ProtocolVersion = 1
 
-// ShardRequest is the JSON object a shard worker reads from stdin: the
-// named scenario (program + input space), the report envelope paths to
-// replay in order, and the replay bounds. Envelopes must embed their plan
-// (version 1 or 2); the parent resolves stamped-only references against
-// its plan store and ships resolved copies, so workers never need store
-// access.
-type ShardRequest struct {
-	Version  int      `json:"version"`
-	Scenario string   `json:"scenario"`
-	Reports  []string `json:"reports"`
-	MaxRuns  int      `json:"max_runs,omitempty"`
-	BudgetMS int64    `json:"budget_ms,omitempty"`
-	Workers  int      `json:"workers,omitempty"`
-	PickFIFO bool     `json:"pick_fifo,omitempty"`
+// ShardIDFor derives a stable identity for one shard of a replay: a short
+// hash over the member signatures in shard order. Partitions of one replay
+// are disjoint and member signatures are unique within a corpus, so the ID
+// uniquely names the shard — the merger uses it to collapse the duplicate
+// deliveries work stealing can produce into exactly one merge.
+func ShardIDFor(reports []*Report) string {
+	h := sha256.New()
+	io.WriteString(h, "pathlog-shard-v1\n")
+	for _, rep := range reports {
+		io.WriteString(h, rep.Signature)
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// ShardResponse is the JSON object a shard worker writes to stdout: one
-// run per requested report, in request order, plus the program hash the
-// worker replayed on (the merger re-verifies every profile anyway; the
-// hash makes a wrong-scenario mistake diagnosable from the transcript).
+// ShardRequest is the JSON object a shard worker reads from stdin (or an
+// HTTP worker daemon reads from a POST body): the named scenario (program +
+// input space), the reports to replay in order, and the replay bounds.
+// Reports travel either as envelope file paths (subprocess workers sharing
+// a filesystem) or as inline version-2 envelope bodies (remote workers) —
+// exactly one of Reports and Envelopes is set. Envelopes must embed their
+// plan; the parent resolves stamped-only references against its plan store
+// and ships resolved copies, so workers never need store access.
+type ShardRequest struct {
+	Version  int    `json:"version"`
+	Scenario string `json:"scenario"`
+	// ShardID names the shard for duplicate-delivery dedupe and transcript
+	// correlation; workers echo it back verbatim.
+	ShardID string   `json:"shard_id,omitempty"`
+	Reports []string `json:"reports,omitempty"`
+	// Envelopes carries version-2 recording envelopes inline, one per
+	// report, for transports with no shared filesystem.
+	Envelopes []json.RawMessage `json:"envelopes,omitempty"`
+	MaxRuns   int               `json:"max_runs,omitempty"`
+	BudgetMS  int64             `json:"budget_ms,omitempty"`
+	Workers   int               `json:"workers,omitempty"`
+	PickFIFO  bool              `json:"pick_fifo,omitempty"`
+}
+
+// ShardResponse is the JSON object a shard worker writes to stdout (or an
+// HTTP worker daemon returns): one run per requested report, in request
+// order, plus the program hash the worker replayed on (the merger
+// re-verifies every profile anyway; the hash makes a wrong-scenario mistake
+// diagnosable from the transcript) and the request's shard ID echoed back.
 type ShardResponse struct {
 	Version  int         `json:"version"`
+	ShardID  string      `json:"shard_id,omitempty"`
 	ProgHash string      `json:"prog_hash,omitempty"`
 	Results  []ReportRun `json:"results,omitempty"`
 	Error    string      `json:"error,omitempty"`
@@ -132,13 +160,46 @@ type SubprocessRunner struct {
 	// Opts bound each report's replay inside the worker (MaxRuns,
 	// TimeBudget, Workers, PickFIFO travel; the rest stay defaults).
 	Opts replay.Options
+	// MaxResponseBytes caps the worker's stdout; a response past the cap is
+	// refused instead of buffered without bound (0 = DefaultMaxResponseBytes).
+	MaxResponseBytes int64
 }
 
-// ReplayShard implements Runner.
+// DefaultMaxResponseBytes bounds a shard worker's response when the runner
+// does not set its own cap.
+const DefaultMaxResponseBytes = 64 << 20
+
+// cappedBuffer stores a prefix of what is written to it (up to max+1
+// bytes, so overflow is detectable) while counting every byte. It never
+// errors, so a worker writing past the cap is not killed mid-pipe — the
+// oversize is diagnosed after exit with the true byte count.
+type cappedBuffer struct {
+	max   int64
+	total int64
+	buf   bytes.Buffer
+}
+
+func (b *cappedBuffer) Write(p []byte) (int, error) {
+	b.total += int64(len(p))
+	if room := b.max + 1 - int64(b.buf.Len()); room > 0 {
+		keep := p
+		if int64(len(keep)) > room {
+			keep = keep[:room]
+		}
+		b.buf.Write(keep)
+	}
+	return len(p), nil
+}
+
+// ReplayShard implements Runner. Every failure names the shard and the
+// worker command so a fleet transcript pinpoints which worker broke on
+// which slice of the corpus.
 func (r *SubprocessRunner) ReplayShard(ctx context.Context, reports []*Report) ([]ReportRun, error) {
 	if len(r.Command) == 0 {
 		return nil, fmt.Errorf("corpus: subprocess runner has no worker command")
 	}
+	worker := r.Command[0]
+	shardID := ShardIDFor(reports)
 	tmp, err := os.MkdirTemp("", "pathlog-shard-*")
 	if err != nil {
 		return nil, fmt.Errorf("corpus: shard scratch dir: %w", err)
@@ -147,6 +208,7 @@ func (r *SubprocessRunner) ReplayShard(ctx context.Context, reports []*Report) (
 	req := ShardRequest{
 		Version:  ProtocolVersion,
 		Scenario: r.Scenario,
+		ShardID:  shardID,
 		MaxRuns:  r.Opts.MaxRuns,
 		BudgetMS: r.Opts.TimeBudget.Milliseconds(),
 		Workers:  r.Opts.Workers,
@@ -166,30 +228,43 @@ func (r *SubprocessRunner) ReplayShard(ctx context.Context, reports []*Report) (
 	if err != nil {
 		return nil, fmt.Errorf("corpus: encode shard request: %w", err)
 	}
+	maxResp := r.MaxResponseBytes
+	if maxResp <= 0 {
+		maxResp = DefaultMaxResponseBytes
+	}
 	cmd := exec.CommandContext(ctx, r.Command[0], r.Command[1:]...)
 	cmd.Stdin = bytes.NewReader(reqData)
-	var stdout, stderr bytes.Buffer
-	cmd.Stdout = &stdout
+	stdout := &cappedBuffer{max: maxResp}
+	var stderr bytes.Buffer
+	cmd.Stdout = stdout
 	cmd.Stderr = &stderr
 	runErr := cmd.Run()
+	if stdout.total > maxResp {
+		return nil, fmt.Errorf("corpus: shard %s: worker %s response is %d bytes, cap is %d — refusing oversized response",
+			shardID, worker, stdout.total, maxResp)
+	}
 	var resp ShardResponse
-	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(stdout.buf.Bytes(), &resp); err != nil {
 		if runErr != nil {
-			return nil, fmt.Errorf("corpus: shard worker failed: %w (stderr: %s)", runErr, tailString(stderr.Bytes()))
+			return nil, fmt.Errorf("corpus: shard %s: worker %s failed: %w (stderr: %s)", shardID, worker, runErr, tailString(stderr.Bytes()))
 		}
-		return nil, fmt.Errorf("corpus: decode shard response: %w", err)
+		return nil, fmt.Errorf("corpus: shard %s: worker %s wrote a malformed response (%d bytes): %w",
+			shardID, worker, stdout.total, err)
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("corpus: shard worker: %s", resp.Error)
+		return nil, fmt.Errorf("corpus: shard %s: worker %s refused shard: %s", shardID, worker, resp.Error)
 	}
 	if runErr != nil {
-		return nil, fmt.Errorf("corpus: shard worker failed: %w (stderr: %s)", runErr, tailString(stderr.Bytes()))
+		return nil, fmt.Errorf("corpus: shard %s: worker %s failed: %w (stderr: %s)", shardID, worker, runErr, tailString(stderr.Bytes()))
 	}
 	if resp.Version != ProtocolVersion {
-		return nil, fmt.Errorf("corpus: shard worker speaks protocol %d, want %d", resp.Version, ProtocolVersion)
+		return nil, fmt.Errorf("corpus: shard %s: worker %s speaks protocol %d, want %d", shardID, worker, resp.Version, ProtocolVersion)
+	}
+	if resp.ShardID != "" && resp.ShardID != shardID {
+		return nil, fmt.Errorf("corpus: shard %s: worker %s echoed shard %s — response belongs to a different shard", shardID, worker, resp.ShardID)
 	}
 	if len(resp.Results) != len(reports) {
-		return nil, fmt.Errorf("corpus: shard worker returned %d results for %d reports", len(resp.Results), len(reports))
+		return nil, fmt.Errorf("corpus: shard %s: worker %s returned %d results for %d reports", shardID, worker, len(resp.Results), len(reports))
 	}
 	return resp.Results, nil
 }
@@ -216,9 +291,11 @@ type Merger struct {
 	PlanFingerprint string
 	Generation      int
 
-	mu      sync.Mutex
-	profile *instrument.SearchProfile
-	added   int
+	mu         sync.Mutex
+	profile    *instrument.SearchProfile
+	added      int
+	seen       map[string]bool
+	duplicates int
 }
 
 // NewMerger pins a merge point to one (program, plan, generation)
@@ -236,9 +313,9 @@ func NewMerger(progHash, planFingerprint string, generation int) *Merger {
 	}
 }
 
-// Add verifies one report's run against the merge identity and folds its
-// profile in at the report's weight.
-func (m *Merger) Add(run ReportRun, weight float64) error {
+// verifyRun checks one run's profile against the merge identity without
+// touching merge state; the refusal messages name both identities.
+func (m *Merger) verifyRun(run ReportRun) error {
 	p := run.Profile
 	if p == nil {
 		return fmt.Errorf("corpus: shard run carries no search profile")
@@ -255,13 +332,69 @@ func (m *Merger) Add(run ReportRun, weight float64) error {
 		return fmt.Errorf("corpus: refusing stale profile: measured at generation %d of plan %s, this merge accepts only generation %d",
 			p.Generation, m.PlanFingerprint, m.Generation)
 	}
+	return nil
+}
+
+// Add verifies one report's run against the merge identity and folds its
+// profile in at the report's weight.
+func (m *Merger) Add(run ReportRun, weight float64) error {
+	if err := m.verifyRun(run); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.profile.MergeWeighted(p, weight); err != nil {
+	if err := m.profile.MergeWeighted(run.Profile, weight); err != nil {
 		return err
 	}
 	m.added++
 	return nil
+}
+
+// AddShard merges one whole shard's runs (aligned with weights) exactly
+// once per shard ID: work stealing can deliver the same shard from two
+// workers, and the second delivery must be counted, not blended. Every run
+// is verified against the merge identity before any state changes, so a
+// refused shard leaves the merge untouched. Returns false with a nil error
+// when the shard was already merged (the duplicate path); an empty shard ID
+// disables dedupe for the call.
+func (m *Merger) AddShard(shardID string, runs []ReportRun, weights []float64) (bool, error) {
+	if len(runs) != len(weights) {
+		return false, fmt.Errorf("corpus: shard %s: %d runs for %d weights", shardID, len(runs), len(weights))
+	}
+	for _, run := range runs {
+		if err := m.verifyRun(run); err != nil {
+			return false, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if shardID != "" {
+		if m.seen == nil {
+			m.seen = make(map[string]bool)
+		}
+		if m.seen[shardID] {
+			m.duplicates++
+			return false, nil
+		}
+	}
+	for i, run := range runs {
+		if err := m.profile.MergeWeighted(run.Profile, weights[i]); err != nil {
+			return false, err
+		}
+		m.added++
+	}
+	if shardID != "" {
+		m.seen[shardID] = true
+	}
+	return true, nil
+}
+
+// DuplicateDeliveries reports how many already-merged shards were offered
+// again — the count of stolen-shard duplicates the merge collapsed.
+func (m *Merger) DuplicateDeliveries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.duplicates
 }
 
 // Profile returns the weighted merged profile (the merge identity with
@@ -354,14 +487,25 @@ func Replay(ctx context.Context, c *Corpus, shards int, runner Runner) (*Outcome
 			byRep[rep] = results[i][j]
 		}
 	}
+	// Merge whole shards under their shard IDs so a duplicate delivery
+	// (possible once runners steal work) collapses structurally, then walk
+	// the corpus order for the weighted population statistics. The merge is
+	// performed in partition order; partitions are deterministic, so
+	// transcripts stay reproducible.
 	merger := NewMerger(progHash, fp, generation)
 	out := &Outcome{Members: len(c.Reports), Shards: len(parts)}
+	for i, part := range parts {
+		weights := make([]float64, len(part))
+		for j, rep := range part {
+			weights[j] = rep.Weight
+		}
+		if _, err := merger.AddShard(ShardIDFor(part), results[i], weights); err != nil {
+			return nil, fmt.Errorf("corpus: shard %d: %w", i, err)
+		}
+	}
 	totalW := 0.0
 	for _, rep := range c.Reports {
 		run := byRep[rep]
-		if err := merger.Add(run, rep.Weight); err != nil {
-			return nil, err
-		}
 		out.Runs = append(out.Runs, run)
 		totalW += rep.Weight
 		out.MeanRuns += rep.Weight * float64(run.Runs)

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pathlog/internal/apps"
+	"pathlog/internal/core"
+	"pathlog/internal/corpus"
+	"pathlog/internal/instrument"
+	"pathlog/internal/replay"
+	"pathlog/internal/world"
+)
+
+// WorkerCore executes shard requests against named scenarios — the engine
+// shared by cmd/shardworker (one request over stdin/stdout) and
+// cmd/shardworkerd (many requests over HTTP). It caches scenario builds by
+// name so a daemon does not rebuild the program and input space per shard;
+// the replay engines themselves share nothing and may run concurrently.
+type WorkerCore struct {
+	mu        sync.Mutex
+	scenarios map[string]*core.Scenario
+}
+
+// scenario resolves and caches one named scenario.
+func (w *WorkerCore) scenario(name string) (*core.Scenario, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.scenarios[name]; ok {
+		return s, nil
+	}
+	s, err := apps.ScenarioByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if w.scenarios == nil {
+		w.scenarios = make(map[string]*core.Scenario)
+	}
+	w.scenarios[name] = s
+	return s, nil
+}
+
+// Execute runs one shard request to completion: resolve the scenario,
+// replay each report in order, return one run per report. Every failure
+// becomes a response-level Error (never a panic or a half-filled result
+// list), so the parent's transcript names what went wrong on which report.
+// Reports arrive either as envelope file paths or as inline version-2
+// envelope bodies — never both in one request.
+func (w *WorkerCore) Execute(ctx context.Context, req corpus.ShardRequest) corpus.ShardResponse {
+	fail := func(format string, args ...any) corpus.ShardResponse {
+		return corpus.ShardResponse{
+			Version: corpus.ProtocolVersion,
+			ShardID: req.ShardID,
+			Error:   fmt.Sprintf(format, args...),
+		}
+	}
+	if req.Version != corpus.ProtocolVersion {
+		return fail("request speaks protocol %d, this worker speaks %d", req.Version, corpus.ProtocolVersion)
+	}
+	if len(req.Reports) == 0 && len(req.Envelopes) == 0 {
+		return fail("request names no reports")
+	}
+	if len(req.Reports) > 0 && len(req.Envelopes) > 0 {
+		return fail("request mixes %d report paths with %d inline envelopes — a request ships exactly one form",
+			len(req.Reports), len(req.Envelopes))
+	}
+	s, err := w.scenario(req.Scenario)
+	if err != nil {
+		return fail("%v", err)
+	}
+	opts := replay.Options{
+		MaxRuns:    req.MaxRuns,
+		TimeBudget: time.Duration(req.BudgetMS) * time.Millisecond,
+		Workers:    req.Workers,
+		PickFIFO:   req.PickFIFO,
+	}
+	resp := corpus.ShardResponse{
+		Version:  corpus.ProtocolVersion,
+		ShardID:  req.ShardID,
+		ProgHash: instrument.ProgramHash(s.Prog),
+	}
+	total := len(req.Reports) + len(req.Envelopes)
+	for i := 0; i < total; i++ {
+		// The envelope must embed its plan and fit this worker's program —
+		// a wrong-scenario request fails per report, by name.
+		var (
+			rec  *replay.Recording
+			name string
+		)
+		if len(req.Reports) > 0 {
+			name = req.Reports[i]
+			rec, err = replay.LoadRecordingFor(name, s.Prog)
+		} else {
+			name = fmt.Sprintf("inline envelope %d", i)
+			rec, err = replay.DecodeRecordingFor(req.Envelopes[i], s.Prog)
+		}
+		if err != nil {
+			return fail("report %s: %v", name, err)
+		}
+		if rec.Plan == nil {
+			return fail("report %s: stamped-only envelope carries no plan — the parent resolves stamps before dispatch", name)
+		}
+		eng := replay.New(s.Prog, s.Spec, world.NewRegistry(), rec, opts)
+		res := eng.Reproduce(ctx)
+		resp.Results = append(resp.Results, corpus.ReportRun{
+			Reproduced: res.Reproduced,
+			TimedOut:   res.TimedOut,
+			Cancelled:  res.Cancelled,
+			Runs:       res.Runs,
+			WallMS:     res.Elapsed.Milliseconds(),
+			Profile:    res.Profile,
+		})
+		if err := ctx.Err(); err != nil {
+			return fail("cancelled after %d of %d reports: %v", len(resp.Results), total, err)
+		}
+	}
+	return resp
+}

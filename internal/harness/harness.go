@@ -111,6 +111,18 @@ type Config struct {
 	// zero-disagreement rule; the measured-acceptance gate applies either
 	// way).
 	FleetDemotionRate float64
+	// FleetReplayWorkers is how many shard worker daemons the fleetreplay
+	// experiment runs its corpus balance over (floor 3 — the chaos kill
+	// needs survivors to steal onto).
+	FleetReplayWorkers int
+	// FleetReplayWorkerCmd, when set, is a prebuilt cmd/shardworkerd
+	// binary; empty builds one with the go toolchain.
+	FleetReplayWorkerCmd string
+	// FleetReplayJournalOut / FleetReplayMetricsOut, when set, write the
+	// remote runner's event stream (JSONL) and final counters (JSON) as
+	// artifacts (CI uploads them).
+	FleetReplayJournalOut string
+	FleetReplayMetricsOut string
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.
@@ -134,6 +146,7 @@ func DefaultConfig() Config {
 		CorpusShards:           2,
 		FleetSites:             8,
 		FleetReportsPerSite:    8,
+		FleetReplayWorkers:     3,
 	}
 }
 

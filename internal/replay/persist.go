@@ -73,6 +73,21 @@ const (
 
 // Save writes the recording to path as a version-2 envelope.
 func (r *Recording) Save(path string) error {
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Encode renders the recording as version-2 envelope bytes — exactly what
+// Save writes to disk. This is the wire form a fleet runner ships inline to
+// a remote shard worker that shares no filesystem with the parent; the
+// recording must carry its plan (version-2 envelopes embed it).
+func (r *Recording) Encode() ([]byte, error) {
+	if r.Plan == nil {
+		return nil, fmt.Errorf("replay: cannot encode version-%d envelope: recording carries no plan — resolve the stamp against a plan store first", recordingVersion)
+	}
 	fp := r.Fingerprint
 	if fp == "" {
 		fp = r.Plan.Fingerprint()
@@ -107,9 +122,9 @@ func (r *Recording) Save(path string) error {
 	}
 	data, err := json.MarshalIndent(enc, "", "  ")
 	if err != nil {
-		return fmt.Errorf("replay: encode recording: %w", err)
+		return nil, fmt.Errorf("replay: encode recording: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
 // SaveRef writes the recording to path as a stamped-only reference
@@ -286,6 +301,21 @@ func DecodeRecording(data []byte) (*Recording, error) {
 // nonsense search result.
 func LoadRecordingFor(path string, prog *lang.Program) (*Recording, error) {
 	rec, err := LoadRecording(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Validate(prog); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// DecodeRecordingFor decodes recording envelope bytes and validates them
+// against the program they will be replayed on — the wire-side counterpart
+// of LoadRecordingFor, used by worker daemons that receive envelopes inline
+// over HTTP instead of as staged files.
+func DecodeRecordingFor(data []byte, prog *lang.Program) (*Recording, error) {
+	rec, err := DecodeRecording(data)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,7 @@ type sessionConfig struct {
 	static       StaticOptions
 	rep          ReplayOptions
 	workers      int
+	fleetWorkers []string
 	progress     ProgressFunc
 	storeDir     string
 	engine       vm.Factory
@@ -161,6 +162,20 @@ func WithReplayWorkers(n int) Option {
 		}
 		c.workers = n
 	}
+}
+
+// WithFleet fans corpus replay shards out over a pool of remote shard
+// worker daemons (cmd/shardworkerd), addressed as host:port or http URLs.
+// The session's name must be a registered scenario name
+// (apps.ScenarioByName) — that name is how a stateless worker rebuilds the
+// program and input space; recording envelopes ship inline with each
+// shard, so workers need neither a shared filesystem nor a plan store.
+// An explicit CorpusOptions.Runner or BalanceOptions.Runner still wins;
+// an empty worker list keeps the in-process runner. Every remote response
+// flows through the same verifying merge point as a local replay —
+// distribution moves bytes, not trust.
+func WithFleet(workers ...string) Option {
+	return func(c *sessionConfig) { c.fleetWorkers = workers }
 }
 
 // clampNonNegative is the option-apply guard rule: negative counts become
