@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pathlog/internal/instrument"
+	"pathlog/internal/obs"
 	"pathlog/internal/store"
 )
 
@@ -228,6 +229,12 @@ type BalanceOptions struct {
 	// soon as its replay finishes. Same contract as ProgressFunc: cheap,
 	// no calls back into the Session.
 	OnGeneration func(BalancePoint)
+	// OnPhase, when set, observes each balance phase's wall time the
+	// moment the phase finishes — record, replay, refine, merge. Same
+	// contract as ProgressFunc. With WithObserver configured, the same
+	// timings also land in the registry's
+	// pathlog_balance_<phase>_ns histograms.
+	OnPhase func(PhaseTiming)
 
 	// The remaining fields apply only to CorpusBalance (AutoBalance
 	// ignores them).
@@ -254,6 +261,37 @@ type BalanceOptions struct {
 	// zero-disagreement rule. The measured-acceptance gate still applies
 	// either way: a demoted plan whose replay regresses is refused by name.
 	DemotionRate float64
+}
+
+// PhaseTiming is one timed phase of a balance generation — the loop's
+// observability quantum. Phases: "record" (user-site deployment run over
+// the workload or corpus), "replay" (developer-site search), "refine"
+// (deriving and pricing the next generation's plan), "merge" (folding the
+// generation's measured point and search profile into the plan store and
+// trajectory).
+type PhaseTiming struct {
+	// Generation is the plan generation the phase ran under.
+	Generation int
+	// Phase names the phase: "record", "replay", "refine" or "merge".
+	Phase string
+	// Elapsed is the phase's wall time.
+	Elapsed time.Duration
+}
+
+// balancePhaseBuckets span 1µs to ~18 minutes of phase wall time.
+var balancePhaseBuckets = obs.ExpBuckets(1000, 4, 16)
+
+// observePhase lands one finished balance phase in the session observer's
+// registry (when attached) and the loop's OnPhase callback (when set).
+func (s *Session) observePhase(on func(PhaseTiming), gen int, phase string, start time.Time) {
+	d := time.Since(start)
+	if reg := s.cfg.obs.Registry(); reg != nil {
+		reg.Histogram("pathlog_balance_"+phase+"_ns", balancePhaseBuckets).
+			Observe(float64(d.Nanoseconds()))
+	}
+	if on != nil {
+		on(PhaseTiming{Generation: gen, Phase: phase, Elapsed: d})
+	}
 }
 
 // BalancePoint is one generation of an AutoBalance trajectory: the
@@ -357,15 +395,26 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 	// the latest generation rather than redeploying generation 0.
 	plan = s.resumePlan(plan)
 	for {
-		rec, stats, err := s.RecordWith(ctx, plan, user)
+		// Each generation's measurement (record + replay) runs under one
+		// span, so the trajectory's wall time decomposes in the trace.
+		gctx, span := s.cfg.obs.Tracer().StartSpan(ctx, "balance.generation")
+		span.SetAttr("gen", fmt.Sprint(plan.Generation))
+		phaseStart := time.Now()
+		rec, stats, err := s.RecordWith(gctx, plan, user)
+		s.observePhase(opts.OnPhase, plan.Generation, "record", phaseStart)
 		if err != nil {
+			span.End()
 			return tr, err
 		}
 		if rec == nil {
+			span.End()
 			return tr, fmt.Errorf("pathlog: AutoBalance: user run did not crash under plan %s (generation %d) — nothing to replay",
 				plan.Strategy, plan.Generation)
 		}
-		res, err := s.Replay(ctx, rec)
+		phaseStart = time.Now()
+		res, err := s.Replay(gctx, rec)
+		s.observePhase(opts.OnPhase, plan.Generation, "replay", phaseStart)
+		span.End()
 		if err != nil {
 			return tr, err
 		}
@@ -381,6 +430,7 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 		}
 		tr.Points = append(tr.Points, pt)
 		s.emit("balance", len(tr.Points))
+		phaseStart = time.Now()
 		if err := s.appendMeasured(pt); err != nil {
 			tr.Reason = "plan store write failed"
 			return tr, fmt.Errorf("pathlog: AutoBalance: persist measured point: %w", err)
@@ -391,6 +441,7 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 			tr.Reason = "plan store write failed"
 			return tr, fmt.Errorf("pathlog: AutoBalance: retain search profile: %w", err)
 		}
+		s.observePhase(opts.OnPhase, plan.Generation, "merge", phaseStart)
 		if opts.OnGeneration != nil {
 			opts.OnGeneration(pt)
 		}
@@ -412,10 +463,12 @@ func (s *Session) AutoBalance(ctx context.Context, user map[string][]byte, opts 
 		// every acceptance check: a plan the loop rejects here was never
 		// deployed, must not mark its base stale, and must not be what a
 		// later AutoBalance resumes from.
+		phaseStart = time.Now()
 		refined, base, err := s.refineStep(ctx, rec, res, opts.TopK)
 		if err != nil {
 			return tr, err
 		}
+		s.observePhase(opts.OnPhase, plan.Generation, "refine", phaseStart)
 		if refined.Fingerprint() == plan.Fingerprint() {
 			tr.Reason = fmt.Sprintf("fixed point at generation %d: the profile blames no promotable branch", plan.Generation)
 			return tr, nil

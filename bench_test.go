@@ -18,6 +18,7 @@ import (
 	"pathlog/internal/concolic"
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 	"pathlog/internal/static"
 )
@@ -288,9 +289,11 @@ func BenchmarkReplayWorkers(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			reg := obs.NewRegistry()
 			sess := SessionOf(s,
 				WithReplayBudget(4000, 30*time.Second),
-				WithReplayWorkers(workers))
+				WithReplayWorkers(workers),
+				WithObserver(&Observer{Reg: reg}))
 			var runs, totalRuns int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -310,6 +313,24 @@ func BenchmarkReplayWorkers(b *testing.B) {
 			// with how many runs the search happens to need.
 			if totalRuns > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRuns), "ns/replay-run")
+			}
+			// The replay engine's per-run distributions, from the observer
+			// registry: the committed baseline gains quantiles, not just
+			// best-run means.
+			for _, h := range reg.Snapshot().Histograms {
+				if h.Count == 0 {
+					continue
+				}
+				switch h.Name {
+				case "pathlog_replay_run_ns":
+					b.ReportMetric(h.Quantile(0.5), "p50-run-ns")
+					b.ReportMetric(h.Quantile(0.9), "p90-run-ns")
+					b.ReportMetric(h.Quantile(0.99), "p99-run-ns")
+				case "pathlog_replay_solver_calls_per_run":
+					b.ReportMetric(h.Quantile(0.5), "p50-solver-calls")
+				case "pathlog_replay_logged_bits_per_run":
+					b.ReportMetric(h.Quantile(0.5), "p50-logged-bits")
+				}
 			}
 		})
 	}

@@ -91,6 +91,12 @@ func main() {
 		"write the fleetreplay runner's event stream JSONL here")
 	flag.StringVar(&cfg.FleetReplayMetricsOut, "fleet-replay-metrics-out", cfg.FleetReplayMetricsOut,
 		"write the fleetreplay runner's final counters JSON here")
+	flag.StringVar(&cfg.TraceFleetDir, "tracefleet-dir", cfg.TraceFleetDir,
+		"directory for the tracefleet experiment's store, reports and per-process traces (left populated; empty = temp dir)")
+	flag.StringVar(&cfg.TraceFleetTraceOut, "tracefleet-trace-out", cfg.TraceFleetTraceOut,
+		"write the tracefleet experiment's merged cross-process span JSONL here")
+	flag.StringVar(&cfg.TraceFleetMetricsOut, "tracefleet-metrics-out", cfg.TraceFleetMetricsOut,
+		"write the tracefleet daemons' Prometheus /metrics scrapes here")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pathlog"
+	"pathlog/internal/obs"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 		burst    = flag.Int("rate-burst", 0, "per-signature token-bucket burst (0 = rate limiting off)")
 		rate     = flag.Float64("rate-per-second", 0, "per-signature token refill rate")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
+		trace    = flag.String("trace", "", "append finished spans as JSONL to this file (empty = tracing off)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	)
 	flag.Parse()
 	if *dir == "" || *storeDir == "" {
@@ -56,6 +59,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	observer := &obs.Observer{Reg: obs.NewRegistry()}
+	if *trace != "" {
+		f, err := os.OpenFile(*trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		observer.Trace = obs.NewTracer(f, "pathlogd")
+	}
 	srv, err := pathlog.NewIntake(pathlog.IntakeConfig{
 		Dir:           *dir,
 		Store:         st,
@@ -64,6 +76,8 @@ func main() {
 		MaxBody:       *maxBody,
 		RateBurst:     *burst,
 		RatePerSecond: *rate,
+		Obs:           observer,
+		Pprof:         *pprofOn,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,9 +6,16 @@
 //
 //	POST /shard   — one JSON ShardRequest in, one JSON ShardResponse out.
 //	                Reports may arrive as envelope paths (shared
-//	                filesystem) or inline version-2 envelopes (none).
+//	                filesystem) or inline version-2 envelopes (none). A
+//	                propagated X-Pathlog-Trace header parents this
+//	                daemon's worker.shard span under the dispatcher's.
 //	GET  /healthz — liveness plus the inflight/served counters the
 //	                runner's probes and the chaos harness read.
+//	GET  /metrics — shard counters and the shard-execution histogram,
+//	                Prometheus text by default (JSON behind Accept:
+//	                application/json).
+//
+// -trace appends finished spans as JSONL; -pprof mounts net/http/pprof.
 //
 // A shard whose connection drops is abandoned mid-search: the request
 // context cancels the replay engine, so a parent that cancelled a stolen
@@ -37,12 +44,14 @@ import (
 
 	"pathlog/internal/corpus"
 	"pathlog/internal/fleet"
+	"pathlog/internal/obs"
 )
 
 // server is the daemon's handler state: the shared worker core plus the
 // counters /healthz exposes.
 type server struct {
 	core     fleet.WorkerCore
+	obs      *obs.Observer
 	delay    time.Duration
 	maxBody  int64
 	inflight atomic.Int64
@@ -76,8 +85,21 @@ func (s *server) handleShard(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(s.delay):
 		}
 	}
-	resp := s.core.Execute(r.Context(), req)
+	// A propagated trace header parents this daemon's worker.shard span
+	// under the dispatching runner's span, across the process boundary.
+	ctx := obs.Extract(r.Context(), r.Header)
+	resp := s.core.Execute(ctx, req)
 	writeResponse(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics: the worker core's registry in
+// Prometheus text, or as JSON behind Accept: application/json.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	obs.ServeMetrics(w, r, s.obs.Reg.Snapshot())
 }
 
 // handleHealthz serves GET /healthz.
@@ -110,13 +132,33 @@ func main() {
 			"largest accepted request body in bytes")
 		drain = flag.Duration("drain-timeout", 10*time.Second,
 			"how long SIGTERM waits for inflight shards before closing connections")
+		trace = flag.String("trace", "",
+			"append finished spans as JSONL to this file (empty = tracing off)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof")
 	)
 	flag.Parse()
 
-	srv := &server{delay: *delay, maxBody: *maxBody}
+	observer := &obs.Observer{Reg: obs.NewRegistry()}
+	if *trace != "" {
+		f, err := os.OpenFile(*trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shardworkerd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		observer.Trace = obs.NewTracer(f, "shardworkerd")
+	}
+	srv := &server{obs: observer, delay: *delay, maxBody: *maxBody}
+	srv.core.Obs = observer
+	srv.core.Register()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shard", srv.handleShard)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+	if *pprofOn {
+		obs.MountPprof(mux)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -28,6 +28,13 @@
 // counter as its frequency — a crash POSTed a thousand times weighs like a
 // thousand files without a thousand files existing.
 //
+// With -trace-out, the whole run is traced: a root "tune" span opens one
+// trace ID that every balance generation parents under, and the
+// X-Pathlog-Trace header carries it to the -workers shard daemons and the
+// -report-to intake daemon — one invocation, one span tree across three
+// processes. Each daemon appends its own spans via its -trace flag;
+// concatenating the JSONL files reassembles the tree.
+//
 // Usage:
 //
 //	tune -scenario userver-exp3 -strategy dynamic -target-runs 200
@@ -39,11 +46,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +63,7 @@ import (
 	"pathlog/internal/apps"
 	"pathlog/internal/corpus"
 	"pathlog/internal/instrument"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 	"pathlog/internal/static"
 )
@@ -94,6 +106,10 @@ func main() {
 			"shard worker binary (cmd/shardworker) for out-of-process corpus shards; empty = in-process")
 		intakeMode = flag.Bool("intake", false,
 			"treat -corpus as a pathlogd intake directory: members come from the newest-generation report bucket, dedupe counters feed member frequency")
+		traceOut = flag.String("trace-out", "",
+			"append this run's spans as JSONL to this file (empty = tracing off); the whole run shares one trace ID that -workers daemons and -report-to intake inherit")
+		reportTo = flag.String("report-to", "",
+			"with -corpus: POST every ingested report file to this pathlogd base URL before replaying, propagating the run's trace header")
 	)
 	flag.Parse()
 	if *scenario == "" {
@@ -124,7 +140,22 @@ func main() {
 	if *storeDir != "" {
 		sessOpts = append(sessOpts, pathlog.WithPlanStore(*storeDir))
 	}
+	observer := &obs.Observer{Reg: obs.NewRegistry()}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		observer.Trace = obs.NewTracer(f, "tune")
+	}
+	sessOpts = append(sessOpts, pathlog.WithObserver(observer))
 	sess := pathlog.SessionOf(s, sessOpts...)
+
+	// The root span: every balance generation — and, over the wire, every
+	// worker shard and intake ingest — parents under this one trace.
+	ctx, root := observer.Tracer().StartSpan(ctx, "tune")
+	root.SetAttr("scenario", *scenario)
 
 	var hosts []string
 	if *fleetWorkers != "" {
@@ -142,12 +173,19 @@ func main() {
 	}
 
 	if *corpusDir != "" {
-		tuneCorpus(ctx, sess, s.Name, *corpusDir, *intakeMode, *corpusShards, *shardCmd, hosts,
+		ok := tuneCorpus(ctx, sess, observer, s.Name, *corpusDir, *intakeMode, *reportTo, *corpusShards, *shardCmd, hosts,
 			*topK, *maxRuns, *budget, *replayWorkers, *planOut, *profOut)
+		root.End()
+		if !ok {
+			os.Exit(1)
+		}
 		return
 	}
 	if *intakeMode {
 		fatal(fmt.Errorf("-intake needs -corpus (the intake directory)"))
+	}
+	if *reportTo != "" {
+		fatal(fmt.Errorf("-report-to forwards corpus reports — it needs -corpus"))
 	}
 	if len(hosts) > 0 {
 		fatal(fmt.Errorf("-workers fans out corpus shards — it needs -corpus"))
@@ -215,6 +253,7 @@ func main() {
 		}
 		fmt.Printf("search profile written to %s\n", *profOut)
 	}
+	root.End()
 	if !tr.Converged {
 		os.Exit(1)
 	}
@@ -225,9 +264,11 @@ func main() {
 // and derive the next plan generation — corpus-wide blowup branches
 // promoted, proven-redundant branches demoted. Measured verification of
 // the demotion happens at the next deployment: record fresh reports under
-// the printed plan and run tune -corpus again.
-func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string, intakeMode bool, shards int, shardCmd string, hosts []string,
-	topK, maxRuns int, budget time.Duration, workers int, planOut, profOut string) {
+// the printed plan and run tune -corpus again. It returns false when the
+// population is not yet within the replay budget (the scripted-loop
+// "redeploy and iterate" signal).
+func tuneCorpus(ctx context.Context, sess *pathlog.Session, observer *obs.Observer, scenario, dir string, intakeMode bool, reportTo string, shards int, shardCmd string, hosts []string,
+	topK, maxRuns int, budget time.Duration, workers int, planOut, profOut string) bool {
 	var c *pathlog.Corpus
 	var err error
 	if intakeMode {
@@ -250,6 +291,11 @@ func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string
 		fmt.Printf("  %-34s %5d %7.3f %10d %s\n",
 			rep.Signature, rep.Count, rep.Weight, rep.Rec.Trace.Len(),
 			rep.Newest.Format(time.RFC3339))
+	}
+	if reportTo != "" {
+		if err := publishCorpus(ctx, observer, reportTo, c); err != nil {
+			fatal(err)
+		}
 	}
 	var runner pathlog.CorpusRunner
 	if shardCmd != "" {
@@ -309,9 +355,49 @@ func tuneCorpus(ctx context.Context, sess *pathlog.Session, scenario, dir string
 		// redeploy and iterate.
 		fmt.Printf("corpus not yet within the replay budget (%d/%d reproduced) — redeploy and iterate\n",
 			out.Reproduced, out.Members)
-		os.Exit(1)
+		return false
 	}
 	fmt.Println("corpus replays within the budget under the current plan")
+	return true
+}
+
+// publishCorpus mirrors the ingested report files into a pathlogd intake
+// over HTTP: every duplicate file is POSTed as-is to <base>/report with
+// the run's trace propagated, so the daemon's intake.ingest spans join
+// this tune invocation's trace.
+func publishCorpus(ctx context.Context, observer *obs.Observer, base string, c *pathlog.Corpus) error {
+	pctx, span := observer.Tracer().StartSpan(ctx, "corpus.publish")
+	defer span.End()
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	posted := 0
+	for _, rep := range c.Reports {
+		for _, path := range rep.Paths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			req, err := http.NewRequestWithContext(pctx, http.MethodPost, base+"/report", bytes.NewReader(data))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			obs.Inject(pctx, req.Header)
+			resp, err := client.Do(req)
+			if err != nil {
+				return fmt.Errorf("report %s to %s: %w", filepath.Base(path), base, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("report %s: %s answered %s", filepath.Base(path), base, resp.Status)
+			}
+			posted++
+		}
+	}
+	span.SetAttr("reports", fmt.Sprint(posted))
+	fmt.Printf("published %d report file(s) to %s\n", posted, base)
+	return nil
 }
 
 // branchIDs renders a branch set for the transcript.

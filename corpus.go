@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"pathlog/internal/corpus"
 	"pathlog/internal/fleet"
@@ -143,7 +144,14 @@ func (s *Session) replayCorpus(ctx context.Context, c *Corpus, opts CorpusOption
 	if err := s.checkGenerationFresh(base, base.Fingerprint()); err != nil {
 		return nil, nil, nil, err
 	}
-	out, err := corpus.Replay(ctx, resolved, s.corpusShards(opts), s.corpusRunner(opts))
+	// The sharded replay runs under one balance.generation span: the fleet
+	// runner's shard/dispatch spans — and, across the HTTP hop, the
+	// workers' spans — all parent under it, so a corpus step yields one
+	// coherent tree per generation.
+	gctx, span := s.cfg.obs.Tracer().StartSpan(ctx, "balance.generation")
+	span.SetAttr("gen", fmt.Sprint(base.Generation))
+	out, err := corpus.Replay(gctx, resolved, s.corpusShards(opts), s.corpusRunner(opts))
+	span.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -161,6 +169,9 @@ func (s *Session) corpusReplayOptions() replay.Options {
 		opts.Workers = s.cfg.workers
 	}
 	opts.OnRun = nil
+	if opts.Obs == nil {
+		opts.Obs = s.cfg.obs.Registry()
+	}
 	return opts
 }
 
@@ -319,13 +330,32 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 	copts := CorpusOptions{Shards: opts.Shards, Runner: opts.Runner, Workers: opts.Workers, TopK: opts.TopK}
 	tr := &CorpusTrajectory{CorpusIdentity: c.Identity()}
 
+	// Later generations replay outside replayCorpus (the corpus is already
+	// resolved), so they open their own balance.generation span here.
+	replayGen := func(gen int, cc *Corpus) (*CorpusOutcome, error) {
+		gctx, span := s.cfg.obs.Tracer().StartSpan(ctx, "balance.generation")
+		span.SetAttr("gen", fmt.Sprint(gen))
+		defer span.End()
+		start := time.Now()
+		out, err := corpus.Replay(gctx, cc, s.corpusShards(copts), s.corpusRunner(copts))
+		s.observePhase(opts.OnPhase, gen, "replay", start)
+		if err != nil {
+			return nil, err
+		}
+		s.emit("corpus", out.Members)
+		return out, nil
+	}
+
+	phaseStart := time.Now()
 	out, cur, plan, err := s.replayCorpus(ctx, c, copts)
 	if err != nil {
 		return tr, err
 	}
+	s.observePhase(opts.OnPhase, plan.Generation, "replay", phaseStart)
 	baseGen := plan.Generation
 	bits := weightedMeanBits(cur)
 	record := func(pt CorpusPoint) error {
+		start := time.Now()
 		tr.Points = append(tr.Points, pt)
 		if err := s.appendCorpusMeasured(tr.CorpusIdentity, pt); err != nil {
 			tr.Reason = "plan store write failed"
@@ -335,6 +365,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 			tr.Reason = "plan store write failed"
 			return fmt.Errorf("pathlog: CorpusBalance: retain corpus profile: %w", err)
 		}
+		s.observePhase(opts.OnPhase, pt.Generation, "merge", start)
 		if opts.OnCorpusGeneration != nil {
 			opts.OnCorpusGeneration(pt)
 		}
@@ -354,6 +385,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 			tr.Reason = fmt.Sprintf("generation cap (%d) reached without meeting the corpus replay target", maxGen)
 			return tr, nil
 		}
+		phaseStart = time.Now()
 		strat, err := instrument.Refine(plan, out.Profile, opts.TopK)
 		if err != nil {
 			return tr, err
@@ -362,6 +394,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if err != nil {
 			return tr, err
 		}
+		s.observePhase(opts.OnPhase, plan.Generation, "refine", phaseStart)
 		if refined.Fingerprint() == plan.Fingerprint() {
 			tr.Reason = fmt.Sprintf("fixed point at generation %d: the corpus profile blames no promotable branch", plan.Generation)
 			return tr, nil
@@ -376,15 +409,16 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 			tr.Reason = "plan store write failed"
 			return tr, fmt.Errorf("pathlog: CorpusBalance: retain refined plan: %w", err)
 		}
+		phaseStart = time.Now()
 		next, err := s.reRecordCorpus(ctx, cur, refined)
 		if err != nil {
 			return tr, err
 		}
-		nextOut, err := corpus.Replay(ctx, next, s.corpusShards(copts), s.corpusRunner(copts))
+		s.observePhase(opts.OnPhase, refined.Generation, "record", phaseStart)
+		nextOut, err := replayGen(refined.Generation, next)
 		if err != nil {
 			return tr, err
 		}
-		s.emit("corpus", nextOut.Members)
 		var pd promotedDemoted
 		if p, ok := strat.(promotedDemoted); ok {
 			pd = p
@@ -413,6 +447,7 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if len(cands) == 0 {
 			return tr, nil
 		}
+		phaseStart = time.Now()
 		strat, err := instrument.DemoteAt(plan, out.Profile, opts.DemotionRate)
 		if err != nil {
 			return tr, err
@@ -421,18 +456,20 @@ func (s *Session) CorpusBalance(ctx context.Context, c *Corpus, opts BalanceOpti
 		if err != nil {
 			return tr, err
 		}
+		s.observePhase(opts.OnPhase, plan.Generation, "refine", phaseStart)
 		if demoted.Fingerprint() == plan.Fingerprint() {
 			return tr, nil
 		}
+		phaseStart = time.Now()
 		trial, err := s.reRecordCorpus(ctx, cur, demoted)
 		if err != nil {
 			return tr, err
 		}
-		trialOut, err := corpus.Replay(ctx, trial, s.corpusShards(copts), s.corpusRunner(copts))
+		s.observePhase(opts.OnPhase, demoted.Generation, "record", phaseStart)
+		trialOut, err := replayGen(demoted.Generation, trial)
 		if err != nil {
 			return tr, err
 		}
-		s.emit("corpus", trialOut.Members)
 		trialBits := weightedMeanBits(trial)
 		if !trialOut.AllReproduced() || !corpusTargetMet(trialOut, opts) || trialBits >= bits {
 			tr.DemotionRefused = fmt.Sprintf(
@@ -471,7 +508,12 @@ func (s *Session) corpusRunner(opts CorpusOptions) CorpusRunner {
 		return opts.Runner
 	}
 	if workers := s.corpusWorkers(opts); len(workers) > 0 {
-		return fleet.NewRemoteRunner(workers, s.cfg.name, s.corpusReplayOptions())
+		r := fleet.NewRemoteRunner(workers, s.cfg.name, s.corpusReplayOptions())
+		// The runner shares the session's observer: its counters land in the
+		// same registry and its shard/dispatch spans parent under the balance
+		// generation that dispatched them.
+		r.Obs = s.cfg.obs
+		return r
 	}
 	return &corpus.InProcessRunner{Prog: s.prog, Spec: s.spec, Opts: s.corpusReplayOptions()}
 }

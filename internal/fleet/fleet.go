@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pathlog/internal/corpus"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 )
 
@@ -76,17 +77,12 @@ type WorkerStatus struct {
 	Failures   int64   `json:"failures"`
 }
 
-// Event is one journal entry of the runner's failure handling; the harness
-// writes these as JSONL artifacts. Kinds: dispatch, response, failure,
-// retry, steal, steal_win, worker_down, worker_up, probe_failed.
-type Event struct {
-	Kind    string `json:"kind"`
-	Worker  string `json:"worker,omitempty"`
-	Shard   string `json:"shard,omitempty"`
-	Attempt int    `json:"attempt,omitempty"`
-	Err     string `json:"err,omitempty"`
-	MS      int64  `json:"ms,omitempty"`
-}
+// Event is one journal entry of the runner's failure handling — the
+// shared obs schema, so the runner's journal, the harness artifacts and
+// the span stream all speak one format. Kinds: dispatch, response,
+// failure, retry, steal, steal_win, worker_down, worker_up, probe_failed.
+// Events emitted under an active span carry its trace/span IDs.
+type Event = obs.Event
 
 // workerState is the runner's per-worker accounting.
 type workerState struct {
@@ -186,18 +182,28 @@ type RemoteRunner struct {
 	// may be called from concurrent shard goroutines and must be
 	// goroutine-safe.
 	OnEvent func(Event)
+	// Events, when set, journals every event as one JSONL line — the same
+	// stream OnEvent observes in-process, so the harness artifact and any
+	// callback see identical records.
+	Events *obs.EventSink
+	// Obs, when set, supplies the registry the runner's counters live in
+	// (exposed by /metrics alongside the intake's) and the tracer its
+	// shard/dispatch spans record to. Nil keeps a private registry so
+	// Metrics() works standalone.
+	Obs *obs.Observer
 
 	initOnce sync.Once
 	states   []*workerState
 
-	dispatched     atomic.Int64
-	retries        atomic.Int64
-	steals         atomic.Int64
-	stolenWins     atomic.Int64
-	workerFailures atomic.Int64
-	malformed      atomic.Int64
-	refused        atomic.Int64
-	probeFailures  atomic.Int64
+	dispatched     *obs.Counter
+	retries        *obs.Counter
+	steals         *obs.Counter
+	stolenWins     *obs.Counter
+	workerFailures *obs.Counter
+	malformed      *obs.Counter
+	refused        *obs.Counter
+	probeFailures  *obs.Counter
+	dispatchMS     *obs.Histogram
 }
 
 // NewRemoteRunner builds a RemoteRunner over the given worker pool with
@@ -211,6 +217,19 @@ func (r *RemoteRunner) init() {
 		for _, w := range r.Workers {
 			r.states = append(r.states, &workerState{url: WorkerURL(w)})
 		}
+		reg := r.Obs.Registry()
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		r.dispatched = reg.Counter("pathlog_fleet_dispatched_total")
+		r.retries = reg.Counter("pathlog_fleet_retries_total")
+		r.steals = reg.Counter("pathlog_fleet_steals_total")
+		r.stolenWins = reg.Counter("pathlog_fleet_stolen_wins_total")
+		r.workerFailures = reg.Counter("pathlog_fleet_worker_failures_total")
+		r.malformed = reg.Counter("pathlog_fleet_malformed_total")
+		r.refused = reg.Counter("pathlog_fleet_refused_total")
+		r.probeFailures = reg.Counter("pathlog_fleet_probe_failures_total")
+		r.dispatchMS = reg.Histogram("pathlog_fleet_dispatch_ms", obs.ExpBuckets(1, 2, 14))
 	})
 }
 
@@ -228,7 +247,14 @@ func (r *RemoteRunner) maxAttempts() int {
 	return DefaultMaxAttempts
 }
 
-func (r *RemoteRunner) event(e Event) {
+// event stamps e with the active span's identity (when ctx carries one),
+// journals it to the Events sink, and hands it to OnEvent.
+func (r *RemoteRunner) event(ctx context.Context, e Event) {
+	if s := obs.SpanFromContext(ctx); s != nil {
+		sc := s.Context()
+		e.Trace, e.Span = sc.TraceID, sc.SpanID
+	}
+	r.Events.Emit(e)
 	if r.OnEvent != nil {
 		r.OnEvent(e)
 	}
@@ -236,15 +262,16 @@ func (r *RemoteRunner) event(e Event) {
 
 // Metrics snapshots the runner's counters.
 func (r *RemoteRunner) Metrics() Metrics {
+	r.init()
 	return Metrics{
-		Dispatched:     r.dispatched.Load(),
-		Retries:        r.retries.Load(),
-		Steals:         r.steals.Load(),
-		StolenWins:     r.stolenWins.Load(),
-		WorkerFailures: r.workerFailures.Load(),
-		Malformed:      r.malformed.Load(),
-		Refused:        r.refused.Load(),
-		ProbeFailures:  r.probeFailures.Load(),
+		Dispatched:     r.dispatched.Value(),
+		Retries:        r.retries.Value(),
+		Steals:         r.steals.Value(),
+		StolenWins:     r.stolenWins.Value(),
+		WorkerFailures: r.workerFailures.Value(),
+		Malformed:      r.malformed.Value(),
+		Refused:        r.refused.Value(),
+		ProbeFailures:  r.probeFailures.Value(),
 	}
 }
 
@@ -353,12 +380,12 @@ func (r *RemoteRunner) probeAll(ctx context.Context) {
 		err := tr.Healthz(pctx, ws.url)
 		cancel()
 		if err != nil {
-			r.probeFailures.Add(1)
-			r.event(Event{Kind: "probe_failed", Worker: ws.url, Err: err.Error()})
+			r.probeFailures.Inc()
+			r.event(ctx, Event{Kind: "probe_failed", Worker: ws.url, Err: err.Error()})
 			continue
 		}
 		ws.markUp()
-		r.event(Event{Kind: "worker_up", Worker: ws.url})
+		r.event(ctx, Event{Kind: "worker_up", Worker: ws.url})
 	}
 }
 
@@ -416,8 +443,12 @@ func (r *RemoteRunner) ReplayShard(ctx context.Context, reports []*corpus.Report
 		return nil, fmt.Errorf("fleet: no workers configured")
 	}
 	shardID := corpus.ShardIDFor(reports)
+	ctx, span := r.Obs.Tracer().StartSpan(ctx, "fleet.shard")
+	span.SetAttr("shard", shardID)
+	defer span.End()
 	body, err := r.encodeRequest(shardID, reports)
 	if err != nil {
+		span.SetAttr("outcome", "encode-error")
 		return nil, err
 	}
 	maxAttempts := r.maxAttempts()
@@ -432,8 +463,8 @@ func (r *RemoteRunner) ReplayShard(ctx context.Context, reports []*corpus.Report
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if attempt > 1 {
-			r.retries.Add(1)
-			r.event(Event{Kind: "retry", Shard: shardID, Attempt: attempt, Err: errString(lastErr)})
+			r.retries.Inc()
+			r.event(ctx, Event{Kind: "retry", Shard: shardID, Attempt: attempt, Err: errString(lastErr)})
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -453,6 +484,7 @@ func (r *RemoteRunner) ReplayShard(ctx context.Context, reports []*corpus.Report
 		}
 		results, err := r.dispatchWave(ctx, shardID, body, len(reports), attempt)
 		if err == nil {
+			span.SetAttr("attempts", fmt.Sprint(attempt))
 			return results, nil
 		}
 		if ctx.Err() != nil {
@@ -503,8 +535,8 @@ func (r *RemoteRunner) dispatchWave(ctx context.Context, shardID string, body []
 		case <-stealC:
 			stealC = nil
 			if thief := r.pickWorker(primary); thief != nil && thief != primary {
-				r.steals.Add(1)
-				r.event(Event{Kind: "steal", Worker: thief.url, Shard: shardID, Attempt: attempt})
+				r.steals.Inc()
+				r.event(ctx, Event{Kind: "steal", Worker: thief.url, Shard: shardID, Attempt: attempt})
 				launch(thief, true)
 				inflight++
 			}
@@ -512,8 +544,8 @@ func (r *RemoteRunner) dispatchWave(ctx context.Context, shardID string, body []
 			inflight--
 			if out.err == nil {
 				if out.stolen {
-					r.stolenWins.Add(1)
-					r.event(Event{Kind: "steal_win", Shard: shardID, Attempt: attempt})
+					r.stolenWins.Inc()
+					r.event(ctx, Event{Kind: "steal_win", Shard: shardID, Attempt: attempt})
 				}
 				// The loser's dispatch dies with wctx; its outcome lands in
 				// the buffered channel and is dropped with the wave.
@@ -532,8 +564,12 @@ func (r *RemoteRunner) dispatchWave(ctx context.Context, shardID string, body []
 // already has a winner reports the cancellation without any failure
 // accounting.
 func (r *RemoteRunner) dispatchOnce(ctx context.Context, ws *workerState, shardID string, body []byte, nReports, attempt int) ([]corpus.ReportRun, error) {
-	r.dispatched.Add(1)
-	r.event(Event{Kind: "dispatch", Worker: ws.url, Shard: shardID, Attempt: attempt})
+	ctx, span := r.Obs.Tracer().StartSpan(ctx, "fleet.dispatch")
+	span.SetAttr("worker", ws.url)
+	span.SetAttr("shard", shardID)
+	defer span.End()
+	r.dispatched.Inc()
+	r.event(ctx, Event{Kind: "dispatch", Worker: ws.url, Shard: shardID, Attempt: attempt})
 	dctx := ctx
 	if r.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -545,40 +581,49 @@ func (r *RemoteRunner) dispatchOnce(ctx context.Context, ws *workerState, shardI
 	data, err := r.transport().PostShard(dctx, ws.url, body)
 	elapsed := time.Since(start)
 	ws.end(elapsed, err == nil)
+	r.dispatchMS.Observe(float64(elapsed.Milliseconds()))
 	if err != nil {
 		if ctx.Err() != nil {
 			// Lost the race (or the caller gave up): not the worker's fault.
+			span.SetAttr("outcome", "cancelled")
 			return nil, ctx.Err()
 		}
-		r.workerFailures.Add(1)
+		r.workerFailures.Inc()
 		ws.markDown()
-		r.event(Event{Kind: "worker_down", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: err.Error(), MS: elapsed.Milliseconds()})
+		span.SetAttr("outcome", "worker-down")
+		r.event(ctx, Event{Kind: "worker_down", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: err.Error(), MS: float64(elapsed.Milliseconds())})
 		return nil, fmt.Errorf("worker %s: %w", ws.url, err)
 	}
 	var resp corpus.ShardResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
-		r.malformed.Add(1)
-		r.event(Event{Kind: "failure", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: "malformed response: " + err.Error()})
+		r.malformed.Inc()
+		span.SetAttr("outcome", "malformed")
+		r.event(ctx, Event{Kind: "failure", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: "malformed response: " + err.Error()})
 		return nil, fmt.Errorf("worker %s wrote a malformed response (%d bytes): %w", ws.url, len(data), err)
 	}
 	if resp.Error != "" {
-		r.refused.Add(1)
-		r.event(Event{Kind: "failure", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: "refused: " + resp.Error})
+		r.refused.Inc()
+		span.SetAttr("outcome", "refused")
+		r.event(ctx, Event{Kind: "failure", Worker: ws.url, Shard: shardID, Attempt: attempt, Err: "refused: " + resp.Error})
 		return nil, fmt.Errorf("worker %s refused shard: %s", ws.url, resp.Error)
 	}
 	if resp.Version != corpus.ProtocolVersion {
-		r.refused.Add(1)
+		r.refused.Inc()
+		span.SetAttr("outcome", "refused")
 		return nil, fmt.Errorf("worker %s speaks protocol %d, want %d", ws.url, resp.Version, corpus.ProtocolVersion)
 	}
 	if resp.ShardID != "" && resp.ShardID != shardID {
-		r.refused.Add(1)
+		r.refused.Inc()
+		span.SetAttr("outcome", "refused")
 		return nil, fmt.Errorf("worker %s echoed shard %s, want %s — response belongs to a different shard", ws.url, resp.ShardID, shardID)
 	}
 	if len(resp.Results) != nReports {
-		r.malformed.Add(1)
+		r.malformed.Inc()
+		span.SetAttr("outcome", "malformed")
 		return nil, fmt.Errorf("worker %s returned %d results for %d reports", ws.url, len(resp.Results), nReports)
 	}
-	r.event(Event{Kind: "response", Worker: ws.url, Shard: shardID, Attempt: attempt, MS: elapsed.Milliseconds()})
+	span.SetAttr("outcome", "ok")
+	r.event(ctx, Event{Kind: "response", Worker: ws.url, Shard: shardID, Attempt: attempt, MS: float64(elapsed.Milliseconds())})
 	return resp.Results, nil
 }
 

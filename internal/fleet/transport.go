@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"pathlog/internal/obs"
 )
 
 // Transport is how a RemoteRunner reaches one worker — the seam
@@ -85,6 +87,7 @@ func (t *HTTPTransport) PostShard(ctx context.Context, worker string, body []byt
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	res, err := t.client().Do(req)
 	if err != nil {
 		return nil, err

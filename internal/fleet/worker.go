@@ -10,6 +10,7 @@ import (
 	"pathlog/internal/core"
 	"pathlog/internal/corpus"
 	"pathlog/internal/instrument"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 	"pathlog/internal/world"
 )
@@ -20,8 +21,35 @@ import (
 // name so a daemon does not rebuild the program and input space per shard;
 // the replay engines themselves share nothing and may run concurrently.
 type WorkerCore struct {
+	// Obs, when set, supplies the registry the worker's shard counters and
+	// execution histogram live in (cmd/shardworkerd exposes it on /metrics)
+	// and the tracer its worker.shard spans record to. Nil keeps a private
+	// registry.
+	Obs *obs.Observer
+
 	mu        sync.Mutex
 	scenarios map[string]*core.Scenario
+
+	initOnce sync.Once
+	cShards  *obs.Counter
+	cErrors  *obs.Counter
+	hShardMS *obs.Histogram
+}
+
+// Register creates the worker's counters and histogram in the observer's
+// registry. Execute calls it lazily; daemons call it at startup so a fresh
+// worker's /metrics page shows the metric families before the first shard
+// ever lands.
+func (w *WorkerCore) Register() {
+	w.initOnce.Do(func() {
+		reg := w.Obs.Registry()
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		w.cShards = reg.Counter("pathlog_worker_shards_total")
+		w.cErrors = reg.Counter("pathlog_worker_shard_errors_total")
+		w.hShardMS = reg.Histogram("pathlog_worker_shard_ms", obs.ExpBuckets(1, 2, 14))
+	})
 }
 
 // scenario resolves and caches one named scenario.
@@ -49,7 +77,18 @@ func (w *WorkerCore) scenario(name string) (*core.Scenario, error) {
 // Reports arrive either as envelope file paths or as inline version-2
 // envelope bodies — never both in one request.
 func (w *WorkerCore) Execute(ctx context.Context, req corpus.ShardRequest) corpus.ShardResponse {
+	w.Register()
+	w.cShards.Inc()
+	start := time.Now()
+	ctx, span := w.Obs.Tracer().StartSpan(ctx, "worker.shard")
+	span.SetAttr("shard", req.ShardID)
+	defer func() {
+		w.hShardMS.Observe(float64(time.Since(start).Milliseconds()))
+		span.End()
+	}()
 	fail := func(format string, args ...any) corpus.ShardResponse {
+		w.cErrors.Inc()
+		span.SetAttr("outcome", "error")
 		return corpus.ShardResponse{
 			Version: corpus.ProtocolVersion,
 			ShardID: req.ShardID,
@@ -116,5 +155,7 @@ func (w *WorkerCore) Execute(ctx context.Context, req corpus.ShardRequest) corpu
 			return fail("cancelled after %d of %d reports: %v", len(resp.Results), total, err)
 		}
 	}
+	span.SetAttr("outcome", "ok")
+	span.SetAttr("reports", fmt.Sprint(total))
 	return resp
 }

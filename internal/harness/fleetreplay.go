@@ -14,7 +14,6 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"pathlog"
@@ -25,6 +24,7 @@ import (
 	"pathlog/internal/fleet"
 	"pathlog/internal/instrument"
 	"pathlog/internal/lang"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 	"pathlog/internal/static"
 )
@@ -124,18 +124,12 @@ func (c Config) FleetReplay(ctx context.Context) (*Table, error) {
 
 	runner := fleet.NewRemoteRunner(urls, s3.Name, bounds)
 	runner.StealAfter = stealDeadline
-	var (
-		journalMu  sync.Mutex
-		journal    bytes.Buffer
-		eventCount int
-	)
-	enc := json.NewEncoder(&journal)
-	runner.OnEvent = func(e fleet.Event) {
-		journalMu.Lock()
-		defer journalMu.Unlock()
-		eventCount++
-		enc.Encode(e)
-	}
+	// The event journal is one obs.EventSink consumer of the runner's
+	// stream — the same schema and encoder every other journal in the
+	// system uses, not a private encoding.
+	var journal bytes.Buffer
+	sink := obs.NewEventSink(&journal)
+	runner.Events = sink
 	hctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	err = runner.WaitHealthy(hctx)
 	cancel()
@@ -196,11 +190,9 @@ func (c Config) FleetReplay(ctx context.Context) (*Table, error) {
 	victim := <-killed
 
 	// Artifacts before judging, so a failed run still leaves its evidence.
+	eventCount := int(sink.Count())
 	if c.FleetReplayJournalOut != "" {
-		journalMu.Lock()
-		data := append([]byte(nil), journal.Bytes()...)
-		journalMu.Unlock()
-		if err := os.WriteFile(c.FleetReplayJournalOut, data, 0o644); err != nil {
+		if err := os.WriteFile(c.FleetReplayJournalOut, journal.Bytes(), 0o644); err != nil {
 			return nil, err
 		}
 	}
@@ -357,20 +349,29 @@ func buildShardWorkerd(ctx context.Context) (string, error) {
 	if _, err := exec.LookPath("go"); err != nil {
 		return "", fmt.Errorf("harness: fleetreplay needs a worker binary: go toolchain unavailable (%v) and no -fleet-replay-worker-cmd given", err)
 	}
+	return buildCmd(ctx, "shardworkerd")
+}
+
+// buildCmd compiles one cmd/<name> binary into a temp dir; the binary
+// lives until the process exits.
+func buildCmd(ctx context.Context, name string) (string, error) {
+	if _, err := exec.LookPath("go"); err != nil {
+		return "", fmt.Errorf("harness: building cmd/%s needs the go toolchain: %v", name, err)
+	}
 	_, file, _, ok := runtime.Caller(0)
 	if !ok {
-		return "", fmt.Errorf("harness: cannot locate module root to build cmd/shardworkerd")
+		return "", fmt.Errorf("harness: cannot locate module root to build cmd/%s", name)
 	}
 	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
-	dir, err := os.MkdirTemp("", "pathlog-fleetreplay-*")
+	dir, err := os.MkdirTemp("", "pathlog-harness-bin-*")
 	if err != nil {
 		return "", err
 	}
-	bin := filepath.Join(dir, "shardworkerd")
-	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/shardworkerd")
+	bin := filepath.Join(dir, name)
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/"+name)
 	cmd.Dir = root
 	if out, err := cmd.CombinedOutput(); err != nil {
-		return "", fmt.Errorf("harness: build shardworkerd: %v\n%s", err, out)
+		return "", fmt.Errorf("harness: build %s: %v\n%s", name, err, out)
 	}
 	return bin, nil
 }

@@ -123,6 +123,18 @@ type Config struct {
 	// artifacts (CI uploads them).
 	FleetReplayJournalOut string
 	FleetReplayMetricsOut string
+	// TraceFleetDir, when set, is where the tracefleet experiment leaves
+	// its plan store, report files, intake directory and per-process trace
+	// JSONLs (an inspectable artifact); empty uses a temp dir discarded
+	// afterwards.
+	TraceFleetDir string
+	// TraceFleetTraceOut, when set, writes the merged cross-process span
+	// JSONL — tune, pathlogd and every shardworkerd — as one artifact (CI
+	// uploads it).
+	TraceFleetTraceOut string
+	// TraceFleetMetricsOut, when set, writes both daemons' Prometheus-text
+	// /metrics scrapes here, each preceded by a "# scrape <url>" line.
+	TraceFleetMetricsOut string
 }
 
 // DefaultConfig returns the laptop-scale configuration used by tests.

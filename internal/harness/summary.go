@@ -88,7 +88,7 @@ func (c Config) Summary(ctx context.Context) (*Table, error) {
 var Experiments = []string{
 	"micro-loop", "micro-fib", "figure1", "figure2", "table1",
 	"figure3", "table2", "figure4", "table3", "table4", "table5", "table8",
-	"figure5", "table6", "table7", "compress", "frontier", "adaptive", "store", "corpus", "fleet", "fleetreplay", "summary",
+	"figure5", "table6", "table7", "compress", "frontier", "adaptive", "store", "corpus", "fleet", "fleetreplay", "tracefleet", "summary",
 }
 
 // Run executes one named experiment and renders it to w. The context
@@ -151,6 +151,8 @@ func (c Config) Run(ctx context.Context, name string, w io.Writer) error {
 		return render(c.Fleet(ctx))
 	case "fleetreplay":
 		return render(c.FleetReplay(ctx))
+	case "tracefleet":
+		return render(c.TraceFleet(ctx))
 	case "summary":
 		return render(c.Summary(ctx))
 	}

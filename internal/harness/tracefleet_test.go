@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTraceFleetLinkage is the acceptance gate for the unified
+// observability layer: one tune -corpus -workers run against a live
+// pathlogd and two live shardworkerd daemons must produce a single trace
+// whose spans link tune's balance generations to the daemons' ingest and
+// shard spans by propagated trace ID, and both daemons must serve
+// Prometheus-text /metrics including a histogram (traceFleet errors on
+// any violation; the assertions here pin the tiers).
+func TestTraceFleetLinkage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three binaries and runs four processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := fastConfig().traceFleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("no trace ID")
+	}
+	if res.Generations < 1 {
+		t.Errorf("want >= 1 balance.generation span in trace %s, got %d", res.TraceID, res.Generations)
+	}
+	if res.WorkerShards < 2 {
+		t.Errorf("want >= 2 worker.shard spans (one per shard over 2 workers), got %d", res.WorkerShards)
+	}
+	if res.Ingests != 3 {
+		t.Errorf("want exactly 3 intake.ingest spans (one per published report), got %d", res.Ingests)
+	}
+	for _, s := range res.Spans {
+		if s.Trace != res.TraceID {
+			t.Errorf("span %s (%s) carries trace %s, want %s", s.Span, s.Name, s.Trace, res.TraceID)
+		}
+	}
+}

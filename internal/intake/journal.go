@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"pathlog/internal/obs"
 )
 
 // JournalName is the journal's filename inside an intake directory.
@@ -88,13 +90,14 @@ func readJournal(path string) ([]Record, int64, error) {
 	return records, valid, nil
 }
 
-// journal is the append side: an open file plus the running counters the
-// metrics surface reports.
+// journal is the append side: an open file written through the shared
+// obs.JSONL encoder (which also keeps the record/byte counters the
+// metrics surface reports), plus the sequence assignment that makes the
+// replayed order checkable.
 type journal struct {
 	f       *os.File
 	path    string
-	records int64
-	bytes   int64
+	jl      *obs.JSONL
 	nextSeq int64
 }
 
@@ -120,7 +123,8 @@ func openJournal(path string) (*journal, []Record, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("intake: open journal: %w", err)
 	}
-	j := &journal{f: f, path: path, records: int64(len(records)), bytes: valid, nextSeq: 1}
+	j := &journal{f: f, path: path, jl: obs.NewJSONL(f), nextSeq: 1}
+	j.jl.Seed(int64(len(records)), valid)
 	if n := len(records); n > 0 {
 		j.nextSeq = records[n-1].Seq + 1
 	}
@@ -128,21 +132,19 @@ func openJournal(path string) (*journal, []Record, error) {
 }
 
 // append assigns the next sequence number and writes the record as one
-// newline-terminated JSON line.
+// newline-terminated JSON line through the shared encoder.
 func (j *journal) append(rec Record) error {
 	rec.Seq = j.nextSeq
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("intake: encode journal record: %w", err)
-	}
-	data = append(data, '\n')
-	if _, err := j.f.Write(data); err != nil {
+	if err := j.jl.Encode(rec); err != nil {
 		return fmt.Errorf("intake: append journal: %w", err)
 	}
 	j.nextSeq++
-	j.records++
-	j.bytes += int64(len(data))
 	return nil
+}
+
+// stats reports the journal's record and byte counters.
+func (j *journal) stats() (records, bytes int64) {
+	return j.jl.Stats()
 }
 
 func (j *journal) close() error {

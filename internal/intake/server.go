@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pathlog/internal/corpus"
+	"pathlog/internal/obs"
 	"pathlog/internal/replay"
 	"pathlog/internal/store"
 )
@@ -55,6 +56,15 @@ type Config struct {
 	// Now overrides the clock (tests and deterministic experiments);
 	// nil selects time.Now.
 	Now func() time.Time
+	// Obs supplies the observability substrate: the registry the ingest
+	// counters and histograms live in (nil creates a private one, so GET
+	// /metrics always works) and the tracer POST /report spans are
+	// recorded to (nil records nothing but still propagates IDs).
+	Obs *obs.Observer
+	// Pprof, when set, mounts net/http/pprof under /debug/pprof — opt-in
+	// because the profiling surface has no business on an internet-facing
+	// ingest port by default.
+	Pprof bool
 }
 
 // Metrics is the counter snapshot GET /metrics serves.
@@ -101,7 +111,22 @@ type Server struct {
 	seen    map[string]*sigState
 	buckets map[bucketKey]*bucketState
 	limits  map[string]*tokenBucket
-	metrics Metrics
+
+	// Counters live in the obs registry (every mutation happens under
+	// s.mu, so a snapshot taken under s.mu is a single consistent pass);
+	// the Metrics struct is reconstructed from them on demand.
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	cAccepted  *obs.Counter
+	cStored    *obs.Counter
+	cDeduped   *obs.Counter
+	cRefused   *obs.Counter
+	cThrottled *obs.Counter
+	gQueue     *obs.Gauge
+	gQueueCap  *obs.Gauge
+	gJournalN  *obs.Gauge
+	gJournalB  *obs.Gauge
+	hIngestNS  *obs.Histogram
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -169,15 +194,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan task, cfg.QueueSize),
-		journal: j,
-		seen:    make(map[string]*sigState),
-		buckets: make(map[bucketKey]*bucketState),
-		limits:  make(map[string]*tokenBucket),
+	reg := cfg.Obs.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	s.metrics.QueueCapacity = cfg.QueueSize
+	s := &Server{
+		cfg:        cfg,
+		queue:      make(chan task, cfg.QueueSize),
+		journal:    j,
+		seen:       make(map[string]*sigState),
+		buckets:    make(map[bucketKey]*bucketState),
+		limits:     make(map[string]*tokenBucket),
+		reg:        reg,
+		tracer:     cfg.Obs.Tracer(),
+		cAccepted:  reg.Counter("pathlog_intake_accepted_total"),
+		cStored:    reg.Counter("pathlog_intake_stored_total"),
+		cDeduped:   reg.Counter("pathlog_intake_deduped_total"),
+		cRefused:   reg.Counter("pathlog_intake_refused_total"),
+		cThrottled: reg.Counter("pathlog_intake_throttled_total"),
+		gQueue:     reg.Gauge("pathlog_intake_queue_depth"),
+		gQueueCap:  reg.Gauge("pathlog_intake_queue_capacity"),
+		gJournalN:  reg.Gauge("pathlog_intake_journal_records"),
+		gJournalB:  reg.Gauge("pathlog_intake_journal_bytes"),
+		hIngestNS:  reg.Histogram("pathlog_intake_ingest_ns", obs.ExpBuckets(1000, 4, 14)),
+	}
+	s.gQueueCap.Set(int64(cfg.QueueSize))
 	for _, rec := range records {
 		s.replayRecord(rec)
 	}
@@ -198,20 +239,18 @@ func (s *Server) replayRecord(rec Record) {
 		s.seen[rec.Sig] = &sigState{count: 1, bucket: key}
 		s.bucket(key).stored++
 		s.bucket(key).accepted++
-		s.metrics.Stored++
-		s.metrics.Accepted++
+		s.cStored.Inc()
+		s.cAccepted.Inc()
 	case EventDuplicate:
 		if st := s.seen[rec.Sig]; st != nil {
 			st.count++
 			s.bucket(st.bucket).accepted++
 		}
-		s.metrics.Deduped++
-		s.metrics.Accepted++
+		s.cDeduped.Inc()
+		s.cAccepted.Inc()
 	case EventRefused:
-		s.metrics.Refused++
+		s.cRefused.Inc()
 	}
-	s.metrics.JournalRecords = s.journal.records
-	s.metrics.JournalBytes = s.journal.bytes
 }
 
 func (s *Server) bucket(key bucketKey) *bucketState {
@@ -233,12 +272,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	if s.cfg.Pprof {
+		obs.MountPprof(mux)
+	}
 	return mux
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	// One ingest span per report, parented under whatever span the site
+	// propagated in the trace header — this is the trust boundary the
+	// span tree crosses between tune and pathlogd.
+	start := time.Now()
+	ctx := obs.Extract(r.Context(), r.Header)
+	_, span := s.tracer.StartSpan(ctx, "intake.ingest")
+	defer func() {
+		s.hIngestNS.Observe(float64(time.Since(start).Nanoseconds()))
+		span.End()
+	}()
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
+		span.SetAttr("outcome", "bad-body")
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			http.Error(w, fmt.Sprintf("report body exceeds %d bytes", s.cfg.MaxBody), http.StatusRequestEntityTooLarge)
@@ -254,13 +307,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// Bounded-queue backpressure: shed the request now rather than
 		// queueing without bound; the site retries after a beat.
 		s.mu.Lock()
-		s.metrics.Throttled++
+		s.cThrottled.Inc()
 		s.mu.Unlock()
+		span.SetAttr("outcome", "queue-full")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
 	resp := <-t.reply
+	span.SetAttr("status", strconv.Itoa(resp.status))
 	if resp.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfter))
 	}
@@ -288,25 +343,59 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// handleMetrics serves the Prometheus text format by default and the
+// legacy JSON snapshot behind Accept: application/json. Both render from
+// one snapshot taken under s.mu — every counter mutation happens under
+// that lock, so concurrent scrapes can never observe a torn set where,
+// say, accepted has advanced but stored+deduped has not.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.Metrics()
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if wantsJSON(r.Header.Get("Accept")) {
+		data, err := json.MarshalIndent(s.Metrics(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, snap)
+}
+
+// wantsJSON implements the exposition content negotiation: only an
+// explicit application/json (or +json) Accept selects the legacy JSON.
+func wantsJSON(accept string) bool { return obs.WantsJSON(accept) }
+
+// snapshot freezes gauge state and captures the registry in one pass
+// under s.mu (the lock every counter mutation holds).
+func (s *Server) snapshot() obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	records, bytes := s.journal.stats()
+	s.gQueue.Set(int64(len(s.queue)))
+	s.gJournalN.Set(records)
+	s.gJournalB.Set(bytes)
+	return s.reg.Snapshot()
 }
 
 // Metrics snapshots the counters, queue depth and per-bucket tallies.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.metrics
-	m.QueueDepth = len(s.queue)
-	m.JournalRecords = s.journal.records
-	m.JournalBytes = s.journal.bytes
+	records, bytes := s.journal.stats()
+	m := Metrics{
+		Accepted:       s.cAccepted.Value(),
+		Stored:         s.cStored.Value(),
+		Deduped:        s.cDeduped.Value(),
+		Refused:        s.cRefused.Value(),
+		Throttled:      s.cThrottled.Value(),
+		QueueDepth:     len(s.queue),
+		QueueCapacity:  s.cfg.QueueSize,
+		JournalRecords: records,
+		JournalBytes:   bytes,
+	}
 	for key, b := range s.buckets {
 		m.Buckets = append(m.Buckets, BucketMetrics{
 			ProgHash:    key.prog,
@@ -355,7 +444,7 @@ func (s *Server) process(data []byte) response {
 	sig := corpus.Signature(rec)
 	if retry, ok := s.allow(sig); !ok {
 		s.mu.Lock()
-		s.metrics.Throttled++
+		s.cThrottled.Inc()
 		s.mu.Unlock()
 		return response{
 			status:     http.StatusTooManyRequests,
@@ -385,8 +474,8 @@ func (s *Server) process(data []byte) response {
 	if st := s.seen[sig]; st != nil {
 		st.count++
 		s.bucket(st.bucket).accepted++
-		s.metrics.Deduped++
-		s.metrics.Accepted++
+		s.cDeduped.Inc()
+		s.cAccepted.Inc()
 		if err := s.journal.append(Record{
 			TimeUnix: now, Event: EventDuplicate, Sig: sig,
 			Prog: key.prog, Plan: key.fp, Gen: key.gen,
@@ -409,8 +498,8 @@ func (s *Server) process(data []byte) response {
 	s.seen[sig] = &sigState{count: 1, bucket: key}
 	s.bucket(key).stored++
 	s.bucket(key).accepted++
-	s.metrics.Stored++
-	s.metrics.Accepted++
+	s.cStored.Inc()
+	s.cAccepted.Inc()
 	if err := s.journal.append(Record{
 		TimeUnix: now, Event: EventAccepted, Sig: sig,
 		Prog: key.prog, Plan: key.fp, Gen: key.gen,
@@ -424,7 +513,7 @@ func (s *Server) process(data []byte) response {
 func (s *Server) refuse(sig string, key bucketKey, reason string, status int) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.metrics.Refused++
+	s.cRefused.Inc()
 	if err := s.journal.append(Record{
 		TimeUnix: s.cfg.Now().Unix(), Event: EventRefused, Sig: sig,
 		Prog: key.prog, Plan: key.fp, Reason: reason,

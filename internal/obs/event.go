@@ -1,0 +1,60 @@
+package obs
+
+import "io"
+
+// Event is the one event schema the pipeline journals: the fleet runner's
+// dispatch/steal/failure stream and the harness artifacts all encode this
+// struct, so every JSONL journal in the system lines up field-for-field.
+// The wire shape is backward compatible with the fleet's original event
+// journal; Trace/Span are additive and tie an event into the span tree.
+type Event struct {
+	// Kind names the event ("dispatch", "steal", "retry", "worker-failure", ...).
+	Kind string `json:"kind"`
+	// Worker is the worker URL or name involved, when any.
+	Worker string `json:"worker,omitempty"`
+	// Shard is the shard ID involved, when any.
+	Shard string `json:"shard,omitempty"`
+	// Attempt is the 1-based delivery attempt, when retries apply.
+	Attempt int `json:"attempt,omitempty"`
+	// Err carries the failure text for error events.
+	Err string `json:"err,omitempty"`
+	// MS is the event's duration in milliseconds, when timed.
+	MS float64 `json:"ms,omitempty"`
+	// Trace links the event to its trace, when one is active.
+	Trace string `json:"trace,omitempty"`
+	// Span links the event to the span it happened under.
+	Span string `json:"span,omitempty"`
+}
+
+// EventSink serializes events to one JSONL stream. It replaces the
+// hand-rolled mutex-plus-encoder pairs that grew in the harness: one
+// encoder (JSONL), one count. A nil sink drops everything.
+type EventSink struct {
+	jl *JSONL
+}
+
+// NewEventSink returns a sink appending one JSON object per event to w.
+// A nil w returns a nil sink, which Emit and Count accept.
+func NewEventSink(w io.Writer) *EventSink {
+	if w == nil {
+		return nil
+	}
+	return &EventSink{jl: NewJSONL(w)}
+}
+
+// Emit writes one event.
+func (s *EventSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.jl.Encode(e)
+}
+
+// Count reports how many events have been written.
+func (s *EventSink) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	n, _ := s.jl.Stats()
+	return n
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventWireShape pins the JSONL schema: the fleet's original journal
+// fields keep their names, empties are omitted, and the trace linkage is
+// additive.
+func TestEventWireShape(t *testing.T) {
+	full := Event{Kind: "steal", Worker: "http://w1", Shard: "s0", Attempt: 2,
+		Err: "boom", MS: 1.5, Trace: "t1", Span: "sp1"}
+	data, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"steal","worker":"http://w1","shard":"s0","attempt":2,"err":"boom","ms":1.5,"trace":"t1","span":"sp1"}`
+	if string(data) != want {
+		t.Fatalf("wire shape drifted:\n got %s\nwant %s", data, want)
+	}
+	bare, _ := json.Marshal(Event{Kind: "dispatch"})
+	if string(bare) != `{"kind":"dispatch"}` {
+		t.Fatalf("empties not omitted: %s", bare)
+	}
+}
+
+// TestEventSinkConcurrent drives the sink from many goroutines and
+// checks every line decodes and all events arrive; -race guards the
+// encoder sharing.
+func TestEventSinkConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex // strings.Builder itself is not goroutine-safe
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.WriteString(string(p))
+	})
+	sink := NewEventSink(w)
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				sink.Emit(Event{Kind: "dispatch", Attempt: j + 1})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if sink.Count() != writers*each {
+		t.Fatalf("count = %d, want %d", sink.Count(), writers*each)
+	}
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d corrupt: %q", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines != writers*each {
+		t.Fatalf("lines = %d, want %d", lines, writers*each)
+	}
+}
+
+func TestNilEventSink(t *testing.T) {
+	var s *EventSink
+	s.Emit(Event{Kind: "x"})
+	if s.Count() != 0 {
+		t.Fatal("nil sink counted")
+	}
+	if NewEventSink(nil) != nil {
+		t.Fatal("NewEventSink(nil) should be nil")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

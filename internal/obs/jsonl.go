@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL is the one JSONL encoder in the system: a locked writer that
+// appends one JSON object per line and keeps record/byte accounting. The
+// tracer, the event sink and the intake journal all encode through it, so
+// every journal the pipeline writes shares one serialization path.
+type JSONL struct {
+	mu      sync.Mutex
+	w       io.Writer
+	records int64
+	bytes   int64
+}
+
+// NewJSONL returns an encoder appending to w. A nil w returns a nil
+// encoder, which Encode and Stats accept (Encode drops silently).
+func NewJSONL(w io.Writer) *JSONL {
+	if w == nil {
+		return nil
+	}
+	return &JSONL{w: w}
+}
+
+// Seed initializes the record/byte counters, for callers resuming an
+// existing file (the intake journal after a restart replay).
+func (l *JSONL) Seed(records, bytes int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.records = records
+	l.bytes = bytes
+	l.mu.Unlock()
+}
+
+// Encode marshals v and appends it as one newline-terminated line. The
+// byte counter includes partial writes, so a caller that treats an error
+// as fatal still reports how far the file got.
+func (l *JSONL) Encode(v any) error {
+	if l == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, err := l.w.Write(data)
+	l.bytes += int64(n)
+	if err != nil {
+		return err
+	}
+	l.records++
+	return nil
+}
+
+// Stats reports how many records and bytes have been written (including
+// any Seed base).
+func (l *JSONL) Stats() (records, bytes int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records, l.bytes
+}

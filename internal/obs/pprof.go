@@ -1,0 +1,17 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof mounts the net/http/pprof surface under /debug/pprof on mux.
+// Every daemon wires it behind an opt-in -pprof flag: profiling endpoints
+// have no business on an exposed port by default.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-wide set of named instruments. Get-or-create takes
+// a lock; every instrument returned is safe for concurrent use with atomic
+// hot paths, so callers cache the pointer once and never pay the map lookup
+// on the path they instrument.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper edges in ascending order; one implicit overflow bucket catches
+// everything above the last bound. Observe is three atomic operations and
+// no locks, which is what lets the replay engine observe every single run.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sumBits atomic.Uint64  // float64 bits, updated by CAS
+}
+
+// NewHistogram builds a standalone histogram (outside any registry) with
+// the given ascending upper bounds. It panics on empty or unsorted bounds —
+// bucket layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: inclusive upper edge
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the histogram in one pass. Count is derived from the
+// bucket counts read in that pass, so the invariant Count == sum(Counts)
+// holds even while other goroutines observe concurrently; Sum may trail by
+// in-flight observations but never includes a value the buckets miss.
+func (h *Histogram) Snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		s.Counts[i] = n
+		s.Count += n
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// ExpBuckets returns n ascending bounds starting at start and multiplying
+// by factor — the standard layout for latency-style histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs n >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		mustValidName(name)
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		mustValidName(name)
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use. Later calls ignore bounds and return the existing instrument — the
+// first registration wins, so one subsystem owns each layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		mustValidName(name)
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument into a stable view: names sorted,
+// values read in one pass per instrument. Two scrapes racing with writers
+// each see an internally consistent set — no torn histogram where the
+// bucket counts and the total disagree.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, h.Snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Snapshot is a stable point-in-time view of a registry, sorted by name
+// within each kind. It is what both exposition formats render from.
+type Snapshot struct {
+	// Counters lists every counter, sorted by name.
+	Counters []CounterSnapshot `json:"counters,omitempty"`
+	// Gauges lists every gauge, sorted by name.
+	Gauges []GaugeSnapshot `json:"gauges,omitempty"`
+	// Histograms lists every histogram, sorted by name.
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// CounterSnapshot is one counter's captured value.
+type CounterSnapshot struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the count at capture time.
+	Value int64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's captured value.
+type GaugeSnapshot struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the reading at capture time.
+	Value int64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's captured distribution.
+type HistogramSnapshot struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Bounds are the inclusive upper bucket edges, ascending.
+	Bounds []float64 `json:"bounds"`
+	// Counts holds one entry per bound plus the overflow bucket last;
+	// sum(Counts) == Count by construction.
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations captured.
+	Count int64 `json:"count"`
+	// Sum is the total of all observed values.
+	Sum float64 `json:"sum"`
+}
+
+// Merge folds another snapshot of the same bucket layout into s — how
+// per-worker histograms combine into a fleet-wide one. It errors on a
+// layout mismatch instead of silently misbinning.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(o.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("obs: merging %q: %d bounds vs %d", s.Name, len(o.Bounds), len(s.Bounds))
+	}
+	for i, b := range o.Bounds {
+		if b != s.Bounds[i] {
+			return fmt.Errorf("obs: merging %q: bound %d is %g vs %g", s.Name, i, b, s.Bounds[i])
+		}
+	}
+	for i, n := range o.Counts {
+		s.Counts[i] += n
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the selected bucket. Observations
+// in the overflow bucket clamp to the last bound. It returns 0 for an
+// empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			hi := s.Bounds[len(s.Bounds)-1]
+			lo := 0.0
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - seen) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(n)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// mustValidName enforces the Prometheus metric-name charset at
+// registration time so exposition can never emit an unparsable line.
+func mustValidName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries span identity across the pipeline's two HTTP hops
+// (POST /report to pathlogd, POST /shard to shardworkerd) as
+// "<trace-id>-<span-id>", so one tune invocation yields one coherent span
+// tree across three processes.
+const TraceHeader = "X-Pathlog-Trace"
+
+// SpanContext is the wire-visible identity of a span: enough to parent a
+// child in another process.
+type SpanContext struct {
+	// TraceID groups every span of one logical operation.
+	TraceID string
+	// SpanID identifies one span within the trace.
+	SpanID string
+}
+
+// SpanRecord is one finished span as emitted to the JSONL trace stream.
+// Each process appends its own records; the harness merges the files and
+// joins them on the trace field.
+type SpanRecord struct {
+	// Trace is the trace ID shared by the whole operation.
+	Trace string `json:"trace"`
+	// Span is this span's ID.
+	Span string `json:"span"`
+	// Parent is the parent span's ID; empty for a root.
+	Parent string `json:"parent,omitempty"`
+	// Name says what the span covers ("balance.generation", "intake.ingest", ...).
+	Name string `json:"name"`
+	// Proc names the emitting process ("tune", "pathlogd", "shardworkerd").
+	Proc string `json:"proc,omitempty"`
+	// StartUnixNS is the span's start in Unix nanoseconds.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// DurNS is the span's duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Attrs carries small string attributes (shard IDs, outcomes, counts).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer emits finished spans as JSONL. A nil Tracer is fully usable:
+// spans still mint and propagate IDs (so a process that doesn't record
+// still links its upstream to its downstream) — they just write nothing.
+type Tracer struct {
+	jl   *JSONL
+	proc string
+}
+
+// NewTracer returns a tracer that appends one JSON object per finished
+// span to w, stamping each with proc. A nil w returns a nil tracer, which
+// every method accepts.
+func NewTracer(w io.Writer, proc string) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{jl: NewJSONL(w), proc: proc}
+}
+
+// Count reports how many spans have been written.
+func (t *Tracer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	n, _ := t.jl.Stats()
+	return n
+}
+
+// Span is one in-flight timed operation. End finishes it and (when the
+// tracer records) writes its record.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent string
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+	ended  bool
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	remoteKey
+)
+
+// StartSpan begins a span named name. Its parent is the current span in
+// ctx, or the remote span context Extract placed there, or nothing (a new
+// trace root). The returned context carries the new span for children.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	switch {
+	case spanFrom(ctx) != nil:
+		p := spanFrom(ctx)
+		s.sc = SpanContext{TraceID: p.sc.TraceID, SpanID: newID(8)}
+		s.parent = p.sc.SpanID
+	case remoteFrom(ctx) != (SpanContext{}):
+		r := remoteFrom(ctx)
+		s.sc = SpanContext{TraceID: r.TraceID, SpanID: newID(8)}
+		s.parent = r.SpanID
+	default:
+		s.sc = SpanContext{TraceID: newID(16), SpanID: newID(8)}
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Context returns the span's wire identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a small string attribute to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End finishes the span and writes its record. Safe to call more than
+// once; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	t := s.tracer
+	if t == nil {
+		return
+	}
+	t.jl.Encode(SpanRecord{
+		Trace:       s.sc.TraceID,
+		Span:        s.sc.SpanID,
+		Parent:      s.parent,
+		Name:        s.name,
+		Proc:        t.proc,
+		StartUnixNS: s.start.UnixNano(),
+		DurNS:       time.Since(s.start).Nanoseconds(),
+		Attrs:       attrs,
+	})
+}
+
+func spanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+func remoteFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(remoteKey).(SpanContext)
+	return sc
+}
+
+// SpanFromContext returns the current in-process span, or nil.
+func SpanFromContext(ctx context.Context) *Span { return spanFrom(ctx) }
+
+// Inject stamps the current span's identity (or the remote identity the
+// context arrived with) onto h for a downstream hop. No span, no header.
+func Inject(ctx context.Context, h http.Header) {
+	sc := SpanContext{}
+	if s := spanFrom(ctx); s != nil {
+		sc = s.sc
+	} else {
+		sc = remoteFrom(ctx)
+	}
+	if sc.TraceID == "" {
+		return
+	}
+	h.Set(TraceHeader, sc.TraceID+"-"+sc.SpanID)
+}
+
+// Extract reads the trace header and, when present and well-formed,
+// returns a context whose next StartSpan parents under the remote span.
+// A missing or malformed header returns ctx unchanged.
+func Extract(ctx context.Context, h http.Header) context.Context {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return ctx
+	}
+	trace, span, ok := strings.Cut(v, "-")
+	if !ok || !validID(trace) || !validID(span) {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey, SpanContext{TraceID: trace, SpanID: span})
+}
+
+func newID(bytes int) string {
+	b := make([]byte, bytes)
+	if _, err := rand.Read(b); err != nil {
+		panic("obs: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b)
+}
+
+func validID(s string) bool {
+	if len(s) < 2 || len(s) > 64 || len(s)%2 != 0 {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+// Observer bundles the two halves of the substrate a session carries: a
+// registry for metrics and a tracer for spans. Either half may be nil.
+type Observer struct {
+	// Reg collects counters, gauges and histograms.
+	Reg *Registry
+	// Trace records finished spans as JSONL.
+	Trace *Tracer
+}
+
+// Registry returns the observer's registry; nil-safe (returns nil when
+// the observer itself is nil).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Tracer returns the observer's tracer; nil-safe.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSpanTreeAcrossProcesses simulates the real three-process hop:
+// tune starts a root and a child, injects the child into a header,
+// a daemon extracts it and starts its own span — every span must share
+// the root's trace ID and the daemon span must parent under the
+// injected child.
+func TestSpanTreeAcrossProcesses(t *testing.T) {
+	var tuneOut, daemonOut strings.Builder
+	tune := NewTracer(&tuneOut, "tune")
+	daemon := NewTracer(&daemonOut, "pathlogd")
+
+	ctx, root := tune.StartSpan(context.Background(), "balance")
+	ctx, child := tune.StartSpan(ctx, "publish")
+	h := http.Header{}
+	Inject(ctx, h)
+	if got := h.Get(TraceHeader); got != child.Context().TraceID+"-"+child.Context().SpanID {
+		t.Fatalf("header = %q", got)
+	}
+
+	remoteCtx := Extract(context.Background(), h)
+	_, ingest := daemon.StartSpan(remoteCtx, "ingest")
+	ingest.SetAttr("sig", "abc")
+	ingest.End()
+	child.End()
+	root.End()
+
+	if root.Context().TraceID != child.Context().TraceID ||
+		child.Context().TraceID != ingest.Context().TraceID {
+		t.Fatal("trace IDs diverged across the hop")
+	}
+
+	decode := func(s string) []SpanRecord {
+		var out []SpanRecord
+		sc := bufio.NewScanner(strings.NewReader(s))
+		for sc.Scan() {
+			var r SpanRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	tuneRecs := decode(tuneOut.String())
+	daemonRecs := decode(daemonOut.String())
+	if len(tuneRecs) != 2 || len(daemonRecs) != 1 {
+		t.Fatalf("records: tune %d daemon %d", len(tuneRecs), len(daemonRecs))
+	}
+	ing := daemonRecs[0]
+	if ing.Parent != child.Context().SpanID {
+		t.Fatalf("ingest parent = %q, want %q", ing.Parent, child.Context().SpanID)
+	}
+	if ing.Proc != "pathlogd" || ing.Name != "ingest" || ing.Attrs["sig"] != "abc" {
+		t.Fatalf("ingest record wrong: %+v", ing)
+	}
+	if ing.DurNS < 0 || ing.StartUnixNS == 0 {
+		t.Fatalf("timing not stamped: %+v", ing)
+	}
+	if tune.Count() != 2 || daemon.Count() != 1 {
+		t.Fatalf("counts: %d / %d", tune.Count(), daemon.Count())
+	}
+}
+
+// TestNilTracerStillPropagates pins the disabled-mode contract: a nil
+// tracer mints and propagates IDs (so the processes around it still link
+// up) without writing anything.
+func TestNilTracerStillPropagates(t *testing.T) {
+	var nilTracer *Tracer
+	ctx, s := nilTracer.StartSpan(context.Background(), "x")
+	if s.Context().TraceID == "" || s.Context().SpanID == "" {
+		t.Fatal("nil tracer did not mint IDs")
+	}
+	h := http.Header{}
+	Inject(ctx, h)
+	if h.Get(TraceHeader) == "" {
+		t.Fatal("nil tracer did not propagate")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	s.End() // double End is safe
+	if nilTracer.Count() != 0 {
+		t.Fatal("nil tracer counted spans")
+	}
+	if NewTracer(nil, "x") != nil {
+		t.Fatal("NewTracer(nil) should be nil")
+	}
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	for _, v := range []string{"", "no-dash-at-all-zzz", "abc", "xyz-123", "ab-", "-ab", "abc-12"} {
+		h := http.Header{}
+		if v != "" {
+			h.Set(TraceHeader, v)
+		}
+		ctx := Extract(context.Background(), h)
+		if remoteFrom(ctx) != (SpanContext{}) {
+			t.Errorf("header %q was accepted", v)
+		}
+	}
+	h := http.Header{}
+	h.Set(TraceHeader, "00ff00ff-12ab")
+	ctx := Extract(context.Background(), h)
+	if sc := remoteFrom(ctx); sc.TraceID != "00ff00ff" || sc.SpanID != "12ab" {
+		t.Fatalf("well-formed header rejected: %+v", sc)
+	}
+	// A span started from the extracted context parents under the remote.
+	_, s := (*Tracer)(nil).StartSpan(ctx, "child")
+	if s.Context().TraceID != "00ff00ff" || s.parent != "12ab" {
+		t.Fatalf("remote parenting wrong: %+v parent=%q", s.Context(), s.parent)
+	}
+}
+
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer leaked instruments")
+	}
+	o = &Observer{Reg: NewRegistry()}
+	if o.Registry() == nil || o.Tracer() != nil {
+		t.Fatal("observer accessors wrong")
+	}
+}

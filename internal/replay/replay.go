@@ -8,6 +8,7 @@ import (
 
 	"pathlog/internal/instrument"
 	"pathlog/internal/lang"
+	"pathlog/internal/obs"
 	"pathlog/internal/oskernel"
 	"pathlog/internal/solver"
 	"pathlog/internal/sym"
@@ -44,7 +45,26 @@ type Options struct {
 	// concurrent calls when Workers > 1.
 	Engine vm.Factory
 	Solver solver.Options
+	// Obs, when set, receives per-run distribution observations
+	// (pathlog_replay_run_ns, pathlog_replay_solver_calls_per_run,
+	// pathlog_replay_logged_bits_per_run). Each observation is a handful of
+	// atomic adds outside the coordination lock, so instrumenting every run
+	// does not disturb the search hot path.
+	Obs *obs.Registry
 }
+
+// Replay histogram layouts: run latency from 1µs up (×4 per bucket),
+// solver calls and logged bits from 1 up (×2 per bucket). First
+// registration wins, so every engine in the process shares one layout.
+var (
+	runNSBuckets       = ExpBuckets(1000, 4, 16)
+	solverCallsBuckets = ExpBuckets(1, 2, 12)
+	loggedBitsBuckets  = ExpBuckets(1, 2, 16)
+)
+
+// ExpBuckets re-exports the registry's exponential bucket helper so callers
+// configuring replay histograms need not import internal/obs directly.
+func ExpBuckets(start, factor float64, n int) []float64 { return obs.ExpBuckets(start, factor, n) }
 
 // Default bounds.
 const (
@@ -144,6 +164,11 @@ type Engine struct {
 	// instrTab is the plan's Instrumented set as a dense table indexed by
 	// BranchID, so the per-branch-execution sink avoids a map lookup.
 	instrTab []bool
+	// Per-run histograms, resolved once at construction when Options.Obs is
+	// set; nil otherwise, and the worker loop skips the observations.
+	runNS       *obs.Histogram
+	solverCalls *obs.Histogram
+	loggedBits  *obs.Histogram
 }
 
 // New creates a replay engine. The registry may be fresh: variable identity
@@ -167,7 +192,7 @@ func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, rec *Recordi
 			instrTab[id] = rec.Plan.Instrumented[id]
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		prog:     prog,
 		spec:     spec,
 		reg:      reg,
@@ -175,6 +200,12 @@ func New(prog *lang.Program, spec *world.Spec, reg *world.Registry, rec *Recordi
 		opts:     opts,
 		instrTab: instrTab,
 	}
+	if opts.Obs != nil {
+		e.runNS = opts.Obs.Histogram("pathlog_replay_run_ns", runNSBuckets)
+		e.solverCalls = opts.Obs.Histogram("pathlog_replay_solver_calls_per_run", solverCallsBuckets)
+		e.loggedBits = opts.Obs.Histogram("pathlog_replay_logged_bits_per_run", loggedBitsBuckets)
+	}
+	return e
 }
 
 // pendingSet is one unexplored alternative: a prefix of the producing run's
@@ -438,6 +469,7 @@ type runScratch struct {
 	counts   []int64          // per-branch counter block, zeroed per run
 	queued   []pendingSet     // pending-set buffer, drained by finish
 	condsCap int              // last run's path length, to size conds exactly
+	solves   int              // solver calls take made to produce the claimed run
 }
 
 // dequePool recycles deque backing arrays across searches: the pending list
@@ -463,6 +495,7 @@ func dequePut(d []pendingSet) {
 // outcome to it.
 func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver, sc *runScratch) (asn sym.MapAssignment, seq int, origin lang.BranchID, ok bool) {
 	e := st.eng
+	sc.solves = 0
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
@@ -504,6 +537,7 @@ func (st *searchState) take(ctx context.Context, w int, slv *solver.Solver, sc *
 				Seed:        seedForIDs(top.parent, vars),
 			})
 			solveTime := time.Since(solveStart)
+			sc.solves++
 			st.mu.Lock()
 			st.active--
 			// The solving effort is charged to the branch whose alternative
@@ -625,8 +659,23 @@ func (e *Engine) worker(ctx context.Context, st *searchState, w int, slv *solver
 		if !ok {
 			return
 		}
+		var runStart time.Time
+		if e.runNS != nil {
+			runStart = time.Now()
+		}
 		sink, vmRes, wld := e.runOnce(asn, &sc, st.cache)
 		st.finish(w, seq, origin, asn, sink, vmRes, wld)
+		if e.runNS != nil {
+			// Observed outside the coordination lock: three histograms of
+			// atomic adds per ~half-millisecond run.
+			e.runNS.Observe(float64(time.Since(runStart).Nanoseconds()))
+			e.solverCalls.Observe(float64(sc.solves))
+			var bits int64
+			for _, n := range sink.loggedExecs {
+				bits += n
+			}
+			e.loggedBits.Observe(float64(bits))
+		}
 		// finish copied the queued sets into the deque; reclaim the buffer
 		// and remember the path length for the next run's conds sizing.
 		sc.queued = sink.queued[:0]

@@ -8,6 +8,7 @@ import (
 
 	"pathlog/internal/core"
 	"pathlog/internal/instrument"
+	"pathlog/internal/obs"
 	"pathlog/internal/store"
 	"pathlog/internal/vm"
 	"pathlog/internal/world"
@@ -50,6 +51,7 @@ type sessionConfig struct {
 	progress     ProgressFunc
 	storeDir     string
 	engine       vm.Factory
+	obs          *obs.Observer
 }
 
 // Option configures a Session; see the With* constructors.
@@ -198,6 +200,25 @@ func clampDurNonNegative(d time.Duration) time.Duration {
 func WithProgress(fn ProgressFunc) Option {
 	return func(c *sessionConfig) { c.progress = fn }
 }
+
+// Observer re-exports the observability substrate a session carries: a
+// metrics registry plus a span tracer (internal/obs). Either half may be
+// nil.
+type Observer = obs.Observer
+
+// WithObserver attaches an observability substrate to the session. The
+// replay engine's per-run distributions (runs, solver calls, logged bits)
+// and the balance loop's phase timings land in the observer's registry,
+// and every balance generation runs under a span recorded by the
+// observer's tracer — propagated across the fleet's HTTP hops, so one
+// session's trace links to the daemons that served it. Either half of the
+// observer may be nil; a nil observer disables everything it would feed.
+func WithObserver(o *Observer) Option {
+	return func(c *sessionConfig) { c.obs = o }
+}
+
+// Observer returns the session's attached observer, or nil.
+func (s *Session) Observer() *Observer { return s.cfg.obs }
 
 // WithEngine selects the execution engine every session phase runs the
 // program with:
@@ -715,6 +736,9 @@ func (s *Session) replayWith(ctx context.Context, rec *Recording, workers int) *
 	}
 	if s.cfg.progress != nil {
 		opts.OnRun = func(completed int) { s.emit("replay", completed) }
+	}
+	if opts.Obs == nil {
+		opts.Obs = s.cfg.obs.Registry()
 	}
 	return s.scenario(nil).ReplayContext(ctx, rec, opts)
 }
